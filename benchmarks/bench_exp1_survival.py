@@ -1,0 +1,83 @@
+"""Experiment 1 (Sec. 7.1, Fig. 12): "survival" of a view.
+
+V0 selects R.A (dispensable, replaceable) and R.B (dispensable only);
+replicas of A exist at S and T.  After delete-attribute R.A, EVE's choice
+between the replaceable branch (V1/V2, via S or T) and the
+non-replaceable branch (V3, keep B) is governed by the interface weights:
+w1 > w2 keeps the view alive through a second capability change, w2 > w1
+dead-ends it — the paper's justification for the default w1 > w2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.eve import EVESystem
+from repro.core.report import format_table
+from repro.qc.params import TradeoffParameters
+from repro.workloadgen.scenarios import build_survival_scenario
+
+
+def run_lifespans():
+    """(w1, w2) -> (first rewriting shape, generations survived, alive)."""
+    outcomes = []
+    for w1, w2 in [(0.7, 0.3), (0.3, 0.7)]:
+        scenario = build_survival_scenario()
+        params = TradeoffParameters(w1=w1, w2=w2).with_divergence_weights(
+            1.0, 0.0  # Sec. 7.1 ignores the extent factor
+        )
+        eve = EVESystem(params=params, space=scenario.space)
+        eve.define_view(scenario.view, materialize=False)
+        eve.space.delete_attribute("R", "A")
+        first_shape = "/".join(eve.vkb.current("V0").relation_names)
+        # Second change: whatever carrier was chosen disappears.
+        carrier = eve.vkb.current("V0").relation_names[0]
+        eve.space.delete_relation(carrier)
+        outcomes.append(
+            (
+                f"w1={w1}, w2={w2}",
+                first_shape,
+                eve.generations("V0"),
+                eve.is_alive("V0"),
+            )
+        )
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_lifespans()
+
+
+def report(outcomes) -> None:
+    emit(
+        format_table(
+            ["Weights", "After change 1", "Generations", "Alive"],
+            outcomes,
+            title="Figure 12: life span of V0 under two interface weightings",
+        )
+    )
+
+
+def test_exp1_report(outcomes):
+    report(outcomes)
+
+
+def test_default_weights_pick_replaceable_branch(outcomes):
+    weights, first_shape, generations, alive = outcomes[0]
+    assert first_shape in ("S", "T")
+    assert generations == 2
+    assert alive
+
+
+def test_inverted_weights_dead_end(outcomes):
+    weights, first_shape, generations, alive = outcomes[1]
+    assert first_shape == "R"  # kept the non-replaceable B
+    assert not alive
+
+
+def test_benchmark_exp1(benchmark):
+    result = benchmark(run_lifespans)
+    assert len(result) == 2
+    report(result)

@@ -1,0 +1,86 @@
+"""Experiment 2 (Sec. 7.2, Tables 1/2, Fig. 13): cost factors vs #sites.
+
+Six relations (Table 1 parameters) spread over 1..6 information sources in
+every Table 2 distribution; for each scenario we average the three cost
+factors of a single data update over the distributions.  Expected shape
+(Fig. 13): messages and bytes grow with the number of sources; I/O is flat
+(it depends only on the relation set, not its placement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.report import format_table
+from repro.qc.cost import cf_bytes, cf_io, cf_messages_counted
+from repro.workloadgen.scenarios import site_scenarios
+
+
+def figure13_rows() -> list[tuple[int, float, float, float]]:
+    """(m, avg CF_M, avg CF_T, avg CF_IO) for m = 1..6."""
+    rows = []
+    for sites in range(1, 7):
+        scenarios = site_scenarios(sites)
+        messages = [cf_messages_counted(s.plan) for s in scenarios]
+        transferred = [cf_bytes(s.plan, s.statistics) for s in scenarios]
+        ios = [cf_io(s.plan, s.statistics) for s in scenarios]
+        count = len(scenarios)
+        rows.append(
+            (
+                sites,
+                sum(messages) / count,
+                sum(transferred) / count,
+                sum(ios) / count,
+            )
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure13_rows()
+
+
+def report(rows) -> None:
+    emit(
+        format_table(
+            ["Sites (m)", "CF_M (avg)", "CF_T bytes (avg)", "CF_IO (avg)"],
+            rows,
+            title="Figure 13: view-maintenance cost factors vs number of ISs",
+        )
+    )
+
+
+def test_fig13_report(rows):
+    report(rows)
+
+
+def test_fig13a_messages_grow_with_sites(rows):
+    messages = [row[1] for row in rows]
+    assert all(a < b for a, b in zip(messages, messages[1:]))
+
+
+def test_fig13b_bytes_grow_with_sites(rows):
+    transferred = [row[2] for row in rows]
+    assert all(a < b for a, b in zip(transferred, transferred[1:]))
+
+
+def test_fig13c_io_is_flat(rows):
+    ios = [row[3] for row in rows]
+    assert all(value == pytest.approx(31.0) for value in ios)
+
+
+def test_single_site_anchors_match_paper(rows):
+    """The m=1 and m=6 endpoints computed in Sec. 7.5's Table 6."""
+    by_sites = {row[0]: row for row in rows}
+    assert by_sites[1][1] == pytest.approx(3)
+    assert by_sites[1][2] == pytest.approx(800)
+    assert by_sites[6][1] == pytest.approx(11)
+    assert by_sites[6][2] == pytest.approx(3600)
+
+
+def test_benchmark_fig13(benchmark):
+    result = benchmark(figure13_rows)
+    assert len(result) == 6
+    report(result)

@@ -1,0 +1,116 @@
+"""Experiment 3 (Sec. 7.3, Fig. 14): relation-distribution evenness vs bytes.
+
+For js in {0.001, 0.0022, 0.005} and each distribution of 6 relations over
+2..4 sites, compute CF_T, averaging mirror-image distributions (the paper
+groups "(1,5) ~ (5,1)").
+
+Configuration note: Fig. 14's plotted magnitudes (hundreds of bytes at
+js = 0.001, up to ~100k at js = 0.005) are reproduced with *no local
+selection conditions* (sigma = 1), so the per-join delta growth factor is
+``js * |R|``.  With Table 1's sigma = 0.5 the factor at js = 0.005 is
+exactly 1.0 and the distribution effect degenerates — evidence the paper's
+Experiment 3 varied js with selections disabled.
+
+Expected shape (Fig. 14): at high js (delta grows per join) the even
+distribution is cheapest; at low js (delta shrinks) a skewed distribution
+wins; there is no single direction — but within any fixed js, fewer sites
+still dominate the distribution choice (the Experiment 2 finding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.report import format_table
+from repro.qc.cost import cf_bytes
+from repro.workloadgen.scenarios import site_scenarios
+
+JS_VALUES = (0.001, 0.0022, 0.005)
+SITES = (2, 3, 4)
+
+
+def grouped_scenarios(sites: int, js: float) -> dict[tuple[int, ...], list]:
+    """Mirror-grouped scenarios with sigma = 1 and the given js."""
+    groups: dict[tuple[int, ...], list] = {}
+    for scenario in site_scenarios(sites, selectivity=1.0, join_selectivity=js):
+        key = tuple(sorted(scenario.distribution))
+        groups.setdefault(key, []).append(scenario)
+    return groups
+
+
+def figure14_rows(js: float) -> list[tuple[str, int, float]]:
+    """(distribution label, sites, avg CF_T) for one join selectivity."""
+    rows = []
+    for sites in SITES:
+        for key, scenarios in sorted(grouped_scenarios(sites, js).items()):
+            values = [
+                cf_bytes(scenario.plan, scenario.statistics)
+                for scenario in scenarios
+            ]
+            label = "/".join(str(count) for count in key)
+            rows.append((label, sites, sum(values) / len(values)))
+    return rows
+
+
+def all_panels() -> dict[float, list[tuple[str, int, float]]]:
+    return {js: figure14_rows(js) for js in JS_VALUES}
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return all_panels()
+
+
+def report(panels) -> None:
+    for js, rows in panels.items():
+        emit(
+            format_table(
+                ["Distribution", "Sites", "CF_T bytes (avg)"],
+                rows,
+                title=f"Figure 14: bytes transferred by distribution (js = {js})",
+            )
+        )
+
+
+def test_fig14_report(panels):
+    report(panels)
+
+
+def _per_sites(rows, sites):
+    return {label: value for label, s, value in rows if s == sites}
+
+
+def test_fig14c_high_js_favors_even_distribution(panels):
+    """js = 0.005: (3,3) is the cheapest two-site distribution."""
+    two_site = _per_sites(panels[0.005], 2)
+    assert two_site["3/3"] == min(two_site.values())
+
+
+def test_fig14a_low_js_favors_skew(panels):
+    """js = 0.001: the most skewed group beats the even one."""
+    two_site = _per_sites(panels[0.001], 2)
+    assert two_site["1/5"] < two_site["3/3"]
+
+
+def test_no_single_direction_across_js(panels):
+    """The paper's headline: no monotone evenness/cost relationship."""
+    preferences = set()
+    for js in JS_VALUES:
+        two_site = _per_sites(panels[js], 2)
+        preferences.add(min(two_site, key=two_site.get))
+    assert len(preferences) > 1
+
+
+def test_magnitudes_match_figure_axes(panels):
+    """Fig. 14(a) plots hundreds of bytes; Fig. 14(c) tens of thousands."""
+    low = _per_sites(panels[0.001], 2)
+    high = _per_sites(panels[0.005], 2)
+    assert max(low.values()) < 1000
+    assert max(high.values()) > 20_000
+
+
+def test_benchmark_fig14(benchmark):
+    result = benchmark(all_panels)
+    assert set(result) == set(JS_VALUES)
+    report(result)

@@ -1,0 +1,196 @@
+"""Experiment 5 (Sec. 7.5, Tables 5/6, Fig. 16): workload models.
+
+Two parts:
+
+* **Table 5 / workload M1** — the Experiment 4 candidate set priced under
+  updates proportional to relation size (1 per 100 tuples).  Absolute
+  costs change but min-max normalization (Eq. 25) absorbs the scaling, so
+  the QC values and ratings are identical to Table 4's.
+* **Table 6 / Fig. 16 / workload M3** — the Experiment 2 scenarios priced
+  under 10 updates per source per time unit, averaged over every Table 2
+  distribution and update origin.  All three aggregate cost factors grow
+  superlinearly with the number of sources, so M3 favours rewritings with
+  the fewest ISs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.report import format_table
+from repro.qc.cost import assess_cost, cf_bytes, cf_io, cf_messages_counted
+from repro.qc.model import QCModel
+from repro.qc.params import TradeoffParameters
+from repro.qc.workload import WorkloadModel, WorkloadSpec, _reroot_builder
+from repro.space.changes import DeleteRelation
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_cardinality_scenario, site_scenarios
+
+UPDATES_PER_SOURCE = 10  # Table 6's M3 rate
+M1_RATE = 0.01  # Table 5's "1 update per 100 tuples"
+
+
+# ----------------------------------------------------------------------
+# Part 1: Table 5 (M1 leaves the ranking unchanged)
+# ----------------------------------------------------------------------
+def run_table5():
+    scenario = build_cardinality_scenario()
+    scenario.space.delete_relation("R2")
+    synchronizer = ViewSynchronizer(scenario.space.mkb)
+    rewritings = synchronizer.synchronize(
+        scenario.view, DeleteRelation("IS1", "R2")
+    )
+    rewritings.sort(key=lambda r: r.moves[-1].new_relation)
+    named = [r.renamed(f"V{i + 1}") for i, r in enumerate(rewritings)]
+    model = QCModel(scenario.space.mkb, TradeoffParameters())
+    single = model.evaluate(named, updated_relation="R1")
+    m1 = model.evaluate(
+        named,
+        workload=WorkloadSpec(WorkloadModel.M1_PROPORTIONAL, M1_RATE),
+        updated_relation="R1",
+    )
+    return single, m1
+
+
+@pytest.fixture(scope="module")
+def table5():
+    return run_table5()
+
+
+def report_table5(table5) -> None:
+    single, m1 = table5
+    single_by = {e.name: e for e in single}
+    rows = []
+    for evaluation in sorted(m1, key=lambda e: e.name):
+        base = single_by[evaluation.name]
+        rows.append(
+            [
+                evaluation.name,
+                f"{base.cost.total:.1f}",
+                f"{evaluation.cost.total:.1f}",
+                f"{evaluation.normalized_cost:.4f}",
+                f"{evaluation.qc:.5f}",
+                evaluation.rank,
+            ]
+        )
+    emit(
+        format_table(
+            ["Rewriting", "Cost (single)", "Cost (M1)", "Cost*", "QC", "Rating"],
+            rows,
+            title="Table 5: workload M1 — normalization absorbs the scaling",
+        )
+    )
+
+
+def test_table5_report(table5):
+    report_table5(table5)
+
+
+def test_table5_m1_preserves_qc_and_rating(table5):
+    single, m1 = table5
+    single_by = {e.name: e for e in single}
+    for evaluation in m1:
+        base = single_by[evaluation.name]
+        assert evaluation.qc == pytest.approx(base.qc, abs=1e-4)
+        assert evaluation.rank == base.rank
+
+
+def test_table5_m1_costs_scale_with_cardinality(table5):
+    single, m1 = table5
+    single_by = {e.name: e.cost.total for e in single}
+    m1_by = {e.name: e.cost.total for e in m1}
+    # Bigger substitutes face proportionally more updates, so the M1/single
+    # cost ratio grows along V1..V5.
+    ratios = [m1_by[f"V{i}"] / single_by[f"V{i}"] for i in range(1, 6)]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+
+# ----------------------------------------------------------------------
+# Part 2: Table 6 / Fig. 16 (M3 over the site scenarios)
+# ----------------------------------------------------------------------
+def run_table6():
+    """(m, #updates, CF_M, CF_T, CF_IO) aggregated per time unit."""
+    rows = []
+    params = TradeoffParameters()
+    for sites in range(1, 7):
+        scenarios = site_scenarios(sites)
+        totals = [0.0, 0.0, 0.0]
+        for scenario in scenarios:
+            reroot = _reroot_builder(scenario.plan)
+            spec = WorkloadSpec(WorkloadModel.M3_PER_SOURCE, UPDATES_PER_SOURCE)
+            counts = spec.update_counts(scenario.plan, scenario.statistics)
+            for relation, count in counts.items():
+                plan = reroot(relation)
+                totals[0] += count * cf_messages_counted(plan)
+                totals[1] += count * cf_bytes(plan, scenario.statistics)
+                totals[2] += count * cf_io(plan, scenario.statistics)
+        count = len(scenarios)
+        rows.append(
+            (
+                sites,
+                UPDATES_PER_SOURCE * sites,
+                totals[0] / count,
+                totals[1] / count,
+                totals[2] / count,
+            )
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table6():
+    return run_table6()
+
+
+def report_table6(table6) -> None:
+    emit(
+        format_table(
+            ["Sites", "#updates", "CF_M", "CF_T bytes", "CF_IO"],
+            table6,
+            title=(
+                "Table 6 / Fig. 16: M3 workload (10 updates per source), "
+                "averaged over Table 2 distributions"
+            ),
+        )
+    )
+
+
+def test_table6_report(table6):
+    report_table6(table6)
+
+
+def test_table6_matches_paper_rows(table6):
+    """The paper's Table 6 values, per update-origin averaging."""
+    expected = {
+        1: (10, 30, 8000, 310),
+        2: (20, 92, 27200, 620),
+        3: (30, 186, 57600, 930),
+        4: (40, 312, 99200, 1240),
+        5: (50, 470, 152000, 1550),
+        6: (60, 660, 216000, 1860),
+    }
+    for sites, updates, cf_m, cf_t, cf_i in table6:
+        want = expected[sites]
+        assert updates == want[0]
+        assert cf_m == pytest.approx(want[1], rel=1e-9)
+        assert cf_t == pytest.approx(want[2], rel=1e-9)
+        assert cf_i == pytest.approx(want[3], rel=1e-9)
+
+
+def test_fig16_every_factor_grows_with_sites(table6):
+    for column in (2, 3, 4):
+        values = [row[column] for row in table6]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_benchmark_table5(benchmark):
+    single, m1 = benchmark(run_table5)
+    assert len(m1) == 5
+    report_table5((single, m1))
+
+
+def test_benchmark_table6(benchmark):
+    rows = benchmark(run_table6)
+    assert len(rows) == 6
+    report_table6(rows)

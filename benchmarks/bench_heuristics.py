@@ -1,0 +1,141 @@
+"""Sec. 7.6's pruning heuristics vs the exhaustive QC ranking.
+
+Generates many randomized synchronization problems (deleted relation with
+several PC-related substitute candidates at varying cardinalities and
+placements), picks a rewriting with the cheap heuristic stack, and
+compares against the full QC-Model evaluation.  Expected: the
+closest-size / fewest-sources heuristics recover the exhaustive winner in
+the large majority of cases at a fraction of the evaluation cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.core.report import format_table
+from repro.misd.statistics import RelationStatistics
+from repro.qc.heuristics import default_heuristic_stack, pick_by_heuristics
+from repro.qc.model import QCModel
+from repro.qc.params import TradeoffParameters
+from repro.relational.relation import Relation
+from repro.space.changes import DeleteRelation
+from repro.space.space import InformationSpace
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.esql.parser import parse_view
+from repro.workloadgen.generator import make_schema
+
+TRIALS = 40
+
+
+def build_problem(rng: random.Random):
+    """A space where R2 has 3..5 substitute candidates of random size."""
+    space = InformationSpace()
+    space.mkb.statistics.join_selectivity = 0.005
+    space.mkb.statistics.blocking_factor = 1
+    space.add_source("IS0")
+    space.register_relation(
+        "IS0",
+        Relation(make_schema("R1", ["A", "K"])),
+        RelationStatistics(cardinality=400, tuple_size=100),
+    )
+    space.add_source("IS1")
+    r2_cardinality = rng.choice([2000, 4000, 8000])
+    space.register_relation(
+        "IS1",
+        Relation(make_schema("R2", ["A", "B"])),
+        RelationStatistics(cardinality=r2_cardinality, tuple_size=100),
+    )
+    n_candidates = rng.randint(3, 5)
+    for index in range(n_candidates):
+        name = f"S{index + 1}"
+        source = f"IS{index + 2}"
+        space.add_source(source)
+        cardinality = rng.randrange(500, 12_000, 250)
+        space.register_relation(
+            source,
+            Relation(make_schema(name, ["A", "B"])),
+            RelationStatistics(cardinality=cardinality, tuple_size=100),
+        )
+        if cardinality <= r2_cardinality:
+            space.mkb.add_containment(name, "R2", ["A", "B"])
+        else:
+            space.mkb.add_containment("R2", name, ["A", "B"])
+    view = parse_view(
+        """
+        CREATE VIEW V (VE = '~') AS
+        SELECT R1.K, R2.A (AR = true), R2.B (AR = true)
+        FROM R1, R2 (RR = true)
+        WHERE (R1.A = R2.A) (CR = true)
+        """
+    )
+    return space, view
+
+
+def run_agreement_study(seed: int = 2024):
+    rng = random.Random(seed)
+    params = TradeoffParameters()
+    agreements = 0
+    top2 = 0
+    trials = 0
+    for _ in range(TRIALS):
+        space, view = build_problem(rng)
+        space.delete_relation("R2")
+        synchronizer = ViewSynchronizer(space.mkb)
+        rewritings = synchronizer.synchronize(
+            view, DeleteRelation("IS1", "R2")
+        )
+        if len(rewritings) < 2:
+            continue
+        trials += 1
+        model = QCModel(space.mkb, params)
+        evaluations = model.evaluate(rewritings, updated_relation="R1")
+        exhaustive_best = evaluations[0].rewriting
+        stack = default_heuristic_stack(space.mkb, space.mkb.statistics)
+        heuristic_pick = pick_by_heuristics(rewritings, stack)
+        if heuristic_pick.view == exhaustive_best.view:
+            agreements += 1
+            top2 += 1
+        elif heuristic_pick.view == evaluations[1].rewriting.view:
+            top2 += 1
+    return trials, agreements, top2
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_agreement_study()
+
+
+def report(study) -> None:
+    trials, agreements, top2 = study
+    emit(
+        format_table(
+            ["Trials", "Heuristic = QC best", "Heuristic in QC top 2"],
+            [[trials, f"{agreements} ({agreements / trials:.0%})",
+              f"{top2} ({top2 / trials:.0%})"]],
+            title="Sec. 7.6 heuristics vs exhaustive QC ranking",
+        )
+    )
+
+
+def test_heuristics_report(study):
+    report(study)
+
+
+def test_heuristics_agree_with_qc_most_of_the_time(study):
+    trials, agreements, _ = study
+    assert trials >= 30
+    assert agreements / trials >= 0.6
+
+
+def test_heuristics_almost_always_in_top_two(study):
+    trials, _, top2 = study
+    assert top2 / trials >= 0.75
+
+
+def test_benchmark_heuristics(benchmark):
+    result = benchmark(run_agreement_study)
+    assert result[0] > 0
+    report(result)

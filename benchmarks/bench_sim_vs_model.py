@@ -1,0 +1,139 @@
+"""Analytic cost model vs executed Algorithm 1 (the paper's future work).
+
+Sec. 8 names "experimental studies to compare the cost portion of our
+QC-Model with the actual costs encountered by our system" as future work.
+Our substrate executes Algorithm 1 for real, so we run that study: for a
+three-source join view we replay an update stream through the maintenance
+simulator and compare its measured messages/bytes against the analytic
+CF_M / CF_T.  Expected: message counts match exactly (deterministic
+protocol); average bytes track the estimate within the statistical noise
+of synthetic data realizing the assumed join selectivity in expectation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.core.report import format_table
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.maintenance.simulator import ViewMaintainer
+from repro.misd.statistics import RelationStatistics
+from repro.qc.cost import cf_bytes, cf_messages_counted, plan_for_view
+from repro.space.space import InformationSpace
+from repro.workloadgen.generator import make_schema, populate_relation
+
+JS = 0.02
+CARDINALITY = 200
+UPDATES = 60
+
+
+def build_space():
+    space = InformationSpace()
+    key_space = round(1 / JS)
+    for index, name in enumerate(["R0", "R1", "R2"]):
+        source = f"IS{index}"
+        space.add_source(source)
+        space.register_relation(
+            source,
+            populate_relation(
+                make_schema(name, ["A", "B"], attribute_size=4),
+                CARDINALITY,
+                seed=index + 1,
+                key_space=key_space,
+            ),
+            RelationStatistics(
+                cardinality=CARDINALITY, tuple_size=8, selectivity=1.0
+            ),
+        )
+    space.mkb.statistics.join_selectivity = JS
+    view = parse_view(
+        """
+        CREATE VIEW V AS
+        SELECT R0.A, R1.B AS B1, R2.B AS B2
+        FROM R0, R1, R2
+        WHERE R0.A = R1.A AND R1.A = R2.A
+        """
+    )
+    return space, view
+
+
+def run_comparison(seed: int = 7):
+    space, view = build_space()
+    owners = {n: space.owner_of(n).name for n in view.relation_names}
+    plan = plan_for_view(view, owners, updated_relation="R0")
+    analytic_messages = cf_messages_counted(plan)
+    analytic_bytes = cf_bytes(plan, space.mkb.statistics)
+
+    extent = evaluate_view(view, space.relations())
+    maintainer = ViewMaintainer(space)
+    rng = random.Random(seed)
+    measured = []
+    for _ in range(UPDATES):
+        row = (rng.randrange(round(1 / JS)), rng.randrange(round(1 / JS)))
+        update = space.source("IS0").insert("R0", row)
+        measured.append(maintainer.maintain(view, extent, update))
+    mean_bytes = sum(c.bytes_transferred for c in measured) / len(measured)
+    messages = {c.messages for c in measured}
+    return {
+        "analytic_messages": analytic_messages,
+        "measured_messages": messages,
+        "analytic_bytes": analytic_bytes,
+        "measured_mean_bytes": mean_bytes,
+        "extent_ok": sorted(extent.rows)
+        == sorted(evaluate_view(view, space.relations()).rows),
+    }
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison()
+
+
+def report(comparison) -> None:
+    emit(
+        format_table(
+            ["Quantity", "Analytic model", "Measured (Algorithm 1)"],
+            [
+                [
+                    "messages per update",
+                    comparison["analytic_messages"],
+                    "/".join(str(m) for m in sorted(comparison["measured_messages"])),
+                ],
+                [
+                    "bytes per update (mean)",
+                    f"{comparison['analytic_bytes']:.1f}",
+                    f"{comparison['measured_mean_bytes']:.1f}",
+                ],
+            ],
+            title="Cost model vs executed Algorithm 1 (paper's future work)",
+        )
+    )
+
+
+def test_sim_vs_model_report(comparison):
+    report(comparison)
+
+
+def test_messages_match_exactly(comparison):
+    assert comparison["measured_messages"] == {
+        comparison["analytic_messages"]
+    }
+
+
+def test_bytes_within_statistical_band(comparison):
+    analytic = comparison["analytic_bytes"]
+    measured = comparison["measured_mean_bytes"]
+    assert measured == pytest.approx(analytic, rel=1.0)
+
+
+def test_extent_stays_consistent(comparison):
+    assert comparison["extent_ok"]
+
+
+def test_benchmark_sim_vs_model(benchmark):
+    result = benchmark(run_comparison)
+    report(result)

@@ -1,0 +1,15 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables); the ``benchmark`` fixture times the computation that produces it.
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table with surrounding whitespace."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,117 @@
+"""A long-lived warehouse in an evolving information space.
+
+Run with::
+
+    python examples/evolving_space.py
+
+Simulates the paper's target setting: a materialized view over several
+autonomous sources that keep changing — data updates arrive continuously
+(maintained incrementally by Algorithm 1, with message/byte/IO accounting)
+and capability changes arrive occasionally (handled by QC-ranked view
+synchronization).  At every step the incrementally maintained extent is
+cross-checked against recomputation from scratch.
+"""
+
+import random
+
+from repro import EVESystem
+from repro.core.report import format_table
+from repro.esql.evaluator import evaluate_view
+from repro.misd import RelationStatistics
+from repro.relational import Relation
+from repro.workloadgen import make_schema, populate_relation
+
+SEED = 20260611
+KEY_SPACE = 40
+
+rng = random.Random(SEED)
+eve = EVESystem()
+
+# Three sources: products + stock levels, and a mirror of the products.
+eve.add_source("Catalog")
+eve.add_source("Depot")
+eve.add_source("Backup")
+
+products = populate_relation(
+    make_schema("Product", ["Pid", "Category"]), 60, seed=1, key_space=KEY_SPACE
+)
+stock = populate_relation(
+    make_schema("Stock", ["Pid", "Level"]), 80, seed=2, key_space=KEY_SPACE
+)
+mirror = Relation(make_schema("ProductMirror", ["Pid", "Category"]),
+                  list(products.rows))
+
+eve.register_relation("Catalog", products, RelationStatistics(cardinality=60))
+eve.register_relation("Depot", stock, RelationStatistics(cardinality=80))
+eve.register_relation("Backup", mirror, RelationStatistics(cardinality=60))
+eve.mkb.add_equivalence("Product", "ProductMirror", ["Pid", "Category"])
+
+eve.define_view(
+    """
+    CREATE VIEW LowStock (VE = '~') AS
+    SELECT Product.Pid (AR = true), Product.Category (AD = true, AR = true),
+           Stock.Level (AD = true)
+    FROM Product (RR = true), Stock
+    WHERE (Product.Pid = Stock.Pid) (CR = true)
+      AND (Stock.Level < 20) (CD = true)
+    """
+)
+
+
+def check() -> None:
+    """Incremental extent must equal recomputation."""
+    incremental = sorted(eve.extent("LowStock").rows)
+    recomputed = sorted(
+        evaluate_view(eve.vkb.current("LowStock"), eve.space.relations()).rows
+    )
+    assert incremental == recomputed, "incremental maintenance diverged"
+
+
+events = []
+check()
+
+# Phase 1: a stream of data updates, incrementally maintained.
+for step in range(40):
+    relation = rng.choice(["Product", "Stock", "ProductMirror"])
+    row = (rng.randrange(KEY_SPACE), rng.randrange(KEY_SPACE))
+    eve.space.insert(relation, row)
+    if relation == "Product":  # keep the replica true to its constraint
+        eve.space.insert("ProductMirror", row)
+    check()
+events.append(("40 inserts", "maintained incrementally", "extent consistent"))
+
+counters = eve.maintainer.counters
+events.append(
+    (
+        "measured maintenance cost",
+        f"{counters.messages} messages, {counters.bytes_transferred} bytes",
+        f"{counters.io_operations} I/Os",
+    )
+)
+
+# Phase 2: the catalog source withdraws its Product relation.
+eve.space.delete_relation("Product")
+assert eve.is_alive("LowStock")
+current = eve.vkb.current("LowStock")
+events.append(
+    (
+        "delete-relation Product",
+        f"rewritten over {current.relation_names}",
+        f"QC = {eve.synchronization_log[-1].chosen.qc:.4f}",
+    )
+)
+check()
+
+# Phase 3: maintenance continues against the rewritten view.
+for step in range(20):
+    relation = rng.choice(["ProductMirror", "Stock"])
+    row = (rng.randrange(KEY_SPACE), rng.randrange(KEY_SPACE))
+    eve.space.insert(relation, row)
+    check()
+events.append(("20 more inserts", "maintained against the rewriting",
+               "extent consistent"))
+
+print(format_table(["Event", "Outcome", "Detail"], events,
+                   title="Evolving-space run (seeded, deterministic)"))
+print(f"\nview generations survived: {eve.generations('LowStock')}")
+print("evolving space example OK")

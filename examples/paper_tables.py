@@ -1,0 +1,56 @@
+"""Regenerate every table/figure of the paper in one run, without pytest.
+
+Run with::
+
+    python examples/paper_tables.py
+
+Prints Fig. 13 (Experiment 2), Fig. 14 (Experiment 3), Table 4 / Fig. 15
+(Experiment 4), Tables 5/6 / Fig. 16 (Experiment 5), Fig. 10 (overlap
+cases), and the Fig. 12 survival outcomes — the same computations the
+benchmark suite asserts against, packaged for a quick look.
+"""
+
+import sys
+from pathlib import Path
+
+# The benchmark modules double as a library of experiment runners.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from bench_exp1_survival import run_lifespans, report as report_exp1
+from bench_exp2_sites import figure13_rows, report as report_fig13
+from bench_exp3_distribution import all_panels, report as report_fig14
+from bench_exp4_cardinality import run_experiment4, report as report_exp4
+from bench_exp5_workloads import (
+    report_table5,
+    report_table6,
+    run_table5,
+    run_table6,
+)
+from bench_overlap import figure10_rows, report as report_fig10
+
+print("=" * 72)
+print("Experiment 1 (Fig. 12) — view survival")
+report_exp1(run_lifespans())
+
+print("=" * 72)
+print("Experiment 2 (Fig. 13) — cost factors vs number of sources")
+report_fig13(figure13_rows())
+
+print("=" * 72)
+print("Experiment 3 (Fig. 14) — relation distribution vs bytes")
+report_fig14(all_panels())
+
+print("=" * 72)
+print("Experiment 4 (Table 4 / Fig. 15) — substitute cardinality")
+report_exp4(run_experiment4())
+
+print("=" * 72)
+print("Experiment 5 (Tables 5/6 / Fig. 16) — workload models")
+report_table5(run_table5())
+report_table6(run_table6())
+
+print("=" * 72)
+print("Figure 10 — overlap estimation cases")
+report_fig10(figure10_rows())
+
+print("all paper tables regenerated OK")

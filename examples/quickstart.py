@@ -1,0 +1,72 @@
+"""Quickstart: define a view, lose a relation, get a QC-ranked replacement.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the minimal EVE loop: register two sources whose relations overlap
+(recorded as a PC constraint), define an E-SQL view with evolution
+preferences, delete the relation the view depends on, and watch the system
+synchronize it to the best-ranked legal rewriting.
+"""
+
+from repro import EVESystem
+from repro.misd import RelationStatistics
+from repro.relational import Relation, Schema
+
+eve = EVESystem()
+
+# 1. Register information sources and their relations.
+eve.add_source("Primary")
+eve.add_source("Mirror")
+orders = Relation(
+    Schema("Orders", ["OrderId", "CustomerId", "Amount"]),
+    [(1, 100, 250), (2, 101, 90), (3, 100, 40)],
+)
+orders_mirror = Relation(
+    Schema("OrdersMirror", ["OrderId", "CustomerId", "Amount"]),
+    list(orders.rows),
+)
+eve.register_relation("Primary", orders, RelationStatistics(cardinality=3))
+eve.register_relation(
+    "Mirror", orders_mirror, RelationStatistics(cardinality=3)
+)
+
+# 2. Tell the MKB the mirror is equivalent to the primary.
+eve.mkb.add_equivalence("Orders", "OrdersMirror")
+
+# 3. Define an E-SQL view. AR = true marks attributes replaceable; the
+#    FROM entry's RR = true marks the relation replaceable.
+eve.define_view(
+    """
+    CREATE VIEW BigOrders (VE = '~') AS
+    SELECT Orders.OrderId (AR = true),
+           Orders.Amount (AD = true, AR = true)
+    FROM Orders (RR = true)
+    WHERE (Orders.Amount > 50) (CR = true)
+    """
+)
+print("materialized extent:", sorted(eve.extent("BigOrders").rows))
+
+# 4. Data updates maintain the view incrementally.  The mirror receives
+#    the same update — that is what keeps the equivalence constraint true.
+eve.space.insert("Orders", (4, 102, 500))
+eve.space.insert("OrdersMirror", (4, 102, 500))
+print("after insert:      ", sorted(eve.extent("BigOrders").rows))
+
+# 5. A capability change: the primary source stops offering Orders.
+eve.space.delete_relation("Orders")
+
+record = eve.vkb.record("BigOrders")
+result = eve.synchronization_log[0]
+print("\nview survived:", record.alive)
+print("rewritten over:", record.current.relation_names)
+print(
+    f"chosen rewriting QC = {result.chosen.qc:.4f} "
+    f"(DD = {result.chosen.quality.dd:.4f})"
+)
+print("extent after rewrite:", sorted(eve.extent("BigOrders").rows))
+assert sorted(eve.extent("BigOrders").rows) == [
+    (1, 250), (2, 90), (4, 500),
+]
+print("\nquickstart OK")

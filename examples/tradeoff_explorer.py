@@ -1,0 +1,93 @@
+"""Trade-off explorer: how the QC ranking responds to every model knob.
+
+Run with::
+
+    python examples/tradeoff_explorer.py
+
+Uses the Experiment 4 scenario (five substitute relations of growing
+cardinality for a deleted one) and sweeps the quality/cost weight from
+pure-quality to pure-cost, printing which rewriting wins at each setting
+and where the crossover falls.  Then shows the effect of the extent
+weights rho_d1/rho_d2 (punishing lost tuples vs surplus tuples).
+"""
+
+from repro.core.report import format_table
+from repro.qc import QCModel, TradeoffParameters
+from repro.space import DeleteRelation
+from repro.sync import ViewSynchronizer
+from repro.workloadgen import build_cardinality_scenario
+
+scenario = build_cardinality_scenario()
+scenario.space.delete_relation("R2")
+synchronizer = ViewSynchronizer(scenario.space.mkb)
+rewritings = synchronizer.synchronize(
+    scenario.view, DeleteRelation("IS1", "R2")
+)
+rewritings.sort(key=lambda r: r.moves[-1].new_relation)
+named = [r.renamed(f"V{i + 1}") for i, r in enumerate(rewritings)]
+print(
+    f"{len(named)} legal rewritings for the deleted R2 "
+    f"(substitutes S1..S5, 2000..6000 tuples)\n"
+)
+
+# ----------------------------------------------------------------------
+# Sweep 1: quality weight from 1.0 down to 0.0
+# ----------------------------------------------------------------------
+rows = []
+previous_winner = None
+crossovers = []
+for step in range(0, 21):
+    rho_quality = 1.0 - step * 0.05
+    params = TradeoffParameters().with_quality_weight(round(rho_quality, 2))
+    model = QCModel(scenario.space.mkb, params)
+    evaluations = model.evaluate(named, updated_relation="R1")
+    winner = evaluations[0]
+    if previous_winner is not None and winner.name != previous_winner:
+        crossovers.append((round(rho_quality, 2), previous_winner, winner.name))
+    previous_winner = winner.name
+    rows.append(
+        [
+            f"{rho_quality:.2f}",
+            winner.name,
+            f"{winner.qc:.4f}",
+            " > ".join(e.name for e in evaluations),
+        ]
+    )
+print(
+    format_table(
+        ["rho_quality", "winner", "QC", "full ranking"],
+        rows,
+        title="Sweep: quality weight vs chosen rewriting",
+    )
+)
+print("\ncrossovers:", crossovers or "none")
+assert rows[0][1] == "V3", "pure quality must pick the exact substitute"
+assert rows[-1][1] == "V1", "pure cost must pick the smallest substitute"
+
+# ----------------------------------------------------------------------
+# Sweep 2: punishing lost tuples vs surplus tuples
+# ----------------------------------------------------------------------
+print()
+rows = []
+for rho_d1 in (1.0, 0.75, 0.5, 0.25, 0.0):
+    params = TradeoffParameters(
+        rho_d1=rho_d1, rho_d2=1.0 - rho_d1
+    ).with_quality_weight(1.0)
+    model = QCModel(scenario.space.mkb, params)
+    evaluations = model.evaluate(named, updated_relation="R1")
+    quality_order = " > ".join(e.name for e in evaluations)
+    rows.append([f"{rho_d1:.2f}", f"{1 - rho_d1:.2f}", quality_order])
+print(
+    format_table(
+        ["rho_d1 (lost)", "rho_d2 (surplus)", "quality-only ranking"],
+        rows,
+        title="Sweep: extent weights (pure quality)",
+    )
+)
+# Punishing only lost tuples makes every superset substitute perfect;
+# punishing only surplus makes every subset substitute perfect.
+only_lost = rows[0][2]
+only_surplus = rows[-1][2]
+assert only_lost.index("V4") < only_lost.index("V1")
+assert only_surplus.index("V1") < only_surplus.index("V4")
+print("\ntradeoff explorer OK")

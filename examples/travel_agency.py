@@ -1,0 +1,115 @@
+"""Travel agency scenario: the paper's motivating example, end to end.
+
+Run with::
+
+    python examples/travel_agency.py
+
+A warehouse view joins customer records with flight reservations from
+several autonomous travel agencies (the paper's Asia-Customer view of
+Sec. 3.1).  One agency changes the services it offers — first renaming a
+column, then dropping its customer table entirely.  The view survives
+both changes: the rename folds in silently, and the drop is repaired from
+a partner agency's overlapping customer list recorded in the MKB.
+"""
+
+from repro import EVESystem
+from repro.core.report import format_ranking
+from repro.misd import RelationStatistics
+from repro.relational import Attribute, AttributeType, Relation, Schema
+
+
+def string_schema(name, attributes):
+    return Schema(
+        name, [Attribute(a, AttributeType.STRING) for a in attributes]
+    )
+
+
+eve = EVESystem()
+for agency in ("SkyTravel", "GlobalTours", "FlightHub"):
+    eve.add_source(agency)
+
+customers = Relation(
+    string_schema("Customer", ["Name", "Address", "Phone"]),
+    [
+        ("ann", "12 Elm St", "555-0001"),
+        ("bob", "9 Oak Ave", "555-0002"),
+        ("cy", "4 Pine Rd", "555-0003"),
+        ("di", "7 Ash Ln", "555-0004"),
+    ],
+)
+reservations = Relation(
+    string_schema("FlightRes", ["PName", "Dest"]),
+    [
+        ("ann", "Asia"),
+        ("bob", "Europe"),
+        ("cy", "Asia"),
+        ("di", "Asia"),
+        ("ann", "Europe"),
+    ],
+)
+# GlobalTours keeps an overlapping customer directory (a partial replica:
+# everything SkyTravel has, plus its own extras).
+directory = Relation(
+    string_schema("Directory", ["FullName", "Street", "Tel"]),
+    list(customers.rows) + [("ed", "3 Fir Ct", "555-0005")],
+)
+
+eve.register_relation(
+    "SkyTravel", customers, RelationStatistics(cardinality=4)
+)
+eve.register_relation(
+    "FlightHub", reservations, RelationStatistics(cardinality=5)
+)
+eve.register_relation(
+    "GlobalTours", directory, RelationStatistics(cardinality=5)
+)
+
+# MISD knowledge: SkyTravel's customer list is contained in the directory,
+# with a positional attribute correspondence.
+from repro.misd import PCConstraint, PCRelationship, RelationFragment
+
+eve.mkb.add_pc_constraint(
+    PCConstraint(
+        RelationFragment("Customer", ("Name", "Address", "Phone")),
+        RelationFragment("Directory", ("FullName", "Street", "Tel")),
+        PCRelationship.SUBSET,
+    )
+)
+
+eve.define_view(
+    """
+    CREATE VIEW AsiaCustomer (VE = '~') AS
+    SELECT Customer.Name (AR = true),
+           Customer.Address (AD = true, AR = true),
+           Customer.Phone (AD = true, AR = true)
+    FROM Customer (RR = true), FlightRes
+    WHERE (Customer.Name = FlightRes.PName) (CR = true)
+      AND (FlightRes.Dest = 'Asia') (CD = true)
+    """
+)
+print("Asia customers:", sorted(r[0] for r in eve.extent("AsiaCustomer").rows))
+
+# Change 1: FlightHub renames a column. The view survives unchanged in
+# meaning — the rename is folded into the definition.
+eve.space.rename_attribute("FlightRes", "Dest", "Destination")
+print("\nafter rename-attribute:")
+print("  alive:", eve.is_alive("AsiaCustomer"))
+print("  WHERE:", "; ".join(str(w) for w in eve.vkb.current("AsiaCustomer").where))
+
+# Change 2: SkyTravel drops its Customer table. The synchronizer repairs
+# the view from GlobalTours' directory via the PC constraint.
+eve.space.delete_relation("Customer")
+result = eve.synchronization_log[-1]
+print("\nafter delete-relation Customer:")
+print(format_ranking(result.evaluations, "  candidate ranking"))
+current = eve.vkb.current("AsiaCustomer")
+print("  rewritten FROM:", current.relation_names)
+print("  interface preserved:", current.interface)
+print("  Asia customers now:", sorted(r[0] for r in eve.extent("AsiaCustomer").rows))
+
+assert eve.is_alive("AsiaCustomer")
+assert current.interface == ("Name", "Address", "Phone")
+assert sorted(r[0] for r in eve.extent("AsiaCustomer").rows) == [
+    "ann", "cy", "di",
+]
+print("\ntravel agency example OK")

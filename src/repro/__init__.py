@@ -1,0 +1,38 @@
+"""Reproduction of "Data Warehouse Evolution: Trade-offs between Quality
+and Cost of Query Rewritings" (Lee, Koeller, Nica, Rundensteiner; WPI
+TR-98-2 / ICDE 1999) — the QC-Model of the EVE project, with every
+substrate it depends on implemented here:
+
+* :mod:`repro.relational` — in-memory relational engine
+* :mod:`repro.esql` — the E-SQL language (parser, AST, evaluator)
+* :mod:`repro.misd` — MISD constraints and the Meta Knowledge Base
+* :mod:`repro.space` — the distributed information space simulation
+* :mod:`repro.sync` — view synchronization (rewriting generation/legality)
+* :mod:`repro.qc` — the QC-Model (quality, cost, workload, ranking)
+* :mod:`repro.maintenance` — Algorithm 1 executed with measured counters
+* :mod:`repro.workloadgen` — experiment scenario generators
+* :mod:`repro.core` — the :class:`~repro.core.eve.EVESystem` facade
+
+Quickstart::
+
+    from repro import EVESystem
+    eve = EVESystem()
+    ...
+
+See README.md for the guided tour and DESIGN.md for the paper mapping.
+"""
+
+from repro.core.eve import EVESystem, SynchronizationResult
+from repro.qc.model import Evaluation, QCModel
+from repro.qc.params import TradeoffParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVESystem",
+    "Evaluation",
+    "QCModel",
+    "SynchronizationResult",
+    "TradeoffParameters",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The EVE facade: the paper's full system behind one entry point.
+
+Public surface:
+
+* :class:`EVESystem` — register sources/relations/constraints, define
+  E-SQL views, feed data updates and capability changes, get QC-ranked
+  rewritings committed automatically
+* :class:`SynchronizationResult` — per-view synchronization outcome
+* :func:`format_table` / :func:`format_ranking` — report rendering
+"""
+
+from repro.core.eve import EVESystem, SynchronizationResult
+from repro.core.report import format_ranking, format_table
+
+__all__ = [
+    "EVESystem",
+    "SynchronizationResult",
+    "format_ranking",
+    "format_table",
+]

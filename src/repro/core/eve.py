@@ -1,0 +1,212 @@
+"""The EVE system facade: the top of Fig. 1, wired end to end.
+
+:class:`EVESystem` owns the information space, the MKB, the VKB, the view
+synchronizer, the QC-Model evaluator, and the maintenance simulator, and
+exposes the workflow a warehouse operator walks through:
+
+1. register sources, relations, constraints, statistics;
+2. define E-SQL views (optionally materializing them);
+3. feed data updates — materialized views are maintained incrementally;
+4. feed capability changes — affected views are synchronized: candidate
+   rewritings are generated, ranked by the QC-Model, and the best legal
+   rewriting is committed (the paper's headline improvement over the first
+   EVE prototype, which "simply picked the first legal view rewriting it
+   discovered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SynchronizationError, ViewUndefinedError
+from repro.esql.ast import ViewDefinition
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.esql.validate import ViewValidator
+from repro.misd.statistics import RelationStatistics
+from repro.qc.model import Evaluation, QCModel
+from repro.qc.params import TradeoffParameters
+from repro.qc.workload import WorkloadSpec
+from repro.relational.relation import Relation
+from repro.space.changes import SchemaChange
+from repro.space.space import InformationSpace
+from repro.space.updates import DataUpdate
+from repro.sync.legality import check_legality
+from repro.sync.rewriting import Rewriting
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
+from repro.maintenance.simulator import ViewMaintainer
+
+
+@dataclass
+class SynchronizationResult:
+    """Outcome of synchronizing one view under one capability change."""
+
+    view_name: str
+    change: SchemaChange
+    evaluations: list[Evaluation]
+    chosen: Evaluation | None
+
+    @property
+    def survived(self) -> bool:
+        return self.chosen is not None
+
+    def ranking(self) -> list[str]:
+        return [e.name for e in self.evaluations]
+
+
+class EVESystem:
+    """End-to-end Evolvable View Environment over a simulated space."""
+
+    def __init__(
+        self,
+        params: TradeoffParameters | None = None,
+        space: InformationSpace | None = None,
+        auto_synchronize: bool = True,
+    ) -> None:
+        self.space = space if space is not None else InformationSpace()
+        self.params = params if params is not None else TradeoffParameters()
+        self.auto_synchronize = auto_synchronize
+        self.vkb = ViewKnowledgeBase()
+        self.synchronizer = ViewSynchronizer(self.space.mkb)
+        self.qc_model = QCModel(self.space.mkb, self.params)
+        self.maintainer = ViewMaintainer(self.space)
+        self._extents: dict[str, Relation] = {}
+        self._sync_log: list[SynchronizationResult] = []
+        self.space.on_data_update(self._handle_data_update)
+        self.space.on_capability_change(self._handle_capability_change)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @property
+    def mkb(self):
+        return self.space.mkb
+
+    def add_source(self, name: str):
+        return self.space.add_source(name)
+
+    def register_relation(
+        self,
+        source: str,
+        relation: Relation,
+        statistics: RelationStatistics | None = None,
+    ) -> Relation:
+        return self.space.register_relation(source, relation, statistics)
+
+    # ------------------------------------------------------------------
+    # View definition
+    # ------------------------------------------------------------------
+    def define_view(
+        self, view: ViewDefinition | str, materialize: bool = True
+    ) -> ViewRecord:
+        """Validate, register, and (by default) materialize a view."""
+        definition = parse_view(view) if isinstance(view, str) else view
+        schemas = {
+            name: self.space.relation(name).schema
+            for name in definition.relation_names
+        }
+        resolved = ViewValidator(schemas).resolve_view(definition)
+        record = self.vkb.define(resolved)
+        if materialize:
+            self._extents[resolved.name] = evaluate_view(
+                resolved, self.space.relations()
+            )
+        return record
+
+    def extent(self, view_name: str) -> Relation:
+        """The materialized extent of ``view_name``."""
+        try:
+            return self._extents[view_name]
+        except KeyError:
+            raise SynchronizationError(
+                f"view {view_name!r} is not materialized"
+            ) from None
+
+    def refresh(self, view_name: str) -> Relation:
+        """Recompute the extent from scratch (full recomputation)."""
+        view = self.vkb.current(view_name)
+        self._extents[view_name] = evaluate_view(view, self.space.relations())
+        return self._extents[view_name]
+
+    # ------------------------------------------------------------------
+    # Data updates -> incremental maintenance
+    # ------------------------------------------------------------------
+    def _handle_data_update(self, update: DataUpdate) -> None:
+        for record in self.vkb.alive_views():
+            if update.relation not in record.current.relation_names:
+                continue
+            extent = self._extents.get(record.name)
+            if extent is None:
+                continue
+            self.maintainer.maintain(record.current, extent, update)
+
+    # ------------------------------------------------------------------
+    # Capability changes -> synchronization
+    # ------------------------------------------------------------------
+    def _handle_capability_change(self, change: SchemaChange) -> None:
+        if not self.auto_synchronize:
+            return
+        for record in list(self.vkb.alive_views()):
+            if not self.synchronizer.is_affected(record.current, change):
+                continue
+            self._sync_log.append(self.synchronize_view(record, change))
+
+    def synchronize_view(
+        self,
+        record: ViewRecord,
+        change: SchemaChange,
+        workload: WorkloadSpec | None = None,
+    ) -> SynchronizationResult:
+        """Generate, rank, and commit the best legal rewriting."""
+        rewritings = self.synchronizer.synchronize(record.current, change)
+        rewritings = [r for r in rewritings if check_legality(r).legal]
+        if not rewritings:
+            self.vkb.mark_undefined(record.name)
+            self._extents.pop(record.name, None)
+            return SynchronizationResult(record.name, change, [], None)
+        evaluations = self.qc_model.evaluate(rewritings, workload)
+        chosen = evaluations[0]
+        self.vkb.apply_rewriting(chosen.rewriting)
+        if record.name in self._extents:
+            self._extents[record.name] = evaluate_view(
+                chosen.rewriting.view, self.space.relations()
+            )
+        return SynchronizationResult(record.name, change, evaluations, chosen)
+
+    def candidate_rewritings(
+        self,
+        view_name: str,
+        change: SchemaChange,
+        include_dominated: bool = False,
+    ) -> list[Rewriting]:
+        """Legal rewritings without committing anything (for analysis)."""
+        record = self.vkb.record(view_name)
+        rewritings = self.synchronizer.synchronize(
+            record.current, change, include_dominated
+        )
+        return [r for r in rewritings if check_legality(r).legal]
+
+    def rank_rewritings(
+        self,
+        rewritings: Sequence[Rewriting],
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> list[Evaluation]:
+        """Rank externally produced candidates with the system's QC-Model."""
+        return self.qc_model.evaluate(rewritings, workload, updated_relation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def synchronization_log(self) -> tuple[SynchronizationResult, ...]:
+        return tuple(self._sync_log)
+
+    def is_alive(self, view_name: str) -> bool:
+        return self.vkb.record(view_name).alive
+
+    def generations(self, view_name: str) -> int:
+        """How many capability changes the view has survived."""
+        return self.vkb.record(view_name).generations

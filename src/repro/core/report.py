@@ -1,0 +1,68 @@
+"""Plain-text report tables for experiment harnesses and examples.
+
+Every benchmark prints its results through these helpers so the output
+format matches across the suite (and stays diff-friendly in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.qc.model import Evaluation
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table with a separator under the header."""
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _render_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_ranking(evaluations: Sequence[Evaluation], title: str | None = None) -> str:
+    """The Table 4 layout: DD breakdown, cost, normalized cost, QC, rating."""
+    rows = []
+    for evaluation in evaluations:
+        rows.append(
+            [
+                evaluation.name,
+                f"{evaluation.quality.dd_attr:.4f}",
+                f"{evaluation.quality.dd_ext:.4f}",
+                f"{evaluation.quality.dd:.4f}",
+                f"{evaluation.cost.total:.1f}",
+                f"{evaluation.normalized_cost:.4f}",
+                f"{evaluation.qc:.5f}",
+                evaluation.rank,
+            ]
+        )
+    return format_table(
+        ["Rewriting", "DD_attr", "DD_ext", "DD", "Cost", "Cost*", "QC", "Rating"],
+        rows,
+        title,
+    )

@@ -1,0 +1,173 @@
+"""Materialize a view: execute its query over concrete relations.
+
+The evaluator computes ``Ext(V)`` — the extent the view would return on the
+current information space.  It is the ground truth the quality model's
+*exact* path compares against (vs. the statistics-only estimation path the
+paper uses, Sec. 5.4.3).
+
+Execution strategy: left-to-right nested-loop join over the FROM list with
+eager clause application — each WHERE conjunct fires as soon as every
+relation it references has been bound, so selections prune before later
+joins multiply.  Bag semantics throughout; callers wanting set semantics
+call ``.distinct()`` on the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import EvaluationError
+from repro.esql.ast import ViewDefinition
+from repro.esql.validate import ViewValidator
+from repro.relational.expressions import PrimitiveClause
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+RelationLookup = Callable[[str], Relation]
+
+
+def _lookup_from(source: Mapping[str, Relation] | RelationLookup) -> RelationLookup:
+    if callable(source):
+        return source
+
+    def lookup(name: str) -> Relation:
+        try:
+            return source[name]
+        except KeyError:
+            raise EvaluationError(f"relation {name!r} not available") from None
+
+    return lookup
+
+
+def evaluate_view(
+    view: ViewDefinition,
+    relations: Mapping[str, Relation] | RelationLookup,
+) -> Relation:
+    """Compute the extent of ``view`` against the given relations.
+
+    ``view`` must reference attributes unambiguously; it is resolved against
+    the actual schemas first, so unqualified references are fine as long as
+    they are unique.
+    """
+    lookup = _lookup_from(relations)
+    schemas = {name: lookup(name).schema for name in view.relation_names}
+    resolved = ViewValidator(schemas).resolve_view(view)
+
+    # Schedule each clause at the first FROM position where it is decidable.
+    order = list(resolved.relation_names)
+    bound_at: dict[int, list[PrimitiveClause]] = {i: [] for i in range(len(order))}
+    for item in resolved.where:
+        needed = item.clause.relations()
+        position = max(
+            (order.index(name) for name in needed if name in order), default=0
+        )
+        bound_at[position].append(item.clause)
+
+    bindings: list[dict[str, Any]] = [{}]
+    for position, relation_name in enumerate(order):
+        relation = lookup(relation_name)
+        clauses = bound_at[position]
+        keys = [
+            f"{relation_name}.{name}"
+            for name in relation.schema.attribute_names
+        ]
+        # Hash fast path: equijoin clauses linking a new attribute to an
+        # already-bound one index the relation once instead of scanning it
+        # per binding.  Remaining clauses still filter row by row.
+        probe_pairs, residual = _split_equijoins(
+            clauses, relation_name, set(keys)
+        )
+        extended: list[dict[str, Any]] = []
+        if probe_pairs and bindings:
+            index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+            new_positions = [
+                relation.schema.position(new.attribute)
+                for new, _ in probe_pairs
+            ]
+            for row in relation:
+                hash_key = tuple(row[p] for p in new_positions)
+                index.setdefault(hash_key, []).append(row)
+            for binding in bindings:
+                probe = tuple(
+                    binding[bound.qualified] for _, bound in probe_pairs
+                )
+                if None in probe:
+                    continue
+                for row in index.get(probe, ()):
+                    candidate = dict(binding)
+                    candidate.update(zip(keys, row))
+                    if all(_eval_qualified(c, candidate) for c in residual):
+                        extended.append(candidate)
+        else:
+            for binding in bindings:
+                for row in relation:
+                    candidate = dict(binding)
+                    candidate.update(zip(keys, row))
+                    if all(_eval_qualified(c, candidate) for c in clauses):
+                        extended.append(candidate)
+        bindings = extended
+        if not bindings:
+            break
+
+    output_schema = _output_schema(resolved, schemas)
+    keys = [str(item.ref) for item in resolved.select]
+    rows = [tuple(binding[key] for key in keys) for binding in bindings]
+    return Relation(output_schema, rows)
+
+
+def _eval_qualified(clause: PrimitiveClause, binding: Mapping[str, Any]) -> bool:
+    """Evaluate a fully qualified clause against a qualified-name binding."""
+    return clause.evaluate(binding)
+
+
+def _split_equijoins(
+    clauses: list[PrimitiveClause],
+    relation_name: str,
+    new_keys: set[str],
+) -> tuple[list, list[PrimitiveClause]]:
+    """Split clauses into hash-joinable pairs and residual filters.
+
+    A clause is hash-joinable at this position when it is an equijoin
+    between one attribute of the relation being added and one attribute
+    bound by an earlier relation.  Returns ``([(new_ref, bound_ref)...],
+    residual_clauses)``.
+    """
+    from repro.relational.expressions import AttributeRef, Comparator
+
+    pairs = []
+    residual: list[PrimitiveClause] = []
+    for clause in clauses:
+        if (
+            clause.comparator is Comparator.EQ
+            and isinstance(clause.left, AttributeRef)
+            and isinstance(clause.right, AttributeRef)
+        ):
+            left_new = clause.left.qualified in new_keys
+            right_new = clause.right.qualified in new_keys
+            if left_new and not right_new:
+                pairs.append((clause.left, clause.right))
+                continue
+            if right_new and not left_new:
+                pairs.append((clause.right, clause.left))
+                continue
+        residual.append(clause)
+    return pairs, residual
+
+
+def _output_schema(
+    resolved: ViewDefinition, schemas: Mapping[str, Schema]
+) -> Schema:
+    attributes = []
+    for item in resolved.select:
+        assert item.ref.relation is not None
+        source = schemas[item.ref.relation].attribute(item.ref.attribute)
+        attributes.append(source.renamed(item.output_name))
+    return Schema(resolved.name, attributes)
+
+
+def evaluate_views(
+    views: Iterable[ViewDefinition],
+    relations: Mapping[str, Relation] | RelationLookup,
+) -> dict[str, Relation]:
+    """Materialize several views; returns name -> extent."""
+    return {view.name: evaluate_view(view, relations) for view in views}

@@ -1,0 +1,249 @@
+"""Recursive-descent parser for E-SQL view definitions.
+
+Grammar (Fig. 2, rendered in ASCII)::
+
+    view        := CREATE VIEW ident [params] AS
+                   SELECT select_item ("," select_item)*
+                   FROM   from_item   ("," from_item)*
+                   [WHERE where_item (AND where_item)*]
+    params      := "(" "VE" "=" (string | symbol) ")"
+    select_item := attr_ref [AS ident] [flag_list]
+    from_item   := ident [flag_list]
+    where_item  := ["("] clause [")"] [flag_list]
+    clause      := operand comparator operand
+    operand     := attr_ref | number | string
+    attr_ref    := ident ["." ident]
+    flag_list   := "(" flag ("," flag)* ")"
+    flag        := (AD|AR|CD|CR|RD|RR) "=" (TRUE|FALSE)
+
+The VE symbol accepts the ASCII spellings of Fig. 3's symbols:
+``'~'`` (any), ``'='`` (equal), ``'>='`` (superset), ``'<='`` (subset),
+or the words ``any``/``equal``/``superset``/``subset``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError
+from repro.esql.ast import FromItem, SelectItem, ViewDefinition, WhereItem
+from repro.esql.lexer import Token, TokenKind, tokenize
+from repro.esql.params import EvolutionFlags, ViewExtent
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Constant,
+    PrimitiveClause,
+)
+
+_COMPARATOR_SYMBOLS = ("<", "<=", "=", ">=", ">", "<>")
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current
+        return ParseError(
+            f"{message}, found {token}", token.line, token.column
+        )
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self._current.is_keyword(name):
+            raise self._error(f"expected {name}")
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_ident(self, what: str) -> Token:
+        if self._current.kind is not TokenKind.IDENT:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Grammar productions
+    # ------------------------------------------------------------------
+    def parse_view(self) -> ViewDefinition:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("VIEW")
+        name = self._expect_ident("view name").text
+        extent = self._parse_optional_ve()
+        self._expect_keyword("AS")
+        self._expect_keyword("SELECT")
+        select = [self._parse_select_item()]
+        while self._current.is_symbol(","):
+            self._advance()
+            select.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        from_ = [self._parse_from_item()]
+        while self._current.is_symbol(","):
+            self._advance()
+            from_.append(self._parse_from_item())
+        where: list[WhereItem] = []
+        if self._current.is_keyword("WHERE"):
+            self._advance()
+            where.append(self._parse_where_item())
+            while self._current.is_keyword("AND"):
+                self._advance()
+                where.append(self._parse_where_item())
+        if self._current.kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input")
+        return ViewDefinition(name, select, from_, where, extent)
+
+    def _parse_optional_ve(self) -> ViewExtent:
+        if not self._current.is_symbol("("):
+            return ViewExtent.ANY
+        self._advance()
+        self._expect_keyword("VE")
+        self._expect_symbol("=")
+        token = self._advance()
+        if token.kind is TokenKind.STRING or token.kind is TokenKind.IDENT:
+            symbol = token.text
+        elif token.kind is TokenKind.SYMBOL and token.text in ("=", "<=", ">="):
+            symbol = token.text
+        else:
+            raise ParseError(
+                f"expected view-extent symbol, found {token}",
+                token.line,
+                token.column,
+            )
+        self._expect_symbol(")")
+        try:
+            return ViewExtent.from_symbol(symbol)
+        except ValueError as exc:
+            raise ParseError(str(exc), token.line, token.column) from None
+
+    def _parse_attr_ref(self) -> AttributeRef:
+        first = self._expect_ident("attribute reference").text
+        if self._current.is_symbol("."):
+            self._advance()
+            second = self._expect_ident("attribute name").text
+            return AttributeRef(second, relation=first)
+        return AttributeRef(first)
+
+    def _parse_select_item(self) -> SelectItem:
+        ref = self._parse_attr_ref()
+        alias: str | None = None
+        if self._current.is_keyword("AS"):
+            self._advance()
+            alias = self._expect_ident("alias").text
+        flags = self._parse_optional_flags({"AD", "AR"})
+        return SelectItem(ref, flags, alias)
+
+    def _parse_from_item(self) -> FromItem:
+        name = self._expect_ident("relation name").text
+        flags = self._parse_optional_flags({"RD", "RR"})
+        return FromItem(name, flags)
+
+    def _parse_operand(self) -> AttributeRef | Constant:
+        token = self._current
+        if token.kind is TokenKind.IDENT:
+            return self._parse_attr_ref()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            value: Any = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.is_keyword("TRUE", "FALSE"):
+            self._advance()
+            return Constant(token.text == "TRUE")
+        raise self._error("expected attribute reference or literal")
+
+    def _parse_clause(self) -> PrimitiveClause:
+        left = self._parse_operand()
+        token = self._current
+        if not token.is_symbol(*_COMPARATOR_SYMBOLS):
+            raise self._error("expected comparator")
+        self._advance()
+        right = self._parse_operand()
+        return PrimitiveClause(left, Comparator.from_symbol(token.text), right)
+
+    def _parse_where_item(self) -> WhereItem:
+        parenthesized = False
+        if self._current.is_symbol("("):
+            self._advance()
+            parenthesized = True
+        clause = self._parse_clause()
+        if parenthesized:
+            self._expect_symbol(")")
+        flags = self._parse_optional_flags({"CD", "CR"})
+        return WhereItem(clause, flags)
+
+    def _parse_optional_flags(self, allowed: set[str]) -> EvolutionFlags:
+        """Parse ``(XD = true, XR = false)``; absent list means defaults.
+
+        A ``(`` not followed by a flag keyword is left untouched so WHERE
+        parenthesization does not get swallowed.
+        """
+        if not self._current.is_symbol("("):
+            return EvolutionFlags()
+        if not self._peek().is_keyword(*allowed):
+            return EvolutionFlags()
+        self._advance()  # "("
+        dispensable, replaceable = False, False
+        while True:
+            key = self._advance()
+            if not key.is_keyword(*allowed):
+                raise ParseError(
+                    f"unexpected evolution parameter {key} "
+                    f"(expected one of {sorted(allowed)})",
+                    key.line,
+                    key.column,
+                )
+            self._expect_symbol("=")
+            value = self._advance()
+            if not value.is_keyword("TRUE", "FALSE"):
+                raise ParseError(
+                    f"expected true/false, found {value}", value.line, value.column
+                )
+            flag = value.text == "TRUE"
+            if key.text.endswith("D"):
+                dispensable = flag
+            else:
+                replaceable = flag
+            if self._current.is_symbol(","):
+                self._advance()
+                continue
+            break
+        self._expect_symbol(")")
+        return EvolutionFlags(dispensable, replaceable)
+
+
+def parse_view(text: str) -> ViewDefinition:
+    """Parse one E-SQL ``CREATE VIEW`` statement into a :class:`ViewDefinition`."""
+    return _Parser(tokenize(text)).parse_view()
+
+
+def parse_condition_clause(text: str) -> PrimitiveClause:
+    """Parse a standalone primitive clause (handy for MISD constraints)."""
+    parser = _Parser(tokenize(text))
+    clause = parser._parse_clause()
+    if parser._current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input after clause")
+    return clause

@@ -1,0 +1,44 @@
+"""Pretty-printer: :class:`ViewDefinition` back to E-SQL text.
+
+``parse_view(format_view(v)) == v`` holds for every definition the parser
+can produce (round-trip property, enforced by the property-based tests).
+"""
+
+from __future__ import annotations
+
+from repro.esql.ast import ViewDefinition
+from repro.esql.params import ViewExtent
+
+
+def format_view(view: ViewDefinition, indent: str = "    ") -> str:
+    """Render a view definition as a canonical E-SQL statement."""
+    lines = [f"CREATE VIEW {view.name} (VE = '{view.extent_parameter}') AS"]
+    select_rendered = ",\n".join(
+        f"{indent}{indent}{item}" if position else f"{indent}SELECT {item}"
+        for position, item in enumerate(view.select)
+    )
+    lines.append(select_rendered)
+    from_rendered = ",\n".join(
+        f"{indent}{indent}{item}" if position else f"{indent}FROM {item}"
+        for position, item in enumerate(view.from_)
+    )
+    lines.append(from_rendered)
+    if view.where:
+        where_rendered = "\n".join(
+            f"{indent}{indent}AND {item}" if position else f"{indent}WHERE {item}"
+            for position, item in enumerate(view.where)
+        )
+        lines.append(where_rendered)
+    return "\n".join(lines)
+
+
+def format_view_compact(view: ViewDefinition) -> str:
+    """One-line rendering for logs and report tables."""
+    parts = [f"CREATE VIEW {view.name} (VE = '{view.extent_parameter}') AS SELECT "]
+    parts.append(", ".join(str(item) for item in view.select))
+    parts.append(" FROM ")
+    parts.append(", ".join(str(item) for item in view.from_))
+    if view.where:
+        parts.append(" WHERE ")
+        parts.append(" AND ".join(str(item) for item in view.where))
+    return "".join(parts)

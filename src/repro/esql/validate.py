@@ -1,0 +1,140 @@
+"""Semantic validation and name resolution for E-SQL views.
+
+Given the schemas of the information space, validation checks that a view
+definition is well-formed:
+
+* every FROM relation exists,
+* every attribute reference resolves to exactly one FROM relation,
+* clause operands have comparable domains.
+
+:func:`resolve_view` additionally returns a copy of the definition with all
+attribute references fully qualified (``A`` -> ``R.A``), which is the form
+the evaluator, synchronizer, and quality model work with.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.esql.ast import SelectItem, ViewDefinition, WhereItem
+from repro.relational.expressions import (
+    AttributeRef,
+    Constant,
+    PrimitiveClause,
+)
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType, infer_type
+
+
+class ViewValidator:
+    """Validates and resolves views against a name -> :class:`Schema` map."""
+
+    def __init__(self, schemas: Mapping[str, Schema]) -> None:
+        self._schemas = dict(schemas)
+
+    # ------------------------------------------------------------------
+    # Reference resolution
+    # ------------------------------------------------------------------
+    def _resolve_ref(
+        self, ref: AttributeRef, view: ViewDefinition
+    ) -> AttributeRef:
+        """Fully qualified form of ``ref`` within ``view``'s FROM scope."""
+        if ref.relation is not None:
+            if ref.relation not in view.relation_names:
+                raise UnknownRelationError(
+                    ref.relation, f"FROM clause of view {view.name!r}"
+                )
+            schema = self._schema_of(ref.relation)
+            if ref.attribute not in schema:
+                raise UnknownAttributeError(ref.attribute, ref.relation)
+            return ref
+        owners = [
+            name
+            for name in view.relation_names
+            if ref.attribute in self._schema_of(name)
+        ]
+        if not owners:
+            raise UnknownAttributeError(
+                ref.attribute, f"any FROM relation of view {view.name!r}"
+            )
+        if len(owners) > 1:
+            raise SchemaError(
+                f"attribute {ref.attribute!r} in view {view.name!r} is "
+                f"ambiguous across relations {owners}"
+            )
+        return AttributeRef(ref.attribute, owners[0])
+
+    def _schema_of(self, relation: str) -> Schema:
+        try:
+            return self._schemas[relation]
+        except KeyError:
+            raise UnknownRelationError(relation, "information space") from None
+
+    def _operand_type(
+        self, operand: AttributeRef | Constant
+    ) -> AttributeType:
+        if isinstance(operand, Constant):
+            return infer_type(operand.value)
+        assert operand.relation is not None  # resolved first
+        return self._schema_of(operand.relation).attribute(operand.attribute).type
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def validate(self, view: ViewDefinition) -> None:
+        """Raise on the first semantic problem; returns None when clean."""
+        self.resolve_view(view)
+
+    def resolve_view(self, view: ViewDefinition) -> ViewDefinition:
+        """Fully qualified, type-checked copy of ``view``."""
+        for item in view.from_:
+            self._schema_of(item.relation)  # existence check
+
+        select = [
+            SelectItem(
+                self._resolve_ref(item.ref, view),
+                item.flags,
+                alias=item.output_name,
+            )
+            for item in view.select
+        ]
+
+        where: list[WhereItem] = []
+        for item in view.where:
+            clause = item.clause
+            left = (
+                self._resolve_ref(clause.left, view)
+                if isinstance(clause.left, AttributeRef)
+                else clause.left
+            )
+            right = (
+                self._resolve_ref(clause.right, view)
+                if isinstance(clause.right, AttributeRef)
+                else clause.right
+            )
+            resolved = PrimitiveClause(left, clause.comparator, right)
+            left_type = self._operand_type(left)
+            right_type = self._operand_type(right)
+            if not left_type.is_comparable_with(right_type):
+                raise SchemaError(
+                    f"clause ({resolved}) in view {view.name!r} compares "
+                    f"{left_type.label} with {right_type.label}"
+                )
+            where.append(WhereItem(resolved, item.flags))
+
+        return ViewDefinition(
+            view.name, select, view.from_, where, view.extent_parameter
+        )
+
+    def output_schema(self, view: ViewDefinition) -> Schema:
+        """Schema of the view's result (interface names, source types)."""
+        resolved = self.resolve_view(view)
+        attributes = []
+        for item in resolved.select:
+            assert item.ref.relation is not None
+            source = self._schema_of(item.ref.relation).attribute(
+                item.ref.attribute
+            )
+            attributes.append(source.renamed(item.output_name))
+        return Schema(view.name, attributes)

@@ -1,0 +1,14 @@
+"""Incremental view maintenance: Algorithm 1 executed with cost counters.
+
+Public surface:
+
+* :class:`ViewMaintainer` — propagates single-tuple updates into a
+  materialized extent, measuring messages / bytes / I/Os for comparison
+  against the analytic cost model of Sec. 6
+* :class:`MaintenanceCounters` — the measured factors
+"""
+
+from repro.maintenance.counters import MaintenanceCounters
+from repro.maintenance.simulator import ViewMaintainer
+
+__all__ = ["MaintenanceCounters", "ViewMaintainer"]

@@ -1,0 +1,46 @@
+"""MISD — the Model for Information Source Description (Sec. 3.2).
+
+Public surface:
+
+* :class:`TypeIntegrityConstraint`, :class:`JoinConstraint`,
+  :class:`PCConstraint`, :class:`RelationFragment`,
+  :class:`PCRelationship` — the Fig. 4 constraint taxonomy
+* :class:`MetaKnowledgeBase` — registration, lookup, consistency checking,
+  and evolution under capability changes
+* :class:`RelationStatistics`, :class:`SpaceStatistics` — the database
+  statistics of Sec. 6.1
+"""
+
+from repro.misd.constraints import (
+    JoinConstraint,
+    PCConstraint,
+    PCRelationship,
+    RelationFragment,
+    TypeIntegrityConstraint,
+)
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import (
+    DEFAULT_BLOCKING_FACTOR,
+    DEFAULT_CARDINALITY,
+    DEFAULT_JOIN_SELECTIVITY,
+    DEFAULT_SELECTIVITY,
+    DEFAULT_TUPLE_SIZE,
+    RelationStatistics,
+    SpaceStatistics,
+)
+
+__all__ = [
+    "DEFAULT_BLOCKING_FACTOR",
+    "DEFAULT_CARDINALITY",
+    "DEFAULT_JOIN_SELECTIVITY",
+    "DEFAULT_SELECTIVITY",
+    "DEFAULT_TUPLE_SIZE",
+    "JoinConstraint",
+    "MetaKnowledgeBase",
+    "PCConstraint",
+    "PCRelationship",
+    "RelationFragment",
+    "RelationStatistics",
+    "SpaceStatistics",
+    "TypeIntegrityConstraint",
+]

@@ -1,0 +1,141 @@
+"""Database statistics registered in the MKB (Sec. 6.1, assumptions 1-6).
+
+The cost and quality estimators need, per relation:
+
+* cardinality ``|R|``,
+* tuple byte size ``s_R`` (derivable from the schema, overridable),
+* local-condition selectivity ``sigma_R``,
+
+plus space-wide parameters:
+
+* join selectivity ``js`` (a constant across the space, assumption 3),
+* blocking factor ``bfr`` (tuples per physical block, assumption 6 /
+  Table 1),
+* per-attribute byte sizes ``s_{R.A}`` (assumption 2).
+
+Everything has explicit defaults matching Table 1 of the paper so that the
+experiment harnesses can start from the paper's own configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import EvaluationError
+
+
+#: Defaults from Table 1 (Experiment 2).
+DEFAULT_CARDINALITY = 400
+DEFAULT_TUPLE_SIZE = 100
+DEFAULT_SELECTIVITY = 0.5
+DEFAULT_JOIN_SELECTIVITY = 0.005
+DEFAULT_BLOCKING_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Per-relation statistics (``|R|``, ``s_R``, ``sigma_R``)."""
+
+    cardinality: int = DEFAULT_CARDINALITY
+    tuple_size: int = DEFAULT_TUPLE_SIZE
+    selectivity: float = DEFAULT_SELECTIVITY
+    attribute_sizes: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise EvaluationError("cardinality must be non-negative")
+        if self.tuple_size <= 0:
+            raise EvaluationError("tuple size must be positive")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise EvaluationError(
+                f"selectivity must be in [0,1], got {self.selectivity}"
+            )
+        for attribute, size in self.attribute_sizes.items():
+            if size <= 0:
+                raise EvaluationError(
+                    f"attribute size for {attribute!r} must be positive"
+                )
+
+    def attribute_size(self, attribute: str, default: int | None = None) -> int:
+        """``s_{R.A}``; falls back to an even share of the tuple size."""
+        if attribute in self.attribute_sizes:
+            return self.attribute_sizes[attribute]
+        if default is not None:
+            return default
+        divisor = max(len(self.attribute_sizes), 1)
+        return max(self.tuple_size // max(divisor, 1), 1)
+
+    def scaled_to(self, cardinality: int) -> "RelationStatistics":
+        """Same shape statistics at a different cardinality."""
+        return replace(self, cardinality=cardinality)
+
+
+@dataclass
+class SpaceStatistics:
+    """Statistics for the whole information space.
+
+    ``js`` and ``bfr`` are global constants per the paper's simplifying
+    assumptions; per-relation entries live in ``relations``.  Lookup of an
+    unregistered relation returns the Table 1 defaults rather than failing,
+    because the paper's analytic experiments only pin down the parameters
+    they vary.
+    """
+
+    join_selectivity: float = DEFAULT_JOIN_SELECTIVITY
+    blocking_factor: int = DEFAULT_BLOCKING_FACTOR
+    relations: dict[str, RelationStatistics] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.join_selectivity <= 1.0:
+            raise EvaluationError(
+                f"join selectivity must be in (0,1], got {self.join_selectivity}"
+            )
+        if self.blocking_factor <= 0:
+            raise EvaluationError("blocking factor must be positive")
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def register(self, relation: str, stats: RelationStatistics) -> None:
+        self.relations[relation] = stats
+
+    def register_simple(
+        self,
+        relation: str,
+        cardinality: int = DEFAULT_CARDINALITY,
+        tuple_size: int = DEFAULT_TUPLE_SIZE,
+        selectivity: float = DEFAULT_SELECTIVITY,
+    ) -> None:
+        """Shorthand registration with scalar parameters."""
+        self.register(
+            relation,
+            RelationStatistics(cardinality, tuple_size, selectivity),
+        )
+
+    def for_relation(self, relation: str) -> RelationStatistics:
+        """Statistics for ``relation``, defaulting to Table 1 values."""
+        return self.relations.get(relation, RelationStatistics())
+
+    def cardinality(self, relation: str) -> int:
+        return self.for_relation(relation).cardinality
+
+    def tuple_size(self, relation: str) -> int:
+        return self.for_relation(relation).tuple_size
+
+    def selectivity(self, relation: str) -> float:
+        return self.for_relation(relation).selectivity
+
+    def rename_relation(self, old: str, new: str) -> None:
+        """Keep statistics attached across a change-relation-name."""
+        if old in self.relations:
+            self.relations[new] = self.relations.pop(old)
+
+    def forget_relation(self, relation: str) -> None:
+        self.relations.pop(relation, None)
+
+    def copy(self) -> "SpaceStatistics":
+        return SpaceStatistics(
+            self.join_selectivity,
+            self.blocking_factor,
+            dict(self.relations),
+        )

@@ -1,0 +1,122 @@
+"""The QC-Model: quality/cost efficiency ranking for view rewritings.
+
+Public surface:
+
+* :class:`TradeoffParameters` — every weight of the model, paper defaults
+* :class:`QCModel` / :class:`Evaluation` — evaluate and rank candidates
+* quality: :func:`dd_attr`, :func:`dd_ext`, :func:`assess_quality`,
+  :class:`QualityAssessment`, :class:`ExtentNumbers`
+* overlap: :func:`estimate_overlap`, :func:`overlap_between` (Figs. 9/10)
+* cost: :class:`MaintenancePlan`, :func:`cf_messages`, :func:`cf_bytes`,
+  :func:`cf_io`, :func:`assess_cost`, :func:`normalize_costs`
+* workload: :class:`WorkloadModel`, :class:`WorkloadSpec` (M1-M4)
+* heuristics: the Sec. 7.6 pruning rules
+"""
+
+from repro.qc.cost import (
+    CostAssessment,
+    MaintenancePlan,
+    SourceGroup,
+    assess_cost,
+    cf_bytes,
+    cf_bytes_uniform,
+    cf_io,
+    cf_messages,
+    cf_messages_counted,
+    full_scan_ios,
+    normalize_costs,
+    plan_for_view,
+)
+from repro.qc.heuristics import (
+    closest_size_key,
+    default_heuristic_stack,
+    fewest_clauses_key,
+    fewest_relations_key,
+    fewest_sources_key,
+    pick_by_heuristics,
+    smallest_relations_key,
+)
+from repro.qc.model import Evaluation, QCModel, qc_score
+from repro.qc.overlap import (
+    NO_OVERLAP,
+    OverlapEstimate,
+    estimate_overlap,
+    fragment_cardinality,
+    overlap_between,
+)
+from repro.qc.params import (
+    DEFAULT_PARAMETERS,
+    EXPERIMENT4_CASES,
+    TradeoffParameters,
+)
+from repro.qc.quality import (
+    QualityAssessment,
+    assess_quality,
+    assess_quality_estimated,
+    assess_quality_exact,
+    dd_attr,
+    dd_ext,
+    dd_ext_d1,
+    dd_ext_d2,
+    dd_ext_subset,
+    dd_ext_superset,
+    exact_extent_numbers,
+    interface_quality,
+)
+from repro.qc.view_size import (
+    ExtentNumbers,
+    estimate_extent_numbers,
+    estimate_view_cardinality,
+)
+from repro.qc.workload import WorkloadModel, WorkloadSpec, aggregate_cost
+
+__all__ = [
+    "DEFAULT_PARAMETERS",
+    "EXPERIMENT4_CASES",
+    "NO_OVERLAP",
+    "CostAssessment",
+    "Evaluation",
+    "ExtentNumbers",
+    "MaintenancePlan",
+    "OverlapEstimate",
+    "QCModel",
+    "QualityAssessment",
+    "SourceGroup",
+    "TradeoffParameters",
+    "WorkloadModel",
+    "WorkloadSpec",
+    "aggregate_cost",
+    "assess_cost",
+    "assess_quality",
+    "assess_quality_estimated",
+    "assess_quality_exact",
+    "cf_bytes",
+    "cf_bytes_uniform",
+    "cf_io",
+    "cf_messages",
+    "cf_messages_counted",
+    "closest_size_key",
+    "dd_attr",
+    "dd_ext",
+    "dd_ext_d1",
+    "dd_ext_d2",
+    "dd_ext_subset",
+    "dd_ext_superset",
+    "default_heuristic_stack",
+    "estimate_extent_numbers",
+    "estimate_overlap",
+    "estimate_view_cardinality",
+    "exact_extent_numbers",
+    "fewest_clauses_key",
+    "fewest_relations_key",
+    "fewest_sources_key",
+    "fragment_cardinality",
+    "full_scan_ios",
+    "interface_quality",
+    "normalize_costs",
+    "overlap_between",
+    "pick_by_heuristics",
+    "plan_for_view",
+    "qc_score",
+    "smallest_relations_key",
+]

@@ -1,0 +1,113 @@
+"""Search-space pruning heuristics (Sec. 7.6).
+
+The full QC evaluation prices every candidate.  The paper's experiments
+suggest cheaper selection rules that usually agree with the exhaustive
+ranking; each is implemented as a key function over rewritings so callers
+can sort, pick, or combine them, and the heuristics benchmark measures how
+often each agrees with the QC-Model's exhaustive choice:
+
+* **fewest sources** — minimize the number of ISs referenced (Exps. 2/5),
+* **fewest relations** — minimize the FROM list (workload models M1/M2),
+* **smallest relations** — minimize total referenced cardinality (M1),
+* **closest size** — replacement relation closest in cardinality to the
+  relation it replaces (Exp. 4),
+* **fewest clauses** — minimize joins/primitive clauses (M4 tie-breaker).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import EvaluationError
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import SpaceStatistics
+from repro.sync.rewriting import ReplaceRelationMove, Rewriting
+
+HeuristicKey = Callable[[Rewriting], float]
+
+
+def fewest_sources_key(mkb: MetaKnowledgeBase) -> HeuristicKey:
+    """Number of distinct ISs the rewriting draws from (lower = better)."""
+
+    def key(rewriting: Rewriting) -> float:
+        sources = set()
+        for name in rewriting.view.relation_names:
+            try:
+                sources.add(mkb.owner(name))
+            except Exception:
+                sources.add(f"?{name}")
+        return float(len(sources))
+
+    return key
+
+
+def fewest_relations_key() -> HeuristicKey:
+    """Length of the FROM list (lower = better)."""
+    return lambda rewriting: float(len(rewriting.view.from_))
+
+
+def smallest_relations_key(statistics: SpaceStatistics) -> HeuristicKey:
+    """Total cardinality of referenced relations (lower = better)."""
+
+    def key(rewriting: Rewriting) -> float:
+        return float(
+            sum(
+                statistics.cardinality(name)
+                for name in rewriting.view.relation_names
+            )
+        )
+
+    return key
+
+
+def closest_size_key(statistics: SpaceStatistics) -> HeuristicKey:
+    """Cardinality distance between replaced and replacement relations.
+
+    Rewritings without replacement moves score 0 (perfectly "close").
+    """
+
+    def key(rewriting: Rewriting) -> float:
+        distance = 0.0
+        for move in rewriting.moves:
+            if isinstance(move, ReplaceRelationMove):
+                distance += abs(
+                    statistics.cardinality(move.new_relation)
+                    - statistics.cardinality(move.old_relation)
+                )
+        return distance
+
+    return key
+
+
+def fewest_clauses_key() -> HeuristicKey:
+    """Number of WHERE conjuncts (lower = better; M4's final tie-breaker)."""
+    return lambda rewriting: float(len(rewriting.view.where))
+
+
+def pick_by_heuristics(
+    rewritings: Sequence[Rewriting],
+    keys: Sequence[HeuristicKey],
+) -> Rewriting:
+    """Lexicographic selection: earlier keys dominate later ones."""
+    if not rewritings:
+        raise EvaluationError("no rewritings to choose from")
+    return min(rewritings, key=lambda r: tuple(key(r) for key in keys))
+
+
+def default_heuristic_stack(
+    mkb: MetaKnowledgeBase, statistics: SpaceStatistics
+) -> list[HeuristicKey]:
+    """The Sec. 7.6 recommendation, in priority order.
+
+    "Minimizing the number of ISs involved ... should have a higher
+    priority over choosing a certain relation distribution"; then prefer
+    close-in-size replacements, then smaller and fewer relations, then
+    fewer clauses.
+    """
+    return [
+        fewest_sources_key(mkb),
+        closest_size_key(statistics),
+        smallest_relations_key(statistics),
+        fewest_relations_key(),
+        fewest_clauses_key(),
+    ]

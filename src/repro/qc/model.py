@@ -1,0 +1,208 @@
+"""The QC-Model: ranking legal rewritings by efficiency (Secs. 4, 6.7).
+
+Ties the quality side (Sec. 5) and the cost side (Sec. 6) together:
+
+    QC(Vi) = 1 - (rho_quality * DD(Vi) + rho_cost * COST*(Vi))     (Eq. 26)
+
+where ``DD`` is the total degree of divergence (Eq. 20) and ``COST*`` the
+min-max-normalized workload cost (Eq. 25).  The model evaluates a whole
+candidate set at once — normalization is relative to the set — and returns
+evaluations sorted best-first, establishing the linear ranking the paper
+proposes for otherwise incomparable rewritings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import EvaluationError
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.cost import (
+    CostAssessment,
+    MaintenancePlan,
+    assess_cost,
+    normalize_costs,
+    plan_for_view,
+)
+from repro.qc.params import TradeoffParameters
+from repro.qc.quality import (
+    QualityAssessment,
+    assess_quality,
+    assess_quality_estimated,
+    exact_extent_numbers,
+)
+from repro.qc.workload import WorkloadSpec, aggregate_cost
+from repro.relational.relation import Relation
+from repro.sync.rewriting import Rewriting
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One rewriting's complete QC-Model assessment."""
+
+    rewriting: Rewriting
+    quality: QualityAssessment
+    cost: CostAssessment
+    normalized_cost: float
+    qc: float
+    rank: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.rewriting.view.name
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.rank} {self.name}: QC={self.qc:.4f} "
+            f"(DD={self.quality.dd:.4f}, COST*={self.normalized_cost:.4f}, "
+            f"cost={self.cost.total:.1f})"
+        )
+
+
+def qc_score(
+    dd: float, normalized_cost: float, params: TradeoffParameters
+) -> float:
+    """Eq. 26."""
+    return 1.0 - (params.rho_quality * dd + params.rho_cost * normalized_cost)
+
+
+class QCModel:
+    """Evaluator/ranker for candidate rewriting sets.
+
+    Quality uses the estimation path by default (statistics + PC-constraint
+    overlaps, as in the paper); pass materialized extents to
+    :meth:`evaluate_exact` for the validation path.  Costs are priced per
+    update and aggregated by the given workload (a single update when no
+    workload is supplied, as in Experiment 4).
+    """
+
+    def __init__(
+        self,
+        mkb: MetaKnowledgeBase,
+        params: TradeoffParameters | None = None,
+        statistics: SpaceStatistics | None = None,
+    ) -> None:
+        self._mkb = mkb
+        self.params = params if params is not None else TradeoffParameters()
+        self._statistics = (
+            statistics if statistics is not None else mkb.statistics
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _plan(
+        self,
+        rewriting: Rewriting,
+        updated_relation: str | None,
+    ) -> MaintenancePlan:
+        owners = {}
+        for name in rewriting.view.relation_names:
+            try:
+                owners[name] = self._mkb.owner(name)
+            except Exception:
+                raise EvaluationError(
+                    f"cannot price rewriting {rewriting.view.name!r}: "
+                    f"no owner known for relation {name!r}"
+                ) from None
+        return plan_for_view(rewriting.view, owners, updated_relation)
+
+    def cost_of(
+        self,
+        rewriting: Rewriting,
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> CostAssessment:
+        """Workload-aggregated (or single-update) cost of one rewriting."""
+        plan = self._plan(rewriting, updated_relation)
+        single = lambda p: assess_cost(  # noqa: E731 - tiny local closure
+            p, self._statistics, self.params
+        )
+        if workload is None:
+            return single(plan)
+        return aggregate_cost(
+            workload, plan, self._statistics, single
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        rewritings: Sequence[Rewriting],
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> list[Evaluation]:
+        """Rank a candidate set, estimation path (the paper's setting)."""
+        qualities = [
+            assess_quality_estimated(
+                rewriting, self.params, self._mkb, self._statistics
+            )
+            for rewriting in rewritings
+        ]
+        return self._finish(rewritings, qualities, workload, updated_relation)
+
+    def evaluate_exact(
+        self,
+        rewritings: Sequence[Rewriting],
+        original_relations: Mapping[str, Relation],
+        current_relations: Mapping[str, Relation],
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> list[Evaluation]:
+        """Rank with extents materialized and counted (validation path)."""
+        qualities = []
+        for rewriting in rewritings:
+            numbers = exact_extent_numbers(
+                rewriting, original_relations, current_relations
+            )
+            qualities.append(
+                assess_quality(rewriting, self.params, numbers)
+            )
+        return self._finish(rewritings, qualities, workload, updated_relation)
+
+    def _finish(
+        self,
+        rewritings: Sequence[Rewriting],
+        qualities: list[QualityAssessment],
+        workload: WorkloadSpec | None,
+        updated_relation: str | None,
+    ) -> list[Evaluation]:
+        costs = [
+            self.cost_of(rewriting, workload, updated_relation)
+            for rewriting in rewritings
+        ]
+        normalized = normalize_costs(cost.total for cost in costs)
+        evaluations = [
+            Evaluation(
+                rewriting,
+                quality,
+                cost,
+                norm,
+                qc_score(quality.dd, norm, self.params),
+            )
+            for rewriting, quality, cost, norm in zip(
+                rewritings, qualities, costs, normalized
+            )
+        ]
+        evaluations.sort(key=lambda e: e.qc, reverse=True)
+        return [
+            Evaluation(
+                e.rewriting, e.quality, e.cost, e.normalized_cost, e.qc, rank
+            )
+            for rank, e in enumerate(evaluations, start=1)
+        ]
+
+    def best(
+        self,
+        rewritings: Sequence[Rewriting],
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> Evaluation:
+        """The top-ranked rewriting (what EVE would recommend)."""
+        evaluations = self.evaluate(rewritings, workload, updated_relation)
+        if not evaluations:
+            raise EvaluationError("no rewritings to evaluate")
+        return evaluations[0]

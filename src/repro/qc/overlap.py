@@ -1,0 +1,144 @@
+"""Relation-overlap estimation from PC constraints (Sec. 5.4.3, Figs. 9/10).
+
+Given a PC constraint ``pi(sigma_C1(R1)) REL pi(sigma_C2(R2))`` and the
+relation statistics, estimate ``|R1 ∩~ R2|`` — the number of shared tuples
+on the corresponding attributes.  Twelve cases arise from the cross of
+
+* REL in {equivalent, subset, superset}, and
+* whether each side's selection condition is the tautology ("no") or a
+  genuine selection ("yes", contributing its selectivity).
+
+Seven cases are exact; five (marked in Fig. 9 with asterisks) only yield a
+*minimum* — the constraint cannot see tuples that overlap outside the
+constrained fragments.  The paper uses the minimum as the estimate, and so
+do we, recording exactness so callers can surface estimation error.
+
+Without any PC constraint the overlap is estimated as 0 (the paper's
+explicitly pessimistic fallback: unrelated relations are assumed disjoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.misd.constraints import PCConstraint, PCRelationship
+from repro.misd.statistics import SpaceStatistics
+
+
+@dataclass(frozen=True)
+class OverlapEstimate:
+    """Estimated ``|R1 ∩~ R2|`` plus whether the figure is exact.
+
+    ``size`` is a tuple count; when ``exact`` is False it is a lower bound
+    (the paper: "the approximations compute a minimal value").
+    """
+
+    size: float
+    exact: bool
+
+    def __float__(self) -> float:
+        return float(self.size)
+
+
+#: The no-constraint fallback: assume disjoint extents.
+NO_OVERLAP = OverlapEstimate(0.0, exact=False)
+
+
+def fragment_cardinality(
+    relation: str, selective: bool, statistics: SpaceStatistics
+) -> float:
+    """``|sigma_C(R)|``: full cardinality, or scaled by the selectivity."""
+    cardinality = float(statistics.cardinality(relation))
+    if selective:
+        return statistics.selectivity(relation) * cardinality
+    return cardinality
+
+
+def estimate_overlap(
+    constraint: PCConstraint, statistics: SpaceStatistics
+) -> OverlapEstimate:
+    """``|R1 ∩~ R2|`` for the twelve Fig. 9 cases.
+
+    The constraint must be oriented so that ``R1`` (the dropped/original
+    relation) is on the left — use :meth:`PCConstraint.oriented` first.
+
+    Derivation (with F1 = left fragment, F2 = right fragment):
+
+    * ``EQUIVALENT``: F1 ≡ F2, so the overlap contains F1.  Exact unless
+      *both* sides are selective (then tuples outside both fragments may
+      still coincide — the yes/yes row).
+    * ``SUBSET`` (R1 ⊆ R2 at fragment level): the overlap contains F1.
+      Exact unless the left side is selective.
+    * ``SUPERSET``: symmetric — contains F2; exact unless the right side
+      is selective.
+    """
+    left_selective = constraint.left.has_selection
+    right_selective = constraint.right.has_selection
+    left_size = fragment_cardinality(
+        constraint.left.relation, left_selective, statistics
+    )
+    right_size = fragment_cardinality(
+        constraint.right.relation, right_selective, statistics
+    )
+
+    if constraint.relationship is PCRelationship.EQUIVALENT:
+        # |F1| = |F2| semantically; statistics may disagree, so take the
+        # smaller (a valid lower bound either way).
+        size = min(left_size, right_size)
+        exact = not (left_selective and right_selective)
+    elif constraint.relationship is PCRelationship.SUBSET:
+        size = left_size
+        exact = not left_selective
+    else:  # SUPERSET
+        size = right_size
+        exact = not right_selective
+
+    return OverlapEstimate(size, exact)
+
+
+def overlap_between(
+    original: str,
+    replacement: str,
+    mkb,
+    statistics: SpaceStatistics | None = None,
+) -> OverlapEstimate:
+    """``|original ∩~ replacement|`` via the MKB's best PC constraint.
+
+    Looks up live *and* retired constraints (the original relation may have
+    been deleted — that is exactly when this function is needed).  When no
+    direct constraint relates the two, 2-hop constraint paths through an
+    intermediate relation M are tried — the transitive-replacement
+    situation (e.g. S and T both related to a deleted common ancestor):
+    by inclusion–exclusion, ``|A ∩ B| >= |A ∩ M| + |M ∩ B| - |M|``, which
+    is reported as a (never-exact) minimum bound.  Otherwise the paper's
+    pessimistic fallback applies: :data:`NO_OVERLAP`.
+    """
+    stats = statistics if statistics is not None else mkb.statistics
+    best: OverlapEstimate | None = None
+    for pc in mkb.sync_pc_constraints(original):
+        if pc.right.relation != replacement:
+            continue
+        estimate = estimate_overlap(pc, stats)
+        if best is None or estimate.size > best.size:
+            best = estimate
+    if best is not None:
+        return best
+
+    for first in mkb.sync_pc_constraints(original):
+        intermediate = first.right.relation
+        if intermediate == replacement:
+            continue
+        for second in mkb.sync_pc_constraints(intermediate):
+            if second.right.relation != replacement:
+                continue
+            via_size = float(stats.cardinality(intermediate))
+            bound = max(
+                0.0,
+                estimate_overlap(first, stats).size
+                + estimate_overlap(second, stats).size
+                - via_size,
+            )
+            candidate = OverlapEstimate(bound, exact=False)
+            if best is None or candidate.size > best.size:
+                best = candidate
+    return best if best is not None else NO_OVERLAP

@@ -1,0 +1,102 @@
+"""Trade-off parameters of the QC-Model.
+
+The model exposes every knob the paper defines, with the paper's default
+values:
+
+* ``w1``, ``w2`` — interface weights for attribute categories C1/C2
+  (Sec. 5.2; defaults (0.7, 0.3), with the ``w1 > w2`` property EVE favours).
+* ``rho_d1``, ``rho_d2`` — extent trade-off between lost tuples (D1) and
+  surplus tuples (D2) (Eq. 15; defaults (0.5, 0.5), must sum to 1).
+* ``rho_attr``, ``rho_ext`` — interface vs extent divergence (Eq. 20;
+  Experiment 4 uses (0.7, 0.3), must sum to 1).
+* ``cost_m``, ``cost_t``, ``cost_io`` — unit prices of a message, a
+  transferred byte, and a disk I/O (Eq. 24; Experiment 4 uses
+  (0.1, 0.7, 0.2)).
+* ``rho_quality``, ``rho_cost`` — the final quality/cost trade-off
+  (Eq. 26; Experiment 4 Case 1 uses (0.9, 0.1), must sum to 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import EvaluationError
+
+_SUM_TOLERANCE = 1e-9
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise EvaluationError(f"{name} must be in [0,1], got {value}")
+
+
+def _check_pair(name_a: str, a: float, name_b: str, b: float) -> None:
+    _check_unit(name_a, a)
+    _check_unit(name_b, b)
+    if abs((a + b) - 1.0) > _SUM_TOLERANCE:
+        raise EvaluationError(
+            f"{name_a} + {name_b} must equal 1, got {a} + {b} = {a + b}"
+        )
+
+
+@dataclass(frozen=True)
+class TradeoffParameters:
+    """All QC-Model weights, with the paper's defaults."""
+
+    w1: float = 0.7
+    w2: float = 0.3
+    rho_d1: float = 0.5
+    rho_d2: float = 0.5
+    rho_attr: float = 0.7
+    rho_ext: float = 0.3
+    cost_m: float = 0.1
+    cost_t: float = 0.7
+    cost_io: float = 0.2
+    rho_quality: float = 0.9
+    rho_cost: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_unit("w1", self.w1)
+        _check_unit("w2", self.w2)
+        _check_pair("rho_d1", self.rho_d1, "rho_d2", self.rho_d2)
+        _check_pair("rho_attr", self.rho_attr, "rho_ext", self.rho_ext)
+        _check_pair("rho_quality", self.rho_quality, "rho_cost", self.rho_cost)
+        for name in ("cost_m", "cost_t", "cost_io"):
+            if getattr(self, name) < 0:
+                raise EvaluationError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Convenient variants
+    # ------------------------------------------------------------------
+    def with_quality_weight(self, rho_quality: float) -> "TradeoffParameters":
+        """Copy with the quality/cost balance changed (Experiment 4 cases)."""
+        return replace(
+            self, rho_quality=rho_quality, rho_cost=1.0 - rho_quality
+        )
+
+    def with_interface_weights(self, w1: float, w2: float) -> "TradeoffParameters":
+        return replace(self, w1=w1, w2=w2)
+
+    def with_extent_weights(self, rho_d1: float, rho_d2: float) -> "TradeoffParameters":
+        return replace(self, rho_d1=rho_d1, rho_d2=rho_d2)
+
+    def with_divergence_weights(
+        self, rho_attr: float, rho_ext: float
+    ) -> "TradeoffParameters":
+        return replace(self, rho_attr=rho_attr, rho_ext=rho_ext)
+
+    def with_unit_prices(
+        self, cost_m: float, cost_t: float, cost_io: float
+    ) -> "TradeoffParameters":
+        return replace(self, cost_m=cost_m, cost_t=cost_t, cost_io=cost_io)
+
+
+#: The paper's default configuration (Experiment 4, Case 1).
+DEFAULT_PARAMETERS = TradeoffParameters()
+
+#: Experiment 4's three weighting cases for (rho_quality, rho_cost).
+EXPERIMENT4_CASES = (
+    ("Case 1", DEFAULT_PARAMETERS.with_quality_weight(0.9)),
+    ("Case 2", DEFAULT_PARAMETERS.with_quality_weight(0.75)),
+    ("Case 3", DEFAULT_PARAMETERS.with_quality_weight(0.5)),
+)

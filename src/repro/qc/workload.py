@@ -1,0 +1,138 @@
+"""Workload models M1-M4 (Sec. 6.6).
+
+A workload model turns per-update costs into a per-time-unit cost by
+deciding how many updates hit each relation:
+
+* **M1** — updates proportional to relation size: ``p`` percent of each
+  relation's tuples change per time unit.
+* **M2** — a constant ``u`` updates per relation.
+* **M3** — a constant ``u`` updates per information source (spread evenly
+  over the source's relations).
+* **M4** — a constant ``u`` updates per rewriting (spread evenly over all
+  its relations).
+
+Each model yields a mapping ``relation -> expected update count``; the
+aggregate cost of a rewriting is the count-weighted sum of the single-
+update costs with that relation as the update origin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EvaluationError
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.cost import CostAssessment, MaintenancePlan, ZERO_COST
+
+
+class WorkloadModel(enum.Enum):
+    """The four update-arrival models of Sec. 6.6."""
+
+    M1_PROPORTIONAL = "M1"
+    M2_PER_RELATION = "M2"
+    M3_PER_SOURCE = "M3"
+    M4_PER_REWRITING = "M4"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A model plus its rate parameter (``p`` for M1, ``u`` otherwise)."""
+
+    model: WorkloadModel
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise EvaluationError("workload rate must be non-negative")
+
+    def update_counts(
+        self, plan: MaintenancePlan, statistics: SpaceStatistics
+    ) -> dict[str, float]:
+        """Expected updates per time unit for each relation in the plan."""
+        relations = [
+            name for group in plan.groups for name in group.relations
+        ]
+        if self.model is WorkloadModel.M1_PROPORTIONAL:
+            return {
+                name: self.rate * statistics.cardinality(name)
+                for name in relations
+            }
+        if self.model is WorkloadModel.M2_PER_RELATION:
+            return {name: self.rate for name in relations}
+        if self.model is WorkloadModel.M3_PER_SOURCE:
+            counts: dict[str, float] = {}
+            for group in plan.groups:
+                share = self.rate / len(group.relations)
+                for name in group.relations:
+                    counts[name] = share
+            return counts
+        # M4: constant per rewriting, spread equally over view elements.
+        share = self.rate / len(relations) if relations else 0.0
+        return {name: share for name in relations}
+
+    def total_updates(
+        self, plan: MaintenancePlan, statistics: SpaceStatistics
+    ) -> float:
+        return sum(self.update_counts(plan, statistics).values())
+
+
+PlanBuilder = Callable[[str], MaintenancePlan]
+
+
+def aggregate_cost(
+    spec: WorkloadSpec,
+    plan: MaintenancePlan,
+    statistics: SpaceStatistics,
+    single_update_cost: Callable[[MaintenancePlan], CostAssessment],
+    replan: PlanBuilder | None = None,
+) -> CostAssessment:
+    """Workload-weighted total cost (the COST(Vi) of Sec. 6.6).
+
+    ``single_update_cost`` prices one update given a plan rooted at the
+    updated relation; ``replan`` rebuilds the itinerary for a different
+    update origin (defaults to re-rooting the given plan).
+    """
+    builder = replan if replan is not None else _reroot_builder(plan)
+    total = ZERO_COST
+    for relation, count in spec.update_counts(plan, statistics).items():
+        if count <= 0:
+            continue
+        total = total.plus(single_update_cost(builder(relation)).scaled(count))
+    return total
+
+
+def _reroot_builder(plan: MaintenancePlan) -> PlanBuilder:
+    """Re-root ``plan`` so a different relation is the update origin."""
+
+    def build(updated_relation: str) -> MaintenancePlan:
+        if updated_relation == plan.updated_relation:
+            return plan
+        groups = list(plan.groups)
+        origin_index = next(
+            (
+                i
+                for i, group in enumerate(groups)
+                if updated_relation in group.relations
+            ),
+            None,
+        )
+        if origin_index is None:
+            raise EvaluationError(
+                f"relation {updated_relation!r} is not in the plan"
+            )
+        reordered = [groups[origin_index]] + (
+            groups[:origin_index] + groups[origin_index + 1 :]
+        )
+        first = reordered[0]
+        relations = list(first.relations)
+        relations.remove(updated_relation)
+        relations.insert(0, updated_relation)
+        reordered[0] = type(first)(first.source, tuple(relations))
+        return MaintenancePlan(tuple(reordered), updated_relation)
+
+    return build

@@ -1,0 +1,69 @@
+"""In-memory relational engine: the substrate every other package builds on.
+
+Public surface:
+
+* :class:`AttributeType`, :class:`Attribute`, :class:`Schema` — typed schemas
+* :class:`Relation` — bag-semantics relation instances
+* :class:`AttributeRef`, :class:`Constant`, :class:`Comparator`,
+  :class:`PrimitiveClause`, :class:`Condition` — predicate ASTs
+* :mod:`repro.relational.algebra` — select/project/join/set operators and
+  the common-subset-of-attributes comparisons of the paper's Fig. 7
+* :class:`Catalog` — named relation stores
+"""
+
+from repro.relational.algebra import (
+    cartesian_product,
+    common_projection,
+    cs_difference,
+    cs_equal,
+    cs_intersection,
+    cs_subset,
+    difference,
+    intersection,
+    join,
+    natural_equijoin,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Condition,
+    Constant,
+    PrimitiveClause,
+)
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType, infer_type
+
+__all__ = [
+    "Attribute",
+    "AttributeRef",
+    "AttributeType",
+    "Catalog",
+    "Comparator",
+    "Condition",
+    "Constant",
+    "PrimitiveClause",
+    "Relation",
+    "Row",
+    "Schema",
+    "cartesian_product",
+    "common_projection",
+    "cs_difference",
+    "cs_equal",
+    "cs_intersection",
+    "cs_subset",
+    "difference",
+    "infer_type",
+    "intersection",
+    "join",
+    "natural_equijoin",
+    "project",
+    "rename",
+    "select",
+    "union",
+]

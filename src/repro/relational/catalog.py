@@ -1,0 +1,109 @@
+"""A named catalog of relations.
+
+Both individual information sources and the warehouse's view store keep
+their relations in a :class:`Catalog`; it provides the uniform
+name -> relation mapping plus the schema-evolution entry points that
+capability changes go through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import UnknownRelationError, WorkspaceError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+class Catalog:
+    """Mutable mapping of relation name -> :class:`Relation`.
+
+    The ``owner`` label only feeds error messages ("relation R in IS1").
+    """
+
+    __slots__ = ("owner", "_relations")
+
+    def __init__(self, owner: str = "catalog") -> None:
+        self.owner = owner
+        self._relations: dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def get(self, name: str) -> Relation:
+        """The relation called ``name`` or :class:`UnknownRelationError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, self.owner) from None
+
+    def schema(self, name: str) -> Schema:
+        return self.get(name).schema
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, relation: Relation) -> Relation:
+        """Register ``relation`` under its own name; names must be fresh."""
+        if relation.name in self._relations:
+            raise WorkspaceError(
+                f"relation {relation.name!r} already exists in {self.owner}"
+            )
+        self._relations[relation.name] = relation
+        return relation
+
+    def add_empty(self, schema: Schema) -> Relation:
+        """Create and register an empty relation with the given schema."""
+        return self.add(Relation(schema))
+
+    def remove(self, name: str) -> Relation:
+        """Deregister and return the named relation."""
+        if name not in self._relations:
+            raise UnknownRelationError(name, self.owner)
+        return self._relations.pop(name)
+
+    # ------------------------------------------------------------------
+    # Schema evolution (capability changes land here)
+    # ------------------------------------------------------------------
+    def rename_relation(self, old: str, new: str) -> Relation:
+        """change-relation-name: re-register under ``new``."""
+        if new in self._relations and new != old:
+            raise WorkspaceError(
+                f"cannot rename {old!r} to {new!r}: name taken in {self.owner}"
+            )
+        relation = self.remove(old).with_renamed_relation(new)
+        self._relations[new] = relation
+        return relation
+
+    def drop_attribute(self, relation_name: str, attribute: str) -> Relation:
+        """delete-attribute: replace the stored relation in place."""
+        evolved = self.get(relation_name).with_schema_dropped_attribute(attribute)
+        self._relations[relation_name] = evolved
+        return evolved
+
+    def add_attribute(
+        self, relation_name: str, attribute: Attribute, default=None
+    ) -> Relation:
+        """add-attribute with a fill value for existing rows."""
+        evolved = self.get(relation_name).with_added_attribute(attribute, default)
+        self._relations[relation_name] = evolved
+        return evolved
+
+    def rename_attribute(self, relation_name: str, old: str, new: str) -> Relation:
+        """change-attribute-name on the stored relation."""
+        evolved = self.get(relation_name).with_renamed_attribute(old, new)
+        self._relations[relation_name] = evolved
+        return evolved

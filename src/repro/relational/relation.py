@@ -1,0 +1,206 @@
+"""Relation instances: a schema plus a bag of typed tuples.
+
+The engine is deliberately simple and fully in memory — the paper's
+experiments run on relations of a few thousand tuples.  Tuples are plain
+Python tuples validated against the schema on insertion.  Relations are
+*bags* (duplicates allowed) because SQL views are; the quality model
+(Sec. 5.4.2) explicitly removes duplicates before comparing extents, which
+callers do via :meth:`Relation.distinct`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Schema
+
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """A named relation instance: schema + bag of rows.
+
+    Mutating operations (:meth:`insert`, :meth:`delete`) are used by the
+    data-update machinery of the maintenance simulator; algebra operations
+    in :mod:`repro.relational.algebra` always return new relations.
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_named_rows(
+        cls, schema: Schema, rows: Iterable[dict[str, Any]]
+    ) -> "Relation":
+        """Build from dict rows; missing attributes become ``None``."""
+        ordered = [
+            tuple(row.get(name) for name in schema.attribute_names) for row in rows
+        ]
+        return cls(schema, ordered)
+
+    def empty_like(self) -> "Relation":
+        """Fresh empty relation with the same schema."""
+        return Relation(self.schema)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> list[Row]:
+        """The underlying row list (treat as read-only)."""
+        return self._rows
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, {len(self._rows)} rows)"
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema and same multiset of rows."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema.attribute_names != other.schema.attribute_names:
+            return False
+        return sorted(self._rows, key=repr) == sorted(other._rows, key=repr)
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is unhashable; use row_set() for set semantics")
+
+    def value(self, row: Row, attribute: str) -> Any:
+        """Value of ``attribute`` within ``row``."""
+        return row[self.schema.position(attribute)]
+
+    def named_row(self, row: Row) -> dict[str, Any]:
+        """Row as an attribute-name -> value mapping."""
+        return dict(zip(self.schema.attribute_names, row))
+
+    def row_set(self) -> frozenset[Row]:
+        """Set of distinct rows — the basis for extent comparisons."""
+        return frozenset(self._rows)
+
+    def byte_size(self) -> int:
+        """Total payload size in bytes (cardinality x tuple width)."""
+        return self.cardinality * self.schema.tuple_byte_size()
+
+    # ------------------------------------------------------------------
+    # Mutation (used by data updates)
+    # ------------------------------------------------------------------
+    def _validate(self, row: Sequence[Any]) -> Row:
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity {self.schema.arity} "
+                f"for relation {self.name!r}"
+            )
+        return tuple(
+            attr.type.validate(value) for attr, value in zip(self.schema, row)
+        )
+
+    def insert(self, row: Sequence[Any]) -> Row:
+        """Validate and append ``row``; returns the normalized tuple."""
+        validated = self._validate(row)
+        self._rows.append(validated)
+        return validated
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert every row; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete(self, row: Sequence[Any]) -> bool:
+        """Remove one occurrence of ``row``; True if something was removed."""
+        validated = self._validate(row)
+        try:
+            self._rows.remove(validated)
+        except ValueError:
+            return False
+        return True
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Remove all rows satisfying ``predicate``; returns removed rows."""
+        kept: list[Row] = []
+        removed: list[Row] = []
+        for row in self._rows:
+            (removed if predicate(row) else kept).append(row)
+        self._rows = kept
+        return removed
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Atomically swap in a new extent (used when refreshing views)."""
+        staged = [self._validate(row) for row in rows]
+        self._rows = staged
+
+    # ------------------------------------------------------------------
+    # Schema evolution (used by capability changes)
+    # ------------------------------------------------------------------
+    def with_schema_dropped_attribute(self, attribute: str) -> "Relation":
+        """New relation with ``attribute`` removed from schema and rows."""
+        position = self.schema.position(attribute)
+        new_schema = self.schema.drop_attribute(attribute)
+        rows = [row[:position] + row[position + 1 :] for row in self._rows]
+        return Relation(new_schema, rows)
+
+    def with_added_attribute(
+        self, attribute: Attribute, default: Any = None
+    ) -> "Relation":
+        """New relation with ``attribute`` appended, filled with ``default``."""
+        new_schema = self.schema.add_attribute(attribute)
+        rows = [(*row, default) for row in self._rows]
+        return Relation(new_schema, rows)
+
+    def with_renamed_attribute(self, old: str, new: str) -> "Relation":
+        """New relation with one attribute renamed; rows unchanged."""
+        return Relation(self.schema.rename_attribute(old, new), self._rows)
+
+    def with_renamed_relation(self, new_name: str) -> "Relation":
+        """New relation under a different name; rows unchanged."""
+        return Relation(self.schema.rename_relation(new_name), self._rows)
+
+    # ------------------------------------------------------------------
+    # Set-style derivations
+    # ------------------------------------------------------------------
+    def distinct(self) -> "Relation":
+        """Duplicate-free copy, preserving first-occurrence order."""
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(self.schema, rows)
+
+    def copy(self, new_name: str | None = None) -> "Relation":
+        """Independent copy, optionally renamed."""
+        schema = (
+            self.schema.rename_relation(new_name) if new_name else self.schema
+        )
+        return Relation(schema, list(self._rows))

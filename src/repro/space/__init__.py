@@ -1,0 +1,36 @@
+"""The distributed information space (Fig. 1, bottom half).
+
+Public surface:
+
+* :class:`InformationSource` — one autonomous IS with a wrapper interface
+* :class:`InformationSpace` — sources + MKB + change/update fan-out
+* :class:`SchemaChange` hierarchy — the six capability changes of Sec. 3.3
+* :class:`DataUpdate` / :class:`UpdateKind` — tuple-level content updates
+"""
+
+from repro.space.changes import (
+    AddAttribute,
+    AddRelation,
+    DeleteAttribute,
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+    SchemaChange,
+)
+from repro.space.source import InformationSource
+from repro.space.space import InformationSpace
+from repro.space.updates import DataUpdate, UpdateKind
+
+__all__ = [
+    "AddAttribute",
+    "AddRelation",
+    "DataUpdate",
+    "DeleteAttribute",
+    "DeleteRelation",
+    "InformationSource",
+    "InformationSpace",
+    "RenameAttribute",
+    "RenameRelation",
+    "SchemaChange",
+    "UpdateKind",
+]

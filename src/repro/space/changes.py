@@ -1,0 +1,140 @@
+"""Capability (schema) changes — the events that trigger view synchronization.
+
+Sec. 3.3 lists the changes supported by EVE, "the ones commonly found in
+commercial systems": delete-attribute, add-attribute, change-attribute-name,
+delete-relation, add-relation, change-relation-name.  Each change is an
+immutable event object that knows which relation (and attribute) it touches;
+the :class:`~repro.space.space.InformationSpace` applies it to the owning
+source and the MKB, then notifies subscribers (EVE's View Synchronizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """Base class for capability-change events."""
+
+    source: str
+    relation: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.source}.{self.relation})"
+
+    def affects_attribute(self, attribute: str) -> bool:
+        """Whether the change removes/renames this specific attribute."""
+        return False
+
+    @property
+    def removes_relation(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DeleteRelation(SchemaChange):
+    """delete-relation: the IS stops offering ``relation`` entirely."""
+
+    @property
+    def removes_relation(self) -> bool:
+        return True
+
+    def affects_attribute(self, attribute: str) -> bool:
+        return True  # every attribute of the relation disappears
+
+
+@dataclass(frozen=True)
+class AddRelation(SchemaChange):
+    """add-relation: the IS starts offering a new relation.
+
+    Carries the new relation instance so the space can install it.  Existing
+    views are never *broken* by an add, but the MKB may gain constraints
+    that enable better future rewritings.
+    """
+
+    new_relation: Relation = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.new_relation is None:
+            raise ValueError("AddRelation requires the new relation instance")
+
+
+@dataclass(frozen=True)
+class RenameRelation(SchemaChange):
+    """change-relation-name: ``relation`` becomes ``new_name``."""
+
+    new_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.new_name:
+            raise ValueError("RenameRelation requires new_name")
+
+    def describe(self) -> str:
+        return (
+            f"RenameRelation({self.source}.{self.relation} -> {self.new_name})"
+        )
+
+
+@dataclass(frozen=True)
+class DeleteAttribute(SchemaChange):
+    """delete-attribute: one column of ``relation`` disappears."""
+
+    attribute: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise ValueError("DeleteAttribute requires attribute")
+
+    def describe(self) -> str:
+        return f"DeleteAttribute({self.source}.{self.relation}.{self.attribute})"
+
+    def affects_attribute(self, attribute: str) -> bool:
+        return attribute == self.attribute
+
+
+@dataclass(frozen=True)
+class AddAttribute(SchemaChange):
+    """add-attribute: a new column appears, filled with ``default``."""
+
+    new_attribute: Attribute = None  # type: ignore[assignment]
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.new_attribute is None:
+            raise ValueError("AddAttribute requires the new attribute")
+
+    def describe(self) -> str:
+        return (
+            f"AddAttribute({self.source}.{self.relation}."
+            f"{self.new_attribute.name})"
+        )
+
+
+@dataclass(frozen=True)
+class RenameAttribute(SchemaChange):
+    """change-attribute-name: one column of ``relation`` is renamed."""
+
+    attribute: str = ""
+    new_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not self.new_name:
+            raise ValueError("RenameAttribute requires attribute and new_name")
+
+    def describe(self) -> str:
+        return (
+            f"RenameAttribute({self.source}.{self.relation}."
+            f"{self.attribute} -> {self.new_name})"
+        )
+
+    def affects_attribute(self, attribute: str) -> bool:
+        return attribute == self.attribute

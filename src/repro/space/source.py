@@ -1,0 +1,124 @@
+"""Information sources: autonomous, semi-cooperative relation providers.
+
+Each IS owns a catalog of relations, accepts data updates, undergoes
+capability changes, and answers *single-site queries* — the wrapper
+primitive the view maintainer (Algorithm 1, Sec. 6.1) relies on: "join this
+incoming delta relation with your local relations referenced by the view,
+apply the local selection conditions, send the result back".
+
+Delta relations in flight are represented as *bindings*: mappings from
+fully qualified attribute names (``"R.A"``) to values.  This mirrors how a
+real delta accumulates columns from every relation it has joined with so
+far, without inventing synthetic schemas for intermediate results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import MaintenanceError, WorkspaceError
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Condition, PrimitiveClause
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.updates import DataUpdate, UpdateKind
+
+Binding = dict[str, Any]
+
+
+class InformationSource:
+    """One autonomous IS: named catalog + wrapper query interface."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WorkspaceError("information source needs a non-empty name")
+        self.name = name
+        self.catalog = Catalog(owner=f"IS {name!r}")
+
+    # ------------------------------------------------------------------
+    # Relation hosting
+    # ------------------------------------------------------------------
+    def host(self, relation: Relation) -> Relation:
+        """Begin offering ``relation``."""
+        return self.catalog.add(relation)
+
+    def host_empty(self, schema: Schema) -> Relation:
+        return self.catalog.add_empty(schema)
+
+    def relation(self, name: str) -> Relation:
+        return self.catalog.get(name)
+
+    def offers(self, name: str) -> bool:
+        return name in self.catalog
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return self.catalog.relation_names
+
+    def __repr__(self) -> str:
+        return f"<IS {self.name} offering {list(self.relation_names)}>"
+
+    # ------------------------------------------------------------------
+    # Data updates (generate notifications for the space to fan out)
+    # ------------------------------------------------------------------
+    def insert(self, relation: str, row: Sequence[Any]) -> DataUpdate:
+        validated = self.relation(relation).insert(row)
+        return DataUpdate(self.name, relation, UpdateKind.INSERT, validated)
+
+    def delete(self, relation: str, row: Sequence[Any]) -> DataUpdate:
+        target = self.relation(relation)
+        if not target.delete(row):
+            raise MaintenanceError(
+                f"delete of non-existent row {tuple(row)!r} "
+                f"from {self.name}.{relation}"
+            )
+        return DataUpdate(self.name, relation, UpdateKind.DELETE, tuple(row))
+
+    # ------------------------------------------------------------------
+    # Wrapper query interface (single-site queries of Algorithm 1)
+    # ------------------------------------------------------------------
+    def answer_single_site_query(
+        self,
+        incoming: list[Binding],
+        local_relations: Sequence[str],
+        condition: Condition,
+    ) -> list[Binding]:
+        """Extend the incoming delta bindings with this IS's relations.
+
+        For each local relation in turn, every binding is joined with every
+        local row; WHERE conjuncts fire as soon as all their attributes are
+        bound (joins across ISs included, because earlier sources' columns
+        are already in the binding).  This is the per-IS step of
+        Algorithm 1; message/byte accounting happens in the maintenance
+        simulator, not here.
+        """
+        current = incoming
+        for name in local_relations:
+            local = self.relation(name)
+            if not self.offers(name):  # pragma: no cover - defensive
+                raise MaintenanceError(f"IS {self.name!r} does not offer {name!r}")
+            attribute_keys = [
+                f"{name}.{attr}" for attr in local.schema.attribute_names
+            ]
+            extended: list[Binding] = []
+            for binding in current:
+                for row in local:
+                    candidate = dict(binding)
+                    candidate.update(zip(attribute_keys, row))
+                    if _satisfied_so_far(condition, candidate):
+                        extended.append(candidate)
+            current = extended
+        return current
+
+
+def _satisfied_so_far(condition: Condition, binding: Binding) -> bool:
+    """Evaluate every clause whose attributes are all bound; skip the rest."""
+    for clause in condition.clauses:
+        if _clause_decidable(clause, binding):
+            if not clause.evaluate(binding):
+                return False
+    return True
+
+
+def _clause_decidable(clause: PrimitiveClause, binding: Binding) -> bool:
+    return all(ref.qualified in binding for ref in clause.attribute_refs)

@@ -1,0 +1,51 @@
+"""View synchronization: detecting affected views and rewriting them.
+
+Public surface:
+
+* :class:`ViewKnowledgeBase` / :class:`ViewRecord` — the VKB of Fig. 1
+* :class:`ViewSynchronizer` — legal-rewriting generation (SVS/CVS moves)
+* :class:`Rewriting`, the :class:`Move` hierarchy,
+  :class:`ExtentRelationship` — rewriting provenance
+* :func:`check_legality` / :func:`is_legal` — independent legality audit
+"""
+
+from repro.sync.legality import LegalityReport, check_legality, is_legal
+from repro.sync.rewriting import (
+    AddJoinMove,
+    DropAttributeMove,
+    DropConditionMove,
+    DropRelationMove,
+    ExtentRelationship,
+    Move,
+    RenameMove,
+    ReplaceAttributeMove,
+    ReplaceRelationMove,
+    Rewriting,
+    combine_extent,
+)
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
+
+__all__ = [
+    "AddJoinMove",
+    "DropAttributeMove",
+    "DropConditionMove",
+    "DropRelationMove",
+    "ExtentRelationship",
+    "LegalityReport",
+    "Move",
+    "RenameMove",
+    "ReplaceAttributeMove",
+    "ReplaceRelationMove",
+    "Rewriting",
+    "ViewKnowledgeBase",
+    "ViewRecord",
+    "ViewSynchronizer",
+    "check_legality",
+    "combine_extent",
+    "is_legal",
+]
+
+from repro.sync.heuristic import HeuristicOutcome, HeuristicSynchronizer
+
+__all__ += ["HeuristicOutcome", "HeuristicSynchronizer"]

@@ -1,0 +1,120 @@
+"""Heuristic view synchronization — the paper's proposed future work.
+
+Sec. 8: "an extension ... of the heuristics identified in this current
+work may lead to the development of a novel heuristic view
+synchronization algorithm that instead of first generating all rewriting
+solutions and then ranking them, would be able to discard some of the
+search space early on."
+
+This module implements that algorithm.  Instead of materializing every
+legal rewriting and running the full QC evaluation,
+:class:`HeuristicSynchronizer`:
+
+1. asks the base synchronizer for candidate *routes* cheaply (the same
+   generation machinery, but candidates are scored before they are fully
+   costed),
+2. orders candidates by the Sec. 7.6 heuristic stack (fewest sources,
+   closest replacement size, smallest/fewest relations, fewest clauses),
+3. evaluates only the best ``beam_width`` candidates with the real
+   QC-Model, and returns the winner.
+
+The benchmark ``bench_heuristic_sync.py`` measures how often the pruned
+search returns the same rewriting as the exhaustive one, and how much of
+the candidate set it never had to price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SynchronizationError
+from repro.esql.ast import ViewDefinition
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.space.changes import SchemaChange
+from repro.sync.rewriting import Rewriting
+from repro.sync.synchronizer import ViewSynchronizer
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.qc.model import Evaluation
+    from repro.qc.params import TradeoffParameters
+    from repro.qc.workload import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class HeuristicOutcome:
+    """Result of a pruned synchronization run."""
+
+    chosen: "Evaluation"
+    evaluated: int
+    generated: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Share of candidates never priced by the QC-Model."""
+        if self.generated == 0:
+            return 0.0
+        return 1.0 - self.evaluated / self.generated
+
+
+class HeuristicSynchronizer:
+    """Beam-pruned synchronization: rank cheaply, price only the beam."""
+
+    def __init__(
+        self,
+        mkb: MetaKnowledgeBase,
+        params: "TradeoffParameters | None" = None,
+        beam_width: int = 2,
+    ) -> None:
+        from repro.qc.heuristics import default_heuristic_stack
+        from repro.qc.model import QCModel
+
+        if beam_width < 1:
+            raise SynchronizationError("beam width must be at least 1")
+        self._mkb = mkb
+        self._base = ViewSynchronizer(mkb)
+        self._model = QCModel(mkb, params)
+        self._stack = default_heuristic_stack(mkb, mkb.statistics)
+        self.beam_width = beam_width
+
+    def synchronize_best(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        workload: "WorkloadSpec | None" = None,
+        updated_relation: str | None = None,
+    ) -> HeuristicOutcome:
+        """The chosen rewriting plus pruning statistics.
+
+        Raises :class:`SynchronizationError` when no legal rewriting
+        exists (the view must then be marked undefined, as usual).
+        """
+        candidates = self._base.synchronize(view, change)
+        if not candidates:
+            raise SynchronizationError(
+                f"view {view.name!r} has no legal rewriting under "
+                f"{change.describe()}"
+            )
+        beam = self._select_beam(candidates)
+        evaluations = self._model.evaluate(
+            beam, workload, updated_relation
+        )
+        return HeuristicOutcome(
+            chosen=evaluations[0],
+            evaluated=len(beam),
+            generated=len(candidates),
+        )
+
+    def _select_beam(self, candidates: list[Rewriting]) -> list[Rewriting]:
+        """The ``beam_width`` heuristically best candidates.
+
+        Ordering is lexicographic over the Sec. 7.6 stack; ties keep
+        generation order, so the beam is deterministic.
+        """
+        scored = sorted(
+            candidates,
+            key=lambda rewriting: tuple(
+                key(rewriting) for key in self._stack
+            ),
+        )
+        return scored[: self.beam_width]

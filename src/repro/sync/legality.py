@@ -1,0 +1,202 @@
+"""Legality checking: does a rewriting respect the E-SQL preferences?
+
+A rewriting is *legal* (Sec. 3.3) when every edit it applied is sanctioned
+by the evolution parameters of the original view and the resulting extent
+relationship complies with the view-extent parameter VE.  The synchronizer
+only generates legal rewritings, but this module re-derives legality
+independently from the move provenance — it is the referee the tests (and
+the QC model's input validation) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.esql.ast import ViewDefinition
+from repro.sync.rewriting import (
+    AddJoinMove,
+    DropAttributeMove,
+    DropConditionMove,
+    DropRelationMove,
+    Move,
+    RenameMove,
+    ReplaceAttributeMove,
+    ReplaceRelationMove,
+    Rewriting,
+)
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of a legality check: verdict plus every violation found."""
+
+    legal: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.legal
+
+
+def check_legality(rewriting: Rewriting) -> LegalityReport:
+    """Full legality audit of ``rewriting`` against its original view."""
+    violations: list[str] = []
+    original = rewriting.original
+
+    _check_indispensable_outputs(original, rewriting.view, violations)
+    dropped_outputs = {
+        move.output_name
+        for move in rewriting.moves
+        if isinstance(move, DropAttributeMove)
+    }
+    dropped_clauses = {
+        move.clause
+        for move in rewriting.moves
+        if isinstance(move, DropConditionMove)
+    }
+    for move in rewriting.moves:
+        _check_move(original, move, violations, dropped_outputs, dropped_clauses)
+    if not rewriting.extent_relationship.satisfies(original.extent_parameter):
+        violations.append(
+            f"extent relationship {rewriting.extent_relationship} violates "
+            f"VE = '{original.extent_parameter}'"
+        )
+    return LegalityReport(legal=not violations, violations=violations)
+
+
+def is_legal(rewriting: Rewriting) -> bool:
+    """Convenience wrapper over :func:`check_legality`."""
+    return check_legality(rewriting).legal
+
+
+def _check_indispensable_outputs(
+    original: ViewDefinition, view: ViewDefinition, violations: list[str]
+) -> None:
+    """Every AD=false attribute of the original must survive by name."""
+    surviving = set(view.interface)
+    for item in original.select:
+        if not item.flags.dispensable and item.output_name not in surviving:
+            violations.append(
+                f"indispensable attribute {item.output_name!r} was dropped"
+            )
+
+
+def _check_move(
+    original: ViewDefinition,
+    move: Move,
+    violations: list[str],
+    dropped_outputs: set[str] = frozenset(),
+    dropped_clauses: set = frozenset(),
+) -> None:
+    if isinstance(move, DropAttributeMove):
+        item = _find_select(original, move.output_name)
+        if item is None:
+            violations.append(
+                f"drop of unknown attribute {move.output_name!r}"
+            )
+        elif not item.flags.dispensable:
+            violations.append(
+                f"attribute {move.output_name!r} is indispensable (AD=false) "
+                "but was dropped"
+            )
+    elif isinstance(move, DropConditionMove):
+        item = _find_where(original, move)
+        if item is None:
+            violations.append(f"drop of unknown condition ({move.clause})")
+        elif not item.flags.dispensable:
+            violations.append(
+                f"condition ({move.clause}) is indispensable (CD=false) "
+                "but was dropped"
+            )
+    elif isinstance(move, DropRelationMove):
+        item = _find_from(original, move.relation)
+        if item is None:
+            violations.append(f"drop of unknown relation {move.relation!r}")
+        elif not item.flags.dispensable:
+            violations.append(
+                f"relation {move.relation!r} is indispensable (RD=false) "
+                "but was dropped"
+            )
+    elif isinstance(move, ReplaceRelationMove):
+        item = _find_from(original, move.old_relation)
+        if item is None:
+            violations.append(
+                f"replacement of unknown relation {move.old_relation!r}"
+            )
+        elif not item.flags.replaceable:
+            violations.append(
+                f"relation {move.old_relation!r} is non-replaceable "
+                "(RR=false) but was replaced"
+            )
+        else:
+            _check_component_replaceability(
+                original,
+                move.old_relation,
+                violations,
+                dropped_outputs,
+                dropped_clauses,
+            )
+    elif isinstance(move, ReplaceAttributeMove):
+        select_item = next(
+            (i for i in original.select if i.ref == move.old), None
+        )
+        if select_item is not None and not select_item.flags.replaceable:
+            violations.append(
+                f"attribute {move.old} is non-replaceable (AR=false) "
+                "but was replaced"
+            )
+        for where_item in original.where:
+            if move.old in where_item.clause.attribute_refs:
+                if not where_item.flags.replaceable:
+                    violations.append(
+                        f"condition ({where_item.clause}) is non-replaceable "
+                        "(CR=false) but was rewritten"
+                    )
+    elif isinstance(move, (AddJoinMove, RenameMove)):
+        # Joining in a carrier relation and pure renames never violate
+        # preferences by themselves.
+        return
+
+
+def _check_component_replaceability(
+    original: ViewDefinition,
+    relation: str,
+    violations: list[str],
+    dropped_outputs: set[str],
+    dropped_clauses: set,
+) -> None:
+    """Replacing a relation rewrites the items sourced from it.
+
+    Each *surviving* SELECT item taken from the relation must be AR=true;
+    each surviving WHERE conjunct mentioning it must be CR=true.  Items
+    that a sibling drop move removed are audited by that move instead.
+    """
+    for item in original.select_items_from(relation):
+        if item.output_name in dropped_outputs:
+            continue
+        if not item.flags.replaceable:
+            violations.append(
+                f"attribute {item.ref} is non-replaceable (AR=false) but its "
+                f"relation {relation!r} was replaced"
+            )
+    for item in original.where_items_on(relation):
+        if item.clause in dropped_clauses:
+            continue
+        if not item.flags.replaceable:
+            violations.append(
+                f"condition ({item.clause}) is non-replaceable (CR=false) "
+                f"but its relation {relation!r} was replaced"
+            )
+
+
+def _find_select(view: ViewDefinition, output_name: str):
+    return next(
+        (i for i in view.select if i.output_name == output_name), None
+    )
+
+
+def _find_where(view: ViewDefinition, move: DropConditionMove):
+    return next((i for i in view.where if i.clause == move.clause), None)
+
+
+def _find_from(view: ViewDefinition, relation: str):
+    return next((i for i in view.from_ if i.relation == relation), None)

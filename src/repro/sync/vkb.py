@@ -1,0 +1,114 @@
+"""The View Knowledge Base (VKB) — Fig. 1's view-space store.
+
+Stores every view defined over the information space together with its
+E-SQL evolution preferences (they live inside the
+:class:`~repro.esql.ast.ViewDefinition` itself), the current synchronized
+definition, and an audit trail of the rewritings applied over the view's
+lifetime (Experiment 1 measures view "survival" across exactly this trail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkspaceError
+from repro.esql.ast import ViewDefinition
+from repro.sync.rewriting import Rewriting
+
+
+@dataclass
+class ViewRecord:
+    """Everything the VKB knows about one view."""
+
+    original: ViewDefinition
+    current: ViewDefinition
+    history: list[Rewriting] = field(default_factory=list)
+    alive: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.original.name
+
+    @property
+    def generations(self) -> int:
+        """How many synchronizations this view has survived."""
+        return len(self.history)
+
+
+class ViewKnowledgeBase:
+    """Registry of views by name, with synchronization bookkeeping."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, ViewRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def define(self, view: ViewDefinition) -> ViewRecord:
+        if view.name in self._records:
+            raise WorkspaceError(f"view {view.name!r} is already defined")
+        record = ViewRecord(original=view, current=view)
+        self._records[view.name] = record
+        return record
+
+    def drop(self, name: str) -> ViewRecord:
+        if name not in self._records:
+            raise WorkspaceError(f"view {name!r} is not defined")
+        return self._records.pop(name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __iter__(self) -> Iterator[ViewRecord]:
+        return iter(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._records)
+
+    def record(self, name: str) -> ViewRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise WorkspaceError(f"view {name!r} is not defined") from None
+
+    def current(self, name: str) -> ViewDefinition:
+        return self.record(name).current
+
+    def alive_views(self) -> tuple[ViewRecord, ...]:
+        return tuple(r for r in self._records.values() if r.alive)
+
+    def views_referencing(self, relation: str) -> tuple[ViewRecord, ...]:
+        """Alive views whose current definition references ``relation``."""
+        return tuple(
+            record
+            for record in self._records.values()
+            if record.alive and record.current.references_relation(relation)
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronization bookkeeping
+    # ------------------------------------------------------------------
+    def apply_rewriting(self, rewriting: Rewriting) -> ViewRecord:
+        """Commit a chosen rewriting as the view's new current definition."""
+        record = self.record(rewriting.view.name)
+        if not record.alive:
+            raise WorkspaceError(
+                f"view {record.name!r} is no longer alive and cannot evolve"
+            )
+        record.current = rewriting.view
+        record.history.append(rewriting)
+        return record
+
+    def mark_undefined(self, name: str) -> ViewRecord:
+        """Record that no legal rewriting exists — the view is deceased."""
+        record = self.record(name)
+        record.alive = False
+        return record

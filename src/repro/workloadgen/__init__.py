@@ -1,0 +1,46 @@
+"""Synthetic data, update streams, and the paper's experiment scenarios.
+
+Public surface:
+
+* :func:`make_schema`, :func:`populate_relation`,
+  :func:`populate_contained_family`, :func:`update_stream`,
+  :func:`distributions` — seeded generators
+* scenario builders: :func:`build_survival_scenario` (Exp. 1),
+  :func:`site_scenarios` (Exps. 2/3/5), :func:`build_cardinality_scenario`
+  (Exp. 4), plus the paper's parameter tables (``TABLE1``,
+  ``TABLE3_CARDINALITIES``)
+"""
+
+from repro.workloadgen.generator import (
+    distributions,
+    make_schema,
+    populate_contained_family,
+    populate_relation,
+    update_stream,
+)
+from repro.workloadgen.scenarios import (
+    TABLE1,
+    TABLE3_CARDINALITIES,
+    CardinalityScenario,
+    SiteScenario,
+    SurvivalScenario,
+    build_cardinality_scenario,
+    build_survival_scenario,
+    site_scenarios,
+)
+
+__all__ = [
+    "TABLE1",
+    "TABLE3_CARDINALITIES",
+    "CardinalityScenario",
+    "SiteScenario",
+    "SurvivalScenario",
+    "build_cardinality_scenario",
+    "build_survival_scenario",
+    "distributions",
+    "make_schema",
+    "populate_contained_family",
+    "populate_relation",
+    "site_scenarios",
+    "update_stream",
+]

@@ -1,0 +1,145 @@
+"""Deterministic synthetic data and update-stream generation.
+
+The paper's experiments are analytic, but the exact quality path and the
+maintenance simulator need concrete extents.  The generators here are
+seeded, so every experiment, test, and benchmark is reproducible bit for
+bit.  Relations are populated so that the registered statistics hold in
+expectation: local selections with selectivity ``sigma`` select roughly
+``sigma * |R|`` tuples, and equijoins across relations match with roughly
+the configured join selectivity.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterable, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+def make_schema(
+    name: str,
+    attributes: Sequence[str],
+    attribute_type: AttributeType = AttributeType.INT,
+    attribute_size: int | None = None,
+) -> Schema:
+    """Uniform schema helper: every attribute shares a type and width."""
+    return Schema(
+        name,
+        [Attribute(attr, attribute_type, attribute_size) for attr in attributes],
+    )
+
+
+def populate_relation(
+    schema: Schema,
+    cardinality: int,
+    seed: int = 0,
+    key_space: int | None = None,
+) -> Relation:
+    """Random integer relation with controllable join behaviour.
+
+    ``key_space`` bounds the value domain: two relations populated with the
+    same key space of size ``K`` equijoin with selectivity ~ ``1/K``, which
+    lets callers realize a target join selectivity ``js`` by choosing
+    ``K = round(1/js)``.  Defaults to ``10 * cardinality`` (sparse joins).
+    """
+    # zlib.crc32, not hash(): Python string hashing is salted per process,
+    # which would silently break cross-run reproducibility.
+    rng = random.Random(seed ^ zlib.crc32(schema.name.encode()))
+    space = key_space if key_space is not None else max(10 * cardinality, 10)
+    rows = [
+        tuple(rng.randrange(space) for _ in range(schema.arity))
+        for _ in range(cardinality)
+    ]
+    return Relation(schema, rows)
+
+
+def populate_contained_family(
+    schemas: Sequence[Schema],
+    cardinalities: Sequence[int],
+    seed: int = 0,
+    key_space: int | None = None,
+) -> list[Relation]:
+    """Relations forming a containment chain R_1 ⊆ R_2 ⊆ ... ⊆ R_k.
+
+    ``cardinalities`` must be non-decreasing.  Each relation extends the
+    previous one with fresh rows, so PC subset constraints between
+    consecutive members hold exactly — the setup of Experiment 4's
+    S1 ⊆ S2 ⊆ S3 ⊆ S4 ⊆ S5 chain.  All schemas must share one arity.
+    """
+    if len(schemas) != len(cardinalities):
+        raise ValueError("need one cardinality per schema")
+    if list(cardinalities) != sorted(cardinalities):
+        raise ValueError("containment chain needs non-decreasing cardinalities")
+    arity = schemas[0].arity
+    if any(schema.arity != arity for schema in schemas):
+        raise ValueError("containment chain schemas must share an arity")
+    rng = random.Random(seed)
+    space = key_space if key_space is not None else max(
+        10 * cardinalities[-1], 10
+    )
+    rows: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    relations: list[Relation] = []
+    for schema, cardinality in zip(schemas, cardinalities):
+        while len(rows) < cardinality:
+            row = tuple(rng.randrange(space) for _ in range(arity))
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        relations.append(Relation(schema, rows[:cardinality]))
+    return relations
+
+
+def update_stream(
+    relation: Relation,
+    count: int,
+    seed: int = 0,
+    insert_fraction: float = 1.0,
+    key_space: int | None = None,
+) -> list[tuple[str, tuple[int, ...]]]:
+    """A reproducible sequence of ("insert"|"delete", row) operations.
+
+    Deletes pick rows currently believed present (tracking inserts made by
+    the stream itself), so replaying the stream against the relation never
+    deletes a missing tuple.
+    """
+    rng = random.Random(seed)
+    space = key_space if key_space is not None else max(
+        10 * max(relation.cardinality, 1), 10
+    )
+    present = list(relation.rows)
+    operations: list[tuple[str, tuple[int, ...]]] = []
+    for _ in range(count):
+        do_insert = rng.random() < insert_fraction or not present
+        if do_insert:
+            row = tuple(
+                rng.randrange(space) for _ in range(relation.schema.arity)
+            )
+            present.append(row)
+            operations.append(("insert", row))
+        else:
+            row = present.pop(rng.randrange(len(present)))
+            operations.append(("delete", row))
+    return operations
+
+
+def distributions(total_relations: int, sites: int) -> list[tuple[int, ...]]:
+    """All ordered ways to spread ``total_relations`` over ``sites`` sites.
+
+    Every site gets at least one relation — the rows of the paper's
+    Table 2 (e.g. 6 relations over 2 sites yields (1,5), (2,4), (3,3),
+    (4,2), (5,1)).
+    """
+    if sites <= 0 or total_relations < sites:
+        return []
+    if sites == 1:
+        return [(total_relations,)]
+    result: list[tuple[int, ...]] = []
+    for first in range(1, total_relations - sites + 2):
+        for rest in distributions(total_relations - first, sites - 1):
+            result.append((first, *rest))
+    return result

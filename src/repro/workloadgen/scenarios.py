@@ -1,0 +1,240 @@
+"""Ready-made experiment scenarios matching the paper's Sec. 7 setups.
+
+Each builder returns everything an experiment harness needs: the populated
+:class:`~repro.space.space.InformationSpace`, the view(s), and the
+statistics configured to the paper's parameter tables.  All generation is
+seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.esql import parse_view
+from repro.esql.ast import ViewDefinition
+from repro.misd.statistics import RelationStatistics, SpaceStatistics
+from repro.qc.cost import MaintenancePlan, SourceGroup
+from repro.relational.relation import Relation
+from repro.space.space import InformationSpace
+from repro.workloadgen.generator import (
+    distributions,
+    make_schema,
+    populate_contained_family,
+    populate_relation,
+)
+
+#: Table 1 defaults (Experiment 2).
+TABLE1 = {
+    "n": 6,
+    "cardinality": 400,
+    "tuple_size": 100,
+    "selectivity": 0.5,
+    "join_selectivity": 0.005,
+    "blocking_factor": 10,
+}
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: view survival (Sec. 7.1)
+# ----------------------------------------------------------------------
+@dataclass
+class SurvivalScenario:
+    """R(A,B) with replicas S(A,C), T(A,D) of attribute A elsewhere."""
+
+    space: InformationSpace
+    view: ViewDefinition
+
+
+def build_survival_scenario(seed: int = 7) -> SurvivalScenario:
+    """Sec. 7.1's setup: V0 over R, PC constraints R.A ⊆ S.A and ⊆ T.A."""
+    space = InformationSpace()
+    for source, schema, cardinality in [
+        ("IS1", make_schema("R", ["A", "B"]), 400),
+        ("IS2", make_schema("S", ["A", "C"]), 400),
+        ("IS3", make_schema("T", ["A", "D"]), 400),
+    ]:
+        space.add_source(source)
+        space.register_relation(
+            source,
+            populate_relation(schema, cardinality, seed=seed),
+            RelationStatistics(cardinality=cardinality, tuple_size=100),
+        )
+    space.mkb.add_containment("R", "S", ["A"])
+    space.mkb.add_containment("R", "T", ["A"])
+    view = parse_view(
+        """
+        CREATE VIEW V0 (VE = '~') AS
+        SELECT R.A (AD = true, AR = true), R.B (AD = true)
+        FROM R (RR = true)
+        """
+    )
+    return SurvivalScenario(space, view)
+
+
+# ----------------------------------------------------------------------
+# Experiments 2/3/5: relations spread over m sites (Secs. 7.2/7.3/7.5)
+# ----------------------------------------------------------------------
+@dataclass
+class SiteScenario:
+    """One relation distribution of Table 2, ready for cost analysis."""
+
+    distribution: tuple[int, ...]
+    plan: MaintenancePlan
+    statistics: SpaceStatistics
+
+
+def site_scenarios(
+    sites: int,
+    total_relations: int = 6,
+    cardinality: int = TABLE1["cardinality"],
+    tuple_size: int = TABLE1["tuple_size"],
+    selectivity: float = TABLE1["selectivity"],
+    join_selectivity: float = TABLE1["join_selectivity"],
+    blocking_factor: int = TABLE1["blocking_factor"],
+    updated_index: int = 0,
+) -> list[SiteScenario]:
+    """All Table 2 distributions for ``sites`` sites, as maintenance plans.
+
+    ``updated_index`` selects which relation (global index) receives the
+    update; the paper's Experiment 2 initiates updates at the first IS.
+    """
+    statistics = SpaceStatistics(
+        join_selectivity=join_selectivity, blocking_factor=blocking_factor
+    )
+    names = [f"R{i}" for i in range(total_relations)]
+    for name in names:
+        statistics.register_simple(name, cardinality, tuple_size, selectivity)
+
+    scenarios = []
+    for distribution in distributions(total_relations, sites):
+        groups = []
+        cursor = 0
+        for site, count in enumerate(distribution):
+            groups.append(
+                SourceGroup(f"IS{site + 1}", tuple(names[cursor : cursor + count]))
+            )
+            cursor += count
+        plan = _rooted_plan(tuple(groups), names[updated_index])
+        scenarios.append(SiteScenario(distribution, plan, statistics))
+    return scenarios
+
+
+def _rooted_plan(
+    groups: tuple[SourceGroup, ...], updated_relation: str
+) -> MaintenancePlan:
+    """Rotate ``groups`` so the updating source leads, relation first."""
+    index = next(
+        i for i, g in enumerate(groups) if updated_relation in g.relations
+    )
+    reordered = [groups[index], *groups[:index], *groups[index + 1 :]]
+    first = reordered[0]
+    relations = list(first.relations)
+    relations.remove(updated_relation)
+    relations.insert(0, updated_relation)
+    reordered[0] = SourceGroup(first.source, tuple(relations))
+    return MaintenancePlan(tuple(reordered), updated_relation)
+
+
+# ----------------------------------------------------------------------
+# Experiment 4: substituted-relation cardinality (Sec. 7.4)
+# ----------------------------------------------------------------------
+@dataclass
+class CardinalityScenario:
+    """Table 3's setup: R2 deleted, S1 ⊆ S2 ⊆ S3 = R2 ⊆ S4 ⊆ S5."""
+
+    space: InformationSpace
+    view: ViewDefinition
+    original_relations: dict[str, Relation]
+
+    @property
+    def substitute_names(self) -> tuple[str, ...]:
+        return ("S1", "S2", "S3", "S4", "S5")
+
+
+#: Cardinalities of Table 3.
+TABLE3_CARDINALITIES = {
+    "R2": 4000,
+    "S1": 2000,
+    "S2": 3000,
+    "S3": 4000,
+    "S4": 5000,
+    "S5": 6000,
+}
+
+
+def build_cardinality_scenario(
+    seed: int = 11, populate: bool = False
+) -> CardinalityScenario:
+    """Experiment 4's information space (Table 3 + its PC chain).
+
+    ``populate`` materializes real extents honouring the containment chain
+    (needed only by the exact-quality validation path; the analytic path
+    runs on statistics alone and is much faster).
+    """
+    space = InformationSpace()
+    space.mkb.statistics.join_selectivity = 0.005
+    space.mkb.statistics.blocking_factor = 1  # Table 4 prices I/O per tuple
+
+    attributes = ["A", "B", "C"]
+    chain_names = ["S1", "S2", "S3", "S4", "S5"]
+    chain_schemas = [make_schema(name, attributes) for name in chain_names]
+    chain_cards = [TABLE3_CARDINALITIES[name] for name in chain_names]
+
+    if populate:
+        # S3 = R2 exactly; build the chain so S1 ⊆ S2 ⊆ S3 ⊆ S4 ⊆ S5 holds.
+        chain = populate_contained_family(
+            chain_schemas, chain_cards, seed=seed
+        )
+        r2 = Relation(make_schema("R2", attributes), chain[2].rows)
+        r1 = populate_relation(make_schema("R1", ["A", "K"]), 400, seed=seed)
+    else:
+        chain = [Relation(schema) for schema in chain_schemas]
+        r2 = Relation(make_schema("R2", attributes))
+        r1 = Relation(make_schema("R1", ["A", "K"]))
+
+    space.add_source("IS0")
+    space.register_relation(
+        "IS0", r1, RelationStatistics(cardinality=400, tuple_size=100)
+    )
+    space.add_source("IS1")
+    space.register_relation(
+        "IS1",
+        r2,
+        RelationStatistics(
+            cardinality=TABLE3_CARDINALITIES["R2"], tuple_size=100
+        ),
+    )
+    for index, (name, relation) in enumerate(zip(chain_names, chain)):
+        source = f"IS{index + 2}"
+        space.add_source(source)
+        space.register_relation(
+            source,
+            relation,
+            RelationStatistics(
+                cardinality=TABLE3_CARDINALITIES[name], tuple_size=100
+            ),
+        )
+
+    # The containment chain of Sec. 7.4, expressed towards R2 so the
+    # synchronizer can substitute directly: S1 ⊆ S2 ⊆ S3 = R2 ⊆ S4 ⊆ S5.
+    space.mkb.add_containment("S1", "R2", attributes)
+    space.mkb.add_containment("S2", "R2", attributes)
+    space.mkb.add_equivalence("S3", "R2", attributes)
+    space.mkb.add_containment("R2", "S4", attributes)
+    space.mkb.add_containment("R2", "S5", attributes)
+    # And between chain members, for MKB completeness.
+    space.mkb.add_containment("S1", "S2", attributes)
+    space.mkb.add_containment("S2", "S3", attributes)
+    space.mkb.add_containment("S4", "S5", attributes)
+
+    view = parse_view(
+        """
+        CREATE VIEW V (VE = '~') AS
+        SELECT R1.K,
+               R2.A (AR = true), R2.B (AR = true), R2.C (AR = true)
+        FROM R1, R2 (RR = true)
+        WHERE (R1.A = R2.A) (CR = true)
+        """
+    )
+    original = {"R1": r1.copy(), "R2": r2.copy()}
+    return CardinalityScenario(space, view, original)

@@ -1,0 +1,138 @@
+"""Unit tests for the EVESystem facade."""
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.errors import SynchronizationError
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import DeleteAttribute, DeleteRelation
+
+
+@pytest.fixture
+def eve():
+    system = EVESystem()
+    system.add_source("IS1")
+    system.add_source("IS2")
+    system.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2),
+    )
+    system.register_relation(
+        "IS2",
+        Relation(Schema("S", ["A", "B"]), [(1, 10), (2, 20), (3, 30)]),
+        RelationStatistics(cardinality=3),
+    )
+    return system
+
+
+class TestViewLifecycle:
+    def test_define_parses_and_materializes(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert eve.extent("V").rows == [(1,), (2,)]
+
+    def test_define_without_materialization(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A FROM R", materialize=False
+        )
+        with pytest.raises(SynchronizationError):
+            eve.extent("V")
+
+    def test_refresh_recomputes(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A FROM R")
+        eve.space.source("IS1").relation("R").insert((3, 30))  # silent change
+        assert eve.extent("V").cardinality == 2
+        eve.refresh("V")
+        assert eve.extent("V").cardinality == 3
+
+
+class TestMaintenanceIntegration:
+    def test_data_update_maintains_extent(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        eve.space.insert("R", (5, 50))
+        assert (5, 50) in eve.extent("V").rows
+
+    def test_delete_update_maintains_extent(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        eve.space.delete("R", (1, 10))
+        assert (1, 10) not in eve.extent("V").rows
+
+    def test_unrelated_update_ignored(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A FROM R")
+        eve.space.insert("S", (9, 90))
+        assert eve.extent("V").cardinality == 2
+
+
+class TestSynchronizationIntegration:
+    def test_auto_synchronization_on_change(self, eve):
+        eve.mkb.add_equivalence("R", "S", ["A", "B"])
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B (AR = true) "
+            "FROM R (RR = true)"
+        )
+        eve.space.delete_relation("R")
+        assert eve.is_alive("V")
+        assert eve.vkb.current("V").relation_names == ("S",)
+        assert eve.generations("V") == 1
+        # The extent was re-materialized from the replacement relation.
+        assert eve.extent("V").cardinality == 3
+        assert len(eve.synchronization_log) == 1
+        assert eve.synchronization_log[0].survived
+
+    def test_view_dies_without_replacement(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        eve.space.delete_relation("R")
+        assert not eve.is_alive("V")
+        assert not eve.synchronization_log[0].survived
+        with pytest.raises(SynchronizationError):
+            eve.extent("V")
+
+    def test_auto_synchronize_disabled(self, eve):
+        eve.auto_synchronize = False
+        eve.define_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        eve.space.delete_relation("R")
+        assert eve.is_alive("V")
+        assert eve.synchronization_log == ()
+
+    def test_attribute_drop_synchronization(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A, R.B (AD = true) FROM R"
+        )
+        eve.space.delete_attribute("R", "B")
+        assert eve.is_alive("V")
+        assert eve.vkb.current("V").interface == ("A",)
+        assert eve.extent("V").rows == [(1,), (2,)]
+
+    def test_candidate_rewritings_non_committal(self, eve):
+        eve.auto_synchronize = False
+        eve.mkb.add_equivalence("R", "S", ["A", "B"])
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RD = true, RR = true)"
+        )
+        eve.space.delete_relation("R")
+        candidates = eve.candidate_rewritings(
+            "V", DeleteRelation("IS1", "R")
+        )
+        assert candidates
+        # Nothing committed: the VKB still holds the original.
+        assert eve.vkb.current("V").relation_names == ("R",)
+
+    def test_rank_rewritings_orders_best_first(self, eve):
+        eve.auto_synchronize = False
+        eve.mkb.add_equivalence("R", "S", ["A", "B"])
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RR = true)",
+            materialize=False,
+        )
+        eve.space.delete_relation("R")
+        candidates = eve.candidate_rewritings("V", DeleteRelation("IS1", "R"))
+        evaluations = eve.rank_rewritings(candidates)
+        assert [e.rank for e in evaluations] == list(
+            range(1, len(evaluations) + 1)
+        )
+        scores = [e.qc for e in evaluations]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,133 @@
+"""Edge-case tests for the EVESystem facade."""
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.errors import WorkspaceError
+from repro.misd.statistics import RelationStatistics
+from repro.qc.workload import WorkloadModel, WorkloadSpec
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import DeleteRelation
+
+
+@pytest.fixture
+def eve():
+    system = EVESystem(auto_synchronize=False)
+    system.add_source("IS1")
+    system.add_source("IS2")
+    system.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B"]), [(1, 1), (2, 2)]),
+        RelationStatistics(cardinality=2),
+    )
+    system.register_relation(
+        "IS2",
+        Relation(Schema("S", ["A", "B"]), [(1, 1), (2, 2), (3, 3)]),
+        RelationStatistics(cardinality=3),
+    )
+    system.mkb.add_equivalence("R", "S", ["A", "B"])
+    return system
+
+
+class TestDefinitionEdges:
+    def test_duplicate_view_rejected(self, eve):
+        eve.define_view("CREATE VIEW V AS SELECT R.A FROM R")
+        with pytest.raises(WorkspaceError):
+            eve.define_view("CREATE VIEW V AS SELECT R.B FROM R")
+
+    def test_invalid_view_rejected_before_registration(self, eve):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            eve.define_view("CREATE VIEW V AS SELECT R.Nope FROM R")
+        assert "V" not in eve.vkb
+
+    def test_view_over_missing_relation_rejected(self, eve):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            eve.define_view("CREATE VIEW V AS SELECT T.A FROM T")
+
+
+class TestSynchronizationEdges:
+    def test_manual_synchronize_with_workload(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B (AR = true) "
+            "FROM R (RR = true)"
+        )
+        eve.space.delete_relation("R")
+        record = eve.vkb.record("V")
+        result = eve.synchronize_view(
+            record,
+            DeleteRelation("IS1", "R"),
+            workload=WorkloadSpec(WorkloadModel.M2_PER_RELATION, 5),
+        )
+        assert result.survived
+        # Workload-aggregated cost: 5 updates' worth.
+        assert result.chosen.cost.cf_m > 0
+
+    def test_candidate_rewritings_with_dominated_spectrum(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RR = true)",
+            materialize=False,
+        )
+        eve.space.delete_relation("R")
+        base = eve.candidate_rewritings("V", DeleteRelation("IS1", "R"))
+        spectrum = eve.candidate_rewritings(
+            "V", DeleteRelation("IS1", "R"), include_dominated=True
+        )
+        assert len(spectrum) > len(base)
+
+    def test_sync_result_ranking_names(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B (AR = true) "
+            "FROM R (RR = true)"
+        )
+        eve.auto_synchronize = True
+        eve.space.delete_relation("R")
+        result = eve.synchronization_log[0]
+        assert result.ranking()[0] == result.chosen.name
+        assert result.view_name == "V"
+        assert result.change.relation == "R"
+
+    def test_unmaterialized_view_synchronizes_without_extent(self, eve):
+        eve.auto_synchronize = True
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B (AR = true) "
+            "FROM R (RR = true)",
+            materialize=False,
+        )
+        eve.space.delete_relation("R")
+        assert eve.is_alive("V")
+        from repro.errors import SynchronizationError
+
+        with pytest.raises(SynchronizationError):
+            eve.extent("V")
+
+    def test_dead_view_not_resynchronized(self, eve):
+        eve.auto_synchronize = True
+        eve.define_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        # No replaceability flags: the view dies.
+        eve.space.delete_relation("R")
+        assert not eve.is_alive("V")
+        log_size = len(eve.synchronization_log)
+        # Further changes leave the dead view alone.
+        eve.space.delete_relation("S")
+        assert len(eve.synchronization_log) == log_size
+
+
+class TestMaintenanceEdges:
+    def test_update_on_unmaterialized_view_is_ignored(self, eve):
+        eve.define_view(
+            "CREATE VIEW V AS SELECT R.A FROM R", materialize=False
+        )
+        eve.space.insert("R", (9, 9))  # must not raise
+
+    def test_multiple_views_maintained_in_one_update(self, eve):
+        eve.define_view("CREATE VIEW V1 AS SELECT R.A FROM R")
+        eve.define_view("CREATE VIEW V2 AS SELECT R.B FROM R")
+        eve.space.insert("R", (7, 8))
+        assert (7,) in eve.extent("V1").rows
+        assert (8,) in eve.extent("V2").rows

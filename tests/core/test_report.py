@@ -1,0 +1,50 @@
+"""Unit tests for report formatting."""
+
+from repro.core.report import format_ranking, format_table
+from repro.qc.cost import CostAssessment
+from repro.qc.model import Evaluation
+from repro.qc.quality import QualityAssessment
+from repro.qc.view_size import ExtentNumbers
+from repro.esql.parser import parse_view
+from repro.sync.rewriting import Rewriting
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["X", "Longer"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("X")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["A"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_rendering(self):
+        text = format_table(["A"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["A", "B"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatRanking:
+    def test_renders_all_columns(self):
+        view = parse_view("CREATE VIEW V1 AS SELECT R.A FROM R")
+        evaluation = Evaluation(
+            rewriting=Rewriting(view, view),
+            quality=QualityAssessment(
+                0.0, 0.5, 0.0, 0.25, 0.075, ExtentNumbers(4, 2, 2)
+            ),
+            cost=CostAssessment(3, 1200, 10, 842.3),
+            normalized_cost=0.0,
+            qc=0.9325,
+            rank=1,
+        )
+        text = format_ranking([evaluation], title="T")
+        assert "V1" in text
+        assert "842.3" in text
+        assert "0.93250" in text
+        assert "Rating" in text

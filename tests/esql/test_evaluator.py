@@ -1,0 +1,124 @@
+"""Unit tests for view materialization."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.esql.evaluator import evaluate_view, evaluate_views
+from repro.esql.parser import parse_view
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+@pytest.fixture
+def relations():
+    customer = Relation(
+        Schema(
+            "Customer",
+            [
+                Attribute("Name", AttributeType.STRING),
+                Attribute("City", AttributeType.STRING),
+            ],
+        ),
+        [("ann", "nyc"), ("bob", "sfo"), ("cy", "nyc")],
+    )
+    booking = Relation(
+        Schema(
+            "Booking",
+            [
+                Attribute("PName", AttributeType.STRING),
+                Attribute("Dest", AttributeType.STRING),
+            ],
+        ),
+        [("ann", "asia"), ("bob", "asia"), ("ann", "europe")],
+    )
+    return {"Customer": customer, "Booking": booking}
+
+
+class TestSingleRelation:
+    def test_projection(self, relations):
+        view = parse_view("CREATE VIEW V AS SELECT Name FROM Customer")
+        extent = evaluate_view(view, relations)
+        assert extent.rows == [("ann",), ("bob",), ("cy",)]
+
+    def test_selection(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT Name FROM Customer WHERE City = 'nyc'"
+        )
+        extent = evaluate_view(view, relations)
+        assert extent.rows == [("ann",), ("cy",)]
+
+    def test_alias_in_output_schema(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT Name AS Who FROM Customer"
+        )
+        extent = evaluate_view(view, relations)
+        assert extent.schema.attribute_names == ("Who",)
+
+
+class TestJoins:
+    def test_equijoin_with_selection(self, relations):
+        view = parse_view(
+            """
+            CREATE VIEW AsiaCustomer AS
+            SELECT Customer.Name, City
+            FROM Customer, Booking
+            WHERE Customer.Name = Booking.PName AND Booking.Dest = 'asia'
+            """
+        )
+        extent = evaluate_view(view, relations)
+        assert sorted(extent.rows) == [("ann", "nyc"), ("bob", "sfo")]
+
+    def test_bag_semantics_duplicate_join_matches(self, relations):
+        view = parse_view(
+            """
+            CREATE VIEW V AS
+            SELECT Customer.Name
+            FROM Customer, Booking
+            WHERE Customer.Name = Booking.PName
+            """
+        )
+        extent = evaluate_view(view, relations)
+        assert sorted(extent.rows) == [("ann",), ("ann",), ("bob",)]
+        assert extent.distinct().cardinality == 2
+
+    def test_join_order_does_not_change_result_set(self, relations):
+        forward = parse_view(
+            "CREATE VIEW V AS SELECT Customer.Name FROM Customer, Booking "
+            "WHERE Customer.Name = Booking.PName"
+        )
+        backward = parse_view(
+            "CREATE VIEW V AS SELECT Customer.Name FROM Booking, Customer "
+            "WHERE Customer.Name = Booking.PName"
+        )
+        a = evaluate_view(forward, relations)
+        b = evaluate_view(backward, relations)
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_empty_join_short_circuits(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT Customer.Name FROM Customer, Booking "
+            "WHERE Customer.Name = Booking.PName AND Booking.Dest = 'mars'"
+        )
+        assert evaluate_view(view, relations).cardinality == 0
+
+
+class TestLookup:
+    def test_callable_lookup(self, relations):
+        view = parse_view("CREATE VIEW V AS SELECT Name FROM Customer")
+        extent = evaluate_view(view, lambda name: relations[name])
+        assert extent.cardinality == 3
+
+    def test_missing_relation(self, relations):
+        view = parse_view("CREATE VIEW V AS SELECT X FROM Nope")
+        with pytest.raises((EvaluationError, KeyError)):
+            evaluate_view(view, relations)
+
+    def test_evaluate_views_by_name(self, relations):
+        views = [
+            parse_view("CREATE VIEW V1 AS SELECT Name FROM Customer"),
+            parse_view("CREATE VIEW V2 AS SELECT Dest FROM Booking"),
+        ]
+        extents = evaluate_views(views, relations)
+        assert set(extents) == {"V1", "V2"}
+        assert extents["V2"].cardinality == 3

@@ -1,0 +1,93 @@
+"""Targeted tests for the evaluator's hash-join fast path.
+
+The nested-loop fallback and the hash path must agree on every query
+shape; these tests pin the cases where the fast path could diverge.
+"""
+
+import pytest
+
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def relations():
+    return {
+        "R": Relation(
+            Schema("R", ["A", "B"]),
+            [(1, 10), (2, 20), (None, 30), (2, 21)],
+        ),
+        "S": Relation(
+            Schema("S", ["A", "C"]),
+            [(1, 100), (2, 200), (None, 300)],
+        ),
+        "T": Relation(Schema("T", ["B", "D"]), [(10, 7), (20, 8)]),
+    }
+
+
+class TestHashPathSemantics:
+    def test_null_keys_never_match(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A = S.A"
+        )
+        extent = evaluate_view(view, relations)
+        # (None, 30) x (None, 300) must NOT join (None != None in SQL).
+        assert (30, 300) not in extent.rows
+        assert sorted(extent.rows) == [(10, 100), (20, 200), (21, 200)]
+
+    def test_mixed_equijoin_and_filter(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.B, S.C FROM R, S "
+            "WHERE R.A = S.A AND S.C > 150"
+        )
+        extent = evaluate_view(view, relations)
+        assert sorted(extent.rows) == [(20, 200), (21, 200)]
+
+    def test_two_equijoins_on_one_relation(self, relations):
+        # Both join clauses decidable at T's position: composite hash key.
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A, T.D FROM R, T "
+            "WHERE R.B = T.B"
+        )
+        extent = evaluate_view(view, relations)
+        assert sorted(extent.rows, key=repr) == sorted(
+            [(1, 7), (2, 8)], key=repr
+        )
+
+    def test_three_way_chain(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT S.C, T.D FROM R, S, T "
+            "WHERE R.A = S.A AND R.B = T.B"
+        )
+        extent = evaluate_view(view, relations)
+        assert sorted(extent.rows) == [(100, 7), (200, 8)]
+
+    def test_non_equi_clause_uses_fallback(self, relations):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A < S.A"
+        )
+        extent = evaluate_view(view, relations)
+        assert (10, 200) in extent.rows  # R.A=1 < S.A=2
+        assert (20, 100) not in extent.rows
+
+    def test_equijoin_within_same_relation_stays_residual(self, relations):
+        # Both sides reference the newly added relation: not hash-joinable.
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.A = R.B"
+        )
+        extent = evaluate_view(view, {"R": Relation(
+            Schema("R", ["A", "B"]), [(5, 5), (1, 2)]
+        )})
+        assert extent.rows == [(5,)]
+
+    def test_agrees_with_fallback_on_duplicates(self):
+        # Bag semantics: multiplicities multiply across the join.
+        r = Relation(Schema("R", ["A"]), [(1,), (1,)])
+        s = Relation(Schema("S", ["A", "B"]), [(1, 9), (1, 9)])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT S.B FROM R, S WHERE R.A = S.A"
+        )
+        extent = evaluate_view(view, {"R": r, "S": s})
+        assert extent.rows == [(9,)] * 4

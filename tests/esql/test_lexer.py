@@ -1,0 +1,89 @@
+"""Unit tests for the E-SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.esql.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_case_insensitive(self):
+        assert texts("select Select SELECT") == ["SELECT"] * 3
+
+    def test_identifiers_keep_case(self):
+        assert texts("FlightRes") == ["FlightRes"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("rel_2") == ["rel_2"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "42"
+        assert tokens[1].text == "3.5"
+
+    def test_negative_number(self):
+        assert texts("-7") == ["-7"]
+
+    def test_qualified_ref_not_lexed_as_float(self):
+        # "R.A" must come out as IDENT DOT IDENT, and "1.A" should not
+        # swallow the dot either.
+        assert texts("R.A") == ["R", ".", "A"]
+
+    def test_strings_single_and_double_quoted(self):
+        tokens = tokenize("'Asia' \"Europe\"")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "Asia"
+        assert tokens[1].text == "Europe"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_symbols_longest_match(self):
+        assert texts("<= >= <> < > =") == ["<=", ">=", "<>", "<", ">", "="]
+
+    def test_double_equals_canonicalized(self):
+        assert texts("==") == ["="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a ; b")
+        assert excinfo.value.column == 3
+
+    def test_line_comments_skipped(self):
+        assert texts("A -- comment\nB") == ["A", "B"]
+
+    def test_positions_tracked_across_lines(self):
+        tokens = tokenize("A\n  B")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("FROM", "SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_is_symbol(self):
+        token = tokenize(",")[0]
+        assert token.is_symbol(",")
+        assert not token.is_symbol("(")
+
+    def test_eof_rendering(self):
+        assert str(tokenize("")[0]) == "<end of input>"

@@ -1,0 +1,164 @@
+"""Unit tests for the E-SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.esql.params import ViewExtent
+from repro.esql.parser import parse_condition_clause, parse_view
+from repro.relational.expressions import AttributeRef, Comparator, Constant
+
+ASIA = """
+CREATE VIEW AsiaCustomer (VE = '~') AS
+SELECT Name, Address, Phone (AD = true, AR = true)
+FROM Customer (RR = true), FlightRes
+WHERE (Customer.Name = FlightRes.PName) AND (FlightRes.Dest = 'Asia') (CD = true)
+"""
+
+
+class TestFullView:
+    """The paper's Asia-Customer example (query 2 of Sec. 3.1)."""
+
+    @pytest.fixture
+    def view(self):
+        return parse_view(ASIA)
+
+    def test_name_and_extent(self, view):
+        assert view.name == "AsiaCustomer"
+        assert view.extent_parameter is ViewExtent.ANY
+
+    def test_select_items(self, view):
+        assert view.interface == ("Name", "Address", "Phone")
+        phone = view.select_item("Phone")
+        assert phone.flags.dispensable and phone.flags.replaceable
+        name = view.select_item("Name")
+        assert not name.flags.dispensable and not name.flags.replaceable
+
+    def test_from_items(self, view):
+        assert view.relation_names == ("Customer", "FlightRes")
+        assert view.from_item("Customer").flags.replaceable
+        assert not view.from_item("FlightRes").flags.replaceable
+
+    def test_where_items(self, view):
+        assert len(view.where) == 2
+        join, selection = view.where
+        assert str(join.clause) == "Customer.Name = FlightRes.PName"
+        assert not join.flags.dispensable
+        assert str(selection.clause) == "FlightRes.Dest = 'Asia'"
+        assert selection.flags.dispensable
+
+
+class TestExtentParameter:
+    @pytest.mark.parametrize(
+        "symbol,expected",
+        [
+            ("'~'", ViewExtent.ANY),
+            ("'='", ViewExtent.EQUAL),
+            ("'>='", ViewExtent.SUPERSET),
+            ("'<='", ViewExtent.SUBSET),
+            ("'subset'", ViewExtent.SUBSET),
+            ("superset", ViewExtent.SUPERSET),
+        ],
+    )
+    def test_symbols(self, symbol, expected):
+        view = parse_view(f"CREATE VIEW V (VE = {symbol}) AS SELECT A FROM R")
+        assert view.extent_parameter is expected
+
+    def test_unquoted_comparator_symbols(self):
+        view = parse_view("CREATE VIEW V (VE = >=) AS SELECT A FROM R")
+        assert view.extent_parameter is ViewExtent.SUPERSET
+
+    def test_missing_ve_defaults_to_any(self):
+        view = parse_view("CREATE VIEW V AS SELECT A FROM R")
+        assert view.extent_parameter is ViewExtent.ANY
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW V (VE = 'huh') AS SELECT A FROM R")
+
+
+class TestSelectClause:
+    def test_alias(self):
+        view = parse_view("CREATE VIEW V AS SELECT R.A AS Alpha FROM R")
+        item = view.select[0]
+        assert item.output_name == "Alpha"
+        assert item.ref == AttributeRef("A", "R")
+
+    def test_unqualified_reference(self):
+        view = parse_view("CREATE VIEW V AS SELECT A FROM R")
+        assert view.select[0].ref == AttributeRef("A")
+
+    def test_flag_variants(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A (AD = true), B (AR = true), "
+            "C (AD = false, AR = true) FROM R"
+        )
+        a, b, c = view.select
+        assert a.flags.dispensable and not a.flags.replaceable
+        assert b.flags.replaceable and not b.flags.dispensable
+        assert c.flags.replaceable and not c.flags.dispensable
+
+    def test_wrong_flag_kind_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW V AS SELECT A (RD = true) FROM R")
+
+
+class TestWhereClause:
+    def test_constants(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R "
+            "WHERE A > 10 AND B = 'x' AND C = 2.5"
+        )
+        values = [item.clause.right for item in view.where]
+        assert values == [Constant(10), Constant("x"), Constant(2.5)]
+
+    def test_boolean_literal(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R WHERE Active = TRUE"
+        )
+        assert view.where[0].clause.right == Constant(True)
+
+    def test_unparenthesized_clause_with_flags(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R WHERE A > 1 (CD = true)"
+        )
+        assert view.where[0].flags.dispensable
+
+    def test_all_comparators(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R "
+            "WHERE A < 1 AND A <= 2 AND A = 3 AND A >= 4 AND A > 5 AND A <> 6"
+        )
+        comparators = [item.clause.comparator for item in view.where]
+        assert comparators == [
+            Comparator.LT, Comparator.LE, Comparator.EQ,
+            Comparator.GE, Comparator.GT, Comparator.NE,
+        ]
+
+    def test_missing_comparator(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW V AS SELECT A FROM R WHERE A 10")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW V AS SELECT A")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW V AS SELECT A FROM R extra")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_view("CREATE TABLE V AS SELECT A FROM R")
+        assert excinfo.value.line == 1
+
+
+class TestStandaloneClause:
+    def test_parse_condition_clause(self):
+        clause = parse_condition_clause("R.A = S.B")
+        assert clause.is_equijoin
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition_clause("R.A = S.B AND")

@@ -1,0 +1,115 @@
+"""Parser robustness: whitespace, comments, casing, formatting chaos."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.esql.parser import parse_view
+
+CANONICAL = parse_view(
+    "CREATE VIEW V AS SELECT R.A (AD = true) FROM R WHERE R.A > 10"
+)
+
+
+class TestWhitespaceAndComments:
+    def test_one_line(self):
+        view = parse_view(
+            "create view V as select R.A (ad=true) from R where R.A>10"
+        )
+        assert view == CANONICAL
+
+    def test_excessive_whitespace(self):
+        view = parse_view(
+            "CREATE    VIEW\n\n  V \t AS\nSELECT   R.A   (AD  =  true)\n"
+            "FROM\nR\nWHERE\nR.A  >  10"
+        )
+        assert view == CANONICAL
+
+    def test_line_comments_anywhere(self):
+        view = parse_view(
+            """
+            -- header comment
+            CREATE VIEW V AS  -- the view
+            SELECT R.A (AD = true)  -- keep A
+            FROM R  -- base relation
+            WHERE R.A > 10  -- threshold
+            """
+        )
+        assert view == CANONICAL
+
+    def test_mixed_keyword_case(self):
+        view = parse_view(
+            "Create View V As Select R.A (Ad = True) From R Where R.A > 10"
+        )
+        assert view == CANONICAL
+
+
+class TestIdentifierEdges:
+    def test_identifier_resembling_keyword_prefix(self):
+        view = parse_view("CREATE VIEW Selection AS SELECT Fromage FROM Wherever")
+        assert view.name == "Selection"
+        assert view.interface == ("Fromage",)
+        assert view.relation_names == ("Wherever",)
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("CREATE VIEW SELECT AS SELECT A FROM R")
+
+    def test_underscore_heavy_names(self):
+        view = parse_view(
+            "CREATE VIEW v_1 AS SELECT r_x.col_a FROM r_x"
+        )
+        assert view.select[0].ref.attribute == "col_a"
+
+
+class TestLiteralEdges:
+    def test_string_with_spaces(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.City = 'New York'"
+        )
+        assert view.where[0].clause.right.value == "New York"
+
+    def test_empty_string_literal(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.Tag = ''"
+        )
+        assert view.where[0].clause.right.value == ""
+
+    def test_negative_and_float_literals(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R "
+            "WHERE R.A > -5 AND R.A < 2.75"
+        )
+        assert view.where[0].clause.right.value == -5
+        assert view.where[1].clause.right.value == 2.75
+
+    def test_number_on_left_side(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE 10 < R.A"
+        )
+        clause = view.where[0].clause
+        assert clause.normalized().comparator.value == ">"
+
+
+class TestStructuralErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "CREATE",
+            "CREATE VIEW",
+            "CREATE VIEW V",
+            "CREATE VIEW V AS",
+            "CREATE VIEW V AS SELECT",
+            "CREATE VIEW V AS SELECT A FROM",
+            "CREATE VIEW V AS SELECT A FROM R WHERE",
+            "CREATE VIEW V AS SELECT A, FROM R",
+            "CREATE VIEW V AS SELECT A FROM R WHERE A >",
+            "CREATE VIEW V AS SELECT A FROM R WHERE (A > 1",
+            "CREATE VIEW V (VE =) AS SELECT A FROM R",
+            "CREATE VIEW V AS SELECT A (AD) FROM R",
+            "CREATE VIEW V AS SELECT A (AD = maybe) FROM R",
+        ],
+    )
+    def test_malformed_inputs_raise_parse_error(self, text):
+        with pytest.raises(ParseError):
+            parse_view(text)

@@ -1,0 +1,111 @@
+"""Unit tests for the printer and the semantic validator."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.esql.parser import parse_view
+from repro.esql.printer import format_view, format_view_compact
+from repro.esql.validate import ViewValidator
+from repro.relational.expressions import AttributeRef
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+SCHEMAS = {
+    "R": Schema("R", [Attribute("A"), Attribute("B", AttributeType.STRING)]),
+    "S": Schema("S", [Attribute("A"), Attribute("C")]),
+}
+
+
+class TestPrinter:
+    def test_round_trip_simple(self):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert parse_view(format_view(view)) == view
+
+    def test_round_trip_full(self):
+        view = parse_view(
+            """
+            CREATE VIEW V (VE = '<=') AS
+            SELECT R.A AS Alpha (AD = true, AR = true), B (AD = true)
+            FROM R (RD = true, RR = true), S
+            WHERE (R.A = S.A) (CD = true, CR = true) AND (B = 'x')
+            """
+        )
+        assert parse_view(format_view(view)) == view
+
+    def test_compact_round_trip(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 3 (CD = true)"
+        )
+        assert parse_view(format_view_compact(view)) == view
+
+    def test_compact_is_single_line(self):
+        view = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        assert "\n" not in format_view_compact(view)
+
+
+class TestValidator:
+    @pytest.fixture
+    def validator(self):
+        return ViewValidator(SCHEMAS)
+
+    def test_valid_view_passes(self, validator):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A, C FROM R, S WHERE R.A = S.A"
+        )
+        validator.validate(view)
+
+    def test_unknown_relation(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT T.A FROM T")
+        with pytest.raises(UnknownRelationError):
+            validator.validate(view)
+
+    def test_unknown_attribute(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT R.Z FROM R")
+        with pytest.raises(UnknownAttributeError):
+            validator.validate(view)
+
+    def test_qualified_ref_to_absent_from_relation(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT S.A FROM R")
+        with pytest.raises(UnknownRelationError):
+            validator.validate(view)
+
+    def test_ambiguous_unqualified_ref(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT A FROM R, S")
+        with pytest.raises(SchemaError) as excinfo:
+            validator.validate(view)
+        assert "ambiguous" in str(excinfo.value)
+
+    def test_resolution_qualifies_unique_bare_names(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT C FROM R, S")
+        resolved = validator.resolve_view(view)
+        assert resolved.select[0].ref == AttributeRef("C", "S")
+        assert resolved.select[0].output_name == "C"
+
+    def test_where_refs_resolved_and_type_checked(self, validator):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE B = 'x'"
+        )
+        resolved = validator.resolve_view(view)
+        assert resolved.where[0].clause.left == AttributeRef("B", "R")
+
+    def test_type_mismatch_in_clause(self, validator):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE B = 3")
+        with pytest.raises(SchemaError) as excinfo:
+            validator.validate(view)
+        assert "compares" in str(excinfo.value)
+
+    def test_attribute_vs_attribute_type_check(self, validator):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R, S WHERE R.B = S.C"
+        )
+        with pytest.raises(SchemaError):
+            validator.validate(view)
+
+    def test_output_schema_uses_aliases_and_source_types(self, validator):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.B AS Name, S.C FROM R, S "
+            "WHERE R.A = S.A"
+        )
+        schema = validator.output_schema(view)
+        assert schema.attribute_names == ("Name", "C")
+        assert schema.attribute("Name").type is AttributeType.STRING

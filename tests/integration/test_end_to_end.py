@@ -1,0 +1,124 @@
+"""Integration: the travel-agency story from the paper's introduction.
+
+A warehouse view over flight reservations and hotel bookings from several
+travel agencies; one agency changes its capabilities.  Exercises the full
+EVE loop: registration, E-SQL definition, materialization, incremental
+maintenance, capability change, QC-ranked synchronization, and continued
+maintenance against the rewritten view.
+"""
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.esql.evaluator import evaluate_view
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+def string_schema(name, attrs):
+    return Schema(name, [Attribute(a, AttributeType.STRING) for a in attrs])
+
+
+@pytest.fixture
+def eve():
+    system = EVESystem()
+    system.add_source("AgencyA")
+    system.add_source("AgencyB")
+    system.add_source("AgencyC")
+
+    customers = Relation(
+        string_schema("Customer", ["Name", "Address", "Phone"]),
+        [
+            ("ann", "12 Elm", "555-1"),
+            ("bob", "9 Oak", "555-2"),
+            ("cy", "4 Pine", "555-3"),
+        ],
+    )
+    flights = Relation(
+        string_schema("FlightRes", ["PName", "Dest"]),
+        [("ann", "Asia"), ("bob", "Europe"), ("cy", "Asia")],
+    )
+    # AgencyC mirrors AgencyA's customer list (a replica).
+    mirror = Relation(
+        string_schema("CustomerMirror", ["Name", "Address", "Phone"]),
+        list(customers.rows),
+    )
+    system.register_relation(
+        "AgencyA", customers, RelationStatistics(cardinality=3)
+    )
+    system.register_relation(
+        "AgencyB", flights, RelationStatistics(cardinality=3)
+    )
+    system.register_relation(
+        "AgencyC", mirror, RelationStatistics(cardinality=3)
+    )
+    system.mkb.add_equivalence(
+        "Customer", "CustomerMirror", ["Name", "Address", "Phone"]
+    )
+    return system
+
+
+ASIA_VIEW = """
+CREATE VIEW AsiaCustomer (VE = '~') AS
+SELECT Customer.Name (AR = true), Customer.Address (AD = true, AR = true),
+       Customer.Phone (AD = true, AR = true)
+FROM Customer (RR = true), FlightRes
+WHERE (Customer.Name = FlightRes.PName) (CR = true)
+  AND (FlightRes.Dest = 'Asia') (CD = true)
+"""
+
+
+class TestFullLifecycle:
+    def test_materialization(self, eve):
+        eve.define_view(ASIA_VIEW)
+        assert sorted(eve.extent("AsiaCustomer").rows) == [
+            ("ann", "12 Elm", "555-1"),
+            ("cy", "4 Pine", "555-3"),
+        ]
+
+    def test_incremental_maintenance_before_change(self, eve):
+        eve.define_view(ASIA_VIEW)
+        eve.space.insert("FlightRes", ("bob", "Asia"))
+        assert ("bob", "9 Oak", "555-2") in eve.extent("AsiaCustomer").rows
+
+    def test_capability_change_rewrites_to_mirror(self, eve):
+        eve.define_view(ASIA_VIEW)
+        eve.space.delete_relation("Customer")
+        assert eve.is_alive("AsiaCustomer")
+        current = eve.vkb.current("AsiaCustomer")
+        assert "CustomerMirror" in current.relation_names
+        # Same interface, same answers — the replica is equivalent.
+        assert current.interface == ("Name", "Address", "Phone")
+        assert sorted(eve.extent("AsiaCustomer").rows) == [
+            ("ann", "12 Elm", "555-1"),
+            ("cy", "4 Pine", "555-3"),
+        ]
+
+    def test_maintenance_continues_after_synchronization(self, eve):
+        eve.define_view(ASIA_VIEW)
+        eve.space.delete_relation("Customer")
+        eve.space.insert("CustomerMirror", ("di", "7 Ash", "555-4"))
+        eve.space.insert("FlightRes", ("di", "Asia"))
+        extent = eve.extent("AsiaCustomer")
+        assert ("di", "7 Ash", "555-4") in extent.rows
+        # Cross-check against recomputation.
+        recomputed = evaluate_view(
+            eve.vkb.current("AsiaCustomer"), eve.space.relations()
+        )
+        assert sorted(extent.rows) == sorted(recomputed.rows)
+
+    def test_sync_result_records_ranking(self, eve):
+        eve.define_view(ASIA_VIEW)
+        eve.space.delete_relation("Customer")
+        result = eve.synchronization_log[0]
+        assert result.survived
+        assert result.chosen is result.evaluations[0]
+        assert result.chosen.qc == max(e.qc for e in result.evaluations)
+
+    def test_second_change_kills_without_another_replica(self, eve):
+        eve.define_view(ASIA_VIEW)
+        eve.space.delete_relation("Customer")
+        eve.space.delete_relation("CustomerMirror")
+        assert not eve.is_alive("AsiaCustomer")

@@ -1,0 +1,37 @@
+"""Every example script must run clean — they are executable documentation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert "OK" in completed.stdout
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "travel_agency",
+        "tradeoff_explorer",
+        "evolving_space",
+    } <= names

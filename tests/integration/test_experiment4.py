@@ -1,0 +1,101 @@
+"""Integration: the full Experiment 4 pipeline reproduces Table 4 / Fig. 15.
+
+Exercises scenario generation, the space, the MKB (with retirement), the
+synchronizer, and the QC-Model end to end.
+"""
+
+import pytest
+
+from repro.qc.model import QCModel
+from repro.qc.params import EXPERIMENT4_CASES, TradeoffParameters
+from repro.space.changes import DeleteRelation
+from repro.sync.legality import is_legal
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_cardinality_scenario
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    scenario = build_cardinality_scenario()
+    scenario.space.delete_relation("R2")
+    synchronizer = ViewSynchronizer(scenario.space.mkb)
+    rewritings = synchronizer.synchronize(
+        scenario.view, DeleteRelation("IS1", "R2")
+    )
+    rewritings.sort(key=lambda r: r.moves[-1].new_relation)
+    return scenario, [r.renamed(f"V{i + 1}") for i, r in enumerate(rewritings)]
+
+
+class TestCandidateGeneration:
+    def test_five_substitutions_found(self, candidates):
+        _, rewritings = candidates
+        assert len(rewritings) == 5
+        targets = [r.moves[-1].new_relation for r in rewritings]
+        assert targets == ["S1", "S2", "S3", "S4", "S5"]
+
+    def test_all_legal(self, candidates):
+        _, rewritings = candidates
+        assert all(is_legal(r) for r in rewritings)
+
+    def test_interfaces_fully_preserved(self, candidates):
+        scenario, rewritings = candidates
+        for rewriting in rewritings:
+            assert rewriting.view.interface == scenario.view.interface
+
+
+class TestTable4:
+    def test_full_table_case1(self, candidates):
+        scenario, rewritings = candidates
+        model = QCModel(scenario.space.mkb, TradeoffParameters())
+        by_name = {
+            e.name: e
+            for e in model.evaluate(rewritings, updated_relation="R1")
+        }
+        # (DD_attr, DD_ext, Cost, Cost*, QC, rating) per Table 4.
+        table4 = {
+            "V1": (0.0, 0.25, 842.3, 0.0, 0.9325, 3),
+            "V2": (0.0, 0.125, 1193.3, 0.25, 0.94125, 2),
+            "V3": (0.0, 0.0, 1544.3, 0.5, 0.95, 1),
+            "V4": (0.0, 0.1, 1895.3, 0.75, 0.898, 4),
+            "V5": (0.0, 1 / 6, 2246.3, 1.0, 0.855, 5),
+        }
+        for name, (attr, ext, cost, norm, qc, rank) in table4.items():
+            e = by_name[name]
+            assert e.quality.dd_attr == pytest.approx(attr)
+            assert e.quality.dd_ext == pytest.approx(ext, abs=1e-4)
+            assert e.cost.total == pytest.approx(cost, abs=0.05)
+            assert e.normalized_cost == pytest.approx(norm, abs=1e-6)
+            assert e.qc == pytest.approx(qc, abs=1e-5)
+            assert e.rank == rank
+
+    def test_figure15_ranking_flips(self, candidates):
+        """Fig. 15: V3 wins Case 1; V1 wins Cases 2 and 3."""
+        scenario, rewritings = candidates
+        winners = {}
+        for label, params in EXPERIMENT4_CASES:
+            model = QCModel(scenario.space.mkb, params)
+            winners[label] = model.best(
+                rewritings, updated_relation="R1"
+            ).name
+        assert winners == {"Case 1": "V3", "Case 2": "V1", "Case 3": "V1"}
+
+    def test_subset_chain_quality_improves_towards_r2(self, candidates):
+        """DD decreases along V1 -> V3 and rises again after (Sec. 7.4)."""
+        scenario, rewritings = candidates
+        model = QCModel(scenario.space.mkb, TradeoffParameters())
+        by_name = {
+            e.name: e.quality.dd
+            for e in model.evaluate(rewritings, updated_relation="R1")
+        }
+        assert by_name["V1"] > by_name["V2"] > by_name["V3"]
+        assert by_name["V3"] < by_name["V4"] < by_name["V5"]
+
+    def test_cost_monotone_in_substitute_cardinality(self, candidates):
+        scenario, rewritings = candidates
+        model = QCModel(scenario.space.mkb, TradeoffParameters())
+        evaluations = model.evaluate(rewritings, updated_relation="R1")
+        costs = {e.name: e.cost.total for e in evaluations}
+        assert (
+            costs["V1"] < costs["V2"] < costs["V3"]
+            < costs["V4"] < costs["V5"]
+        )

@@ -1,0 +1,105 @@
+"""Integration: the analytic cost model vs the executed Algorithm 1.
+
+The paper lists "experimental studies to compare the cost portion of our
+QC-Model with the actual costs encountered by our system for incremental
+view maintenance" as future work (Sec. 8).  Our substrate is executable,
+so we run that comparison: the *measured* message counts must match the
+analytic CF_M exactly (the protocol is deterministic), and measured bytes
+must track the analytic CF_T estimate within the tolerance induced by the
+synthetic data realizing the assumed selectivities only in expectation.
+"""
+
+import pytest
+
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.maintenance.simulator import ViewMaintainer
+from repro.misd.statistics import RelationStatistics
+from repro.qc.cost import cf_bytes, cf_messages_counted, plan_for_view
+from repro.space.space import InformationSpace
+from repro.workloadgen.generator import make_schema, populate_relation
+
+JS = 0.02  # realized via key_space = 50
+CARDINALITY = 200
+
+
+@pytest.fixture
+def setup():
+    space = InformationSpace()
+    key_space = round(1 / JS)
+    for index, name in enumerate(["R0", "R1", "R2"]):
+        source = f"IS{index}"
+        space.add_source(source)
+        relation = populate_relation(
+            make_schema(name, ["A", "B"], attribute_size=4),
+            CARDINALITY,
+            seed=index + 1,
+            key_space=key_space,
+        )
+        space.register_relation(
+            source,
+            relation,
+            RelationStatistics(
+                cardinality=CARDINALITY, tuple_size=8, selectivity=1.0
+            ),
+        )
+    space.mkb.statistics.join_selectivity = JS
+    view = parse_view(
+        """
+        CREATE VIEW V AS
+        SELECT R0.A, R1.B AS B1, R2.B AS B2
+        FROM R0, R1, R2
+        WHERE R0.A = R1.A AND R1.A = R2.A
+        """
+    )
+    return space, view
+
+
+def run_updates(space, view, count, seed=42):
+    """Insert ``count`` fresh tuples at R0, maintaining the view."""
+    extent = evaluate_view(view, space.relations())
+    maintainer = ViewMaintainer(space)
+    import random
+
+    rng = random.Random(seed)
+    per_update = []
+    for _ in range(count):
+        row = (rng.randrange(50), rng.randrange(50))
+        update = space.source("IS0").insert("R0", row)
+        per_update.append(maintainer.maintain(view, extent, update))
+    return extent, per_update
+
+
+class TestMessagesExact:
+    def test_measured_messages_match_analytic(self, setup):
+        space, view = setup
+        owners = {n: space.owner_of(n).name for n in view.relation_names}
+        plan = plan_for_view(view, owners, updated_relation="R0")
+        analytic = cf_messages_counted(plan)
+        _, counters = run_updates(space, view, 10)
+        for measured in counters:
+            assert measured.messages == analytic
+
+
+class TestBytesTracked:
+    def test_measured_bytes_track_analytic_on_average(self, setup):
+        space, view = setup
+        owners = {n: space.owner_of(n).name for n in view.relation_names}
+        plan = plan_for_view(view, owners, updated_relation="R0")
+        analytic = cf_bytes(plan, space.mkb.statistics)
+        _, counters = run_updates(space, view, 60)
+        measured_mean = sum(c.bytes_transferred for c in counters) / len(
+            counters
+        )
+        # Synthetic joins only realize js in expectation; allow 2x band.
+        assert measured_mean == pytest.approx(analytic, rel=1.0)
+        # The fixed protocol overhead (notification + first hop) is exact.
+        assert min(c.bytes_transferred for c in counters) >= 8 * 2
+
+
+class TestExtentStaysCorrect:
+    def test_incremental_equals_recompute_after_stream(self, setup):
+        space, view = setup
+        extent, _ = run_updates(space, view, 30)
+        recomputed = evaluate_view(view, space.relations())
+        assert sorted(extent.rows) == sorted(recomputed.rows)

@@ -1,0 +1,126 @@
+"""System stress: many views, one evolving space, mixed event stream.
+
+Invariants checked after every event:
+
+* every alive materialized view's extent equals recomputation;
+* dead views stay dead and are never touched again;
+* the MKB stays consistent;
+* every committed rewriting in every view's history is legal.
+"""
+
+import random
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.esql.evaluator import evaluate_view
+from repro.misd.statistics import RelationStatistics
+from repro.sync.legality import check_legality
+from repro.workloadgen.generator import make_schema, populate_relation
+
+SEED = 99
+KEY_SPACE = 30
+
+
+@pytest.fixture
+def eve():
+    system = EVESystem()
+    layout = {
+        "IS0": ["Base0"],
+        "IS1": ["Base1", "Extra1"],
+        "IS2": ["Base2"],
+        "IS3": ["Mirror0"],
+    }
+    for source, names in layout.items():
+        system.add_source(source)
+        for name in names:
+            relation = populate_relation(
+                make_schema(name, ["A", "B"]), 25,
+                seed=SEED, key_space=KEY_SPACE,
+            )
+            system.register_relation(
+                source, relation, RelationStatistics(cardinality=25)
+            )
+    # Mirror0 replicates Base0.
+    mirror = system.space.relation("Mirror0")
+    mirror.replace_rows(system.space.relation("Base0").rows)
+    system.mkb.add_equivalence("Base0", "Mirror0", ["A", "B"])
+    return system
+
+
+VIEWS = [
+    # Survives Base0 loss via the mirror.
+    """CREATE VIEW V_join (VE = '~') AS
+       SELECT Base0.A (AR = true), Base1.B AS B1 (AD = true, AR = true)
+       FROM Base0 (RR = true), Base1
+       WHERE (Base0.A = Base1.A) (CR = true)""",
+    # Dies with Base2 (nothing replaces it).
+    """CREATE VIEW V_doomed AS
+       SELECT Base2.A, Base2.B FROM Base2""",
+    # Unaffected by everything below.
+    """CREATE VIEW V_stable AS
+       SELECT Extra1.A, Extra1.B FROM Extra1 WHERE Extra1.B > 3""",
+]
+
+
+def check_invariants(eve):
+    for record in eve.vkb.alive_views():
+        extent = eve.extent(record.name)
+        recomputed = evaluate_view(record.current, eve.space.relations())
+        assert sorted(extent.rows) == sorted(recomputed.rows), record.name
+        for rewriting in record.history:
+            assert check_legality(rewriting).legal
+    assert eve.mkb.check_consistency() == []
+
+
+class TestMixedStream:
+    def test_full_scenario(self, eve):
+        rng = random.Random(SEED)
+        for view in VIEWS:
+            eve.define_view(view)
+        check_invariants(eve)
+
+        # Phase 1: data churn on every relation.
+        for _ in range(30):
+            name = rng.choice(["Base0", "Base1", "Base2", "Extra1"])
+            row = (rng.randrange(KEY_SPACE), rng.randrange(KEY_SPACE))
+            eve.space.insert(name, row)
+            if name == "Base0":
+                eve.space.insert("Mirror0", row)
+            check_invariants(eve)
+
+        # Phase 2: capability changes.
+        eve.space.delete_relation("Base0")
+        assert eve.is_alive("V_join")
+        assert "Mirror0" in eve.vkb.current("V_join").relation_names
+        check_invariants(eve)
+
+        eve.space.delete_relation("Base2")
+        assert not eve.is_alive("V_doomed")
+        assert eve.is_alive("V_stable")
+        check_invariants(eve)
+
+        # Phase 3: churn continues against the rewritten view.
+        for _ in range(15):
+            name = rng.choice(["Mirror0", "Base1", "Extra1"])
+            row = (rng.randrange(KEY_SPACE), rng.randrange(KEY_SPACE))
+            eve.space.insert(name, row)
+            check_invariants(eve)
+
+        # Further changes never resurrect or disturb the dead view.
+        assert not eve.is_alive("V_doomed")
+        assert eve.generations("V_join") == 1
+        assert eve.generations("V_stable") == 0
+
+    def test_rename_storm(self, eve):
+        for view in VIEWS:
+            eve.define_view(view)
+        eve.space.rename_attribute("Base1", "B", "Beta")
+        eve.space.rename_relation("Extra1", "Extra1X")
+        eve.space.rename_attribute("Extra1X", "B", "Bee")
+        check_invariants(eve)
+        # Interfaces are stable across renames (aliases pin output names).
+        assert eve.vkb.current("V_join").interface == ("A", "B1")
+        assert eve.vkb.current("V_stable").interface == ("A", "B")
+        assert eve.generations("V_join") == 1
+        assert eve.generations("V_stable") == 2

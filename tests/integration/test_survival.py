@@ -1,0 +1,99 @@
+"""Integration: Experiment 1 ("survival" of a view, Sec. 7.1 / Fig. 12).
+
+Replaceable components keep a view alive across successive capability
+changes; choosing the non-replaceable branch first kills it at the next
+change.  This is the paper's argument for the default w1 > w2.
+"""
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.qc.params import TradeoffParameters
+from repro.qc.quality import dd_attr
+from repro.space.changes import DeleteAttribute, DeleteRelation
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_survival_scenario
+
+
+class TestRewritingGeneration:
+    def test_three_alternatives_exist(self):
+        """V1 (via S), V2 (via T), V3 (drop A) — the Sec. 7.1 candidates."""
+        scenario = build_survival_scenario()
+        scenario.space.delete_attribute("R", "A")
+        synchronizer = ViewSynchronizer(scenario.space.mkb)
+        rewritings = synchronizer.synchronize(
+            scenario.view, DeleteAttribute("IS1", "R", "A")
+        )
+        shapes = {r.view.relation_names for r in rewritings}
+        assert ("S",) in shapes   # V1
+        assert ("T",) in shapes   # V2
+        assert ("R",) in shapes   # V3 (drop A, keep B)
+
+    def test_interface_weights_order_candidates(self):
+        """w1 > w2 prefers keeping the replaceable A; w2 > w1 prefers B."""
+        scenario = build_survival_scenario()
+        scenario.space.delete_attribute("R", "A")
+        synchronizer = ViewSynchronizer(scenario.space.mkb)
+        rewritings = synchronizer.synchronize(
+            scenario.view, DeleteAttribute("IS1", "R", "A")
+        )
+        keeps_a = next(r for r in rewritings if r.view.relation_names == ("S",))
+        keeps_b = next(r for r in rewritings if r.view.relation_names == ("R",))
+
+        favour_replaceable = TradeoffParameters(w1=0.7, w2=0.3)
+        assert dd_attr(
+            scenario.view, keeps_a.view, favour_replaceable
+        ) < dd_attr(scenario.view, keeps_b.view, favour_replaceable)
+
+        favour_nonreplaceable = TradeoffParameters(w1=0.3, w2=0.7)
+        assert dd_attr(
+            scenario.view, keeps_a.view, favour_nonreplaceable
+        ) > dd_attr(scenario.view, keeps_b.view, favour_nonreplaceable)
+
+
+class TestLifeSpan:
+    def _eve(self, w1, w2):
+        scenario = build_survival_scenario()
+        params = TradeoffParameters(w1=w1, w2=w2).with_divergence_weights(
+            1.0, 0.0  # Sec. 7.1: "ignoring the view extent quality factor"
+        )
+        eve = EVESystem(params=params, space=scenario.space)
+        eve.define_view(scenario.view, materialize=False)
+        return eve
+
+    def test_replaceable_branch_survives_two_changes(self):
+        """Fig. 12's left path: V0 -> V1 (via S) -> V2 (via T), still alive."""
+        eve = self._eve(w1=0.7, w2=0.3)
+        eve.space.delete_attribute("R", "A")
+        assert eve.is_alive("V0")
+        assert eve.vkb.current("V0").relation_names in (("S",), ("T",))
+        survivor = eve.vkb.current("V0").relation_names[0]
+        eve.space.delete_relation(survivor)
+        assert eve.is_alive("V0")
+        other = "T" if survivor == "S" else "S"
+        assert eve.vkb.current("V0").relation_names == (other,)
+        assert eve.generations("V0") == 2
+
+    def test_nonreplaceable_branch_dies_at_next_change(self):
+        """Fig. 12's right path: w2 > w1 chooses V3; the next change kills it."""
+        eve = self._eve(w1=0.3, w2=0.7)
+        eve.space.delete_attribute("R", "A")
+        assert eve.is_alive("V0")
+        assert eve.vkb.current("V0").relation_names == ("R",)
+        assert eve.vkb.current("V0").interface == ("B",)
+        # B is non-replaceable; when R disappears there is no way out.
+        eve.space.delete_relation("R")
+        assert not eve.is_alive("V0")
+
+    def test_default_weights_maximize_survival(self):
+        """The paper's conclusion: the default w1 > w2 keeps views alive
+        longer than the inverted weighting under the same change stream."""
+        replaceable_first = self._eve(w1=0.7, w2=0.3)
+        nonreplaceable_first = self._eve(w1=0.3, w2=0.7)
+        for eve in (replaceable_first, nonreplaceable_first):
+            eve.space.delete_attribute("R", "A")
+            # The same second change for both: the chosen carrier vanishes.
+            carrier = eve.vkb.current("V0").relation_names[0]
+            eve.space.delete_relation(carrier)
+        assert replaceable_first.is_alive("V0")
+        assert not nonreplaceable_first.is_alive("V0")

@@ -1,0 +1,170 @@
+"""Unit tests for the Algorithm 1 maintenance simulator."""
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.maintenance.counters import MaintenanceCounters
+from repro.maintenance.simulator import ViewMaintainer
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.space import InformationSpace
+from repro.space.updates import DataUpdate, UpdateKind
+
+
+@pytest.fixture
+def space():
+    sp = InformationSpace()
+    sp.add_source("IS1")
+    sp.add_source("IS2")
+    sp.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2, tuple_size=8),
+    )
+    sp.register_relation(
+        "IS2",
+        Relation(Schema("S", ["A", "C"]), [(1, 100), (2, 200), (2, 201)]),
+        RelationStatistics(cardinality=3, tuple_size=8),
+    )
+    return sp
+
+
+@pytest.fixture
+def view():
+    return parse_view(
+        "CREATE VIEW V AS SELECT R.A, R.B, S.C FROM R, S WHERE R.A = S.A"
+    )
+
+
+def materialize(view, space):
+    return evaluate_view(view, space.relations())
+
+
+class TestInsertPropagation:
+    def test_insert_extends_extent_correctly(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").insert("R", (2, 21))
+        maintainer.maintain(view, extent, update)
+        recomputed = materialize(view, space)
+        assert sorted(extent.rows) == sorted(recomputed.rows)
+
+    def test_insert_with_no_matches_changes_nothing(self, space, view):
+        extent = materialize(view, space)
+        before = sorted(extent.rows)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").insert("R", (99, 0))
+        maintainer.maintain(view, extent, update)
+        assert sorted(extent.rows) == before
+
+    def test_update_at_second_source(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS2").insert("S", (1, 101))
+        maintainer.maintain(view, extent, update)
+        assert sorted(extent.rows) == sorted(materialize(view, space).rows)
+
+    def test_selection_prunes_seed(self, space):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.B > 50"
+        )
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").insert("R", (5, 10))  # fails R.B > 50
+        maintainer.maintain(view, extent, update)
+        assert extent.cardinality == 0
+
+
+class TestDeletePropagation:
+    def test_delete_removes_joined_rows(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").delete("R", (2, 20))
+        maintainer.maintain(view, extent, update)
+        assert sorted(extent.rows) == sorted(materialize(view, space).rows)
+
+    def test_inconsistent_extent_detected(self, space, view):
+        maintainer = ViewMaintainer(space)
+        empty = materialize(view, space).empty_like()
+        update = space.source("IS1").delete("R", (1, 10))
+        with pytest.raises(MaintenanceError):
+            maintainer.maintain(view, empty, update)
+
+
+class TestSequences:
+    def test_long_update_stream_stays_consistent(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        operations = [
+            ("insert", "R", (3, 30)),
+            ("insert", "S", (3, 300)),
+            ("insert", "S", (3, 301)),
+            ("delete", "R", (1, 10)),
+            ("insert", "R", (1, 11)),
+            ("delete", "S", (2, 200)),
+        ]
+        for kind, relation, row in operations:
+            source = space.owner_of(relation)
+            if kind == "insert":
+                update = source.insert(relation, row)
+            else:
+                update = source.delete(relation, row)
+            maintainer.maintain(view, extent, update)
+            assert sorted(extent.rows) == sorted(
+                materialize(view, space).rows
+            ), f"diverged after {kind} {row} at {relation}"
+
+
+class TestCounters:
+    def test_counts_returned_per_update(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").insert("R", (1, 12))
+        counters = maintainer.maintain(view, extent, update)
+        # notification + (delta to IS2, result back) = 3 messages
+        assert counters.messages == 3
+        assert counters.bytes_transferred > 0
+
+    def test_counters_accumulate(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        for row in [(1, 12), (1, 13)]:
+            update = space.source("IS1").insert("R", row)
+            maintainer.maintain(view, extent, update)
+        assert maintainer.counters.messages == 6
+
+    def test_single_relation_view_sends_only_notification(self, space):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        update = space.source("IS1").insert("R", (7, 70))
+        counters = maintainer.maintain(view, extent, update)
+        assert counters.messages == 1  # footnote 12: no query needed
+
+    def test_unrelated_update_rejected(self, space, view):
+        maintainer = ViewMaintainer(space)
+        extent = materialize(view, space)
+        ghost = DataUpdate("IS9", "Zzz", UpdateKind.INSERT, (1,))
+        with pytest.raises(MaintenanceError):
+            maintainer.maintain(view, extent, ghost)
+
+
+class TestCountersUnit:
+    def test_merge_and_reset(self):
+        a = MaintenanceCounters(1, 10, 100)
+        b = MaintenanceCounters(2, 20, 200)
+        merged = a.merged(b)
+        assert (merged.messages, merged.bytes_transferred,
+                merged.io_operations) == (3, 30, 300)
+        a.reset()
+        assert a.messages == 0
+
+    def test_record_message_counts_bytes(self):
+        counters = MaintenanceCounters()
+        counters.record_message(64)
+        counters.record_message(0)
+        assert counters.messages == 2
+        assert counters.bytes_transferred == 64

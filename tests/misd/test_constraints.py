@@ -1,0 +1,145 @@
+"""Unit tests for MISD constraints (Fig. 4)."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.esql.parser import parse_condition_clause
+from repro.misd.constraints import (
+    JoinConstraint,
+    PCConstraint,
+    PCRelationship,
+    RelationFragment,
+    TypeIntegrityConstraint,
+)
+from repro.relational.expressions import Condition
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+def cond(*texts):
+    return Condition(parse_condition_clause(t) for t in texts)
+
+
+class TestTypeIntegrity:
+    def test_check_against_matching_schema(self):
+        tc = TypeIntegrityConstraint("R", "A", AttributeType.INT)
+        tc.check_against(Schema("R", [Attribute("A")]))
+
+    def test_check_against_mismatch(self):
+        tc = TypeIntegrityConstraint("R", "A", AttributeType.STRING)
+        with pytest.raises(ConstraintError):
+            tc.check_against(Schema("R", [Attribute("A")]))
+
+
+class TestJoinConstraint:
+    def test_requires_clauses(self):
+        with pytest.raises(ConstraintError):
+            JoinConstraint("R", "S", Condition.true())
+
+    def test_foreign_relation_rejected(self):
+        with pytest.raises(ConstraintError):
+            JoinConstraint("R", "S", cond("R.A = T.B"))
+
+    def test_other(self):
+        jc = JoinConstraint("R", "S", cond("R.A = S.A"))
+        assert jc.other("R") == "S"
+        assert jc.other("S") == "R"
+        with pytest.raises(ConstraintError):
+            jc.other("T")
+
+    def test_involves(self):
+        jc = JoinConstraint("R", "S", cond("R.A = S.A"))
+        assert jc.involves("R") and jc.involves("S")
+        assert not jc.involves("T")
+
+
+class TestRelationFragment:
+    def test_requires_attributes(self):
+        with pytest.raises(ConstraintError):
+            RelationFragment("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ConstraintError):
+            RelationFragment("R", ("A", "A"))
+
+    def test_selection_detection(self):
+        assert not RelationFragment("R", ("A",)).has_selection
+        assert RelationFragment("R", ("A",), cond("R.A > 5")).has_selection
+
+    def test_check_against_schema(self):
+        fragment = RelationFragment("R", ("A",), cond("R.B > 0"))
+        fragment.check_against(Schema("R", ["A", "B"]))
+
+    def test_check_against_missing_attribute(self):
+        fragment = RelationFragment("R", ("Z",))
+        with pytest.raises(Exception):
+            fragment.check_against(Schema("R", ["A"]))
+
+    def test_foreign_selection_rejected(self):
+        fragment = RelationFragment("R", ("A",), cond("S.B > 0"))
+        with pytest.raises(ConstraintError):
+            fragment.check_against(Schema("R", ["A", "B"]))
+
+
+class TestPCConstraint:
+    def make(self, relationship=PCRelationship.SUBSET):
+        return PCConstraint(
+            RelationFragment("R", ("A", "B")),
+            RelationFragment("T", ("X", "Y")),
+            relationship,
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            PCConstraint(
+                RelationFragment("R", ("A",)),
+                RelationFragment("T", ("X", "Y")),
+                PCRelationship.SUBSET,
+            )
+
+    def test_self_relation_rejected(self):
+        with pytest.raises(ConstraintError):
+            PCConstraint(
+                RelationFragment("R", ("A",)),
+                RelationFragment("R", ("B",)),
+                PCRelationship.SUBSET,
+            )
+
+    def test_attribute_map_positional(self):
+        assert self.make().attribute_map() == {"A": "X", "B": "Y"}
+        assert self.make().reverse_attribute_map() == {"X": "A", "Y": "B"}
+
+    def test_oriented_identity(self):
+        pc = self.make()
+        assert pc.oriented("R") is pc
+
+    def test_oriented_flip(self):
+        pc = self.make(PCRelationship.SUBSET)
+        flipped = pc.oriented("T")
+        assert flipped.left.relation == "T"
+        assert flipped.relationship is PCRelationship.SUPERSET
+        assert flipped.attribute_map() == {"X": "A", "Y": "B"}
+
+    def test_oriented_unrelated(self):
+        with pytest.raises(ConstraintError):
+            self.make().oriented("Z")
+
+    def test_relationship_flips(self):
+        assert PCRelationship.SUBSET.flipped() is PCRelationship.SUPERSET
+        assert PCRelationship.SUPERSET.flipped() is PCRelationship.SUBSET
+        assert (
+            PCRelationship.EQUIVALENT.flipped() is PCRelationship.EQUIVALENT
+        )
+
+    def test_check_against_type_compatibility(self):
+        pc = PCConstraint(
+            RelationFragment("R", ("A",)),
+            RelationFragment("T", ("X",)),
+            PCRelationship.EQUIVALENT,
+        )
+        pc.check_against(Schema("R", ["A"]), Schema("T", ["X"]))
+        with pytest.raises(ConstraintError):
+            pc.check_against(
+                Schema("R", ["A"]),
+                Schema("T", [Attribute("X", AttributeType.STRING)]),
+            )

@@ -1,0 +1,98 @@
+"""Unit tests for the statistics registry."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.misd.statistics import (
+    DEFAULT_CARDINALITY,
+    DEFAULT_SELECTIVITY,
+    DEFAULT_TUPLE_SIZE,
+    RelationStatistics,
+    SpaceStatistics,
+)
+
+
+class TestRelationStatistics:
+    def test_defaults_match_table1(self):
+        stats = RelationStatistics()
+        assert stats.cardinality == 400
+        assert stats.tuple_size == 100
+        assert stats.selectivity == 0.5
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            RelationStatistics(cardinality=-1)
+        with pytest.raises(EvaluationError):
+            RelationStatistics(tuple_size=0)
+        with pytest.raises(EvaluationError):
+            RelationStatistics(selectivity=1.5)
+        with pytest.raises(EvaluationError):
+            RelationStatistics(attribute_sizes={"A": 0})
+
+    def test_attribute_size_explicit(self):
+        stats = RelationStatistics(attribute_sizes={"A": 30})
+        assert stats.attribute_size("A") == 30
+
+    def test_attribute_size_default_argument(self):
+        stats = RelationStatistics()
+        assert stats.attribute_size("A", default=12) == 12
+
+    def test_attribute_size_even_share(self):
+        stats = RelationStatistics(
+            tuple_size=100, attribute_sizes={"A": 10, "B": 10}
+        )
+        assert stats.attribute_size("C") == 50  # 100 // 2 registered
+
+    def test_scaled_to(self):
+        scaled = RelationStatistics(selectivity=0.3).scaled_to(999)
+        assert scaled.cardinality == 999
+        assert scaled.selectivity == 0.3
+
+
+class TestSpaceStatistics:
+    def test_defaults_match_table1(self):
+        space = SpaceStatistics()
+        assert space.join_selectivity == 0.005
+        assert space.blocking_factor == 10
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            SpaceStatistics(join_selectivity=0)
+        with pytest.raises(EvaluationError):
+            SpaceStatistics(blocking_factor=0)
+
+    def test_unregistered_relation_gets_defaults(self):
+        space = SpaceStatistics()
+        assert space.cardinality("anything") == DEFAULT_CARDINALITY
+        assert space.tuple_size("anything") == DEFAULT_TUPLE_SIZE
+        assert space.selectivity("anything") == DEFAULT_SELECTIVITY
+
+    def test_register_simple(self):
+        space = SpaceStatistics()
+        space.register_simple("R", 1000, 50, 0.2)
+        assert space.cardinality("R") == 1000
+        assert space.tuple_size("R") == 50
+        assert space.selectivity("R") == 0.2
+
+    def test_rename_keeps_statistics(self):
+        space = SpaceStatistics()
+        space.register_simple("R", 777)
+        space.rename_relation("R", "R2")
+        assert space.cardinality("R2") == 777
+        assert space.cardinality("R") == DEFAULT_CARDINALITY
+
+    def test_rename_unregistered_is_noop(self):
+        SpaceStatistics().rename_relation("nope", "other")
+
+    def test_forget(self):
+        space = SpaceStatistics()
+        space.register_simple("R", 777)
+        space.forget_relation("R")
+        assert space.cardinality("R") == DEFAULT_CARDINALITY
+
+    def test_copy_is_independent(self):
+        space = SpaceStatistics()
+        space.register_simple("R", 777)
+        duplicate = space.copy()
+        duplicate.register_simple("R", 1)
+        assert space.cardinality("R") == 777

@@ -1,0 +1,85 @@
+"""Property-based tests: E-SQL printer/parser round trip on generated views."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.esql.ast import FromItem, SelectItem, ViewDefinition, WhereItem
+from repro.esql.params import EvolutionFlags, ViewExtent
+from repro.esql.parser import parse_view
+from repro.esql.printer import format_view, format_view_compact
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Constant,
+    PrimitiveClause,
+)
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "CREATE", "VIEW", "AS", "SELECT", "FROM", "WHERE", "AND",
+        "TRUE", "FALSE", "VE", "AD", "AR", "CD", "CR", "RD", "RR",
+    }
+)
+
+flags = st.builds(EvolutionFlags, st.booleans(), st.booleans())
+extents = st.sampled_from(list(ViewExtent))
+
+
+@st.composite
+def views(draw):
+    relations = draw(
+        st.lists(identifiers, min_size=1, max_size=3, unique=True)
+    )
+    n_select = draw(st.integers(1, 4))
+    select = []
+    used_outputs = set()
+    for index in range(n_select):
+        relation = draw(st.sampled_from(relations))
+        attribute = draw(identifiers)
+        alias = f"out{index}"
+        used_outputs.add(alias)
+        select.append(
+            SelectItem(
+                AttributeRef(attribute, relation), draw(flags), alias
+            )
+        )
+    from_items = [FromItem(name, draw(flags)) for name in relations]
+    where = []
+    for _ in range(draw(st.integers(0, 3))):
+        relation = draw(st.sampled_from(relations))
+        attribute = draw(identifiers)
+        comparator = draw(st.sampled_from(list(Comparator)))
+        constant = Constant(draw(st.integers(-99, 99)))
+        where.append(
+            WhereItem(
+                PrimitiveClause(
+                    AttributeRef(attribute, relation), comparator, constant
+                ),
+                draw(flags),
+            )
+        )
+    return ViewDefinition(
+        draw(identifiers), select, from_items, where, draw(extents)
+    )
+
+
+@given(views())
+@settings(max_examples=120)
+def test_pretty_round_trip(view):
+    assert parse_view(format_view(view)) == view
+
+
+@given(views())
+@settings(max_examples=120)
+def test_compact_round_trip(view):
+    assert parse_view(format_view_compact(view)) == view
+
+
+@given(views())
+@settings(max_examples=60)
+def test_interface_is_stable_under_round_trip(view):
+    reparsed = parse_view(format_view(view))
+    assert reparsed.interface == view.interface
+    assert reparsed.relation_names == view.relation_names
+    assert reparsed.extent_parameter == view.extent_parameter

@@ -1,0 +1,137 @@
+"""Property-based tests: the MKB stays consistent under change streams.
+
+Random sequences of capability changes applied through the information
+space must never leave dangling constraints (the MKB Consistency Checker
+finds nothing), and retired knowledge must keep growing monotonically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.misd.constraints import (
+    JoinConstraint,
+    PCConstraint,
+    PCRelationship,
+    RelationFragment,
+)
+from repro.esql.parser import parse_condition_clause
+from repro.relational.expressions import Condition
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.space import InformationSpace
+
+RELATIONS = ["R0", "R1", "R2", "R3"]
+ATTRS = ["A", "B", "C"]
+
+
+def build_space():
+    space = InformationSpace()
+    for index, name in enumerate(RELATIONS):
+        space.add_source(f"IS{index}")
+        space.register_relation(f"IS{index}", Relation(Schema(name, ATTRS)))
+    # A web of constraints to stress the evolution hooks.
+    for left, right in [("R0", "R1"), ("R1", "R2"), ("R2", "R3")]:
+        space.mkb.add_join_constraint(
+            JoinConstraint(
+                left,
+                right,
+                Condition([parse_condition_clause(f"{left}.A = {right}.A")]),
+            )
+        )
+        space.mkb.add_pc_constraint(
+            PCConstraint(
+                RelationFragment(left, ("A", "B")),
+                RelationFragment(right, ("A", "B")),
+                PCRelationship.SUBSET,
+            )
+        )
+    return space
+
+
+change_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["delete_relation", "delete_attribute", "rename_attribute",
+             "rename_relation"]
+        ),
+        st.sampled_from(RELATIONS),
+        st.sampled_from(ATTRS),
+        st.integers(0, 999),
+    ),
+    max_size=8,
+)
+
+
+def apply_ops(space, operations):
+    """Apply each op when still applicable; returns #applied."""
+    applied = 0
+    for kind, relation, attribute, nonce in operations:
+        if not space.has_relation(relation):
+            continue
+        schema = space.relation(relation).schema
+        try:
+            if kind == "delete_relation":
+                space.delete_relation(relation)
+            elif kind == "delete_attribute":
+                if attribute not in schema or schema.arity <= 1:
+                    continue
+                space.delete_attribute(relation, attribute)
+            elif kind == "rename_attribute":
+                if attribute not in schema:
+                    continue
+                space.rename_attribute(relation, attribute, f"{attribute}_{nonce}")
+            else:
+                space.rename_relation(relation, f"{relation}_{nonce}")
+            applied += 1
+        except Exception as exc:  # pragma: no cover - any raise is a bug
+            raise AssertionError(
+                f"{kind} on {relation}.{attribute} raised {exc!r}"
+            ) from exc
+    return applied
+
+
+@given(change_ops)
+@settings(max_examples=100, deadline=None)
+def test_mkb_always_consistent_after_changes(operations):
+    space = build_space()
+    apply_ops(space, operations)
+    problems = space.mkb.check_consistency()
+    assert problems == [], problems
+
+
+@given(change_ops)
+@settings(max_examples=100, deadline=None)
+def test_live_constraints_reference_live_schemas(operations):
+    space = build_space()
+    apply_ops(space, operations)
+    mkb = space.mkb
+    for jc in mkb.join_constraints():
+        assert jc.left_relation in mkb
+        assert jc.right_relation in mkb
+    for pc in mkb.pc_constraints():
+        for fragment in (pc.left, pc.right):
+            schema = mkb.schema(fragment.relation)
+            for name in fragment.attributes:
+                assert name in schema
+
+
+@given(change_ops)
+@settings(max_examples=60, deadline=None)
+def test_space_and_mkb_schemas_stay_synchronized(operations):
+    space = build_space()
+    apply_ops(space, operations)
+    for name, relation in space.relations().items():
+        assert space.mkb.schema(name) == relation.schema
+
+
+@given(change_ops)
+@settings(max_examples=60, deadline=None)
+def test_historical_knowledge_never_shrinks(operations):
+    space = build_space()
+    mkb = space.mkb
+    previous = 0
+    for op in operations:
+        apply_ops(space, [op])
+        retired = len(mkb._historical_pc) + len(mkb._historical_join)
+        assert retired >= previous
+        previous = retired

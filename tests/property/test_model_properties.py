@@ -1,0 +1,132 @@
+"""Property-based tests for QC-Model ranking invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.misd.statistics import RelationStatistics
+from repro.qc.model import QCModel
+from repro.qc.params import TradeoffParameters
+from repro.relational.relation import Relation
+from repro.space.changes import DeleteRelation
+from repro.space.space import InformationSpace
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.esql.parser import parse_view
+from repro.workloadgen.generator import make_schema
+
+
+@st.composite
+def substitute_problem(draw):
+    """R2 deleted with 2..5 substitute candidates of drawn cardinalities."""
+    cardinalities = draw(
+        st.lists(
+            st.integers(100, 10_000), min_size=2, max_size=5, unique=True
+        )
+    )
+    r2_cardinality = draw(st.integers(500, 8_000))
+    space = InformationSpace()
+    space.mkb.statistics.join_selectivity = 0.005
+    space.add_source("IS0")
+    space.register_relation(
+        "IS0",
+        Relation(make_schema("R1", ["A", "K"])),
+        RelationStatistics(cardinality=400, tuple_size=100),
+    )
+    space.add_source("IS1")
+    space.register_relation(
+        "IS1",
+        Relation(make_schema("R2", ["A", "B"])),
+        RelationStatistics(cardinality=r2_cardinality, tuple_size=100),
+    )
+    for index, cardinality in enumerate(cardinalities):
+        name, source = f"S{index}", f"IS{index + 2}"
+        space.add_source(source)
+        space.register_relation(
+            source,
+            Relation(make_schema(name, ["A", "B"])),
+            RelationStatistics(cardinality=cardinality, tuple_size=100),
+        )
+        if cardinality <= r2_cardinality:
+            space.mkb.add_containment(name, "R2", ["A", "B"])
+        else:
+            space.mkb.add_containment("R2", name, ["A", "B"])
+    view = parse_view(
+        """
+        CREATE VIEW V (VE = '~') AS
+        SELECT R1.K, R2.A (AR = true), R2.B (AR = true)
+        FROM R1, R2 (RR = true)
+        WHERE (R1.A = R2.A) (CR = true)
+        """
+    )
+    space.delete_relation("R2")
+    rewritings = ViewSynchronizer(space.mkb).synchronize(
+        view, DeleteRelation("IS1", "R2")
+    )
+    return space, rewritings
+
+
+quality_weights = st.floats(0.0, 1.0)
+
+
+@given(substitute_problem())
+@settings(max_examples=50, deadline=None)
+def test_scores_always_in_unit_interval(problem):
+    space, rewritings = problem
+    model = QCModel(space.mkb)
+    for evaluation in model.evaluate(rewritings, updated_relation="R1"):
+        assert 0.0 <= evaluation.qc <= 1.0
+        assert 0.0 <= evaluation.quality.dd <= 1.0
+        assert 0.0 <= evaluation.normalized_cost <= 1.0
+
+
+@given(substitute_problem())
+@settings(max_examples=50, deadline=None)
+def test_ranking_is_a_permutation(problem):
+    space, rewritings = problem
+    model = QCModel(space.mkb)
+    evaluations = model.evaluate(rewritings, updated_relation="R1")
+    assert sorted(e.rank for e in evaluations) == list(
+        range(1, len(rewritings) + 1)
+    )
+    scores = [e.qc for e in evaluations]
+    assert scores == sorted(scores, reverse=True)
+
+
+@given(substitute_problem())
+@settings(max_examples=40, deadline=None)
+def test_pure_quality_prefers_minimal_divergence(problem):
+    space, rewritings = problem
+    model = QCModel(
+        space.mkb, TradeoffParameters().with_quality_weight(1.0)
+    )
+    evaluations = model.evaluate(rewritings, updated_relation="R1")
+    best = evaluations[0]
+    assert best.quality.dd == pytest.approx(
+        min(e.quality.dd for e in evaluations)
+    )
+
+
+@given(substitute_problem())
+@settings(max_examples=40, deadline=None)
+def test_pure_cost_prefers_cheapest(problem):
+    space, rewritings = problem
+    model = QCModel(
+        space.mkb, TradeoffParameters().with_quality_weight(0.0)
+    )
+    evaluations = model.evaluate(rewritings, updated_relation="R1")
+    best = evaluations[0]
+    assert best.cost.total == pytest.approx(
+        min(e.cost.total for e in evaluations)
+    )
+
+
+@given(substitute_problem())
+@settings(max_examples=30, deadline=None)
+def test_evaluation_is_deterministic(problem):
+    space, rewritings = problem
+    model = QCModel(space.mkb)
+    first = model.evaluate(rewritings, updated_relation="R1")
+    second = model.evaluate(rewritings, updated_relation="R1")
+    assert [(e.name, e.rank, e.qc) for e in first] == [
+        (e.name, e.rank, e.qc) for e in second
+    ]

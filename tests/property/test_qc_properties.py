@@ -1,0 +1,142 @@
+"""Property-based tests for QC-Model invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.cost import (
+    MaintenancePlan,
+    SourceGroup,
+    cf_bytes,
+    cf_io,
+    cf_messages,
+    cf_messages_counted,
+    normalize_costs,
+)
+from repro.qc.params import TradeoffParameters
+from repro.qc.quality import dd_ext, dd_ext_d1, dd_ext_d2
+from repro.qc.view_size import ExtentNumbers
+
+extent_numbers = st.builds(
+    lambda original, rewriting, overlap_frac: ExtentNumbers(
+        original,
+        rewriting,
+        overlap_frac * min(original, rewriting),
+    ),
+    st.floats(0, 10_000),
+    st.floats(0, 10_000),
+    st.floats(0, 1),
+)
+
+weights = st.floats(0, 1).map(
+    lambda w: TradeoffParameters().with_extent_weights(w, 1 - w)
+)
+
+
+class TestQualityBounds:
+    @given(extent_numbers)
+    @settings(max_examples=100)
+    def test_d1_d2_within_unit_interval(self, numbers):
+        assert 0.0 <= dd_ext_d1(numbers) <= 1.0
+        assert 0.0 <= dd_ext_d2(numbers) <= 1.0
+
+    @given(extent_numbers, weights)
+    @settings(max_examples=100)
+    def test_dd_ext_within_unit_interval(self, numbers, params):
+        assert 0.0 <= dd_ext(numbers, params) <= 1.0
+
+    @given(st.floats(1, 10_000))
+    @settings(max_examples=50)
+    def test_identical_extents_have_zero_divergence(self, size):
+        numbers = ExtentNumbers(size, size, size)
+        assert dd_ext(numbers, TradeoffParameters()) == 0.0
+
+    @given(st.floats(1, 10_000), st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100)
+    def test_d1_monotone_in_overlap(self, original, frac_low, frac_high):
+        assume(frac_low <= frac_high)
+        low = ExtentNumbers(original, original, frac_low * original)
+        high = ExtentNumbers(original, original, frac_high * original)
+        assert dd_ext_d1(low) >= dd_ext_d1(high)
+
+
+class TestNormalization:
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_normalized_costs_in_unit_interval(self, totals):
+        normalized = normalize_costs(totals)
+        assert all(0.0 <= value <= 1.0 for value in normalized)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=2, max_size=20))
+    @settings(max_examples=100)
+    def test_normalization_preserves_order(self, totals):
+        normalized = normalize_costs(totals)
+        for i in range(len(totals)):
+            for j in range(len(totals)):
+                if totals[i] < totals[j]:
+                    assert normalized[i] <= normalized[j]
+
+    @given(
+        st.lists(st.floats(0, 1e6), min_size=2, max_size=10),
+        st.floats(0.1, 10),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=100)
+    def test_normalization_invariant_to_affine_scaling(
+        self, totals, scale, shift
+    ):
+        """The Table 5 observation: proportional workloads leave COST*
+        unchanged (min-max normalization kills affine transforms)."""
+        assume(max(totals) - min(totals) > 1e-6)
+        base = normalize_costs(totals)
+        scaled = normalize_costs([scale * t + shift for t in totals])
+        for a, b in zip(base, scaled):
+            assert abs(a - b) < 1e-6
+
+
+@st.composite
+def plans(draw):
+    n_sources = draw(st.integers(1, 5))
+    groups = []
+    counter = 0
+    for index in range(n_sources):
+        n_relations = draw(st.integers(1, 4))
+        names = tuple(f"R{counter + i}" for i in range(n_relations))
+        counter += n_relations
+        groups.append(SourceGroup(f"IS{index}", names))
+    return MaintenancePlan(tuple(groups), groups[0].relations[0])
+
+
+class TestCostProperties:
+    @given(plans())
+    @settings(max_examples=100)
+    def test_message_bounds(self, plan):
+        messages = cf_messages(plan)
+        assert 0 <= messages <= 2 * plan.source_count
+        assert cf_messages_counted(plan) == 1 + 2 * len(
+            plan.queried_sources()
+        )
+
+    @given(plans())
+    @settings(max_examples=100)
+    def test_bytes_and_io_non_negative(self, plan):
+        stats = SpaceStatistics()
+        assert cf_bytes(plan, stats) > 0  # at least the notification
+        assert cf_io(plan, stats) >= 0
+
+    @given(plans())
+    @settings(max_examples=60)
+    def test_io_upper_bound_dominates_lower(self, plan):
+        stats = SpaceStatistics()
+        assert cf_io(plan, stats, upper=True) >= cf_io(plan, stats)
+
+    @given(plans(), st.integers(2, 10))
+    @settings(max_examples=60)
+    def test_bytes_monotone_in_cardinality(self, plan, factor):
+        lean = SpaceStatistics()
+        fat = SpaceStatistics()
+        for group in plan.groups:
+            for name in group.relations:
+                lean.register_simple(name, 100)
+                fat.register_simple(name, 100 * factor)
+        assert cf_bytes(plan, fat) >= cf_bytes(plan, lean)

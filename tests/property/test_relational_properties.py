@@ -1,0 +1,119 @@
+"""Property-based tests for the relational substrate's algebraic laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    cs_intersection,
+    difference,
+    intersection,
+    project,
+    select,
+    union,
+)
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Condition,
+    Constant,
+    PrimitiveClause,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema("R", ["A", "B"])
+OTHER = Schema("S", ["A", "B"])
+
+rows = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=30
+)
+
+
+def relation(schema, data):
+    return Relation(schema, data)
+
+
+@given(rows)
+@settings(max_examples=60)
+def test_select_is_idempotent(data):
+    r = relation(SCHEMA, data)
+    condition = Condition.of(
+        PrimitiveClause(AttributeRef("A"), Comparator.GT, Constant(10))
+    )
+    once = select(r, condition)
+    twice = select(once, condition)
+    assert once.rows == twice.rows
+
+
+@given(rows)
+@settings(max_examples=60)
+def test_select_partitions_relation(data):
+    r = relation(SCHEMA, data)
+    condition = Condition.of(
+        PrimitiveClause(AttributeRef("A"), Comparator.GT, Constant(10))
+    )
+    negation = Condition.of(
+        PrimitiveClause(AttributeRef("A"), Comparator.LE, Constant(10))
+    )
+    kept = select(r, condition)
+    dropped = select(r, negation)
+    assert kept.cardinality + dropped.cardinality == r.cardinality
+
+
+@given(rows)
+@settings(max_examples=60)
+def test_project_distinct_never_grows(data):
+    r = relation(SCHEMA, data)
+    projected = project(r, ["A"], distinct=True)
+    assert projected.cardinality <= r.cardinality
+    assert projected.cardinality == len({row[0] for row in data})
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_union_commutes_as_sets(left_data, right_data):
+    left = relation(SCHEMA, left_data)
+    right = relation(OTHER, right_data)
+    a = union(left, right).row_set()
+    b = union(right, left).row_set()
+    assert a == b
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_intersection_is_subset_of_both(left_data, right_data):
+    left = relation(SCHEMA, left_data)
+    right = relation(OTHER, right_data)
+    shared = intersection(left, right).row_set()
+    assert shared <= left.row_set()
+    assert shared <= right.row_set()
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_difference_disjoint_from_right(left_data, right_data):
+    left = relation(SCHEMA, left_data)
+    right = relation(OTHER, right_data)
+    missing = difference(left, right).row_set()
+    assert missing.isdisjoint(right.row_set())
+    assert missing | (left.row_set() & right.row_set()) == left.row_set()
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_inclusion_exclusion_on_distinct_sets(left_data, right_data):
+    left = relation(SCHEMA, left_data)
+    right = relation(OTHER, right_data)
+    u = union(left, right).cardinality
+    i = intersection(left, right).cardinality
+    assert u + i == len(left.row_set()) + len(right.row_set())
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_cs_intersection_symmetric_in_cardinality(left_data, right_data):
+    left = relation(SCHEMA, left_data)
+    right = relation(Schema("S", ["B", "C"]), right_data)
+    forward = cs_intersection(left, right).cardinality
+    backward = cs_intersection(right, left).cardinality
+    assert forward == backward

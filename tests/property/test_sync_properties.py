@@ -1,0 +1,148 @@
+"""Property-based tests: every synchronizer output is legal and well-formed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.esql.ast import FromItem, SelectItem, ViewDefinition, WhereItem
+from repro.esql.params import EvolutionFlags, ViewExtent
+from repro.misd.constraints import PCRelationship
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Constant,
+    PrimitiveClause,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import DeleteAttribute, DeleteRelation
+from repro.space.space import InformationSpace
+from repro.sync.legality import check_legality
+from repro.sync.synchronizer import ViewSynchronizer
+
+flags = st.builds(EvolutionFlags, st.booleans(), st.booleans())
+extents = st.sampled_from([ViewExtent.ANY, ViewExtent.SUPERSET, ViewExtent.SUBSET])
+pc_relationships = st.sampled_from(list(PCRelationship))
+
+ATTRS = ["A", "B", "C"]
+
+
+@st.composite
+def scenario(draw):
+    """A small space (R at IS1, donors S/T), a view over R, and a change."""
+    space = InformationSpace()
+    for source, name in [("IS1", "R"), ("IS2", "S"), ("IS3", "T")]:
+        space.add_source(source)
+        space.register_relation(source, Relation(Schema(name, ATTRS)))
+    # Random PC constraints R <-> S, R <-> T over random attribute subsets.
+    for donor in ("S", "T"):
+        if draw(st.booleans()):
+            subset = draw(
+                st.lists(st.sampled_from(ATTRS), min_size=1, max_size=3,
+                         unique=True)
+            )
+            relationship = draw(pc_relationships)
+            from repro.misd.constraints import (
+                PCConstraint,
+                RelationFragment,
+            )
+            space.mkb.add_pc_constraint(
+                PCConstraint(
+                    RelationFragment("R", tuple(subset)),
+                    RelationFragment(donor, tuple(subset)),
+                    relationship,
+                )
+            )
+
+    n_select = draw(st.integers(1, 3))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(ATTRS), min_size=n_select, max_size=n_select,
+            unique=True,
+        )
+    )
+    select = [
+        SelectItem(AttributeRef(attr, "R"), draw(flags)) for attr in chosen
+    ]
+    where = []
+    if draw(st.booleans()):
+        where.append(
+            WhereItem(
+                PrimitiveClause(
+                    AttributeRef(draw(st.sampled_from(ATTRS)), "R"),
+                    Comparator.GT,
+                    Constant(draw(st.integers(0, 9))),
+                ),
+                draw(flags),
+            )
+        )
+    view = ViewDefinition(
+        "V",
+        select,
+        [FromItem("R", draw(flags))],
+        where,
+        draw(extents),
+    )
+    if draw(st.booleans()):
+        change = DeleteRelation("IS1", "R")
+        space.delete_relation("R")
+    else:
+        attribute = draw(st.sampled_from(ATTRS))
+        change = DeleteAttribute("IS1", "R", attribute)
+        space.delete_attribute("R", attribute)
+    return space, view, change
+
+
+@given(scenario())
+@settings(max_examples=150, deadline=None)
+def test_every_rewriting_is_legal(data):
+    space, view, change = data
+    synchronizer = ViewSynchronizer(space.mkb)
+    for rewriting in synchronizer.synchronize(view, change):
+        report = check_legality(rewriting)
+        assert report.legal, (
+            f"illegal rewriting {rewriting.describe()}: {report.violations}"
+        )
+
+
+@given(scenario())
+@settings(max_examples=150, deadline=None)
+def test_rewritings_never_reference_deleted_pieces(data):
+    space, view, change = data
+    synchronizer = ViewSynchronizer(space.mkb)
+    for rewriting in synchronizer.synchronize(view, change):
+        new_view = rewriting.view
+        if isinstance(change, DeleteRelation):
+            assert change.relation not in new_view.relation_names
+        else:
+            lost = AttributeRef(change.attribute, change.relation)
+            assert all(item.ref != lost for item in new_view.select)
+            for item in new_view.where:
+                assert lost not in item.clause.attribute_refs
+
+
+@given(scenario())
+@settings(max_examples=150, deadline=None)
+def test_rewritings_resolve_against_post_change_space(data):
+    """Every rewriting must be executable on the surviving relations."""
+    from repro.esql.validate import ViewValidator
+
+    space, view, change = data
+    synchronizer = ViewSynchronizer(space.mkb)
+    for rewriting in synchronizer.synchronize(view, change):
+        schemas = {}
+        for name in rewriting.view.relation_names:
+            assert space.has_relation(name), (
+                f"{rewriting.describe()} references missing {name!r}"
+            )
+            schemas[name] = space.relation(name).schema
+        ViewValidator(schemas).validate(rewriting.view)
+
+
+@given(scenario())
+@settings(max_examples=100, deadline=None)
+def test_rewritings_are_unique(data):
+    space, view, change = data
+    synchronizer = ViewSynchronizer(space.mkb)
+    rewritings = synchronizer.synchronize(view, change, include_dominated=True)
+    views = [r.view for r in rewritings]
+    assert len(views) == len(set(views))

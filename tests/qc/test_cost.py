@@ -1,0 +1,251 @@
+"""Unit tests for the cost model, pinned to the paper's own numbers."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.esql.parser import parse_view
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.cost import (
+    MaintenancePlan,
+    SourceGroup,
+    assess_cost,
+    cf_bytes,
+    cf_bytes_uniform,
+    cf_io,
+    cf_messages,
+    cf_messages_counted,
+    full_scan_ios,
+    normalize_costs,
+    plan_for_view,
+)
+from repro.qc.params import TradeoffParameters
+
+
+def uniform_stats(n=6, cardinality=400, tuple_size=100, selectivity=0.5,
+                  js=0.005, bfr=10):
+    stats = SpaceStatistics(join_selectivity=js, blocking_factor=bfr)
+    for index in range(n):
+        stats.register_simple(f"R{index}", cardinality, tuple_size, selectivity)
+    return stats
+
+
+def plan_one_site(n=6):
+    return MaintenancePlan(
+        (SourceGroup("IS1", tuple(f"R{i}" for i in range(n))),), "R0"
+    )
+
+
+def plan_n_sites(n=6):
+    return MaintenancePlan(
+        tuple(SourceGroup(f"IS{i}", (f"R{i}",)) for i in range(n)), "R0"
+    )
+
+
+class TestPlan:
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            MaintenancePlan((), "R")
+        with pytest.raises(EvaluationError):
+            MaintenancePlan((SourceGroup("IS1", ("R",)),), "S")
+        with pytest.raises(EvaluationError):
+            MaintenancePlan(
+                (SourceGroup("IS1", ("R",)), SourceGroup("IS2", ("R",))), "R"
+            )
+        with pytest.raises(EvaluationError):
+            SourceGroup("IS1", ())
+
+    def test_counts(self):
+        plan = plan_one_site()
+        assert plan.source_count == 1
+        assert plan.relation_count == 6
+        assert plan.first_source_other_relations == tuple(
+            f"R{i}" for i in range(1, 6)
+        )
+        assert plan.joined_relations() == tuple(f"R{i}" for i in range(1, 6))
+
+    def test_queried_sources_skips_lonely_updater(self):
+        plan = plan_n_sites(3)
+        assert [g.source for g in plan.queried_sources()] == ["IS1", "IS2"]
+
+    def test_plan_for_view(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A.X, B.Y, C.Z FROM A, B, C "
+            "WHERE A.X = B.Y AND B.Y = C.Z"
+        )
+        owners = {"A": "IS1", "B": "IS2", "C": "IS1"}
+        plan = plan_for_view(view, owners, updated_relation="B")
+        assert plan.groups[0].source == "IS2"
+        assert plan.groups[0].relations == ("B",)
+        assert plan.groups[1].relations == ("A", "C")
+
+    def test_plan_for_view_unknown_owner(self):
+        view = parse_view("CREATE VIEW V AS SELECT A.X FROM A")
+        with pytest.raises(EvaluationError):
+            plan_for_view(view, {})
+
+    def test_plan_for_view_bad_updated_relation(self):
+        view = parse_view("CREATE VIEW V AS SELECT A.X FROM A")
+        with pytest.raises(EvaluationError):
+            plan_for_view(view, {"A": "IS1"}, updated_relation="Z")
+
+
+class TestMessages:
+    def test_formula_cases(self):
+        # m=1, n1=0
+        assert cf_messages(MaintenancePlan((SourceGroup("IS1", ("R0",)),), "R0")) == 0
+        # m=1, n1>0
+        assert cf_messages(plan_one_site()) == 2
+        # m>1, n1=0
+        assert cf_messages(plan_n_sites(3)) == 4
+        # m>1, n1>0
+        plan = MaintenancePlan(
+            (SourceGroup("IS1", ("R0", "R1")), SourceGroup("IS2", ("R2",))),
+            "R0",
+        )
+        assert cf_messages(plan) == 4
+
+    def test_counted_convention_matches_table6(self):
+        assert cf_messages_counted(plan_one_site()) == 3
+        assert cf_messages_counted(plan_n_sites(6)) == 11
+
+
+class TestBytes:
+    def test_single_site_matches_table6(self):
+        # Table 6 row V1: 8000 bytes over 10 updates -> 800 per update.
+        assert cf_bytes(plan_one_site(), uniform_stats()) == pytest.approx(800)
+
+    def test_six_sites_matches_table6(self):
+        # Table 6 row V6: 216000 over 60 updates -> 3600 per update.
+        assert cf_bytes(plan_n_sites(6), uniform_stats()) == pytest.approx(3600)
+
+    def test_growth_with_sites(self):
+        stats = uniform_stats()
+        values = []
+        for m in (1, 2, 3, 6):
+            if m == 1:
+                plan = plan_one_site()
+            else:
+                sizes = [6 // m + (1 if i < 6 % m else 0) for i in range(m)]
+                groups, cursor = [], 0
+                for i, size in enumerate(sizes):
+                    groups.append(
+                        SourceGroup(
+                            f"IS{i}",
+                            tuple(f"R{j}" for j in range(cursor, cursor + size)),
+                        )
+                    )
+                    cursor += size
+                plan = MaintenancePlan(tuple(groups), "R0")
+            values.append(cf_bytes(plan, stats))
+        assert values == sorted(values)
+
+    def test_uniform_closed_form_agrees_with_iterative(self):
+        # Under uniform statistics, Eq. 22 (read with per-relation local
+        # selectivities, as the experiment numbers require) must equal the
+        # iterative Eq. 21 evaluation for every relation distribution.
+        stats = uniform_stats()
+        cases = [
+            (plan_one_site(), 1, [5]),
+            (
+                MaintenancePlan(
+                    (
+                        SourceGroup("IS1", ("R0", "R1", "R2")),
+                        SourceGroup("IS2", ("R3", "R4", "R5")),
+                    ),
+                    "R0",
+                ),
+                2,
+                [2, 3],
+            ),
+        ]
+        for plan, m, counts in cases:
+            assert cf_bytes_uniform(m, counts, stats) == pytest.approx(
+                cf_bytes(plan, stats)
+            )
+
+    def test_uniform_closed_form_footnote12_divergence(self):
+        # When the updating source hosts nothing else (n_1 = 0), Eq. 22
+        # literally still prices the round trip to it; footnote 12 (and the
+        # experiment tables) skip it — the difference is exactly 2s.
+        stats = uniform_stats()
+        plan = plan_n_sites(6)
+        closed = cf_bytes_uniform(6, [0, 1, 1, 1, 1, 1], stats)
+        iterative = cf_bytes(plan, stats)
+        assert closed - iterative == pytest.approx(2 * 100)
+
+    def test_uniform_requires_counts_per_source(self):
+        with pytest.raises(EvaluationError):
+            cf_bytes_uniform(2, [5], uniform_stats())
+
+
+class TestIO:
+    def test_full_scan(self):
+        assert full_scan_ios("R0", uniform_stats()) == 40
+
+    def test_table6_constant_31(self):
+        # Table 6: CF_IO is 31 per update regardless of distribution
+        # (1+2+4+8+16 for the five joined relations).
+        stats = uniform_stats()
+        assert cf_io(plan_one_site(), stats) == pytest.approx(31)
+        assert cf_io(plan_n_sites(6), stats) == pytest.approx(31)
+
+    def test_full_scan_caps_probes(self):
+        stats = uniform_stats(js=0.5)  # huge join fan-out
+        value = cf_io(plan_one_site(2), stats)
+        assert value <= full_scan_ios("R1", stats)
+
+    def test_upper_bound_at_least_lower(self):
+        stats = uniform_stats()
+        plan = plan_one_site()
+        assert cf_io(plan, stats, upper=True) >= cf_io(plan, stats)
+
+    def test_experiment4_per_tuple_pricing(self):
+        # bfr=1 prices probes per matching tuple: CF_IO = js * |S|.
+        stats = SpaceStatistics(join_selectivity=0.005, blocking_factor=1)
+        stats.register_simple("R1", 400, 100, 0.5)
+        stats.register_simple("S3", 4000, 100, 0.5)
+        plan = MaintenancePlan(
+            (SourceGroup("IS0", ("R1",)), SourceGroup("IS3", ("S3",))), "R1"
+        )
+        assert cf_io(plan, stats) == pytest.approx(20)
+
+
+class TestTotalAndNormalization:
+    def test_table4_totals_exact(self):
+        """The five Cost column values of Table 4, to one decimal."""
+        stats = SpaceStatistics(join_selectivity=0.005, blocking_factor=1)
+        stats.register_simple("R1", 400, 100, 0.5)
+        expected = {
+            "S1": (2000, 842.3),
+            "S2": (3000, 1193.3),
+            "S3": (4000, 1544.3),
+            "S4": (5000, 1895.3),
+            "S5": (6000, 2246.3),
+        }
+        params = TradeoffParameters()
+        for name, (cardinality, want) in expected.items():
+            stats.register_simple(name, cardinality, 100, 0.5)
+            plan = MaintenancePlan(
+                (SourceGroup("IS0", ("R1",)), SourceGroup("ISx", (name,))),
+                "R1",
+            )
+            assessment = assess_cost(plan, stats, params)
+            assert assessment.total == pytest.approx(want, abs=0.05)
+
+    def test_cost_assessment_arithmetic(self):
+        stats = uniform_stats()
+        a = assess_cost(plan_one_site(), stats, TradeoffParameters())
+        doubled = a.scaled(2)
+        assert doubled.total == pytest.approx(2 * a.total)
+        summed = a.plus(a)
+        assert summed.cf_t == pytest.approx(2 * a.cf_t)
+
+    def test_normalize_costs_eq25(self):
+        assert normalize_costs([842.3, 1193.3, 1544.3, 1895.3, 2246.3]) == [
+            pytest.approx(x) for x in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+
+    def test_normalize_degenerate_sets(self):
+        assert normalize_costs([]) == []
+        assert normalize_costs([5.0]) == [0.0]
+        assert normalize_costs([3.0, 3.0]) == [0.0, 0.0]

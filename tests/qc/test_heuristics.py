@@ -1,0 +1,125 @@
+"""Unit tests for the Sec. 7.6 pruning heuristics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import SpaceStatistics
+from repro.esql.parser import parse_view
+from repro.qc.heuristics import (
+    closest_size_key,
+    default_heuristic_stack,
+    fewest_clauses_key,
+    fewest_relations_key,
+    fewest_sources_key,
+    pick_by_heuristics,
+    smallest_relations_key,
+)
+from repro.relational.schema import Schema
+from repro.sync.rewriting import Rewriting
+
+
+@pytest.fixture
+def mkb():
+    stats = SpaceStatistics()
+    stats.register_simple("R", 400)
+    stats.register_simple("S", 2000)
+    stats.register_simple("T", 3000)
+    base = MetaKnowledgeBase(stats)
+    base.register_relation(Schema("R", ["A"]), "IS1")
+    base.register_relation(Schema("S", ["A"]), "IS1")
+    base.register_relation(Schema("T", ["A"]), "IS2")
+    return base
+
+
+def identity(view_text):
+    view = parse_view(view_text)
+    return Rewriting(view, view)
+
+
+class TestKeys:
+    def test_fewest_sources(self, mkb):
+        key = fewest_sources_key(mkb)
+        one_site = identity("CREATE VIEW V AS SELECT R.A, S.A AS A2 FROM R, S")
+        two_sites = identity("CREATE VIEW V AS SELECT R.A, T.A AS A2 FROM R, T")
+        assert key(one_site) == 1
+        assert key(two_sites) == 2
+
+    def test_fewest_sources_unknown_owner_counts_separately(self, mkb):
+        key = fewest_sources_key(mkb)
+        ghost = identity("CREATE VIEW V AS SELECT G.A FROM G")
+        assert key(ghost) == 1
+
+    def test_fewest_relations(self):
+        key = fewest_relations_key()
+        assert key(identity("CREATE VIEW V AS SELECT R.A FROM R")) == 1
+        assert key(
+            identity("CREATE VIEW V AS SELECT R.A, S.B FROM R, S")
+        ) == 2
+
+    def test_smallest_relations(self, mkb):
+        key = smallest_relations_key(mkb.statistics)
+        assert key(identity("CREATE VIEW V AS SELECT R.A FROM R")) == 400
+        assert key(
+            identity("CREATE VIEW V AS SELECT R.A, S.A AS A2 FROM R, S")
+        ) == 2400
+
+    def test_closest_size_uses_replacement_moves(self, mkb):
+        from repro.misd.constraints import (
+            PCConstraint,
+            PCRelationship,
+            RelationFragment,
+        )
+        from repro.sync.rewriting import ReplaceRelationMove
+
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)"
+        )
+        pc_s = PCConstraint(
+            RelationFragment("R", ("A",)),
+            RelationFragment("S", ("A",)),
+            PCRelationship.SUBSET,
+        )
+        to_s = Rewriting(
+            original,
+            original.replacing_relation("R", "S"),
+            (ReplaceRelationMove("R", "S", pc_s),),
+        )
+        key = closest_size_key(mkb.statistics)
+        assert key(to_s) == 1600  # |2000 - 400|
+        assert key(identity("CREATE VIEW V AS SELECT R.A FROM R")) == 0
+
+    def test_fewest_clauses(self):
+        key = fewest_clauses_key()
+        bare = identity("CREATE VIEW V AS SELECT R.A FROM R")
+        fenced = identity(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 1 AND R.A < 9"
+        )
+        assert key(bare) == 0
+        assert key(fenced) == 2
+
+
+class TestSelection:
+    def test_lexicographic_priority(self, mkb):
+        small_far = identity("CREATE VIEW V AS SELECT T.A FROM T")
+        large_near = identity(
+            "CREATE VIEW V AS SELECT R.A, S.A AS A2 FROM R, S"
+        )
+        # fewest_sources first: both tie at 1 source? T is IS2 alone -> 1,
+        # R+S both IS1 -> 1. Tie; next key (smallest relations) decides.
+        chosen = pick_by_heuristics(
+            [small_far, large_near],
+            [fewest_sources_key(mkb), smallest_relations_key(mkb.statistics)],
+        )
+        assert chosen is large_near  # 2400 > 3000? no: 2400 < 3000
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(EvaluationError):
+            pick_by_heuristics([], [fewest_relations_key()])
+
+    def test_default_stack_shape(self, mkb):
+        stack = default_heuristic_stack(mkb, mkb.statistics)
+        assert len(stack) == 5
+        candidate = identity("CREATE VIEW V AS SELECT R.A FROM R")
+        chosen = pick_by_heuristics([candidate], stack)
+        assert chosen is candidate

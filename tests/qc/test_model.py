@@ -1,0 +1,151 @@
+"""Unit tests for the QC-Model ranking (Eq. 26)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.qc.model import QCModel, qc_score
+from repro.qc.params import TradeoffParameters
+from repro.qc.workload import WorkloadModel, WorkloadSpec
+from repro.space.changes import DeleteRelation
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_cardinality_scenario
+
+
+@pytest.fixture(scope="module")
+def experiment4():
+    """The Experiment 4 candidate set, synchronized once per module."""
+    scenario = build_cardinality_scenario()
+    scenario.space.delete_relation("R2")
+    synchronizer = ViewSynchronizer(scenario.space.mkb)
+    rewritings = synchronizer.synchronize(
+        scenario.view, DeleteRelation("IS1", "R2")
+    )
+    rewritings.sort(key=lambda r: r.moves[-1].new_relation)
+    named = [r.renamed(f"V{i + 1}") for i, r in enumerate(rewritings)]
+    return scenario, named
+
+
+class TestQCScore:
+    def test_eq26(self):
+        params = TradeoffParameters()
+        assert qc_score(0.0, 0.0, params) == 1.0
+        assert qc_score(1.0, 1.0, params) == 0.0
+        assert qc_score(0.5, 0.0, params) == pytest.approx(0.55)
+
+    def test_perfect_score_needs_zero_cost_weight(self):
+        params = TradeoffParameters().with_quality_weight(1.0)
+        assert qc_score(0.0, 1.0, params) == 1.0
+
+
+class TestEvaluation:
+    def test_table4_case1_values(self, experiment4):
+        """All five QC values of Table 4, Case 1, to 5 decimals."""
+        scenario, rewritings = experiment4
+        model = QCModel(scenario.space.mkb, TradeoffParameters())
+        evaluations = model.evaluate(rewritings, updated_relation="R1")
+        by_name = {e.name: e for e in evaluations}
+        # Note: the paper's DD column prints 0.027/0.045 for V4/V5, but its
+        # own QC values (0.898/0.855) arithmetically require 0.03/0.05 —
+        # we match the QC numbers, which are the ones the ranking used.
+        expected = {
+            "V1": (0.075, 0.9325, 3),
+            "V2": (0.0375, 0.94125, 2),
+            "V3": (0.0, 0.95, 1),
+            "V4": (0.03, 0.898, 4),
+            "V5": (0.05, 0.855, 5),
+        }
+        for name, (dd, qc, rank) in expected.items():
+            evaluation = by_name[name]
+            assert evaluation.quality.dd == pytest.approx(dd, abs=1e-6)
+            assert evaluation.qc == pytest.approx(qc, abs=1e-5)
+            assert evaluation.rank == rank
+
+    def test_case2_and_case3_prefer_v1(self, experiment4):
+        scenario, rewritings = experiment4
+        for weight in (0.75, 0.5):
+            model = QCModel(
+                scenario.space.mkb,
+                TradeoffParameters().with_quality_weight(weight),
+            )
+            best = model.best(rewritings, updated_relation="R1")
+            assert best.name == "V1"
+
+    def test_superset_chain_always_ordered(self, experiment4):
+        """V3 > V4 > V5 under every trade-off setting (Sec. 7.4 bullet 1)."""
+        scenario, rewritings = experiment4
+        for weight in (0.9, 0.75, 0.5, 0.25, 0.1):
+            model = QCModel(
+                scenario.space.mkb,
+                TradeoffParameters().with_quality_weight(weight),
+            )
+            evaluations = model.evaluate(rewritings, updated_relation="R1")
+            ranks = {e.name: e.rank for e in evaluations}
+            assert ranks["V3"] < ranks["V4"] < ranks["V5"]
+
+    def test_ranks_are_dense_and_sorted(self, experiment4):
+        scenario, rewritings = experiment4
+        model = QCModel(scenario.space.mkb)
+        evaluations = model.evaluate(rewritings, updated_relation="R1")
+        assert [e.rank for e in evaluations] == [1, 2, 3, 4, 5]
+        scores = [e.qc for e in evaluations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_workload_m1_normalization_invariance(self, experiment4):
+        """Table 5: M1 changes absolute costs but not normalized ones."""
+        scenario, rewritings = experiment4
+        model = QCModel(scenario.space.mkb)
+        single = model.evaluate(rewritings, updated_relation="R1")
+        m1 = model.evaluate(
+            rewritings,
+            workload=WorkloadSpec(WorkloadModel.M1_PROPORTIONAL, 0.01),
+            updated_relation="R1",
+        )
+        single_by_name = {e.name: e for e in single}
+        for evaluation in m1:
+            counterpart = single_by_name[evaluation.name]
+            assert evaluation.qc == pytest.approx(counterpart.qc, abs=1e-4)
+            assert evaluation.rank == counterpart.rank
+
+    def test_best_requires_candidates(self, experiment4):
+        scenario, _ = experiment4
+        model = QCModel(scenario.space.mkb)
+        with pytest.raises(EvaluationError):
+            model.best([])
+
+    def test_unpriceable_rewriting_reports_relation(self, experiment4):
+        scenario, rewritings = experiment4
+        model = QCModel(scenario.space.mkb)
+        from repro.esql.parser import parse_view
+        from repro.sync.rewriting import Rewriting
+
+        ghost_view = parse_view("CREATE VIEW G AS SELECT Ghost.A FROM Ghost")
+        ghost = Rewriting(ghost_view, ghost_view)
+        with pytest.raises(EvaluationError) as excinfo:
+            model.evaluate([ghost])
+        assert "Ghost" in str(excinfo.value)
+
+
+class TestExactEvaluation:
+    def test_exact_path_agrees_on_ranking_direction(self):
+        """Materialized counting must rank the S-chain like the estimate."""
+        scenario = build_cardinality_scenario(populate=True)
+        original_relations = dict(scenario.original_relations)
+        scenario.space.delete_relation("R2")
+        synchronizer = ViewSynchronizer(scenario.space.mkb)
+        rewritings = synchronizer.synchronize(
+            scenario.view, DeleteRelation("IS1", "R2")
+        )
+        rewritings.sort(key=lambda r: r.moves[-1].new_relation)
+        named = [r.renamed(f"V{i + 1}") for i, r in enumerate(rewritings)]
+        model = QCModel(
+            scenario.space.mkb,
+            TradeoffParameters().with_quality_weight(1.0),
+        )
+        current = scenario.space.relations()
+        evaluations = model.evaluate_exact(
+            named, original_relations, current, updated_relation="R1"
+        )
+        ranks = {e.name: e.rank for e in evaluations}
+        # S3 = R2 exactly, so V3 must win on pure quality.
+        assert ranks["V3"] == 1
+        assert ranks["V3"] < ranks["V4"] < ranks["V5"]

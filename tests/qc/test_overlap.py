@@ -1,0 +1,242 @@
+"""Unit tests for PC-based overlap estimation — all twelve Fig. 9/10 cases."""
+
+import pytest
+
+from repro.esql.parser import parse_condition_clause
+from repro.misd.constraints import (
+    PCConstraint,
+    PCRelationship,
+    RelationFragment,
+)
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.overlap import (
+    NO_OVERLAP,
+    estimate_overlap,
+    fragment_cardinality,
+    overlap_between,
+)
+from repro.relational.expressions import Condition
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def stats():
+    s = SpaceStatistics()
+    s.register_simple("R1", cardinality=1000, selectivity=0.4)
+    s.register_simple("R2", cardinality=2000, selectivity=0.25)
+    return s
+
+
+def make_pc(relationship, left_selective, right_selective):
+    left_condition = (
+        Condition([parse_condition_clause("R1.A > 0")])
+        if left_selective
+        else Condition.true()
+    )
+    right_condition = (
+        Condition([parse_condition_clause("R2.A > 0")])
+        if right_selective
+        else Condition.true()
+    )
+    return PCConstraint(
+        RelationFragment("R1", ("A",), left_condition),
+        RelationFragment("R2", ("A",), right_condition),
+        relationship,
+    )
+
+
+class TestFragmentCardinality:
+    def test_full(self, stats):
+        assert fragment_cardinality("R1", False, stats) == 1000
+
+    def test_selective(self, stats):
+        assert fragment_cardinality("R1", True, stats) == 400
+
+
+class TestTwelveCases:
+    """Fig. 10's table: (selection pattern, REL) -> (size, exactness)."""
+
+    # no/no row: all exact.
+    def test_no_no_equivalent(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.EQUIVALENT, False, False), stats)
+        assert (e.size, e.exact) == (1000, True)
+
+    def test_no_no_subset(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUBSET, False, False), stats)
+        assert (e.size, e.exact) == (1000, True)  # |R1|
+
+    def test_no_no_superset(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUPERSET, False, False), stats)
+        assert (e.size, e.exact) == (2000, True)  # |R2|
+
+    # no/yes row: superset case is a minimum (asterisk in Fig. 9).
+    def test_no_yes_equivalent(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.EQUIVALENT, False, True), stats)
+        assert (e.size, e.exact) == (500, True)  # min(|R1|, s2|R2|)
+
+    def test_no_yes_subset(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUBSET, False, True), stats)
+        assert (e.size, e.exact) == (1000, True)
+
+    def test_no_yes_superset_is_minimum(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUPERSET, False, True), stats)
+        assert (e.size, e.exact) == (500, False)  # >= s2|R2|
+
+    # yes/no row: subset case is a minimum.
+    def test_yes_no_equivalent(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.EQUIVALENT, True, False), stats)
+        assert (e.size, e.exact) == (400, True)
+
+    def test_yes_no_subset_is_minimum(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUBSET, True, False), stats)
+        assert (e.size, e.exact) == (400, False)  # >= s1|R1|
+
+    def test_yes_no_superset(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUPERSET, True, False), stats)
+        assert (e.size, e.exact) == (2000, True)
+
+    # yes/yes row: everything is a minimum.
+    def test_yes_yes_equivalent_is_minimum(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.EQUIVALENT, True, True), stats)
+        assert (e.size, e.exact) == (400, False)
+
+    def test_yes_yes_subset_is_minimum(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUBSET, True, True), stats)
+        assert (e.size, e.exact) == (400, False)
+
+    def test_yes_yes_superset_is_minimum(self, stats):
+        e = estimate_overlap(make_pc(PCRelationship.SUPERSET, True, True), stats)
+        assert (e.size, e.exact) == (500, False)
+
+    def test_exactly_five_inexact_cases(self, stats):
+        """The paper marks five cases with asterisks (Sec. 5.4.3)."""
+        inexact = 0
+        for relationship in PCRelationship:
+            for left in (False, True):
+                for right in (False, True):
+                    estimate = estimate_overlap(
+                        make_pc(relationship, left, right), stats
+                    )
+                    if not estimate.exact:
+                        inexact += 1
+        assert inexact == 5
+
+
+class TestOverlapBetween:
+    @pytest.fixture
+    def mkb(self, stats):
+        base = MetaKnowledgeBase(stats)
+        base.register_relation(Schema("R1", ["A"]), "IS1")
+        base.register_relation(Schema("R2", ["A"]), "IS2")
+        return base
+
+    def test_no_constraint_means_no_overlap(self, mkb):
+        assert overlap_between("R1", "R2", mkb) is NO_OVERLAP
+        assert overlap_between("R1", "R2", mkb).size == 0
+
+    def test_constraint_found_and_oriented(self, mkb, stats):
+        mkb.add_containment("R1", "R2", ["A"])
+        estimate = overlap_between("R1", "R2", mkb)
+        assert estimate.size == 1000
+
+    def test_reverse_orientation_found(self, mkb):
+        mkb.add_containment("R1", "R2", ["A"])
+        estimate = overlap_between("R2", "R1", mkb)
+        assert estimate.size == 1000  # |R1| either way
+
+    def test_survives_relation_deletion(self, mkb):
+        mkb.add_containment("R1", "R2", ["A"])
+        mkb.on_relation_deleted("R1")
+        estimate = overlap_between("R1", "R2", mkb)
+        assert estimate.size == 1000
+
+    def test_best_of_multiple_constraints(self, mkb, stats):
+        from repro.misd.constraints import PCConstraint, RelationFragment
+
+        mkb.add_pc_constraint(
+            PCConstraint(
+                RelationFragment(
+                    "R1", ("A",),
+                    Condition([parse_condition_clause("R1.A > 0")]),
+                ),
+                RelationFragment("R2", ("A",)),
+                PCRelationship.SUBSET,
+            )
+        )
+        mkb.add_containment("R1", "R2", ["A"])
+        estimate = overlap_between("R1", "R2", mkb)
+        assert estimate.size == 1000  # the unselective constraint wins
+
+
+class TestTransitiveOverlap:
+    """2-hop constraint paths (the transitive-replacement situation)."""
+
+    @pytest.fixture
+    def mkb3(self, stats):
+        stats.register_simple("R3", cardinality=1500, selectivity=0.5)
+        base = MetaKnowledgeBase(stats)
+        base.register_relation(Schema("R1", ["A"]), "IS1")
+        base.register_relation(Schema("R2", ["A"]), "IS2")
+        base.register_relation(Schema("R3", ["A"]), "IS3")
+        return base
+
+    def test_two_hop_containment_chain(self, mkb3):
+        # R1 ⊆ R2 ⊆ R3: |R1 ∩ R3| >= |R1∩R2| + |R2∩R3| - |R2|
+        #             = 1000 + 2000 - 2000 = 1000.
+        mkb3.add_containment("R1", "R2", ["A"])
+        mkb3.add_containment("R2", "R3", ["A"])
+        estimate = overlap_between("R1", "R3", mkb3)
+        assert estimate.size == 1000
+        assert not estimate.exact
+
+    def test_shared_ancestor_pattern(self, mkb3):
+        # R2 ⊇ R1 and R1 ⊆ R3 (Experiment 1's shape, with R1 the deleted
+        # ancestor): |R2 ∩ R3| >= |R2∩R1| + |R1∩R3| - |R1| = |R1|.
+        mkb3.add_containment("R1", "R2", ["A"])
+        mkb3.add_containment("R1", "R3", ["A"])
+        estimate = overlap_between("R2", "R3", mkb3)
+        assert estimate.size == 1000
+        assert not estimate.exact
+
+    def test_two_hop_survives_intermediate_deletion(self, mkb3):
+        mkb3.add_containment("R1", "R2", ["A"])
+        mkb3.add_containment("R1", "R3", ["A"])
+        mkb3.on_relation_deleted("R1")
+        estimate = overlap_between("R2", "R3", mkb3)
+        assert estimate.size == 1000
+
+    def test_disjoint_fragments_bound_clamps_to_zero(self, mkb3):
+        # Small overlaps on both hops through a big intermediate: the
+        # inclusion-exclusion bound goes negative and clamps to 0.
+        from repro.misd.constraints import PCConstraint, RelationFragment
+
+        selective = Condition([parse_condition_clause("R2.A > 0")])
+        mkb3.add_pc_constraint(
+            PCConstraint(
+                RelationFragment("R1", ("A",)),
+                RelationFragment("R2", ("A",), selective),
+                PCRelationship.SUPERSET,
+            )
+        )
+        mkb3.add_pc_constraint(
+            PCConstraint(
+                RelationFragment(
+                    "R2", ("A",),
+                    Condition([parse_condition_clause("R2.A > 0")]),
+                ),
+                RelationFragment("R3", ("A",)),
+                PCRelationship.SUBSET,
+            )
+        )
+        estimate = overlap_between("R1", "R3", mkb3)
+        # 500 + 500 - 2000 < 0 -> clamped.
+        assert estimate.size == 0.0
+
+    def test_direct_constraint_preferred_over_path(self, mkb3):
+        mkb3.add_containment("R1", "R2", ["A"])
+        mkb3.add_containment("R2", "R3", ["A"])
+        mkb3.add_containment("R1", "R3", ["A"])  # direct, exact
+        estimate = overlap_between("R1", "R3", mkb3)
+        assert estimate.exact
+        assert estimate.size == 1000

@@ -1,0 +1,75 @@
+"""Unit tests for QC trade-off parameters."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.qc.params import (
+    DEFAULT_PARAMETERS,
+    EXPERIMENT4_CASES,
+    TradeoffParameters,
+)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        p = DEFAULT_PARAMETERS
+        assert (p.w1, p.w2) == (0.7, 0.3)
+        assert (p.rho_d1, p.rho_d2) == (0.5, 0.5)
+        assert (p.rho_attr, p.rho_ext) == (0.7, 0.3)
+        assert (p.cost_m, p.cost_t, p.cost_io) == (0.1, 0.7, 0.2)
+        assert (p.rho_quality, p.rho_cost) == (0.9, 0.1)
+
+    def test_w1_exceeds_w2_by_default(self):
+        # The EVE favour-replaceable property (Sec. 5.2).
+        assert DEFAULT_PARAMETERS.w1 > DEFAULT_PARAMETERS.w2
+
+    def test_experiment4_cases(self):
+        labels = [label for label, _ in EXPERIMENT4_CASES]
+        weights = [p.rho_quality for _, p in EXPERIMENT4_CASES]
+        assert labels == ["Case 1", "Case 2", "Case 3"]
+        assert weights == [0.9, 0.75, 0.5]
+
+
+class TestValidation:
+    def test_pair_must_sum_to_one(self):
+        with pytest.raises(EvaluationError):
+            TradeoffParameters(rho_d1=0.5, rho_d2=0.6)
+        with pytest.raises(EvaluationError):
+            TradeoffParameters(rho_attr=0.2, rho_ext=0.2)
+        with pytest.raises(EvaluationError):
+            TradeoffParameters(rho_quality=1.0, rho_cost=0.5)
+
+    def test_unit_range_enforced(self):
+        with pytest.raises(EvaluationError):
+            TradeoffParameters(w1=1.5)
+
+    def test_negative_unit_price_rejected(self):
+        with pytest.raises(EvaluationError):
+            TradeoffParameters(cost_t=-1)
+
+
+class TestVariants:
+    def test_with_quality_weight(self):
+        p = DEFAULT_PARAMETERS.with_quality_weight(0.6)
+        assert p.rho_quality == 0.6
+        assert p.rho_cost == pytest.approx(0.4)
+
+    def test_with_interface_weights(self):
+        p = DEFAULT_PARAMETERS.with_interface_weights(0.2, 0.9)
+        assert (p.w1, p.w2) == (0.2, 0.9)
+
+    def test_with_extent_weights(self):
+        p = DEFAULT_PARAMETERS.with_extent_weights(1.0, 0.0)
+        assert (p.rho_d1, p.rho_d2) == (1.0, 0.0)
+
+    def test_with_divergence_weights(self):
+        p = DEFAULT_PARAMETERS.with_divergence_weights(0.5, 0.5)
+        assert (p.rho_attr, p.rho_ext) == (0.5, 0.5)
+
+    def test_with_unit_prices(self):
+        p = DEFAULT_PARAMETERS.with_unit_prices(1, 2, 3)
+        assert (p.cost_m, p.cost_t, p.cost_io) == (1, 2, 3)
+
+    def test_variants_leave_original_untouched(self):
+        DEFAULT_PARAMETERS.with_quality_weight(0.1)
+        assert DEFAULT_PARAMETERS.rho_quality == 0.9

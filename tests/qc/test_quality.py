@@ -1,0 +1,168 @@
+"""Unit tests for the quality model (DD_attr, DD_ext, DD)."""
+
+import pytest
+
+from repro.esql.parser import parse_view
+from repro.qc.params import TradeoffParameters
+from repro.qc.quality import (
+    assess_quality,
+    dd_attr,
+    dd_ext,
+    dd_ext_d1,
+    dd_ext_d2,
+    exact_extent_numbers,
+    interface_quality,
+)
+from repro.qc.view_size import ExtentNumbers
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sync.rewriting import ExtentRelationship, Rewriting
+
+PARAMS = TradeoffParameters()
+
+
+class TestInterfaceQuality:
+    """Example 3 of the paper: Q_V and DD_attr over Example 1's view."""
+
+    @pytest.fixture
+    def view(self):
+        # V: A indispensable, B and C in category 1 (AD & AR true).
+        return parse_view(
+            "CREATE VIEW V AS SELECT A, B (AD = true, AR = true), "
+            "C (AD = true, AR = true) FROM R WHERE R.A > 10"
+        )
+
+    def test_q_v_counts_weighted_categories(self, view):
+        assert interface_quality(view, PARAMS) == pytest.approx(2 * 0.7)
+
+    def test_category2_weighted_w2(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A (AD = true), B (AD = true, AR = true) "
+            "FROM R"
+        )
+        assert interface_quality(view, PARAMS) == pytest.approx(0.3 + 0.7)
+
+    def test_dd_attr_example3_v1(self, view):
+        # V1 keeps B (and the indispensable A): DD_attr = 0.5.
+        v1 = view.dropping_select_item("C")
+        assert dd_attr(view, v1, PARAMS) == pytest.approx(0.5)
+
+    def test_dd_attr_example3_v2(self, view):
+        # V2 keeps only A: DD_attr = 1.
+        v2 = view.dropping_select_item("C").dropping_select_item("B")
+        assert dd_attr(view, v2, PARAMS) == pytest.approx(1.0)
+
+    def test_dd_attr_zero_when_all_indispensable(self):
+        view = parse_view("CREATE VIEW V AS SELECT A, B FROM R")
+        assert dd_attr(view, view, PARAMS) == 0.0
+
+    def test_dd_attr_zero_for_full_preservation(self, view):
+        assert dd_attr(view, view, PARAMS) == 0.0
+
+    def test_replaced_attribute_keeps_its_category_weight(self, view):
+        # Replacing the relation keeps output names, so no interface loss.
+        replaced = view.replacing_relation("R", "T")
+        assert dd_attr(view, replaced, PARAMS) == 0.0
+
+
+class TestExtentDivergence:
+    def test_d1_fraction_of_lost_tuples(self):
+        numbers = ExtentNumbers(original=100, rewriting=80, overlap=60)
+        assert dd_ext_d1(numbers) == pytest.approx(0.4)
+
+    def test_d2_fraction_of_surplus(self):
+        numbers = ExtentNumbers(original=100, rewriting=80, overlap=60)
+        assert dd_ext_d2(numbers) == pytest.approx(0.25)
+
+    def test_equal_extents_no_divergence(self):
+        numbers = ExtentNumbers(100, 100, 100)
+        assert dd_ext(numbers, PARAMS) == 0.0
+
+    def test_empty_original_yields_zero_d1(self):
+        assert dd_ext_d1(ExtentNumbers(0, 50, 0)) == 0.0
+
+    def test_empty_rewriting_yields_zero_d2(self):
+        assert dd_ext_d2(ExtentNumbers(50, 0, 0)) == 0.0
+
+    def test_weights_blend(self):
+        numbers = ExtentNumbers(100, 100, 50)  # D1 = D2 = 0.5
+        lopsided = PARAMS.with_extent_weights(1.0, 0.0)
+        assert dd_ext(numbers, lopsided) == pytest.approx(0.5)
+        assert dd_ext(numbers, PARAMS) == pytest.approx(0.5)
+
+    def test_experiment4_values(self):
+        """Table 4's DD_ext column from its extent numbers."""
+        # V1: overlap 2000 of original 4000, no surplus.
+        assert dd_ext(
+            ExtentNumbers(4000, 2000, 2000), PARAMS
+        ) == pytest.approx(0.25)
+        # V4: superset 5000, no loss.
+        assert dd_ext(
+            ExtentNumbers(4000, 5000, 4000), PARAMS
+        ) == pytest.approx(0.1)
+
+
+class TestTotalDivergence:
+    def test_eq20_blend(self):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT A, B (AD = true, AR = true) FROM R"
+        )
+        rewriting = Rewriting(
+            view, view.dropping_select_item("B"), (), ExtentRelationship.EQUAL
+        )
+        numbers = ExtentNumbers(100, 100, 100)
+        assessment = assess_quality(rewriting, PARAMS, numbers)
+        assert assessment.dd_attr == 1.0
+        assert assessment.dd_ext == 0.0
+        assert assessment.dd == pytest.approx(0.7)
+
+    def test_breakdown_is_consistent(self):
+        view = parse_view("CREATE VIEW V AS SELECT A FROM R")
+        rewriting = Rewriting(view, view)
+        numbers = ExtentNumbers(100, 200, 50)
+        a = assess_quality(rewriting, PARAMS, numbers)
+        assert a.dd == pytest.approx(
+            PARAMS.rho_attr * a.dd_attr + PARAMS.rho_ext * a.dd_ext
+        )
+        assert a.dd_ext == pytest.approx(
+            PARAMS.rho_d1 * a.dd_ext_d1 + PARAMS.rho_d2 * a.dd_ext_d2
+        )
+
+
+class TestExactPath:
+    def test_exact_numbers_from_materialized_extents(self):
+        original = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        new = parse_view("CREATE VIEW V AS SELECT T.A (AD = true) FROM T")
+        rewriting = Rewriting(original, new, (), ExtentRelationship.UNKNOWN)
+        old_relations = {
+            "R": Relation(Schema("R", ["A", "B"]), [(1, 1), (2, 2), (3, 3)])
+        }
+        new_relations = {
+            "T": Relation(Schema("T", ["A"]), [(1,), (2,), (9,)])
+        }
+        numbers = exact_extent_numbers(rewriting, old_relations, new_relations)
+        assert numbers.original == 3  # distinct A-projections of V
+        assert numbers.rewriting == 3
+        assert numbers.overlap == 2  # {1, 2}
+
+    def test_exact_numbers_duplicates_removed(self):
+        original = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        rewriting = Rewriting(original, original)
+        relations = {
+            "R": Relation(Schema("R", ["A"]), [(1,), (1,), (2,)])
+        }
+        numbers = exact_extent_numbers(rewriting, relations, relations)
+        assert numbers.original == 2
+        assert numbers.overlap == 2
+
+    def test_disjoint_interfaces_full_divergence(self):
+        original = parse_view("CREATE VIEW V AS SELECT R.A (AD = true) FROM R")
+        new = parse_view("CREATE VIEW V AS SELECT T.B (AD = true) FROM T")
+        rewriting = Rewriting(original, new)
+        numbers = exact_extent_numbers(
+            rewriting,
+            {"R": Relation(Schema("R", ["A"]), [(1,)])},
+            {"T": Relation(Schema("T", ["B"]), [(5,)])},
+        )
+        assert numbers.overlap == 0
+        assert dd_ext(numbers, PARAMS) == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the Eq. 16/17 VE shortcuts (Sec. 5.4.2).
+
+When the view-extent parameter pins the direction ('⊇' or '⊆'), the
+overlap is the smaller extent and "none of the expensive set intersection
+operations is required" — the shortcut formulas must equal the general
+Eq. 15 on the corresponding extent numbers.
+"""
+
+import pytest
+
+from repro.qc.params import TradeoffParameters
+from repro.qc.quality import (
+    dd_ext,
+    dd_ext_subset,
+    dd_ext_superset,
+)
+from repro.qc.view_size import ExtentNumbers
+
+PARAMS = TradeoffParameters()
+
+
+class TestSupersetShortcut:
+    def test_equals_general_formula(self):
+        # Superset rewriting: overlap = original extent.
+        for original, rewriting in [(100, 150), (400, 400), (10, 1000)]:
+            shortcut = dd_ext_superset(original, rewriting, PARAMS)
+            general = dd_ext(
+                ExtentNumbers(original, rewriting, original), PARAMS
+            )
+            assert shortcut == pytest.approx(general)
+
+    def test_only_d2_contributes(self):
+        # Eq. 16's structure: no information is lost, only surplus added.
+        value = dd_ext_superset(100, 200, PARAMS)
+        assert value == pytest.approx(PARAMS.rho_d2 * 0.5)
+
+    def test_equal_sizes_no_divergence(self):
+        assert dd_ext_superset(500, 500, PARAMS) == 0.0
+
+    def test_monotone_in_rewriting_size(self):
+        values = [
+            dd_ext_superset(100, size, PARAMS) for size in (100, 150, 300)
+        ]
+        assert values == sorted(values)
+
+    def test_footnote5_weight_folding(self):
+        # With (rho_d1, rho_d2) = (0, 1), the shortcut is exactly D2.
+        folded = PARAMS.with_extent_weights(0.0, 1.0)
+        assert dd_ext_superset(100, 400, folded) == pytest.approx(0.75)
+
+
+class TestSubsetShortcut:
+    def test_equals_general_formula(self):
+        for original, rewriting in [(150, 100), (400, 400), (1000, 10)]:
+            shortcut = dd_ext_subset(original, rewriting, PARAMS)
+            general = dd_ext(
+                ExtentNumbers(original, rewriting, rewriting), PARAMS
+            )
+            assert shortcut == pytest.approx(general)
+
+    def test_only_d1_contributes(self):
+        value = dd_ext_subset(200, 100, PARAMS)
+        assert value == pytest.approx(PARAMS.rho_d1 * 0.5)
+
+    def test_monotone_in_information_loss(self):
+        values = [
+            dd_ext_subset(100, size, PARAMS) for size in (100, 50, 10)
+        ]
+        assert values == sorted(values)
+
+    def test_footnote6_weight_folding(self):
+        folded = PARAMS.with_extent_weights(1.0, 0.0)
+        assert dd_ext_subset(400, 100, folded) == pytest.approx(0.75)
+
+
+class TestConsistencyWithExperiment4:
+    def test_superset_chain_values(self):
+        """V4/V5 of Table 4 are superset rewritings: the shortcut must
+        reproduce their DD_ext column directly from the two sizes."""
+        # |V| = js*|R1|*4000, |V4| = js*|R1|*5000 — sizes cancel to the
+        # cardinality ratio.
+        assert dd_ext_superset(4000, 5000, PARAMS) == pytest.approx(0.1)
+        assert dd_ext_superset(4000, 6000, PARAMS) == pytest.approx(1 / 6)
+
+    def test_subset_chain_values(self):
+        """V1/V2 are subset rewritings."""
+        assert dd_ext_subset(4000, 2000, PARAMS) == pytest.approx(0.25)
+        assert dd_ext_subset(4000, 3000, PARAMS) == pytest.approx(0.125)

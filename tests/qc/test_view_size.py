@@ -1,0 +1,172 @@
+"""Unit tests for view-size and view-overlap estimation (Example 4)."""
+
+import pytest
+
+from repro.esql.parser import parse_view
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.view_size import (
+    ExtentNumbers,
+    estimate_extent_numbers,
+    estimate_view_cardinality,
+)
+from repro.relational.schema import Schema
+from repro.sync.rewriting import (
+    DropAttributeMove,
+    ExtentRelationship,
+    ReplaceRelationMove,
+    Rewriting,
+)
+from repro.relational.expressions import AttributeRef
+
+
+@pytest.fixture
+def stats():
+    s = SpaceStatistics(join_selectivity=0.005)
+    s.register_simple("R", 400, 100, 0.5)
+    s.register_simple("S", 2000, 100, 0.5)
+    s.register_simple("T", 3000, 100, 0.5)
+    return s
+
+
+@pytest.fixture
+def mkb(stats):
+    base = MetaKnowledgeBase(stats)
+    base.register_relation(Schema("R", ["A", "B"]), "IS1")
+    base.register_relation(Schema("S", ["A", "B"]), "IS2")
+    base.register_relation(Schema("T", ["A", "C"]), "IS3")
+    return base
+
+
+class TestViewCardinality:
+    def test_single_relation(self, stats):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert estimate_view_cardinality(view, stats) == 400
+
+    def test_join_applies_js_per_join_clause(self, stats):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R, T WHERE R.A = T.A"
+        )
+        assert estimate_view_cardinality(view, stats) == pytest.approx(
+            0.005 * 400 * 3000
+        )
+
+    def test_selection_applies_local_selectivity(self, stats):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.B > 10"
+        )
+        assert estimate_view_cardinality(view, stats) == pytest.approx(200)
+
+    def test_mixed_clauses(self, stats):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R, T "
+            "WHERE R.A = T.A AND T.C > 0"
+        )
+        assert estimate_view_cardinality(view, stats) == pytest.approx(
+            0.005 * 400 * 3000 * 0.5
+        )
+
+
+class TestExtentNumbers:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentNumbers(-1, 0, 0)
+
+    def test_pure_drop_equal_extent(self, mkb):
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A, R.B (AD = true) FROM R"
+        )
+        rewriting = Rewriting(
+            original,
+            original.dropping_select_item("B"),
+            (DropAttributeMove("B", AttributeRef("B", "R")),),
+            ExtentRelationship.EQUAL,
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        assert numbers.original == numbers.overlap == 400
+
+    def test_superset_rewriting_overlap_is_original(self, mkb):
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE (R.B > 1) (CD = true)"
+        )
+        rewriting = Rewriting(
+            original,
+            original.dropping_where_item(0),
+            (),
+            ExtentRelationship.SUPERSET,
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        assert numbers.original == pytest.approx(200)
+        assert numbers.rewriting == pytest.approx(400)
+        assert numbers.overlap == pytest.approx(200)
+
+    def test_unknown_without_replacement_assumes_disjoint(self, mkb):
+        original = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        rewriting = Rewriting(
+            original, original, (), ExtentRelationship.UNKNOWN
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        assert numbers.overlap == 0
+        assert not numbers.exact
+
+    def test_replacement_uses_pc_overlap(self, mkb):
+        mkb.add_containment("R", "S", ["A", "B"])
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)"
+        )
+        pc = mkb.pc_constraint_between("R", "S")
+        rewriting = Rewriting(
+            original,
+            original.replacing_relation("R", "S"),
+            (ReplaceRelationMove("R", "S", pc),),
+            ExtentRelationship.SUPERSET,
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        assert numbers.original == pytest.approx(400)
+        assert numbers.rewriting == pytest.approx(2000)
+        assert numbers.overlap == pytest.approx(400)  # |R ∩ S| = |R|
+
+    def test_replacement_without_pc_means_zero_overlap(self, mkb):
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)"
+        )
+        # Forge a replacement move with a constraint the MKB doesn't hold.
+        from repro.misd.constraints import (
+            PCConstraint,
+            PCRelationship,
+            RelationFragment,
+        )
+        phantom = PCConstraint(
+            RelationFragment("R", ("A",)),
+            RelationFragment("S", ("A",)),
+            PCRelationship.EQUIVALENT,
+        )
+        rewriting = Rewriting(
+            original,
+            original.replacing_relation("R", "S"),
+            (ReplaceRelationMove("R", "S", phantom),),
+            ExtentRelationship.UNKNOWN,
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        assert numbers.overlap == 0
+        assert not numbers.exact
+
+    def test_example4_structure(self, mkb):
+        """|V ∩ V1| = js * |R ∩ S| * |T| with T the surviving join partner."""
+        mkb.add_containment("R", "S", ["A", "B"])
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), T.C "
+            "FROM R (RR = true), T WHERE (R.A = T.A) (CR = true)"
+        )
+        pc = mkb.pc_constraint_between("R", "S")
+        rewriting = Rewriting(
+            original,
+            original.replacing_relation("R", "S"),
+            (ReplaceRelationMove("R", "S", pc),),
+            ExtentRelationship.SUPERSET,
+        )
+        numbers = estimate_extent_numbers(rewriting, mkb)
+        js = 0.005
+        assert numbers.rewriting == pytest.approx(js * 2000 * 3000)
+        assert numbers.original == pytest.approx(js * 400 * 3000)
+        assert numbers.overlap == pytest.approx(js * 400 * 3000)

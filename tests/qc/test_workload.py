@@ -1,0 +1,120 @@
+"""Unit tests for workload models M1-M4."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.misd.statistics import SpaceStatistics
+from repro.qc.cost import MaintenancePlan, SourceGroup, assess_cost
+from repro.qc.params import TradeoffParameters
+from repro.qc.workload import (
+    WorkloadModel,
+    WorkloadSpec,
+    aggregate_cost,
+)
+
+
+@pytest.fixture
+def stats():
+    s = SpaceStatistics()
+    s.register_simple("R", 1000)
+    s.register_simple("S", 2000)
+    s.register_simple("T", 3000)
+    return s
+
+
+@pytest.fixture
+def plan():
+    return MaintenancePlan(
+        (SourceGroup("IS1", ("R", "S")), SourceGroup("IS2", ("T",))), "R"
+    )
+
+
+class TestUpdateCounts:
+    def test_m1_proportional_to_size(self, plan, stats):
+        spec = WorkloadSpec(WorkloadModel.M1_PROPORTIONAL, rate=0.01)
+        counts = spec.update_counts(plan, stats)
+        assert counts == {"R": 10, "S": 20, "T": 30}
+
+    def test_m2_constant_per_relation(self, plan, stats):
+        spec = WorkloadSpec(WorkloadModel.M2_PER_RELATION, rate=5)
+        counts = spec.update_counts(plan, stats)
+        assert counts == {"R": 5, "S": 5, "T": 5}
+
+    def test_m3_constant_per_source(self, plan, stats):
+        spec = WorkloadSpec(WorkloadModel.M3_PER_SOURCE, rate=10)
+        counts = spec.update_counts(plan, stats)
+        assert counts == {"R": 5, "S": 5, "T": 10}
+        assert spec.total_updates(plan, stats) == 20
+
+    def test_m4_constant_per_rewriting(self, plan, stats):
+        spec = WorkloadSpec(WorkloadModel.M4_PER_REWRITING, rate=9)
+        counts = spec.update_counts(plan, stats)
+        assert counts == {"R": 3, "S": 3, "T": 3}
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(EvaluationError):
+            WorkloadSpec(WorkloadModel.M2_PER_RELATION, rate=-1)
+
+
+class TestAggregateCost:
+    def test_weighted_sum_over_origins(self, plan, stats):
+        params = TradeoffParameters()
+        spec = WorkloadSpec(WorkloadModel.M2_PER_RELATION, rate=1)
+        total = aggregate_cost(
+            spec, plan, stats, lambda p: assess_cost(p, stats, params)
+        )
+        # Must equal the sum of per-origin single-update costs.
+        expected = 0.0
+        for relation in ("R", "S", "T"):
+            from repro.qc.workload import _reroot_builder
+
+            rerooted = _reroot_builder(plan)(relation)
+            expected += assess_cost(rerooted, stats, params).total
+        assert total.total == pytest.approx(expected)
+
+    def test_zero_rate_costs_nothing(self, plan, stats):
+        params = TradeoffParameters()
+        spec = WorkloadSpec(WorkloadModel.M2_PER_RELATION, rate=0)
+        total = aggregate_cost(
+            spec, plan, stats, lambda p: assess_cost(p, stats, params)
+        )
+        assert total.total == 0.0
+
+    def test_m1_scales_linearly_with_rate(self, plan, stats):
+        params = TradeoffParameters()
+        cost = lambda p: assess_cost(p, stats, params)  # noqa: E731
+        low = aggregate_cost(
+            WorkloadSpec(WorkloadModel.M1_PROPORTIONAL, 0.01),
+            plan, stats, cost,
+        )
+        high = aggregate_cost(
+            WorkloadSpec(WorkloadModel.M1_PROPORTIONAL, 0.02),
+            plan, stats, cost,
+        )
+        assert high.total == pytest.approx(2 * low.total)
+
+
+class TestReroot:
+    def test_reroot_moves_origin_group_first(self, plan):
+        from repro.qc.workload import _reroot_builder
+
+        rerooted = _reroot_builder(plan)("T")
+        assert rerooted.groups[0].source == "IS2"
+        assert rerooted.updated_relation == "T"
+
+    def test_reroot_reorders_within_group(self, plan):
+        from repro.qc.workload import _reroot_builder
+
+        rerooted = _reroot_builder(plan)("S")
+        assert rerooted.groups[0].relations == ("S", "R")
+
+    def test_reroot_same_origin_is_identity(self, plan):
+        from repro.qc.workload import _reroot_builder
+
+        assert _reroot_builder(plan)("R") is plan
+
+    def test_reroot_unknown_relation(self, plan):
+        from repro.qc.workload import _reroot_builder
+
+        with pytest.raises(EvaluationError):
+            _reroot_builder(plan)("Z")

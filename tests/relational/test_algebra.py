@@ -1,0 +1,218 @@
+"""Unit tests for relational algebra operators, including the Fig. 7 set
+operators on the common subset of attributes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.algebra import (
+    cartesian_product,
+    common_projection,
+    cs_difference,
+    cs_equal,
+    cs_intersection,
+    cs_subset,
+    difference,
+    intersection,
+    join,
+    natural_equijoin,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Condition,
+    Constant,
+    PrimitiveClause,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(name, attrs, rows):
+    return Relation(Schema(name, list(attrs)), rows)
+
+
+@pytest.fixture
+def r():
+    return rel("R", "AB", [(1, 10), (2, 20), (3, 30)])
+
+
+@pytest.fixture
+def s():
+    return rel("S", "AC", [(1, 100), (2, 200), (9, 900)])
+
+
+def eq_clause(left_rel, left_attr, right_rel, right_attr):
+    return PrimitiveClause(
+        AttributeRef(left_attr, left_rel),
+        Comparator.EQ,
+        AttributeRef(right_attr, right_rel),
+    )
+
+
+class TestSelect:
+    def test_select_with_condition(self, r):
+        condition = Condition.of(
+            PrimitiveClause(AttributeRef("A", "R"), Comparator.GT, Constant(1))
+        )
+        result = select(r, condition)
+        assert result.rows == [(2, 20), (3, 30)]
+
+    def test_select_with_callable(self, r):
+        result = select(r, lambda row: row["B"] == 20)
+        assert result.rows == [(2, 20)]
+
+    def test_select_true_keeps_everything(self, r):
+        assert select(r, Condition.true()).cardinality == 3
+
+    def test_select_renames(self, r):
+        assert select(r, Condition.true(), new_name="R2").name == "R2"
+
+
+class TestProject:
+    def test_project_bag_keeps_duplicates(self):
+        relation = rel("R", "AB", [(1, 1), (1, 2)])
+        assert project(relation, ["A"]).rows == [(1,), (1,)]
+
+    def test_project_distinct(self):
+        relation = rel("R", "AB", [(1, 1), (1, 2)])
+        assert project(relation, ["A"], distinct=True).rows == [(1,)]
+
+    def test_project_reorders(self, r):
+        result = project(r, ["B", "A"])
+        assert result.rows[0] == (10, 1)
+
+    def test_rename_attributes(self, r):
+        renamed = rename(r, {"A": "X"}, new_name="R2")
+        assert renamed.schema.attribute_names == ("X", "B")
+        assert renamed.name == "R2"
+
+
+class TestJoin:
+    def test_cartesian_product_size(self, r, s):
+        assert cartesian_product(r, s).cardinality == 9
+
+    def test_equijoin_hash_path(self, r, s):
+        condition = Condition.of(eq_clause("R", "A", "S", "A"))
+        result = join(r, s, condition)
+        assert sorted(result.rows) == [(1, 10, 1, 100), (2, 20, 2, 200)]
+
+    def test_theta_join_fallback(self, r, s):
+        condition = Condition.of(
+            PrimitiveClause(
+                AttributeRef("A", "R"), Comparator.LT, AttributeRef("A", "S")
+            )
+        )
+        result = join(r, s, condition)
+        # every R row joins with S rows having larger A
+        assert (1, 10, 2, 200) in result.rows
+        assert (3, 30, 9, 900) in result.rows
+        assert (2, 20, 1, 100) not in result.rows
+
+    def test_join_with_true_condition_is_product(self, r, s):
+        assert join(r, s, Condition.true()).cardinality == 9
+
+    def test_natural_equijoin_helper(self, r, s):
+        result = natural_equijoin(r, s, [("A", "A")])
+        assert result.cardinality == 2
+
+    def test_join_skips_null_keys(self, s):
+        left = rel("R", "AB", [(None, 1), (1, 2)])
+        result = natural_equijoin(left, s, [("A", "A")])
+        assert result.cardinality == 1
+
+    def test_join_qualifies_clashing_attributes(self, r):
+        other = rel("T", "AB", [(1, 99)])
+        result = join(r, other, Condition.of(eq_clause("R", "A", "T", "A")))
+        assert result.schema.attribute_names == ("A", "B", "T_A", "T_B")
+
+
+class TestSetOperators:
+    def test_union_distinct(self):
+        a = rel("R", "A", [(1,), (2,)])
+        b = rel("S", "A", [(2,), (3,)])
+        assert sorted(union(a, b).rows) == [(1,), (2,), (3,)]
+
+    def test_union_bag(self):
+        a = rel("R", "A", [(1,)])
+        b = rel("S", "A", [(1,)])
+        assert union(a, b, distinct=False).cardinality == 2
+
+    def test_difference(self):
+        a = rel("R", "A", [(1,), (2,), (2,)])
+        b = rel("S", "A", [(2,)])
+        assert difference(a, b).rows == [(1,)]
+
+    def test_intersection(self):
+        a = rel("R", "A", [(1,), (2,)])
+        b = rel("S", "A", [(2,), (3,)])
+        assert intersection(a, b).rows == [(2,)]
+
+    def test_arity_mismatch_rejected(self):
+        a = rel("R", "A", [(1,)])
+        b = rel("S", "AB", [(1, 2)])
+        with pytest.raises(SchemaError):
+            union(a, b)
+
+
+class TestCommonSubsetOperators:
+    """The Fig. 7 operators, on the paper's Fig. 5 data."""
+
+    @pytest.fixture
+    def v(self):
+        # Original view V(A,B,C,D) of Fig. 5(b).
+        return rel(
+            "V",
+            "ABCD",
+            [
+                (1, 1, 9, 5), (1, 1, 9, 0), (1, 2, 6, 1),
+                (2, 2, 6, 3), (2, 2, 3, 2), (2, 3, 1, 4),
+                (3, 3, 7, 6), (3, 6, 9, 1), (9, 6, 5, 3),
+            ],
+        )
+
+    @pytest.fixture
+    def v1(self):
+        # Rewriting V1(A,B) of Fig. 5(c).
+        return rel(
+            "V1", "AB",
+            [(1, 1), (1, 2), (2, 2), (2, 3), (3, 6), (6, 8), (2, 1), (1, 2)],
+        )
+
+    def test_common_projection_attributes(self, v, v1):
+        assert common_projection(v, v1).schema.attribute_names == ("A", "B")
+
+    def test_common_projection_requires_shared_attributes(self):
+        a = rel("R", "A", [(1,)])
+        b = rel("S", "B", [(1,)])
+        with pytest.raises(SchemaError):
+            common_projection(a, b)
+
+    def test_cs_intersection_counts_shared_projected_tuples(self, v, v1):
+        shared = cs_intersection(v, v1)
+        assert set(shared.rows) >= {(1, 1), (2, 2), (2, 3)}
+
+    def test_cs_difference(self, v, v1):
+        missing = cs_difference(v, v1)  # V tuples V1 lost
+        surplus = cs_difference(v1, v)  # V1 tuples not in V
+        assert (6, 8) in surplus.rows
+        assert (9, 6) in missing.rows
+
+    def test_cs_equal_on_identical_projections(self):
+        a = rel("R", "AB", [(1, 2), (3, 4)])
+        b = rel("S", "AC", [(1, 9), (3, 9)])
+        assert cs_equal(a, b)
+
+    def test_cs_subset(self):
+        a = rel("R", "A", [(1,)])
+        b = rel("S", "AB", [(1, 0), (2, 0)])
+        assert cs_subset(a, b)
+        assert not cs_subset(b, a)
+
+    def test_duplicates_removed_before_comparison(self):
+        a = rel("R", "A", [(1,), (1,)])
+        b = rel("S", "A", [(1,)])
+        assert cs_equal(a, b)

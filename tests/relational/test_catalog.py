@@ -1,0 +1,67 @@
+"""Unit tests for relation catalogs."""
+
+import pytest
+
+from repro.errors import UnknownRelationError, WorkspaceError
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog(owner="test")
+    c.add(Relation(Schema("R", ["A", "B"]), [(1, 2)]))
+    c.add(Relation(Schema("S", ["X"]), [(9,)]))
+    return c
+
+
+class TestRegistration:
+    def test_add_and_get(self, catalog):
+        assert catalog.get("R").cardinality == 1
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(WorkspaceError):
+            catalog.add(Relation(Schema("R", ["A"])))
+
+    def test_unknown_lookup(self, catalog):
+        with pytest.raises(UnknownRelationError):
+            catalog.get("Z")
+
+    def test_add_empty(self, catalog):
+        empty = catalog.add_empty(Schema("T", ["A"]))
+        assert empty.cardinality == 0
+        assert "T" in catalog
+
+    def test_remove(self, catalog):
+        removed = catalog.remove("S")
+        assert removed.name == "S"
+        assert "S" not in catalog
+
+    def test_relation_names_and_len(self, catalog):
+        assert set(catalog.relation_names) == {"R", "S"}
+        assert len(catalog) == 2
+
+
+class TestSchemaEvolution:
+    def test_rename_relation(self, catalog):
+        catalog.rename_relation("R", "R2")
+        assert "R" not in catalog
+        assert catalog.get("R2").rows == [(1, 2)]
+
+    def test_rename_collision_rejected(self, catalog):
+        with pytest.raises(WorkspaceError):
+            catalog.rename_relation("R", "S")
+
+    def test_drop_attribute_updates_in_place(self, catalog):
+        catalog.drop_attribute("R", "A")
+        assert catalog.get("R").schema.attribute_names == ("B",)
+        assert catalog.get("R").rows == [(2,)]
+
+    def test_add_attribute_with_default(self, catalog):
+        catalog.add_attribute("R", Attribute("C"), default=7)
+        assert catalog.get("R").rows == [(1, 2, 7)]
+
+    def test_rename_attribute(self, catalog):
+        catalog.rename_attribute("R", "B", "B2")
+        assert catalog.get("R").schema.attribute_names == ("A", "B2")

@@ -1,0 +1,177 @@
+"""Unit tests for predicate expressions (clauses and conditions)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparator,
+    Condition,
+    Constant,
+    PrimitiveClause,
+)
+
+
+def clause(left, op, right):
+    return PrimitiveClause(left, Comparator.from_symbol(op), right)
+
+
+A = AttributeRef("A", "R")
+B = AttributeRef("B", "S")
+BARE = AttributeRef("X")
+
+
+class TestComparator:
+    @pytest.mark.parametrize(
+        "symbol,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            ("=", 3, 3, True),
+            (">=", 2, 3, False),
+            (">", 5, 4, True),
+            ("<>", 1, 1, False),
+        ],
+    )
+    def test_apply(self, symbol, left, right, expected):
+        assert Comparator.from_symbol(symbol).apply(left, right) is expected
+
+    def test_none_never_satisfies(self):
+        for comparator in Comparator:
+            assert comparator.apply(None, 1) is False
+            assert comparator.apply(1, None) is False
+
+    def test_flipped_inverts_direction(self):
+        assert Comparator.LT.flipped() is Comparator.GT
+        assert Comparator.LE.flipped() is Comparator.GE
+        assert Comparator.EQ.flipped() is Comparator.EQ
+
+    def test_unknown_symbol(self):
+        with pytest.raises(EvaluationError):
+            Comparator.from_symbol("!=")
+
+
+class TestAttributeRef:
+    def test_qualified_rendering(self):
+        assert str(A) == "R.A"
+        assert str(BARE) == "X"
+
+    def test_matches_unqualified_any_relation(self):
+        assert BARE.matches("X", "Anything")
+
+    def test_matches_qualified_same_relation_only(self):
+        assert A.matches("A", "R")
+        assert not A.matches("A", "S")
+        assert A.matches("A")  # lookup that does not care
+
+    def test_requalified(self):
+        assert A.requalified("T") == AttributeRef("A", "T")
+
+    def test_renamed(self):
+        assert A.renamed("Z") == AttributeRef("Z", "R")
+
+
+class TestPrimitiveClause:
+    def test_constant_only_clause_rejected(self):
+        with pytest.raises(EvaluationError):
+            PrimitiveClause(Constant(1), Comparator.EQ, Constant(2))
+
+    def test_join_clause_classification(self):
+        join = clause(A, "=", B)
+        assert join.is_join_clause
+        assert join.is_equijoin
+        assert not join.is_selection_clause
+
+    def test_selection_clause_classification(self):
+        selection = clause(A, ">", Constant(10))
+        assert selection.is_selection_clause
+        assert not selection.is_join_clause
+
+    def test_relations(self):
+        assert clause(A, "=", B).relations() == frozenset({"R", "S"})
+
+    def test_evaluate_against_named_row(self):
+        selection = clause(A, ">", Constant(10))
+        assert selection.evaluate({"R.A": 11})
+        assert not selection.evaluate({"R.A": 10})
+
+    def test_evaluate_falls_back_to_bare_name(self):
+        selection = clause(A, "=", Constant(5))
+        assert selection.evaluate({"A": 5})
+
+    def test_evaluate_missing_attribute_raises(self):
+        with pytest.raises(EvaluationError):
+            clause(A, "=", Constant(1)).evaluate({"B": 1})
+
+    def test_with_relation_replaced(self):
+        join = clause(A, "=", B)
+        replaced = join.with_relation_replaced("R", "T")
+        assert str(replaced) == "T.A = S.B"
+
+    def test_with_relation_replaced_translates_attributes(self):
+        join = clause(A, "=", B)
+        replaced = join.with_relation_replaced("R", "T", {"A": "X"})
+        assert str(replaced) == "T.X = S.B"
+
+    def test_normalized_moves_constant_right(self):
+        reversed_clause = clause(Constant(10), "<", A)
+        assert str(reversed_clause.normalized()) == "R.A > 10"
+
+    def test_normalized_orders_attributes(self):
+        unordered = clause(B, "=", A)
+        assert str(unordered.normalized()) == "R.A = S.B"
+
+
+class TestCondition:
+    def test_true_condition(self):
+        tautology = Condition.true()
+        assert tautology.is_true
+        assert tautology.evaluate({})
+        assert str(tautology) == "TRUE"
+        assert not tautology  # truthiness = has clauses
+
+    def test_conjunction_evaluation(self):
+        condition = Condition.of(
+            clause(A, ">", Constant(1)), clause(A, "<", Constant(5))
+        )
+        assert condition.evaluate({"R.A": 3})
+        assert not condition.evaluate({"R.A": 7})
+
+    def test_and_also(self):
+        condition = Condition.true().and_also(clause(A, "=", Constant(1)))
+        assert len(condition) == 1
+        combined = condition.and_also(Condition.of(clause(A, ">", Constant(0))))
+        assert len(combined) == 2
+
+    def test_equality_ignores_order_and_operand_direction(self):
+        c1 = Condition.of(clause(A, "=", B), clause(A, ">", Constant(1)))
+        c2 = Condition.of(clause(Constant(1), "<", A), clause(B, "=", A))
+        assert c1 == c2
+        assert hash(c1) == hash(c2)
+
+    def test_join_and_selection_split(self):
+        condition = Condition.of(
+            clause(A, "=", B), clause(A, ">", Constant(1))
+        )
+        assert len(condition.join_clauses()) == 1
+        assert len(condition.selection_clauses()) == 1
+
+    def test_without_clauses_referencing_attribute(self):
+        condition = Condition.of(
+            clause(A, "=", B), clause(B, ">", Constant(1))
+        )
+        pruned = condition.without_clauses_referencing("A", "R")
+        assert len(pruned) == 1
+        assert str(pruned.clauses[0]) == "S.B > 1"
+
+    def test_without_clauses_referencing_relation(self):
+        condition = Condition.of(
+            clause(A, "=", B), clause(B, ">", Constant(1))
+        )
+        pruned = condition.without_clauses_referencing(relation="S")
+        assert pruned.is_true
+
+    def test_with_relation_replaced(self):
+        condition = Condition.of(clause(A, "=", B))
+        replaced = condition.with_relation_replaced("S", "T")
+        assert str(replaced) == "(R.A = T.B)"

@@ -1,0 +1,99 @@
+"""Unit tests for attribute domain types."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import AttributeType, infer_type
+
+
+class TestValidation:
+    def test_int_accepts_int(self):
+        assert AttributeType.INT.validate(42) == 42
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate(True)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate("42")
+
+    def test_float_coerces_int(self):
+        value = AttributeType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_accepts_float(self):
+        assert AttributeType.FLOAT.validate(2.5) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.FLOAT.validate(False)
+
+    def test_string_accepts_str(self):
+        assert AttributeType.STRING.validate("abc") == "abc"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.STRING.validate(7)
+
+    def test_bool_accepts_bool(self):
+        assert AttributeType.BOOL.validate(True) is True
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.BOOL.validate(1)
+
+    def test_none_passes_through_every_type(self):
+        for attribute_type in AttributeType:
+            assert attribute_type.validate(None) is None
+
+
+class TestComparability:
+    def test_numeric_tower_is_comparable(self):
+        assert AttributeType.INT.is_comparable_with(AttributeType.FLOAT)
+        assert AttributeType.FLOAT.is_comparable_with(AttributeType.INT)
+
+    def test_same_type_is_comparable(self):
+        for attribute_type in AttributeType:
+            assert attribute_type.is_comparable_with(attribute_type)
+
+    def test_string_not_comparable_with_int(self):
+        assert not AttributeType.STRING.is_comparable_with(AttributeType.INT)
+
+    def test_bool_not_comparable_with_int(self):
+        assert not AttributeType.BOOL.is_comparable_with(AttributeType.INT)
+
+
+class TestDefaults:
+    def test_default_sizes(self):
+        assert AttributeType.INT.default_size == 4
+        assert AttributeType.FLOAT.default_size == 8
+        assert AttributeType.STRING.default_size == 20
+        assert AttributeType.BOOL.default_size == 1
+
+    def test_labels(self):
+        assert AttributeType.INT.label == "int"
+        assert AttributeType.STRING.label == "string"
+
+
+class TestInference:
+    def test_infer_int(self):
+        assert infer_type(3) is AttributeType.INT
+
+    def test_infer_bool_before_int(self):
+        assert infer_type(True) is AttributeType.BOOL
+
+    def test_infer_float(self):
+        assert infer_type(2.5) is AttributeType.FLOAT
+
+    def test_infer_string(self):
+        assert infer_type("x") is AttributeType.STRING
+
+    def test_infer_rejects_none(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(None)
+
+    def test_infer_rejects_list(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])

@@ -1,0 +1,66 @@
+"""Unit tests for capability-change events."""
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.space.changes import (
+    AddAttribute,
+    AddRelation,
+    DeleteAttribute,
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+
+
+class TestConstruction:
+    def test_delete_attribute_requires_attribute(self):
+        with pytest.raises(ValueError):
+            DeleteAttribute("IS1", "R")
+
+    def test_rename_relation_requires_new_name(self):
+        with pytest.raises(ValueError):
+            RenameRelation("IS1", "R")
+
+    def test_rename_attribute_requires_both_names(self):
+        with pytest.raises(ValueError):
+            RenameAttribute("IS1", "R", attribute="A")
+
+    def test_add_relation_requires_instance(self):
+        with pytest.raises(ValueError):
+            AddRelation("IS1", "R")
+
+    def test_add_attribute_requires_attribute(self):
+        with pytest.raises(ValueError):
+            AddAttribute("IS1", "R")
+
+
+class TestSemantics:
+    def test_delete_relation_affects_every_attribute(self):
+        change = DeleteRelation("IS1", "R")
+        assert change.removes_relation
+        assert change.affects_attribute("anything")
+
+    def test_delete_attribute_affects_only_its_attribute(self):
+        change = DeleteAttribute("IS1", "R", "A")
+        assert change.affects_attribute("A")
+        assert not change.affects_attribute("B")
+        assert not change.removes_relation
+
+    def test_rename_attribute_affects_old_name(self):
+        change = RenameAttribute("IS1", "R", "A", "A2")
+        assert change.affects_attribute("A")
+        assert not change.affects_attribute("A2")
+
+    def test_add_changes_affect_nothing(self):
+        add_rel = AddRelation("IS1", "R", Relation(Schema("R", ["A"])))
+        add_attr = AddAttribute("IS1", "R", Attribute("B"))
+        assert not add_rel.affects_attribute("A")
+        assert not add_attr.affects_attribute("B")
+
+    def test_describe_mentions_the_target(self):
+        assert "R.A" in DeleteAttribute("IS1", "R", "A").describe()
+        assert "R -> R2" in RenameRelation("IS1", "R", "R2").describe()
+        assert "kind" not in DeleteRelation("IS1", "R").describe()
+        assert DeleteRelation("IS1", "R").kind == "DeleteRelation"

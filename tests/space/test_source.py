@@ -1,0 +1,90 @@
+"""Unit tests for information sources and the wrapper query interface."""
+
+import pytest
+
+from repro.errors import MaintenanceError, WorkspaceError
+from repro.esql.parser import parse_condition_clause
+from repro.relational.expressions import Condition
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.source import InformationSource
+from repro.space.updates import UpdateKind
+
+
+def cond(*texts):
+    return Condition(parse_condition_clause(t) for t in texts)
+
+
+@pytest.fixture
+def source():
+    src = InformationSource("IS1")
+    src.host(Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]))
+    src.host(Relation(Schema("S", ["A", "C"]), [(1, 5), (3, 7)]))
+    return src
+
+
+class TestHosting:
+    def test_name_required(self):
+        with pytest.raises(WorkspaceError):
+            InformationSource("")
+
+    def test_host_and_offers(self, source):
+        assert source.offers("R")
+        assert not source.offers("Z")
+        assert set(source.relation_names) == {"R", "S"}
+
+    def test_host_empty(self, source):
+        source.host_empty(Schema("T", ["X"]))
+        assert source.relation("T").cardinality == 0
+
+
+class TestDataUpdates:
+    def test_insert_returns_notification(self, source):
+        update = source.insert("R", (3, 30))
+        assert update.source == "IS1"
+        assert update.kind is UpdateKind.INSERT
+        assert update.row == (3, 30)
+        assert source.relation("R").cardinality == 3
+
+    def test_delete_returns_notification(self, source):
+        update = source.delete("R", (1, 10))
+        assert update.is_delete
+        assert source.relation("R").cardinality == 1
+
+    def test_delete_missing_raises(self, source):
+        with pytest.raises(MaintenanceError):
+            source.delete("R", (9, 9))
+
+
+class TestSingleSiteQuery:
+    def test_join_with_local_relation(self, source):
+        incoming = [{"Other.X": 1, "Other.A": 1}]
+        condition = cond("Other.A = R.A")
+        result = source.answer_single_site_query(incoming, ["R"], condition)
+        assert len(result) == 1
+        assert result[0]["R.B"] == 10
+
+    def test_join_both_local_relations(self, source):
+        incoming = [{"D.A": 1}]
+        condition = cond("D.A = R.A", "R.A = S.A")
+        result = source.answer_single_site_query(
+            incoming, ["R", "S"], condition
+        )
+        assert len(result) == 1
+        assert result[0]["S.C"] == 5
+
+    def test_local_selection_applies(self, source):
+        incoming = [{}]
+        condition = cond("R.B > 15")
+        result = source.answer_single_site_query(incoming, ["R"], condition)
+        assert [b["R.A"] for b in result] == [2]
+
+    def test_undecidable_clauses_are_deferred(self, source):
+        # A clause referencing a not-yet-bound relation must not filter.
+        incoming = [{}]
+        condition = cond("R.A = Elsewhere.A")
+        result = source.answer_single_site_query(incoming, ["R"], condition)
+        assert len(result) == 2
+
+    def test_empty_incoming_stays_empty(self, source):
+        assert source.answer_single_site_query([], ["R"], cond("R.A > 0")) == []

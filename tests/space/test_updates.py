@@ -1,0 +1,32 @@
+"""Unit tests for data-update notifications."""
+
+from repro.space.updates import DataUpdate, UpdateKind
+
+
+class TestDataUpdate:
+    def test_insert_classification(self):
+        update = DataUpdate("IS1", "R", UpdateKind.INSERT, (1, 2))
+        assert update.is_insert
+        assert not update.is_delete
+
+    def test_delete_classification(self):
+        update = DataUpdate("IS1", "R", UpdateKind.DELETE, (1, 2))
+        assert update.is_delete
+        assert not update.is_insert
+
+    def test_describe_mentions_everything(self):
+        update = DataUpdate("IS1", "R", UpdateKind.INSERT, (1, 2))
+        text = update.describe()
+        assert "insert" in text
+        assert "(1, 2)" in text
+        assert "IS1.R" in text
+
+    def test_immutability_and_equality(self):
+        a = DataUpdate("IS1", "R", UpdateKind.INSERT, (1,))
+        b = DataUpdate("IS1", "R", UpdateKind.INSERT, (1,))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_kind_rendering(self):
+        assert str(UpdateKind.INSERT) == "insert"
+        assert str(UpdateKind.DELETE) == "delete"

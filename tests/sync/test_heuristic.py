@@ -1,0 +1,105 @@
+"""Unit tests for the heuristic (beam-pruned) synchronizer."""
+
+import pytest
+
+from repro.errors import SynchronizationError
+from repro.qc.model import QCModel
+from repro.qc.params import TradeoffParameters
+from repro.space.changes import DeleteRelation
+from repro.sync.heuristic import HeuristicSynchronizer
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_cardinality_scenario
+
+
+@pytest.fixture
+def scenario():
+    built = build_cardinality_scenario()
+    built.space.delete_relation("R2")
+    return built
+
+
+CHANGE = DeleteRelation("IS1", "R2")
+
+
+class TestBeamSelection:
+    def test_invalid_beam_width(self, scenario):
+        with pytest.raises(SynchronizationError):
+            HeuristicSynchronizer(scenario.space.mkb, beam_width=0)
+
+    def test_prunes_candidate_set(self, scenario):
+        synchronizer = HeuristicSynchronizer(
+            scenario.space.mkb, beam_width=2
+        )
+        outcome = synchronizer.synchronize_best(
+            scenario.view, CHANGE, updated_relation="R1"
+        )
+        assert outcome.generated == 5
+        assert outcome.evaluated == 2
+        assert outcome.pruned_fraction == pytest.approx(0.6)
+
+    def test_wide_beam_degenerates_to_exhaustive(self, scenario):
+        synchronizer = HeuristicSynchronizer(
+            scenario.space.mkb, beam_width=100
+        )
+        outcome = synchronizer.synchronize_best(
+            scenario.view, CHANGE, updated_relation="R1"
+        )
+        assert outcome.evaluated == outcome.generated == 5
+        assert outcome.pruned_fraction == 0.0
+
+
+class TestAgreement:
+    def test_wide_beam_matches_exhaustive_winner(self, scenario):
+        params = TradeoffParameters()
+        heuristic = HeuristicSynchronizer(
+            scenario.space.mkb, params, beam_width=100
+        )
+        outcome = heuristic.synchronize_best(
+            scenario.view, CHANGE, updated_relation="R1"
+        )
+        base = ViewSynchronizer(scenario.space.mkb)
+        rewritings = base.synchronize(scenario.view, CHANGE)
+        exhaustive = QCModel(scenario.space.mkb, params).best(
+            rewritings, updated_relation="R1"
+        )
+        assert outcome.chosen.rewriting.view == exhaustive.rewriting.view
+
+    def test_narrow_beam_can_miss_cost_heavy_winner(self, scenario):
+        """The closest-size ordering keeps the beam near the original's
+        cardinality, so the cost-heavy exhaustive winner (the *smallest*
+        substitute, S1) falls outside a width-2 beam — the documented
+        trade-off of pruning.  Widening the beam recovers it."""
+        params = TradeoffParameters().with_quality_weight(0.5)
+        narrow = HeuristicSynchronizer(
+            scenario.space.mkb, params, beam_width=2
+        ).synchronize_best(scenario.view, CHANGE, updated_relation="R1")
+        assert "S1" not in narrow.chosen.rewriting.view.relation_names
+
+        wide = HeuristicSynchronizer(
+            scenario.space.mkb, params, beam_width=5
+        ).synchronize_best(scenario.view, CHANGE, updated_relation="R1")
+        assert "S1" in wide.chosen.rewriting.view.relation_names
+
+    def test_no_candidates_raises(self, scenario):
+        from repro.esql.parser import parse_view
+
+        doomed = parse_view(
+            "CREATE VIEW D AS SELECT R2.A, R2.B FROM R2"
+        )
+        synchronizer = HeuristicSynchronizer(scenario.space.mkb)
+        with pytest.raises(SynchronizationError):
+            synchronizer.synchronize_best(doomed, CHANGE)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_choice(self, scenario):
+        synchronizer = HeuristicSynchronizer(
+            scenario.space.mkb, beam_width=2
+        )
+        first = synchronizer.synchronize_best(
+            scenario.view, CHANGE, updated_relation="R1"
+        )
+        second = synchronizer.synchronize_best(
+            scenario.view, CHANGE, updated_relation="R1"
+        )
+        assert first.chosen.rewriting.view == second.chosen.rewriting.view

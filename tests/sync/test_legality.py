@@ -1,0 +1,204 @@
+"""Unit tests for the legality auditor."""
+
+import pytest
+
+from repro.esql.parser import parse_view
+from repro.misd.constraints import (
+    PCConstraint,
+    PCRelationship,
+    RelationFragment,
+)
+from repro.relational.expressions import AttributeRef
+from repro.sync.legality import check_legality, is_legal
+from repro.sync.rewriting import (
+    DropAttributeMove,
+    DropConditionMove,
+    DropRelationMove,
+    ExtentRelationship,
+    ReplaceAttributeMove,
+    ReplaceRelationMove,
+    Rewriting,
+)
+
+
+@pytest.fixture
+def view():
+    return parse_view(
+        """
+        CREATE VIEW V (VE = '~') AS
+        SELECT R.A (AD = true, AR = true), R.B (AD = true), S.C
+        FROM R (RD = true, RR = true), S
+        WHERE (R.A = S.A) (CD = true, CR = true) AND (S.C > 5) (CD = true)
+        """
+    )
+
+
+def pc(left="R", right="T", rel=PCRelationship.EQUIVALENT):
+    return PCConstraint(
+        RelationFragment(left, ("A", "B")),
+        RelationFragment(right, ("A", "B")),
+        rel,
+    )
+
+
+class TestDropLegality:
+    def test_legal_attribute_drop(self, view):
+        rewriting = Rewriting(
+            view,
+            view.dropping_select_item("A"),
+            (DropAttributeMove("A", AttributeRef("A", "R")),),
+            ExtentRelationship.EQUAL,
+        )
+        assert is_legal(rewriting)
+
+    def test_indispensable_attribute_drop_illegal(self, view):
+        rewriting = Rewriting(
+            view,
+            view.dropping_select_item("C"),
+            (DropAttributeMove("C", AttributeRef("C", "S")),),
+            ExtentRelationship.EQUAL,
+        )
+        report = check_legality(rewriting)
+        assert not report.legal
+        assert any("indispensable" in v for v in report.violations)
+
+    def test_silent_drop_of_indispensable_output_detected(self, view):
+        # Even without a recorded move, a missing AD=false output is flagged.
+        rewriting = Rewriting(view, view.dropping_select_item("C"), ())
+        assert not is_legal(rewriting)
+
+    def test_legal_condition_drop(self, view):
+        rewriting = Rewriting(
+            view,
+            view.dropping_where_item(1),
+            (DropConditionMove(view.where[1].clause),),
+            ExtentRelationship.SUPERSET,
+        )
+        assert is_legal(rewriting)
+
+    def test_unknown_condition_drop_flagged(self, view):
+        other = parse_view(
+            "CREATE VIEW W AS SELECT R.A FROM R WHERE R.A > 99"
+        )
+        rewriting = Rewriting(
+            view, view, (DropConditionMove(other.where[0].clause),)
+        )
+        assert not is_legal(rewriting)
+
+    def test_relation_drop_requires_rd(self):
+        strict = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true), S.C "
+            "FROM R, S WHERE (R.A = S.A) (CD = true)"
+        )
+        rewriting = Rewriting(
+            strict,
+            strict.dropping_relation("R"),
+            (
+                DropRelationMove("R"),
+                DropAttributeMove("A", AttributeRef("A", "R")),
+                DropConditionMove(strict.where[0].clause),
+            ),
+            ExtentRelationship.SUPERSET,
+        )
+        report = check_legality(rewriting)
+        assert any("RD=false" in v for v in report.violations)
+
+
+class TestReplacementLegality:
+    def test_legal_relation_replacement(self, view):
+        replaced = view.dropping_select_item("B").replacing_relation("R", "T")
+        rewriting = Rewriting(
+            view,
+            replaced,
+            (
+                DropAttributeMove("B", AttributeRef("B", "R")),
+                ReplaceRelationMove("R", "T", pc()),
+            ),
+            ExtentRelationship.EQUAL,
+        )
+        assert is_legal(rewriting)
+
+    def test_non_replaceable_relation_flagged(self):
+        strict = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true) FROM R"
+        )
+        rewriting = Rewriting(
+            strict,
+            strict.replacing_relation("R", "T"),
+            (ReplaceRelationMove("R", "T", pc()),),
+        )
+        report = check_legality(rewriting)
+        assert any("RR=false" in v for v in report.violations)
+
+    def test_surviving_non_replaceable_attribute_flagged(self, view):
+        # R.B has AR=false; replacing R while keeping B is illegal.
+        rewriting = Rewriting(
+            view,
+            view.replacing_relation("R", "T"),
+            (ReplaceRelationMove("R", "T", pc()),),
+        )
+        report = check_legality(rewriting)
+        assert any("R.B" in v and "AR=false" in v for v in report.violations)
+
+    def test_dropped_attribute_not_double_flagged(self, view):
+        replaced = view.dropping_select_item("B").replacing_relation("R", "T")
+        rewriting = Rewriting(
+            view,
+            replaced,
+            (
+                DropAttributeMove("B", AttributeRef("B", "R")),
+                ReplaceRelationMove("R", "T", pc()),
+            ),
+        )
+        report = check_legality(rewriting)
+        assert not any("R.B" in v for v in report.violations)
+
+    def test_attribute_replacement_requires_ar(self):
+        strict = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        rewriting = Rewriting(
+            strict,
+            strict.replacing_attribute(
+                AttributeRef("A", "R"), AttributeRef("A", "T")
+            ),
+            (
+                ReplaceAttributeMove(
+                    AttributeRef("A", "R"), AttributeRef("A", "T"), pc()
+                ),
+            ),
+        )
+        report = check_legality(rewriting)
+        assert any("AR=false" in v for v in report.violations)
+
+
+class TestVECompliance:
+    def test_ve_equal_rejects_superset_rewriting(self):
+        strict = parse_view(
+            "CREATE VIEW V (VE = '=') AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true) FROM R (RR = true)"
+        )
+        rewriting = Rewriting(
+            strict,
+            strict.dropping_select_item("B"),
+            (DropAttributeMove("B", AttributeRef("B", "R")),),
+            ExtentRelationship.SUPERSET,
+        )
+        report = check_legality(rewriting)
+        assert any("VE" in v for v in report.violations)
+
+    def test_ve_superset_accepts_superset(self):
+        view = parse_view(
+            "CREATE VIEW V (VE = '>=') AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true) FROM R (RR = true)"
+        )
+        rewriting = Rewriting(
+            view,
+            view.dropping_select_item("B"),
+            (DropAttributeMove("B", AttributeRef("B", "R")),),
+            ExtentRelationship.SUPERSET,
+        )
+        assert is_legal(rewriting)
+
+    def test_report_is_truthy_when_legal(self, view):
+        report = check_legality(Rewriting(view, view))
+        assert report
+        assert report.violations == []

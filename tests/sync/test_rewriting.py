@@ -1,0 +1,109 @@
+"""Unit tests for rewriting provenance and the extent-relationship lattice."""
+
+import pytest
+
+from repro.esql.params import ViewExtent
+from repro.esql.parser import parse_view
+from repro.misd.constraints import PCRelationship
+from repro.relational.expressions import AttributeRef
+from repro.sync.rewriting import (
+    DropAttributeMove,
+    DropRelationMove,
+    ExtentRelationship,
+    Rewriting,
+    combine_extent,
+)
+
+E = ExtentRelationship
+
+
+class TestComposition:
+    def test_equal_is_identity(self):
+        for relationship in E:
+            assert E.EQUAL.compose(relationship) is relationship
+            assert relationship.compose(E.EQUAL) is relationship
+
+    def test_same_direction_reinforces(self):
+        assert E.SUPERSET.compose(E.SUPERSET) is E.SUPERSET
+        assert E.SUBSET.compose(E.SUBSET) is E.SUBSET
+
+    def test_opposite_directions_give_unknown(self):
+        assert E.SUPERSET.compose(E.SUBSET) is E.UNKNOWN
+        assert E.SUBSET.compose(E.SUPERSET) is E.UNKNOWN
+
+    def test_unknown_absorbs(self):
+        assert E.UNKNOWN.compose(E.SUPERSET) is E.UNKNOWN
+        assert E.SUBSET.compose(E.UNKNOWN) is E.UNKNOWN
+
+    def test_combine_extent_folds(self):
+        assert combine_extent([E.EQUAL, E.SUPERSET, E.SUPERSET]) is E.SUPERSET
+        assert combine_extent([]) is E.EQUAL
+
+
+class TestVECompliance:
+    def test_any_accepts_everything(self):
+        for relationship in E:
+            assert relationship.satisfies(ViewExtent.ANY)
+
+    def test_equal_requires_equal(self):
+        assert E.EQUAL.satisfies(ViewExtent.EQUAL)
+        for relationship in (E.SUPERSET, E.SUBSET, E.UNKNOWN):
+            assert not relationship.satisfies(ViewExtent.EQUAL)
+
+    def test_superset_ve(self):
+        assert E.EQUAL.satisfies(ViewExtent.SUPERSET)
+        assert E.SUPERSET.satisfies(ViewExtent.SUPERSET)
+        assert not E.SUBSET.satisfies(ViewExtent.SUPERSET)
+        assert not E.UNKNOWN.satisfies(ViewExtent.SUPERSET)
+
+    def test_subset_ve(self):
+        assert E.SUBSET.satisfies(ViewExtent.SUBSET)
+        assert not E.SUPERSET.satisfies(ViewExtent.SUBSET)
+
+
+class TestFromPC:
+    def test_replacing_with_superset_relation_widens(self):
+        # R ⊆ T, T replaces R -> the view extent grows.
+        assert E.from_pc(PCRelationship.SUBSET) is E.SUPERSET
+
+    def test_replacing_with_subset_relation_narrows(self):
+        assert E.from_pc(PCRelationship.SUPERSET) is E.SUBSET
+
+    def test_equivalent_preserves(self):
+        assert E.from_pc(PCRelationship.EQUIVALENT) is E.EQUAL
+
+
+class TestRewritingBundle:
+    @pytest.fixture
+    def rewriting(self):
+        original = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true), R.B FROM R (RD = true), S "
+            "WHERE R.A = S.A"
+        )
+        view = original.dropping_select_item("A")
+        moves = (DropAttributeMove("A", AttributeRef("A", "R")),)
+        return Rewriting(original, view, moves, E.EQUAL)
+
+    def test_preserved_and_dropped_outputs(self, rewriting):
+        assert rewriting.preserved_outputs() == ("B",)
+        assert rewriting.dropped_outputs() == ("A",)
+
+    def test_identity_detection(self, rewriting):
+        assert not rewriting.is_identity
+        identity = Rewriting(rewriting.original, rewriting.original)
+        assert identity.is_identity
+        assert identity.describe().endswith("unchanged")
+
+    def test_describe_lists_moves(self, rewriting):
+        text = rewriting.describe()
+        assert "drop attribute R.A" in text
+        assert "equal" in text
+
+    def test_renamed(self, rewriting):
+        renamed = rewriting.renamed("V1")
+        assert renamed.view.name == "V1"
+        assert renamed.original.name == "V"
+        assert renamed.moves == rewriting.moves
+
+    def test_move_descriptions(self):
+        assert "drop relation R" in DropRelationMove("R").describe()

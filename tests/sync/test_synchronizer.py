@@ -1,0 +1,332 @@
+"""Unit tests for the view synchronizer's rewriting generation."""
+
+import pytest
+
+from repro.esql.parser import parse_view
+from repro.relational.expressions import AttributeRef
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import (
+    AddAttribute,
+    DeleteAttribute,
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.space.space import InformationSpace
+from repro.sync.legality import is_legal
+from repro.sync.rewriting import ExtentRelationship, ReplaceRelationMove
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.relational.schema import Attribute
+
+
+@pytest.fixture
+def space():
+    sp = InformationSpace()
+    for source, schema in [
+        ("IS1", Schema("R", ["A", "B"])),
+        ("IS2", Schema("S", ["A", "C"])),
+        ("IS3", Schema("T", ["A", "D"])),
+        ("IS4", Schema("U", ["A", "B"])),
+    ]:
+        sp.add_source(source)
+        sp.register_relation(source, Relation(schema))
+    return sp
+
+
+@pytest.fixture
+def synchronizer(space):
+    return ViewSynchronizer(space.mkb)
+
+
+class TestAffectedness:
+    def test_unreferenced_relation_not_affected(self, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert not synchronizer.is_affected(view, DeleteRelation("IS2", "S"))
+
+    def test_delete_relation_affects(self, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert synchronizer.is_affected(view, DeleteRelation("IS1", "R"))
+
+    def test_delete_unused_attribute_not_affected(self, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert not synchronizer.is_affected(
+            view, DeleteAttribute("IS1", "R", "B")
+        )
+
+    def test_delete_attribute_used_in_where_affects(self, synchronizer):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE R.B > 1"
+        )
+        assert synchronizer.is_affected(view, DeleteAttribute("IS1", "R", "B"))
+
+    def test_adds_never_affect(self, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        assert not synchronizer.is_affected(
+            view, AddAttribute("IS1", "R", new_attribute=Attribute("Z"))
+        )
+
+    def test_unaffected_view_yields_identity(self, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS2", "S"))
+        assert len(results) == 1
+        assert results[0].is_identity
+
+
+class TestRenames:
+    def test_rename_relation(self, space, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE R.B > 1")
+        space.rename_relation("R", "R9")
+        results = synchronizer.synchronize(
+            view, RenameRelation("IS1", "R", "R9")
+        )
+        assert len(results) == 1
+        rewriting = results[0]
+        assert rewriting.view.relation_names == ("R9",)
+        assert str(rewriting.view.where[0].clause) == "R9.B > 1"
+        assert rewriting.extent_relationship is ExtentRelationship.EQUAL
+        assert is_legal(rewriting)
+
+    def test_rename_attribute_keeps_interface(self, space, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        space.rename_attribute("R", "A", "A9")
+        results = synchronizer.synchronize(
+            view, RenameAttribute("IS1", "R", "A", "A9")
+        )
+        rewriting = results[0]
+        # The source changed but the output name is pinned via the alias.
+        assert rewriting.view.interface == ("A", "B")
+        assert rewriting.view.select[0].ref == AttributeRef("A9", "R")
+
+
+class TestDeleteAttribute:
+    def test_drop_move_when_dispensable(self, space, synchronizer):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true), R.B FROM R"
+        )
+        space.delete_attribute("R", "A")
+        results = synchronizer.synchronize(
+            view, DeleteAttribute("IS1", "R", "A")
+        )
+        drops = [r for r in results if r.view.interface == ("B",)]
+        assert len(drops) == 1
+        assert drops[0].extent_relationship is ExtentRelationship.EQUAL
+
+    def test_no_drop_move_when_indispensable(self, space, synchronizer):
+        view = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        space.delete_attribute("R", "A")
+        results = synchronizer.synchronize(
+            view, DeleteAttribute("IS1", "R", "A")
+        )
+        assert all("A" in r.view.interface for r in results) or results == []
+
+    def test_dropping_condition_widens_extent(self, space, synchronizer):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A FROM R WHERE (R.B > 1) (CD = true)"
+        )
+        space.delete_attribute("R", "B")
+        results = synchronizer.synchronize(
+            view, DeleteAttribute("IS1", "R", "B")
+        )
+        assert len(results) == 1
+        assert results[0].extent_relationship is ExtentRelationship.SUPERSET
+        assert len(results[0].view.where) == 0
+
+    def test_attribute_replacement_within_view(self, space, synchronizer):
+        # T is already in the view; its D column can stand in for R.B.
+        space.mkb.add_equivalence("R", "T", None) if False else None
+        from repro.misd.constraints import (
+            PCConstraint,
+            PCRelationship,
+            RelationFragment,
+        )
+        space.mkb.add_pc_constraint(
+            PCConstraint(
+                RelationFragment("R", ("B",)),
+                RelationFragment("T", ("D",)),
+                PCRelationship.EQUIVALENT,
+            )
+        )
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A, R.B (AR = true) FROM R, T "
+            "WHERE R.A = T.A"
+        )
+        space.delete_attribute("R", "B")
+        results = synchronizer.synchronize(
+            view, DeleteAttribute("IS1", "R", "B")
+        )
+        in_view = [
+            r
+            for r in results
+            if r.view.select_item("B").ref == AttributeRef("D", "T")
+        ]
+        assert len(in_view) == 1
+        assert in_view[0].view.relation_names == ("R", "T")
+
+    def test_attribute_replacement_joins_donor_in(self, space, synchronizer):
+        from repro.misd.constraints import (
+            JoinConstraint,
+            PCConstraint,
+            PCRelationship,
+            RelationFragment,
+        )
+        from repro.esql.parser import parse_condition_clause
+        from repro.relational.expressions import Condition
+
+        space.mkb.add_pc_constraint(
+            PCConstraint(
+                RelationFragment("R", ("B",)),
+                RelationFragment("S", ("C",)),
+                PCRelationship.EQUIVALENT,
+            )
+        )
+        space.mkb.add_join_constraint(
+            JoinConstraint(
+                "S", "T", Condition([parse_condition_clause("S.A = T.A")])
+            )
+        )
+        view = parse_view(
+            "CREATE VIEW V AS SELECT T.D, R.B (AR = true) FROM R, T "
+            "WHERE R.A = T.A"
+        )
+        space.delete_attribute("R", "B")
+        results = synchronizer.synchronize(
+            view, DeleteAttribute("IS1", "R", "B")
+        )
+        joined = [r for r in results if "S" in r.view.relation_names]
+        assert joined
+        rewriting = joined[0]
+        assert rewriting.view.select_item("B").ref == AttributeRef("C", "S")
+        assert any(
+            str(item.clause) == "S.A = T.A" for item in rewriting.view.where
+        )
+        # Joining a carrier cannot be proven lossless.
+        assert rewriting.extent_relationship is ExtentRelationship.UNKNOWN
+
+
+class TestDeleteRelation:
+    def test_drop_relation_move(self, space, synchronizer):
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true), S.C "
+            "FROM R (RD = true), S WHERE (R.A = S.A) (CD = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        drops = [r for r in results if r.view.relation_names == ("S",)]
+        assert len(drops) == 1
+        assert drops[0].extent_relationship is ExtentRelationship.SUPERSET
+
+    def test_replacement_via_pc(self, space, synchronizer):
+        space.mkb.add_equivalence("R", "U", ["A", "B"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B (AR = true) "
+            "FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        assert len(results) == 1
+        rewriting = results[0]
+        assert rewriting.view.relation_names == ("U",)
+        assert rewriting.extent_relationship is ExtentRelationship.EQUAL
+        assert rewriting.view.interface == ("A", "B")
+
+    def test_replacement_with_attribute_translation(self, space, synchronizer):
+        from repro.misd.constraints import (
+            PCConstraint,
+            PCRelationship,
+            RelationFragment,
+        )
+        space.mkb.add_pc_constraint(
+            PCConstraint(
+                RelationFragment("R", ("A",)),
+                RelationFragment("S", ("C",)),
+                PCRelationship.SUBSET,
+            )
+        )
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        assert len(results) == 1
+        rewriting = results[0]
+        assert rewriting.view.select_item("A").ref == AttributeRef("C", "S")
+        assert rewriting.extent_relationship is ExtentRelationship.SUPERSET
+
+    def test_partial_coverage_drops_dispensable_rest(self, space, synchronizer):
+        # PC covers only A; B is dispensable so it gets dropped alongside.
+        space.mkb.add_containment("R", "S", ["A"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true) FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        replacement = [r for r in results if r.view.relation_names == ("S",)]
+        assert len(replacement) == 1
+        assert replacement[0].view.interface == ("A",)
+
+    def test_partial_coverage_blocked_by_indispensable_rest(
+        self, space, synchronizer
+    ):
+        space.mkb.add_containment("R", "S", ["A"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AR = true), R.B FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        assert results == []  # B cannot be dropped nor covered
+
+    def test_ve_filter_rejects_wrong_direction(self, space, synchronizer):
+        # VE = '<=' (subset) but the only PC gives a superset rewriting.
+        space.mkb.add_containment("R", "U", ["A", "B"])
+        view = parse_view(
+            "CREATE VIEW V (VE = '<=') AS SELECT R.A (AR = true), "
+            "R.B (AR = true) FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        assert results == []
+
+    def test_all_results_are_legal(self, space, synchronizer):
+        space.mkb.add_containment("R", "S", ["A"])
+        space.mkb.add_equivalence("R", "U", ["A", "B"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RD = true, RR = true), T "
+            "WHERE (R.A = T.A) (CD = true, CR = true)"
+        )
+        space.delete_relation("R")
+        results = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        assert results
+        assert all(is_legal(r) for r in results)
+
+
+class TestDominatedSpectrum:
+    def test_spectrum_adds_inferior_variants(self, space, synchronizer):
+        space.mkb.add_equivalence("R", "U", ["A", "B"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        base = synchronizer.synchronize(view, DeleteRelation("IS1", "R"))
+        spectrum = synchronizer.synchronize(
+            view, DeleteRelation("IS1", "R"), include_dominated=True
+        )
+        assert len(spectrum) > len(base)
+        interfaces = {r.view.interface for r in spectrum}
+        assert ("A",) in interfaces and ("B",) in interfaces
+
+    def test_spectrum_results_deduplicated(self, space, synchronizer):
+        space.mkb.add_equivalence("R", "U", ["A", "B"])
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.A (AD = true, AR = true), "
+            "R.B (AD = true, AR = true) FROM R (RR = true)"
+        )
+        space.delete_relation("R")
+        spectrum = synchronizer.synchronize(
+            view, DeleteRelation("IS1", "R"), include_dominated=True
+        )
+        views = [r.view for r in spectrum]
+        assert len(views) == len(set(views))

@@ -1,0 +1,82 @@
+"""Unit tests for the View Knowledge Base."""
+
+import pytest
+
+from repro.errors import WorkspaceError
+from repro.esql.parser import parse_view
+from repro.sync.rewriting import ExtentRelationship, Rewriting
+from repro.sync.vkb import ViewKnowledgeBase
+
+
+@pytest.fixture
+def vkb():
+    base = ViewKnowledgeBase()
+    base.define(parse_view("CREATE VIEW V1 AS SELECT R.A FROM R"))
+    base.define(parse_view("CREATE VIEW V2 AS SELECT S.B FROM S"))
+    return base
+
+
+class TestRegistration:
+    def test_define_and_lookup(self, vkb):
+        assert "V1" in vkb
+        assert len(vkb) == 2
+        assert vkb.current("V1").relation_names == ("R",)
+
+    def test_duplicate_define_rejected(self, vkb):
+        with pytest.raises(WorkspaceError):
+            vkb.define(parse_view("CREATE VIEW V1 AS SELECT R.A FROM R"))
+
+    def test_drop(self, vkb):
+        vkb.drop("V1")
+        assert "V1" not in vkb
+        with pytest.raises(WorkspaceError):
+            vkb.drop("V1")
+
+    def test_unknown_record(self, vkb):
+        with pytest.raises(WorkspaceError):
+            vkb.record("Zzz")
+
+
+class TestQueries:
+    def test_views_referencing(self, vkb):
+        assert [r.name for r in vkb.views_referencing("R")] == ["V1"]
+        assert vkb.views_referencing("Z") == ()
+
+    def test_alive_views(self, vkb):
+        assert len(vkb.alive_views()) == 2
+        vkb.mark_undefined("V1")
+        assert [r.name for r in vkb.alive_views()] == ["V2"]
+
+    def test_dead_views_not_reported_as_referencing(self, vkb):
+        vkb.mark_undefined("V1")
+        assert vkb.views_referencing("R") == ()
+
+
+class TestSynchronizationBookkeeping:
+    def test_apply_rewriting_advances_current(self, vkb):
+        original = vkb.current("V1")
+        new_view = original.replacing_relation("R", "T")
+        rewriting = Rewriting(original, new_view, (), ExtentRelationship.EQUAL)
+        record = vkb.apply_rewriting(rewriting)
+        assert record.current.relation_names == ("T",)
+        assert record.original.relation_names == ("R",)
+        assert record.generations == 1
+
+    def test_apply_to_dead_view_rejected(self, vkb):
+        vkb.mark_undefined("V1")
+        original = vkb.record("V1").original
+        rewriting = Rewriting(original, original)
+        with pytest.raises(WorkspaceError):
+            vkb.apply_rewriting(rewriting)
+
+    def test_history_accumulates(self, vkb):
+        record = vkb.record("V1")
+        for target in ("T", "U"):
+            rewriting = Rewriting(
+                record.current,
+                record.current.replacing_relation(
+                    record.current.relation_names[0], target
+                ),
+            )
+            vkb.apply_rewriting(rewriting)
+        assert record.generations == 2

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic data generators."""
+
+import pytest
+
+from repro.relational.types import AttributeType
+from repro.workloadgen.generator import (
+    distributions,
+    make_schema,
+    populate_contained_family,
+    populate_relation,
+    update_stream,
+)
+
+
+class TestSchemaHelper:
+    def test_uniform_type(self):
+        schema = make_schema("R", ["A", "B"], AttributeType.STRING, 30)
+        assert all(a.type is AttributeType.STRING for a in schema)
+        assert schema.tuple_byte_size() == 60
+
+
+class TestPopulate:
+    def test_cardinality_and_determinism(self):
+        a = populate_relation(make_schema("R", ["A", "B"]), 100, seed=5)
+        b = populate_relation(make_schema("R", ["A", "B"]), 100, seed=5)
+        assert a.cardinality == 100
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = populate_relation(make_schema("R", ["A"]), 50, seed=1)
+        b = populate_relation(make_schema("R", ["A"]), 50, seed=2)
+        assert a.rows != b.rows
+
+    def test_key_space_bounds_values(self):
+        relation = populate_relation(
+            make_schema("R", ["A"]), 200, seed=0, key_space=7
+        )
+        assert all(0 <= row[0] < 7 for row in relation)
+
+    def test_key_space_controls_join_selectivity(self):
+        # Two relations over key space K equijoin with selectivity ~1/K.
+        k = 20
+        left = populate_relation(make_schema("L", ["A"]), 300, 1, key_space=k)
+        right = populate_relation(make_schema("R", ["A"]), 300, 2, key_space=k)
+        matches = sum(
+            1 for l in left for r in right if l[0] == r[0]
+        )
+        observed = matches / (300 * 300)
+        assert observed == pytest.approx(1 / k, rel=0.3)
+
+
+class TestContainedFamily:
+    def test_chain_containment_holds_exactly(self):
+        schemas = [make_schema(f"S{i}", ["A", "B"]) for i in range(3)]
+        chain = populate_contained_family(schemas, [10, 20, 40], seed=3)
+        assert [r.cardinality for r in chain] == [10, 20, 40]
+        assert chain[0].row_set() <= chain[1].row_set() <= chain[2].row_set()
+
+    def test_rows_are_distinct(self):
+        schemas = [make_schema(f"S{i}", ["A"]) for i in range(2)]
+        chain = populate_contained_family(
+            schemas, [50, 100], seed=3, key_space=10_000
+        )
+        assert len(chain[1].row_set()) == 100
+
+    def test_decreasing_cardinalities_rejected(self):
+        schemas = [make_schema(f"S{i}", ["A"]) for i in range(2)]
+        with pytest.raises(ValueError):
+            populate_contained_family(schemas, [20, 10])
+
+    def test_arity_mismatch_rejected(self):
+        schemas = [make_schema("S0", ["A"]), make_schema("S1", ["A", "B"])]
+        with pytest.raises(ValueError):
+            populate_contained_family(schemas, [10, 20])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            populate_contained_family([make_schema("S", ["A"])], [1, 2])
+
+
+class TestUpdateStream:
+    def test_replayable_deletes(self):
+        relation = populate_relation(make_schema("R", ["A", "B"]), 50, seed=4)
+        stream = update_stream(relation, 100, seed=4, insert_fraction=0.5)
+        for kind, row in stream:
+            if kind == "insert":
+                relation.insert(row)
+            else:
+                assert relation.delete(row), f"stream deleted missing {row}"
+
+    def test_pure_insert_stream(self):
+        relation = populate_relation(make_schema("R", ["A"]), 5, seed=0)
+        stream = update_stream(relation, 20, seed=0, insert_fraction=1.0)
+        assert all(kind == "insert" for kind, _ in stream)
+
+    def test_deterministic(self):
+        relation = populate_relation(make_schema("R", ["A"]), 5, seed=0)
+        a = update_stream(relation, 20, seed=9, insert_fraction=0.3)
+        b = update_stream(relation, 20, seed=9, insert_fraction=0.3)
+        assert a == b
+
+
+class TestDistributions:
+    def test_table2_row_for_two_sites(self):
+        assert distributions(6, 2) == [(1, 5), (2, 4), (3, 3), (4, 2), (5, 1)]
+
+    def test_table2_row_counts(self):
+        # Table 2: 1, 5, 10, 10, 5, 1 distributions for m = 1..6.
+        assert [len(distributions(6, m)) for m in range(1, 7)] == [
+            1, 5, 10, 10, 5, 1,
+        ]
+
+    def test_every_distribution_sums_to_total(self):
+        for dist in distributions(6, 3):
+            assert sum(dist) == 6
+            assert all(count >= 1 for count in dist)
+
+    def test_degenerate_inputs(self):
+        assert distributions(2, 3) == []
+        assert distributions(5, 0) == []

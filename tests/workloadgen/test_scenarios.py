@@ -1,0 +1,94 @@
+"""Unit tests for the paper's experiment scenario builders."""
+
+import pytest
+
+from repro.qc.cost import cf_bytes, cf_io, cf_messages_counted
+from repro.workloadgen.scenarios import (
+    TABLE1,
+    TABLE3_CARDINALITIES,
+    build_cardinality_scenario,
+    build_survival_scenario,
+    site_scenarios,
+)
+
+
+class TestSurvivalScenario:
+    def test_structure(self):
+        scenario = build_survival_scenario()
+        assert scenario.space.has_relation("R")
+        assert scenario.view.name == "V0"
+        assert len(scenario.space.mkb.pc_constraints()) == 2
+
+    def test_deterministic(self):
+        a = build_survival_scenario(seed=3)
+        b = build_survival_scenario(seed=3)
+        assert a.space.relation("R").rows == b.space.relation("R").rows
+
+
+class TestSiteScenarios:
+    def test_distribution_counts_match_table2(self):
+        assert [len(site_scenarios(m)) for m in range(1, 7)] == [
+            1, 5, 10, 10, 5, 1,
+        ]
+
+    def test_plan_shape(self):
+        scenarios = site_scenarios(2)
+        one_five = scenarios[0]
+        assert one_five.distribution == (1, 5)
+        assert one_five.plan.source_count == 2
+        assert one_five.plan.updated_relation == "R0"
+        assert one_five.plan.groups[0].source == "IS1"
+
+    def test_statistics_match_table1(self):
+        scenario = site_scenarios(1)[0]
+        stats = scenario.statistics
+        assert stats.join_selectivity == TABLE1["join_selectivity"]
+        assert stats.blocking_factor == TABLE1["blocking_factor"]
+        assert stats.cardinality("R0") == TABLE1["cardinality"]
+
+    def test_update_at_other_relation(self):
+        scenario = site_scenarios(2, updated_index=5)[0]
+        assert scenario.plan.updated_relation == "R5"
+        # The plan is rooted at R5's source.
+        assert "R5" in scenario.plan.groups[0].relations
+
+    def test_cost_factors_computable_for_every_distribution(self):
+        for sites in range(1, 7):
+            for scenario in site_scenarios(sites):
+                assert cf_messages_counted(scenario.plan) >= 1
+                assert cf_bytes(scenario.plan, scenario.statistics) > 0
+                assert cf_io(scenario.plan, scenario.statistics) == 31
+
+
+class TestCardinalityScenario:
+    def test_statistics_match_table3(self):
+        scenario = build_cardinality_scenario()
+        stats = scenario.space.mkb.statistics
+        for name, cardinality in TABLE3_CARDINALITIES.items():
+            assert stats.cardinality(name) == cardinality
+
+    def test_pc_chain_registered(self):
+        scenario = build_cardinality_scenario()
+        mkb = scenario.space.mkb
+        for substitute in scenario.substitute_names:
+            assert mkb.pc_constraint_between("R2", substitute) is not None
+
+    def test_unpopulated_by_default(self):
+        scenario = build_cardinality_scenario()
+        assert scenario.space.relation("R2").cardinality == 0
+
+    def test_populated_respects_chain(self):
+        scenario = build_cardinality_scenario(populate=True)
+        relations = scenario.space.relations()
+        s = [relations[f"S{i}"] for i in range(1, 6)]
+        r2 = relations["R2"]
+        assert s[0].row_set() <= s[1].row_set() <= s[2].row_set()
+        assert s[2].row_set() == r2.row_set()
+        assert s[2].row_set() <= s[3].row_set() <= s[4].row_set()
+        for index, name in enumerate(scenario.substitute_names):
+            assert relations[name].cardinality == TABLE3_CARDINALITIES[name]
+
+    def test_original_relations_snapshot(self):
+        scenario = build_cardinality_scenario(populate=True)
+        scenario.space.delete_relation("R2")
+        assert scenario.original_relations["R2"].cardinality == 4000
