@@ -3,9 +3,19 @@
 Every benchmark regenerates one of the paper's tables or figures and
 prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
 tables); the ``benchmark`` fixture times the computation that produces it.
+
+Benchmarks that want a machine-readable trail call
+:func:`emit_json(name, payload)`, which persists the payload as
+``BENCH_<name>.json`` at the repo root — the seed of the performance
+trajectory CI and future sessions compare against.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def emit(text: str) -> None:
@@ -13,3 +23,14 @@ def emit(text: str) -> None:
     print()
     print(text)
     print()
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist ``payload`` as ``BENCH_<name>.json`` at the repo root.
+
+    Returns the written path.  Keys are sorted so reruns produce stable
+    diffs; the payload must be JSON-serializable.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

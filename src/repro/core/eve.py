@@ -25,6 +25,7 @@ from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
 from repro.esql.validate import ViewValidator
 from repro.misd.statistics import RelationStatistics
+from repro.qc.assessment_cache import AssessmentCache
 from repro.qc.model import Evaluation, QCModel
 from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
@@ -69,12 +70,23 @@ class EVESystem:
         self.params = params if params is not None else TradeoffParameters()
         self.auto_synchronize = auto_synchronize
         self.vkb = ViewKnowledgeBase()
-        self.synchronizer = ViewSynchronizer(self.space.mkb)
-        self.qc_model = QCModel(self.space.mkb, self.params)
+        # Shared memo for assessments and view resolution; invalidated on
+        # every capability change (registered before the synchronization
+        # handler so rewritings are never scored against stale knowledge).
+        self.assessment_cache = AssessmentCache()
+        self.synchronizer = ViewSynchronizer(
+            self.space.mkb, cache=self.assessment_cache
+        )
+        self.qc_model = QCModel(
+            self.space.mkb, self.params, cache=self.assessment_cache
+        )
         self.maintainer = ViewMaintainer(self.space)
         self._extents: dict[str, Relation] = {}
         self._sync_log: list[SynchronizationResult] = []
         self.space.on_data_update(self._handle_data_update)
+        self.space.on_capability_change(
+            lambda change: self.assessment_cache.invalidate()
+        )
         self.space.on_capability_change(self._handle_capability_change)
 
     # ------------------------------------------------------------------
@@ -93,6 +105,8 @@ class EVESystem:
         relation: Relation,
         statistics: RelationStatistics | None = None,
     ) -> Relation:
+        # New relations change ownership maps and replacement routes.
+        self.assessment_cache.invalidate()
         return self.space.register_relation(source, relation, statistics)
 
     # ------------------------------------------------------------------
@@ -111,7 +125,7 @@ class EVESystem:
         record = self.vkb.define(resolved)
         if materialize:
             self._extents[resolved.name] = evaluate_view(
-                resolved, self.space.relations()
+                resolved, self.space.relations(), self.space.mkb.statistics
             )
         return record
 
@@ -127,7 +141,9 @@ class EVESystem:
     def refresh(self, view_name: str) -> Relation:
         """Recompute the extent from scratch (full recomputation)."""
         view = self.vkb.current(view_name)
-        self._extents[view_name] = evaluate_view(view, self.space.relations())
+        self._extents[view_name] = evaluate_view(
+            view, self.space.relations(), self.space.mkb.statistics
+        )
         return self._extents[view_name]
 
     # ------------------------------------------------------------------
@@ -171,7 +187,9 @@ class EVESystem:
         self.vkb.apply_rewriting(chosen.rewriting)
         if record.name in self._extents:
             self._extents[record.name] = evaluate_view(
-                chosen.rewriting.view, self.space.relations()
+                chosen.rewriting.view,
+                self.space.relations(),
+                self.space.mkb.statistics,
             )
         return SynchronizationResult(record.name, change, evaluations, chosen)
 

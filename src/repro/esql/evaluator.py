@@ -5,11 +5,23 @@ current information space.  It is the ground truth the quality model's
 *exact* path compares against (vs. the statistics-only estimation path the
 paper uses, Sec. 5.4.3).
 
-Execution strategy: left-to-right nested-loop join over the FROM list with
-eager clause application — each WHERE conjunct fires as soon as every
-relation it references has been bound, so selections prune before later
-joins multiply.  Bag semantics throughout; callers wanting set semantics
-call ``.distinct()`` on the result.
+Two engines share the entry point:
+
+* ``engine="indexed"`` (default) — bindings are positional tuples, WHERE
+  conjuncts are compiled once into tuple closures
+  (:mod:`repro.relational.compile`), equijoin conjuncts probe the
+  relations' own hash indexes (:mod:`repro.relational.index`), and the
+  join order is chosen greedily by cardinality (``SpaceStatistics`` when
+  supplied, actual extents otherwise) rather than taken literally from the
+  FROM list.
+* ``engine="naive"`` — the original left-to-right nested-loop engine over
+  dict bindings with qualified-name keys; kept as the reference the
+  equivalence property tests and the engine benchmarks compare against.
+
+Both engines apply each WHERE conjunct as soon as every relation it
+references has been bound, so selections prune before later joins
+multiply.  Bag semantics throughout; callers wanting set semantics call
+``.distinct()`` on the result.
 """
 
 from __future__ import annotations
@@ -19,7 +31,9 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.errors import EvaluationError
 from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator
-from repro.relational.expressions import PrimitiveClause
+from repro.misd.statistics import SpaceStatistics
+from repro.relational.compile import compile_clauses
+from repro.relational.expressions import AttributeRef, Comparator, PrimitiveClause
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
@@ -42,13 +56,175 @@ def _lookup_from(source: Mapping[str, Relation] | RelationLookup) -> RelationLoo
 def evaluate_view(
     view: ViewDefinition,
     relations: Mapping[str, Relation] | RelationLookup,
+    statistics: SpaceStatistics | None = None,
+    engine: str = "indexed",
 ) -> Relation:
     """Compute the extent of ``view`` against the given relations.
 
     ``view`` must reference attributes unambiguously; it is resolved against
     the actual schemas first, so unqualified references are fine as long as
-    they are unique.
+    they are unique.  ``statistics`` (optional) feeds the greedy join-order
+    choice of the indexed engine; relations it does not cover fall back to
+    their actual cardinality.
     """
+    if engine == "naive":
+        return _evaluate_view_naive(view, relations)
+    if engine != "indexed":
+        raise EvaluationError(f"unknown evaluation engine {engine!r}")
+    lookup = _lookup_from(relations)
+    schemas = {name: lookup(name).schema for name in view.relation_names}
+    resolved = ViewValidator(schemas).resolve_view(view)
+
+    order = _join_order(resolved, lookup, statistics)
+
+    slots: dict[str, int] = {}
+    placed: set[str] = set()
+    remaining: list[PrimitiveClause] = [item.clause for item in resolved.where]
+    bindings: list[tuple[Any, ...]] = [()]
+
+    for relation_name in order:
+        relation = lookup(relation_name)
+        base = len(slots)
+        for position, attr in enumerate(relation.schema.attribute_names):
+            slots[f"{relation_name}.{attr}"] = base + position
+        placed.add(relation_name)
+
+        decidable = [c for c in remaining if c.relations() <= placed]
+        remaining = [c for c in remaining if c.relations() - placed]
+        probe_pairs, residual = _split_probes(decidable, relation_name, slots, base)
+
+        extended: list[tuple[Any, ...]] = []
+        if probe_pairs and bindings:
+            new_positions = tuple(
+                slots[new.qualified] - base for new, _ in probe_pairs
+            )
+            bound_slots = tuple(slots[bound.qualified] for _, bound in probe_pairs)
+            index = relation.index_on_positions(new_positions)
+            check = compile_clauses(residual, slots)
+            for binding in bindings:
+                key = tuple(binding[s] for s in bound_slots)
+                for row in index.probe(key):
+                    candidate = binding + row
+                    if check(candidate):
+                        extended.append(candidate)
+        else:
+            # Clauses over this relation alone prune its rows once, not
+            # once per binding; cross-relation residuals run per candidate.
+            local = [c for c in residual if c.relations() <= {relation_name}]
+            cross = [c for c in residual if c.relations() - {relation_name}]
+            local_slots = {
+                f"{relation_name}.{attr}": position
+                for position, attr in enumerate(relation.schema.attribute_names)
+            }
+            local_check = compile_clauses(local, local_slots)
+            rows = [row for row in relation if local_check(row)]
+            check = compile_clauses(cross, slots)
+            for binding in bindings:
+                for row in rows:
+                    candidate = binding + row
+                    if check(candidate):
+                        extended.append(candidate)
+        bindings = extended
+        if not bindings:
+            break
+
+    output_schema = _output_schema(resolved, schemas)
+    if not bindings:
+        return Relation(output_schema)
+    out_slots = [slots[str(item.ref)] for item in resolved.select]
+    rows = [tuple(binding[s] for s in out_slots) for binding in bindings]
+    return Relation(output_schema, rows)
+
+
+def _join_order(
+    view: ViewDefinition,
+    lookup: RelationLookup,
+    statistics: SpaceStatistics | None,
+) -> list[str]:
+    """Greedy cardinality order: smallest relation first, then always the
+    cheapest relation that an equijoin connects to the bound set (hash
+    probes beat cartesian growth); unconnected relations only when nothing
+    else is left.  Ties keep FROM order, so single-relation views and
+    equal-size inputs behave exactly as written."""
+    names = list(view.relation_names)
+    if len(names) <= 1:
+        return names
+
+    def cardinality(name: str) -> int:
+        if statistics is not None and name in statistics.relations:
+            return statistics.cardinality(name)
+        return lookup(name).cardinality
+
+    equijoins = [
+        item.clause
+        for item in view.where
+        if item.clause.is_equijoin
+    ]
+
+    def connected(name: str, placed: set[str]) -> bool:
+        for clause in equijoins:
+            involved = clause.relations()
+            if name in involved and involved - {name} <= placed and len(involved) > 1:
+                return True
+        return False
+
+    order = [min(names, key=lambda n: (cardinality(n), names.index(n)))]
+    placed = set(order)
+    pending = [n for n in names if n not in placed]
+    while pending:
+        linked = [n for n in pending if connected(n, placed)]
+        pool = linked if linked else pending
+        choice = min(pool, key=lambda n: (cardinality(n), names.index(n)))
+        order.append(choice)
+        placed.add(choice)
+        pending.remove(choice)
+    return order
+
+
+def _split_probes(
+    clauses: list[PrimitiveClause],
+    relation_name: str,
+    slots: Mapping[str, int],
+    base: int,
+) -> tuple[list[tuple[AttributeRef, AttributeRef]], list[PrimitiveClause]]:
+    """Split clauses into index-probe pairs and residual filters.
+
+    A clause probes when it is an equijoin between one attribute of the
+    relation just added (slot >= ``base``) and one attribute bound earlier.
+    Returns ``([(new_ref, bound_ref), ...], residual_clauses)``.
+    """
+    pairs: list[tuple[AttributeRef, AttributeRef]] = []
+    residual: list[PrimitiveClause] = []
+    for clause in clauses:
+        if (
+            clause.comparator is Comparator.EQ
+            and isinstance(clause.left, AttributeRef)
+            and isinstance(clause.right, AttributeRef)
+        ):
+            left_slot = slots.get(clause.left.qualified)
+            right_slot = slots.get(clause.right.qualified)
+            if left_slot is not None and right_slot is not None:
+                left_new = left_slot >= base
+                right_new = right_slot >= base
+                if left_new and not right_new:
+                    pairs.append((clause.left, clause.right))
+                    continue
+                if right_new and not left_new:
+                    pairs.append((clause.right, clause.left))
+                    continue
+        residual.append(clause)
+    return pairs, residual
+
+
+# ----------------------------------------------------------------------
+# The original dict-binding nested-loop engine (reference implementation)
+# ----------------------------------------------------------------------
+def _evaluate_view_naive(
+    view: ViewDefinition,
+    relations: Mapping[str, Relation] | RelationLookup,
+) -> Relation:
+    """The pre-index engine, byte for byte: left-to-right nested loops over
+    dict bindings with a per-call hash fast path for equijoin clauses."""
     lookup = _lookup_from(relations)
     schemas = {name: lookup(name).schema for name in view.relation_names}
     resolved = ViewValidator(schemas).resolve_view(view)
@@ -132,8 +308,6 @@ def _split_equijoins(
     bound by an earlier relation.  Returns ``([(new_ref, bound_ref)...],
     residual_clauses)``.
     """
-    from repro.relational.expressions import AttributeRef, Comparator
-
     pairs = []
     residual: list[PrimitiveClause] = []
     for clause in clauses:
@@ -168,6 +342,11 @@ def _output_schema(
 def evaluate_views(
     views: Iterable[ViewDefinition],
     relations: Mapping[str, Relation] | RelationLookup,
+    statistics: SpaceStatistics | None = None,
+    engine: str = "indexed",
 ) -> dict[str, Relation]:
     """Materialize several views; returns name -> extent."""
-    return {view.name: evaluate_view(view, relations) for view in views}
+    return {
+        view.name: evaluate_view(view, relations, statistics, engine)
+        for view in views
+    }

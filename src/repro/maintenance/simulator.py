@@ -42,11 +42,15 @@ class ViewMaintainer:
         self,
         space: InformationSpace,
         statistics: SpaceStatistics | None = None,
+        use_index: bool = True,
     ) -> None:
         self._space = space
         self._statistics = (
             statistics if statistics is not None else space.mkb.statistics
         )
+        # How single-site queries are *executed* (index probes vs nested
+        # loops); the modeled cost counters are identical either way.
+        self._use_index = use_index
         self.counters = MaintenanceCounters()
 
     # ------------------------------------------------------------------
@@ -134,7 +138,9 @@ class ViewMaintainer:
             # Ship the delta (plus the query) down to the source.
             self.counters.record_message(len(deltas) * delta_width)
             self._charge_io(deltas, local)
-            deltas = source.answer_single_site_query(deltas, local, condition)
+            deltas = source.answer_single_site_query(
+                deltas, local, condition, use_index=self._use_index
+            )
             for name in local:
                 schema = self._space.relation(name).schema
                 delta_width += schema.tuple_byte_size()

@@ -34,6 +34,11 @@ class MetaKnowledgeBase:
     """Registry of schemas, constraints and statistics for the space."""
 
     def __init__(self, statistics: SpaceStatistics | None = None) -> None:
+        #: Bumped on every registration, constraint, or evolution change so
+        #: memoized assessments keyed on it (see
+        #: :mod:`repro.qc.assessment_cache`) never outlive the knowledge
+        #: they were computed from.
+        self.version = 0
         self._schemas: dict[str, Schema] = {}
         self._owners: dict[str, str] = {}
         self._join_constraints: list[JoinConstraint] = []
@@ -57,6 +62,7 @@ class MetaKnowledgeBase:
         statistics: RelationStatistics | None = None,
     ) -> None:
         """Register ``IS.R(A_1,...,A_n)`` with optional statistics."""
+        self.version += 1
         if schema.name in self._schemas:
             raise ConstraintError(
                 f"relation {schema.name!r} is already registered "
@@ -74,6 +80,7 @@ class MetaKnowledgeBase:
         the deleted relation's cardinality to size the *original* view
         extent it compares rewritings against.
         """
+        self.version += 1
         self._require(relation)
         del self._schemas[relation]
         del self._owners[relation]
@@ -122,6 +129,7 @@ class MetaKnowledgeBase:
     # Join constraints
     # ------------------------------------------------------------------
     def add_join_constraint(self, constraint: JoinConstraint) -> None:
+        self.version += 1
         left = self._require(constraint.left_relation)
         right = self._require(constraint.right_relation)
         for ref in constraint.condition.attribute_refs():
@@ -169,6 +177,7 @@ class MetaKnowledgeBase:
     # PC constraints
     # ------------------------------------------------------------------
     def add_pc_constraint(self, constraint: PCConstraint) -> None:
+        self.version += 1
         left = self._require(constraint.left.relation)
         right = self._require(constraint.right.relation)
         constraint.check_against(left, right)
@@ -323,6 +332,7 @@ class MetaKnowledgeBase:
     # ------------------------------------------------------------------
     def on_relation_deleted(self, relation: str) -> None:
         """Drop the relation; retire (don't discard) constraints touching it."""
+        self.version += 1
         if relation in self._schemas:
             self._dropped_schemas[relation] = self._schemas[relation]
             self.deregister_relation(relation)
@@ -341,6 +351,7 @@ class MetaKnowledgeBase:
 
     def on_relation_renamed(self, old: str, new: str) -> None:
         """Re-point the schema entry and rewrite constraints in place."""
+        self.version += 1
         schema = self._require(old)
         if new in self._schemas:
             raise ConstraintError(f"relation name {new!r} already registered")
@@ -383,6 +394,7 @@ class MetaKnowledgeBase:
 
     def on_attribute_deleted(self, relation: str, attribute: str) -> None:
         """Shrink the schema; retire constraints that referenced the attribute."""
+        self.version += 1
         schema = self._require(relation)
         self._dropped_schemas[relation] = schema
         self._schemas[relation] = schema.drop_attribute(attribute)
@@ -426,11 +438,13 @@ class MetaKnowledgeBase:
 
     def on_attribute_added(self, relation: str, schema: Schema) -> None:
         """Record the grown schema (constraints are unaffected)."""
+        self.version += 1
         self._require(relation)
         self._schemas[relation] = schema
 
     def on_attribute_renamed(self, relation: str, old: str, new: str) -> None:
         """Rename inside the schema and rewrite constraints that use it."""
+        self.version += 1
         schema = self._require(relation)
         self._dropped_schemas[relation] = schema  # pre-change snapshot
         self._schemas[relation] = schema.rename_attribute(old, new)

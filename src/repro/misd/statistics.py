@@ -84,6 +84,9 @@ class SpaceStatistics:
     join_selectivity: float = DEFAULT_JOIN_SELECTIVITY
     blocking_factor: int = DEFAULT_BLOCKING_FACTOR
     relations: dict[str, RelationStatistics] = field(default_factory=dict)
+    #: Bumped on every registration change so memoized assessments keyed on
+    #: it (see :mod:`repro.qc.assessment_cache`) never serve stale numbers.
+    version: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.join_selectivity <= 1.0:
@@ -98,6 +101,7 @@ class SpaceStatistics:
     # ------------------------------------------------------------------
     def register(self, relation: str, stats: RelationStatistics) -> None:
         self.relations[relation] = stats
+        self.version += 1
 
     def register_simple(
         self,
@@ -129,9 +133,15 @@ class SpaceStatistics:
         """Keep statistics attached across a change-relation-name."""
         if old in self.relations:
             self.relations[new] = self.relations.pop(old)
+            self.version += 1
 
     def forget_relation(self, relation: str) -> None:
-        self.relations.pop(relation, None)
+        if self.relations.pop(relation, None) is not None:
+            self.version += 1
+
+    def fingerprint(self) -> tuple[float, int, int]:
+        """Cache token: any registration or global-parameter change moves it."""
+        return (self.join_selectivity, self.blocking_factor, self.version)
 
     def copy(self) -> "SpaceStatistics":
         return SpaceStatistics(

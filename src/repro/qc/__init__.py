@@ -11,8 +11,15 @@ Public surface:
   :func:`cf_io`, :func:`assess_cost`, :func:`normalize_costs`
 * workload: :class:`WorkloadModel`, :class:`WorkloadSpec` (M1-M4)
 * heuristics: the Sec. 7.6 pruning rules
+* :class:`AssessmentCache` — memoized assessments over canonical
+  rewriting fingerprints
 """
 
+from repro.qc.assessment_cache import (
+    AssessmentCache,
+    fingerprint_rewriting,
+    fingerprint_view,
+)
 from repro.qc.cost import (
     CostAssessment,
     MaintenancePlan,
@@ -74,6 +81,7 @@ __all__ = [
     "DEFAULT_PARAMETERS",
     "EXPERIMENT4_CASES",
     "NO_OVERLAP",
+    "AssessmentCache",
     "CostAssessment",
     "Evaluation",
     "ExtentNumbers",
@@ -110,6 +118,8 @@ __all__ = [
     "fewest_clauses_key",
     "fewest_relations_key",
     "fewest_sources_key",
+    "fingerprint_rewriting",
+    "fingerprint_view",
     "fragment_cardinality",
     "full_scan_ios",
     "interface_quality",

@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Sequence
 from repro.errors import EvaluationError
 from repro.misd.mkb import MetaKnowledgeBase
 from repro.misd.statistics import SpaceStatistics
+from repro.qc.assessment_cache import AssessmentCache
 from repro.qc.cost import (
     CostAssessment,
     MaintenancePlan,
@@ -83,12 +84,17 @@ class QCModel:
         mkb: MetaKnowledgeBase,
         params: TradeoffParameters | None = None,
         statistics: SpaceStatistics | None = None,
+        cache: AssessmentCache | None = None,
     ) -> None:
         self._mkb = mkb
         self.params = params if params is not None else TradeoffParameters()
         self._statistics = (
             statistics if statistics is not None else mkb.statistics
         )
+        # Optional memo for quality/cost assessments.  The owner (usually
+        # EVESystem) must invalidate it on schema/constraint changes;
+        # statistics changes are covered by the statistics fingerprint.
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -116,6 +122,31 @@ class QCModel:
         updated_relation: str | None = None,
     ) -> CostAssessment:
         """Workload-aggregated (or single-update) cost of one rewriting."""
+        if self.cache is not None:
+            return self.cache.cost(
+                rewriting,
+                workload,
+                updated_relation,
+                self._knowledge_fingerprint(),
+                lambda: self._cost_of(rewriting, workload, updated_relation),
+            )
+        return self._cost_of(rewriting, workload, updated_relation)
+
+    def _knowledge_fingerprint(self):
+        """Everything an assessment reads besides the rewriting itself:
+        statistics, MKB constraints/owners, and the tradeoff weights."""
+        return (
+            self._statistics.fingerprint(),
+            getattr(self._mkb, "version", 0),
+            self.params,
+        )
+
+    def _cost_of(
+        self,
+        rewriting: Rewriting,
+        workload: WorkloadSpec | None,
+        updated_relation: str | None,
+    ) -> CostAssessment:
         plan = self._plan(rewriting, updated_relation)
         single = lambda p: assess_cost(  # noqa: E731 - tiny local closure
             p, self._statistics, self.params
@@ -124,6 +155,19 @@ class QCModel:
             return single(plan)
         return aggregate_cost(
             workload, plan, self._statistics, single
+        )
+
+    def _quality_of(self, rewriting: Rewriting) -> QualityAssessment:
+        if self.cache is not None:
+            return self.cache.quality(
+                rewriting,
+                self._knowledge_fingerprint(),
+                lambda: assess_quality_estimated(
+                    rewriting, self.params, self._mkb, self._statistics
+                ),
+            )
+        return assess_quality_estimated(
+            rewriting, self.params, self._mkb, self._statistics
         )
 
     # ------------------------------------------------------------------
@@ -136,12 +180,7 @@ class QCModel:
         updated_relation: str | None = None,
     ) -> list[Evaluation]:
         """Rank a candidate set, estimation path (the paper's setting)."""
-        qualities = [
-            assess_quality_estimated(
-                rewriting, self.params, self._mkb, self._statistics
-            )
-            for rewriting in rewritings
-        ]
+        qualities = [self._quality_of(rewriting) for rewriting in rewritings]
         return self._finish(rewritings, qualities, workload, updated_relation)
 
     def evaluate_exact(

@@ -8,6 +8,10 @@ Public surface:
   :class:`PrimitiveClause`, :class:`Condition` — predicate ASTs
 * :mod:`repro.relational.algebra` — select/project/join/set operators and
   the common-subset-of-attributes comparisons of the paper's Fig. 7
+* :class:`HashIndex` — incrementally maintained equality indexes owned by
+  relations (:meth:`Relation.index_on`)
+* :mod:`repro.relational.compile` — predicate compilation to
+  positional-tuple closures
 * :class:`Catalog` — named relation stores
 """
 
@@ -28,6 +32,8 @@ from repro.relational.algebra import (
     union,
 )
 from repro.relational.catalog import Catalog
+from repro.relational.compile import compile_clause, compile_condition
+from repro.relational.index import HashIndex
 from repro.relational.expressions import (
     AttributeRef,
     Comparator,
@@ -47,12 +53,15 @@ __all__ = [
     "Comparator",
     "Condition",
     "Constant",
+    "HashIndex",
     "PrimitiveClause",
     "Relation",
     "Row",
     "Schema",
     "cartesian_product",
     "common_projection",
+    "compile_clause",
+    "compile_condition",
     "cs_difference",
     "cs_equal",
     "cs_intersection",

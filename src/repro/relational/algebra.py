@@ -9,9 +9,12 @@ operators cover exactly what EVE view queries and the quality model need:
 * ``union`` / ``difference`` / ``intersection`` — set ops used by the
   common-subset-of-attributes comparisons of Sec. 5.3 (Fig. 7).
 
-The engine is a straightforward nested-loop evaluator with a hash fast path
-for equijoins — relations in the paper's experiments have a few thousand
-tuples, so clarity wins over asymptotics.
+Conditions are compiled once into positional-tuple closures
+(:mod:`repro.relational.compile`) and equijoins probe the relations' own
+hash indexes (:mod:`repro.relational.index`); the original interpreted
+nested-loop paths remain reachable via ``compiled=False`` /
+``use_index=False`` so the equivalence property tests and the engine
+benchmarks can compare both.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.compile import compile_condition, schema_slots
 from repro.relational.expressions import (
     AttributeRef,
     Comparator,
@@ -41,13 +45,20 @@ def select(
     relation: Relation,
     condition: Condition | RowPredicate,
     new_name: str | None = None,
+    compiled: bool = True,
 ) -> Relation:
     """sigma_condition(relation): rows satisfying the condition."""
-    predicate = _as_predicate(condition)
     schema = (
         relation.schema.rename_relation(new_name) if new_name else relation.schema
     )
     result = Relation(schema)
+    if compiled and isinstance(condition, Condition):
+        predicate = compile_condition(condition, schema_slots(relation.schema))
+        for row in relation:
+            if predicate(row):
+                result.insert(row)
+        return result
+    predicate = _as_predicate(condition)
     for row in relation:
         if predicate(relation.named_row(row)):
             result.insert(row)
@@ -140,34 +151,72 @@ def _ref_in(ref: AttributeRef, schema: Schema, other: Schema) -> bool:
     return ref.attribute in schema and ref.attribute not in other
 
 
+def _product_slots(left: Relation, right: Relation) -> dict[str, int]:
+    """Slot layout of a concatenated ``(*lrow, *rrow)`` tuple.
+
+    Mirrors the named-row view the interpreted fallback builds: bare names
+    resolve left-first (left wins clashes), qualified names resolve to
+    their own relation.
+    """
+    slots: dict[str, int] = {}
+    offset = left.schema.arity
+    for position, attr in enumerate(right.schema.attribute_names):
+        slots[attr] = offset + position
+        slots[f"{right.name}.{attr}"] = offset + position
+    for position, attr in enumerate(left.schema.attribute_names):
+        slots[attr] = position  # left wins bare-name clashes
+        slots[f"{left.name}.{attr}"] = position
+    return slots
+
+
 def join(
     left: Relation,
     right: Relation,
     condition: Condition,
     new_name: str | None = None,
+    use_index: bool = True,
 ) -> Relation:
     """Theta-join of two relations under a conjunctive condition.
 
-    Pure-equijoin conditions whose sides resolve unambiguously run through a
-    hash join; everything else falls back to nested loops over the product
-    schema with named-row evaluation.
+    Pure-equijoin conditions whose sides resolve unambiguously probe the
+    right relation's hash index; everything else runs nested loops with a
+    condition compiled over the product tuple.  ``use_index=False`` forces
+    the original interpreted nested-loop evaluation (the reference the
+    equivalence tests compare against).
     """
     name = new_name or f"{left.name}_join_{right.name}"
     schema = left.schema.concat(right.schema, name)
     result = Relation(schema)
 
     pairs = _equijoin_pairs(left, right, condition) if condition else None
+    if pairs and use_index:
+        index = right.index_on_positions(tuple(rpos for _, rpos in pairs))
+        left_positions = tuple(lpos for lpos, _ in pairs)
+        for lrow in left:
+            key = tuple(lrow[p] for p in left_positions)
+            for rrow in index.probe(key):
+                result.insert((*lrow, *rrow))
+        return result
     if pairs:
-        index: dict[tuple[Any, ...], list[Row]] = {}
+        index_map: dict[tuple[Any, ...], list[Row]] = {}
         for rrow in right:
             key = tuple(rrow[rpos] for _, rpos in pairs)
-            index.setdefault(key, []).append(rrow)
+            index_map.setdefault(key, []).append(rrow)
         for lrow in left:
             key = tuple(lrow[lpos] for lpos, _ in pairs)
             if None in key:
                 continue
-            for rrow in index.get(key, ()):
+            for rrow in index_map.get(key, ()):
                 result.insert((*lrow, *rrow))
+        return result
+
+    if use_index:
+        predicate = compile_condition(condition, _product_slots(left, right))
+        for lrow in left:
+            for rrow in right:
+                combined = (*lrow, *rrow)
+                if predicate(combined):
+                    result.insert(combined)
         return result
 
     for lrow in left:

@@ -1,0 +1,89 @@
+"""Hash indexes over relation rows.
+
+A :class:`HashIndex` maps the values of a fixed subset of attribute
+positions to the rows carrying them, giving O(1) equality probes instead of
+full scans.  Indexes are owned by :class:`~repro.relational.relation.Relation`
+(see :meth:`Relation.index_on`): they are built lazily on first probe and
+maintained incrementally through ``insert``/``delete``, so the hot loops of
+the execution engine — equijoin evaluation and per-delta-tuple maintenance
+probes — reuse one index across calls rather than rebuilding a dict per
+query.
+
+Probe semantics follow SQL: a ``None`` (NULL) component never equals
+anything, so probes containing ``None`` return no rows even though rows
+with ``None`` in an indexed position are stored (they must survive
+re-indexing and deletion bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+Row = tuple[Any, ...]
+
+#: Shared empty probe result; callers must treat probe results as read-only.
+_NO_ROWS: tuple[Row, ...] = ()
+
+
+class HashIndex:
+    """Equality index on a tuple of attribute positions.
+
+    Buckets preserve insertion order, so probing yields matching rows in
+    relation order — the bag a probe returns is identical (up to the
+    ordering across *different* keys) to what a filtered scan would
+    produce.
+    """
+
+    __slots__ = ("positions", "_buckets")
+
+    def __init__(
+        self, positions: Sequence[int], rows: Iterable[Row] = ()
+    ) -> None:
+        self.positions: tuple[int, ...] = tuple(positions)
+        self._buckets: dict[Row, list[Row]] = {}
+        for row in rows:
+            self.add(row)
+
+    def key_of(self, row: Row) -> Row:
+        """The index key carried by ``row``."""
+        return tuple(row[p] for p in self.positions)
+
+    def add(self, row: Row) -> None:
+        """Register one row (duplicates stack up in the bucket)."""
+        self._buckets.setdefault(self.key_of(row), []).append(row)
+
+    def discard(self, row: Row) -> bool:
+        """Remove one occurrence of ``row``; True if it was indexed."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[key]
+        return True
+
+    def probe(self, key: Sequence[Any]) -> Sequence[Row]:
+        """Rows whose indexed values equal ``key`` (NULL never matches)."""
+        key = tuple(key)
+        for value in key:
+            if value is None:
+                return _NO_ROWS
+        return self._buckets.get(key, _NO_ROWS)
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        """Total indexed rows (sum of bucket sizes)."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex(positions={self.positions}, "
+            f"{self.distinct_keys} keys, {len(self)} rows)"
+        )

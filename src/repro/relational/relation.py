@@ -10,9 +10,11 @@ callers do via :meth:`Relation.distinct`.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.index import HashIndex
 from repro.relational.schema import Attribute, Schema
 
 Row = tuple[Any, ...]
@@ -26,11 +28,12 @@ class Relation:
     in :mod:`repro.relational.algebra` always return new relations.
     """
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_indexes")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()) -> None:
         self.schema = schema
         self._rows: list[Row] = []
+        self._indexes: dict[tuple[int, ...], HashIndex] = {}
         for row in rows:
             self.insert(row)
 
@@ -85,7 +88,7 @@ class Relation:
             return NotImplemented
         if self.schema.attribute_names != other.schema.attribute_names:
             return False
-        return sorted(self._rows, key=repr) == sorted(other._rows, key=repr)
+        return Counter(self._rows) == Counter(other._rows)
 
     def __hash__(self) -> int:  # pragma: no cover - relations are mutable
         raise TypeError("Relation is unhashable; use row_set() for set semantics")
@@ -107,6 +110,39 @@ class Relation:
         return self.cardinality * self.schema.tuple_byte_size()
 
     # ------------------------------------------------------------------
+    # Hash indexes (lazy build, incrementally maintained)
+    # ------------------------------------------------------------------
+    def index_on(self, attributes: Sequence[str]) -> HashIndex:
+        """Hash index on the named attributes, building it on first use."""
+        positions = tuple(self.schema.position(name) for name in attributes)
+        return self.index_on_positions(positions)
+
+    #: Most relations are probed on one or two key subsets; cap the cached
+    #: indexes so pathological probe diversity cannot make every
+    #: insert/delete pay for (or every extent be mirrored by) an unbounded
+    #: index set.  Eviction is FIFO over insertion order.
+    MAX_CACHED_INDEXES = 8
+
+    def index_on_positions(self, positions: Sequence[int]) -> HashIndex:
+        """Hash index keyed on tuple positions; cached across probes."""
+        key = tuple(positions)
+        index = self._indexes.get(key)
+        if index is None:
+            if len(self._indexes) >= self.MAX_CACHED_INDEXES:
+                self._indexes.pop(next(iter(self._indexes)))
+            index = HashIndex(key, self._rows)
+            self._indexes[key] = index
+        return index
+
+    def drop_indexes(self) -> None:
+        """Forget all built indexes (bulk mutations call this)."""
+        self._indexes.clear()
+
+    @property
+    def index_count(self) -> int:
+        return len(self._indexes)
+
+    # ------------------------------------------------------------------
     # Mutation (used by data updates)
     # ------------------------------------------------------------------
     def _validate(self, row: Sequence[Any]) -> Row:
@@ -123,6 +159,8 @@ class Relation:
         """Validate and append ``row``; returns the normalized tuple."""
         validated = self._validate(row)
         self._rows.append(validated)
+        for index in self._indexes.values():
+            index.add(validated)
         return validated
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -140,6 +178,8 @@ class Relation:
             self._rows.remove(validated)
         except ValueError:
             return False
+        for index in self._indexes.values():
+            index.discard(validated)
         return True
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> list[Row]:
@@ -149,15 +189,18 @@ class Relation:
         for row in self._rows:
             (removed if predicate(row) else kept).append(row)
         self._rows = kept
+        self.drop_indexes()
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
+        self.drop_indexes()
 
     def replace_rows(self, rows: Iterable[Sequence[Any]]) -> None:
         """Atomically swap in a new extent (used when refreshing views)."""
         staged = [self._validate(row) for row in rows]
         self._rows = staged
+        self.drop_indexes()
 
     # ------------------------------------------------------------------
     # Schema evolution (used by capability changes)

@@ -54,7 +54,7 @@ class Schema:
     extraction, and concatenation for joins.
     """
 
-    __slots__ = ("name", "_attributes", "_index")
+    __slots__ = ("name", "_attributes", "_index", "_tuple_byte_size")
 
     def __init__(self, name: str, attributes: Iterable[Attribute | str]) -> None:
         self.name = name
@@ -69,6 +69,9 @@ class Schema:
                     f"duplicate attribute {attr.name!r} in schema {name!r}"
                 )
             self._index[attr.name] = position
+        # Schemas are immutable, so the tuple width is fixed at birth;
+        # computing it here keeps the per-message maintenance loop O(1).
+        self._tuple_byte_size = sum(attr.byte_size for attr in self._attributes)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,7 +125,7 @@ class Schema:
 
     def tuple_byte_size(self) -> int:
         """Total width of one tuple in bytes (``s_R`` of the cost model)."""
-        return sum(attr.byte_size for attr in self._attributes)
+        return self._tuple_byte_size
 
     # ------------------------------------------------------------------
     # Derivation

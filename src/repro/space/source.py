@@ -18,7 +18,7 @@ from typing import Any, Sequence
 
 from repro.errors import MaintenanceError, WorkspaceError
 from repro.relational.catalog import Catalog
-from repro.relational.expressions import Condition, PrimitiveClause
+from repro.relational.expressions import Comparator, Condition, PrimitiveClause
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.space.updates import DataUpdate, UpdateKind
@@ -82,15 +82,24 @@ class InformationSource:
         incoming: list[Binding],
         local_relations: Sequence[str],
         condition: Condition,
+        use_index: bool = True,
     ) -> list[Binding]:
         """Extend the incoming delta bindings with this IS's relations.
 
-        For each local relation in turn, every binding is joined with every
-        local row; WHERE conjuncts fire as soon as all their attributes are
-        bound (joins across ISs included, because earlier sources' columns
-        are already in the binding).  This is the per-IS step of
+        For each local relation in turn, every binding is joined with the
+        local rows; WHERE conjuncts fire as soon as all their attributes
+        are bound (joins across ISs included, because earlier sources'
+        columns are already in the binding).  This is the per-IS step of
         Algorithm 1; message/byte accounting happens in the maintenance
-        simulator, not here.
+        simulator, not here — the modeled min(scan, probe) I/O price is
+        unchanged by how the join is actually executed.
+
+        With ``use_index`` (the default) equijoin conjuncts linking a local
+        relation to already-bound delta columns probe the relation's hash
+        index per delta tuple instead of cross-joining every binding with
+        every local row; ``use_index=False`` forces the original
+        nested-loop execution (the reference path of the equivalence
+        tests and engine benchmarks).  Both produce the same bindings.
         """
         current = incoming
         for name in local_relations:
@@ -100,15 +109,117 @@ class InformationSource:
             attribute_keys = [
                 f"{name}.{attr}" for attr in local.schema.attribute_names
             ]
-            extended: list[Binding] = []
-            for binding in current:
-                for row in local:
-                    candidate = dict(binding)
-                    candidate.update(zip(attribute_keys, row))
-                    if _satisfied_so_far(condition, candidate):
-                        extended.append(candidate)
-            current = extended
+            if use_index and current:
+                current = _extend_indexed(
+                    current, local, name, attribute_keys, condition
+                )
+            else:
+                extended: list[Binding] = []
+                for binding in current:
+                    for row in local:
+                        candidate = dict(binding)
+                        candidate.update(zip(attribute_keys, row))
+                        if _satisfied_so_far(condition, candidate):
+                            extended.append(candidate)
+                current = extended
         return current
+
+
+def _extend_indexed(
+    bindings: list[Binding],
+    local: Relation,
+    name: str,
+    attribute_keys: list[str],
+    condition: Condition,
+) -> list[Binding]:
+    """One local-relation step of the single-site query, via index probes.
+
+    Equijoins between a local attribute and a delta column present in
+    *every* incoming binding become probes (a column missing from some
+    binding is undecidable there and must not filter, so it stays
+    residual).  Residual clauses keep the decidable-so-far semantics of
+    the nested-loop path, evaluated per candidate.
+    """
+    bound_keys = set(bindings[0])
+    for binding in bindings[1:]:
+        bound_keys &= set(binding)
+
+    probe_attrs: list[str] = []
+    probe_keys: list[str] = []
+    residual: list[PrimitiveClause] = []
+    for clause in condition.clauses:
+        pair = _probe_pair(clause, name, local, bound_keys)
+        if pair is not None:
+            probe_attrs.append(pair[0])
+            probe_keys.append(pair[1])
+        else:
+            residual.append(clause)
+    residual_condition = Condition(residual)
+
+    extended: list[Binding] = []
+    if probe_attrs:
+        index = local.index_on(probe_attrs)
+        for binding in bindings:
+            key = tuple(binding[k] for k in probe_keys)
+            for row in index.probe(key):
+                candidate = dict(binding)
+                candidate.update(zip(attribute_keys, row))
+                if _satisfied_so_far(residual_condition, candidate):
+                    extended.append(candidate)
+        return extended
+
+    # No equijoin link: prune rows once with the clauses local to this
+    # relation, then cross with the bindings (the naive path re-evaluated
+    # those clauses per binding x row).
+    local_only = [
+        c
+        for c in residual
+        if c.attribute_refs
+        and all(
+            ref.relation == name and ref.attribute in local.schema
+            for ref in c.attribute_refs
+        )
+    ]
+    cross = [c for c in residual if c not in local_only]
+    cross_condition = Condition(cross)
+    rows = list(local)
+    if local_only:
+        local_condition = Condition(local_only)
+        rows = [
+            row
+            for row in rows
+            if _satisfied_so_far(
+                local_condition, dict(zip(attribute_keys, row))
+            )
+        ]
+    for binding in bindings:
+        for row in rows:
+            candidate = dict(binding)
+            candidate.update(zip(attribute_keys, row))
+            if _satisfied_so_far(cross_condition, candidate):
+                extended.append(candidate)
+    return extended
+
+
+def _probe_pair(
+    clause: PrimitiveClause,
+    name: str,
+    local: Relation,
+    bound_keys: set[str],
+) -> tuple[str, str] | None:
+    """``(local_attribute, bound_binding_key)`` when the clause can probe."""
+    if clause.comparator is not Comparator.EQ or not clause.is_join_clause:
+        return None
+    left, right = clause.left, clause.right
+    for new, bound in ((left, right), (right, left)):
+        if (
+            new.relation == name
+            and new.attribute in local.schema
+            and bound.qualified in bound_keys
+            and not (bound.relation == name and bound.attribute in local.schema)
+        ):
+            return new.attribute, bound.qualified
+    return None
 
 
 def _satisfied_so_far(condition: Condition, binding: Binding) -> bool:

@@ -84,10 +84,19 @@ class _Route:
 
 
 class ViewSynchronizer:
-    """Generates legal rewritings from MKB knowledge (Sec. 3.3)."""
+    """Generates legal rewritings from MKB knowledge (Sec. 3.3).
 
-    def __init__(self, mkb: MetaKnowledgeBase) -> None:
+    ``cache`` (optional, shared with the QC-Model via
+    :class:`~repro.qc.assessment_cache.AssessmentCache`) memoizes view
+    resolution against the historical MKB schemas — every capability
+    change re-synchronizes every affected view, and resolution is pure
+    given the MKB state, so the owner invalidates the cache whenever that
+    state moves.
+    """
+
+    def __init__(self, mkb: MetaKnowledgeBase, cache=None) -> None:
         self._mkb = mkb
+        self._cache = cache
 
     # ------------------------------------------------------------------
     # Affectedness
@@ -163,6 +172,15 @@ class ViewSynchronizer:
 
     def _resolve(self, view: ViewDefinition) -> ViewDefinition:
         """Fully qualify the view against (historical) MKB schemas."""
+        if self._cache is not None:
+            return self._cache.resolved_view(
+                view,
+                lambda: self._resolve_uncached(view),
+                token=self._mkb.version,
+            )
+        return self._resolve_uncached(view)
+
+    def _resolve_uncached(self, view: ViewDefinition) -> ViewDefinition:
         schemas = {}
         for name in view.relation_names:
             schemas[name] = self._mkb.historical_schema(name)

@@ -1,14 +1,22 @@
 """Every example script must run clean — they are executable documentation."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
-)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _env_with_src():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
 
 
 @pytest.mark.parametrize(
@@ -20,6 +28,7 @@ def test_example_runs_clean(script):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_env_with_src(),
     )
     assert completed.returncode == 0, (
         f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"
