@@ -1,0 +1,334 @@
+"""Synchronization-pipeline benchmarks: eager control plane vs streamed.
+
+Three timed scenarios:
+
+1. **Batched change dispatch** — the 1k-view evolution storm: a composed
+   batch of capability changes hits a space serving 1000 views.  The
+   eager baseline (the PR-1 control plane) scans every alive view for
+   every change; the pipeline path routes each change through the VKB's
+   relation → views inverted index (``EVESystem.apply_changes``) and
+   rematerializes each affected view once.  Outcomes must be identical.
+2. **Pruned ranking** — a replacement-heavy candidate spectrum (six
+   donors, dominated variants requested): the exhaustive policy fully
+   assesses every legal candidate, the ``pruned`` policy skips every
+   candidate whose QC upper bound cannot beat the running best — and
+   must still report the identical winner with the identical QC-Value.
+3. **Policy sweep** — assessments and winners across ``exhaustive``,
+   ``pruned``, ``top_k(3)``, and ``first_legal`` on the same spectrum.
+
+Results are persisted as machine-readable ``BENCH_sync.json`` at the
+repo root (via :func:`conftest.emit_json`).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sync_pipeline.py [--smoke]
+
+``--smoke`` shrinks every scale so CI can assert the harness stays
+healthy in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from conftest import emit, emit_json  # noqa: E402
+
+from repro.core.eve import EVESystem  # noqa: E402
+from repro.core.report import format_table  # noqa: E402
+from repro.esql.parser import parse_view  # noqa: E402
+from repro.misd.statistics import RelationStatistics  # noqa: E402
+from repro.qc.model import QCModel  # noqa: E402
+from repro.relational.relation import Relation  # noqa: E402
+from repro.space.changes import DeleteRelation  # noqa: E402
+from repro.space.space import InformationSpace  # noqa: E402
+from repro.sync.legality import check_legality  # noqa: E402
+from repro.sync.pipeline import RewritingSearchPipeline  # noqa: E402
+from repro.sync.synchronizer import ViewSynchronizer  # noqa: E402
+from repro.workloadgen.scenarios import (  # noqa: E402
+    build_evolution_storm_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: batched change dispatch over the evolution storm
+# ----------------------------------------------------------------------
+def _storm_system(**storm_args):
+    scenario = build_evolution_storm_scenario(**storm_args)
+    eve = EVESystem(space=scenario.space)
+    for view in scenario.views:
+        eve.define_view(view, materialize=False)
+    return eve, scenario.changes
+
+
+def _storm_fingerprint(eve: EVESystem) -> list[tuple]:
+    return [
+        (record.name, record.alive, record.generations, str(record.current))
+        for record in eve.vkb
+    ]
+
+
+def bench_batched_dispatch(**storm_args) -> dict:
+    eager_eve, changes = _storm_system(**storm_args)
+    eager_eve.auto_synchronize = False
+    start = perf_counter()
+    synchronizations = 0
+    for change in changes:
+        eager_eve.space.apply_change(change)
+        # The PR-1 control plane: full scan of every alive view per change.
+        for record in list(eager_eve.vkb.alive_views()):
+            if not eager_eve.synchronizer.is_affected(record.current, change):
+                continue
+            eager_eve.synchronize_view(record, change)
+            synchronizations += 1
+    eager_seconds = perf_counter() - start
+
+    batched_eve, changes = _storm_system(**storm_args)
+    start = perf_counter()
+    results = batched_eve.apply_changes(changes)
+    batched_seconds = perf_counter() - start
+
+    outcomes_equal = _storm_fingerprint(eager_eve) == _storm_fingerprint(
+        batched_eve
+    )
+    return {
+        "views": storm_args.get("views", 1000),
+        "changes": len(changes),
+        "synchronizations": len(results),
+        "eager_synchronizations": synchronizations,
+        "eager_seconds": eager_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": eager_seconds / batched_seconds if batched_seconds else 0.0,
+        "outcomes_equal": outcomes_equal,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios 2/3: pruned ranking over a replacement-heavy spectrum
+# ----------------------------------------------------------------------
+def _ranking_scenario(donors: int = 6, attributes: int = 5):
+    """R with ``attributes`` dispensable columns and ``donors`` mirrors of
+    varying cardinality — deleting R yields a wide candidate spectrum,
+    and requesting dominated variants widens it combinatorially."""
+    space = InformationSpace()
+    names = [f"A{i}" for i in range(attributes)]
+    space.add_source("IS0")
+    space.register_relation(
+        "IS0",
+        Relation(_schema("R", names)),
+        RelationStatistics(cardinality=4000, tuple_size=100),
+    )
+    for index in range(donors):
+        source = f"IS{index + 1}"
+        space.add_source(source)
+        space.register_relation(
+            source,
+            Relation(_schema(f"S{index}", names)),
+            RelationStatistics(
+                cardinality=2000 + 800 * index, tuple_size=100
+            ),
+        )
+        space.mkb.add_containment("R", f"S{index}", names)
+    select = ", ".join(
+        f"R.{name} (AD = true, AR = true)" for name in names
+    )
+    view = parse_view(
+        f"CREATE VIEW V (VE = '~') AS SELECT {select} FROM R (RR = true)"
+    )
+    return space, view, DeleteRelation("IS0", "R")
+
+
+def _schema(name, attributes):
+    from repro.relational.schema import Schema
+
+    return Schema(name, attributes)
+
+
+def bench_pruned_ranking(donors: int, attributes: int) -> dict:
+    space, view, change = _ranking_scenario(donors, attributes)
+    synchronizer = ViewSynchronizer(space.mkb)
+    model = QCModel(space.mkb)
+    pipeline = RewritingSearchPipeline(synchronizer, model)
+
+    # Eager reference: materialize the full spectrum, evaluate everything.
+    start = perf_counter()
+    candidates = [
+        rewriting
+        for rewriting in synchronizer.synchronize(
+            view, change, include_dominated=True
+        )
+        if check_legality(rewriting).legal
+    ]
+    eager_evaluations = model.evaluate(candidates)
+    eager_seconds = perf_counter() - start
+
+    exhaustive = pipeline.search(
+        view, change, include_dominated=True, policy="exhaustive"
+    )
+    start = perf_counter()
+    pruned = pipeline.search(
+        view, change, include_dominated=True, policy="pruned"
+    )
+    pruned_seconds = perf_counter() - start
+
+    winner = eager_evaluations[0]
+    assessed_exhaustive = exhaustive.counters.assessed
+    assessed_pruned = pruned.counters.assessed
+    return {
+        "legal_candidates": len(candidates),
+        "generated": pruned.counters.generated + pruned.counters.dominated,
+        "assessed_exhaustive": assessed_exhaustive,
+        "assessed_pruned": assessed_pruned,
+        "pruned": pruned.counters.pruned,
+        "assessment_reduction": (
+            1.0 - assessed_pruned / assessed_exhaustive
+            if assessed_exhaustive
+            else 0.0
+        ),
+        "winner_identical": pruned.chosen.rewriting == winner.rewriting,
+        "qc_value_equal": pruned.chosen.qc == winner.qc,
+        "eager_seconds": eager_seconds,
+        "pruned_seconds": pruned_seconds,
+        "speedup": eager_seconds / pruned_seconds if pruned_seconds else 0.0,
+    }
+
+
+def bench_policy_sweep(donors: int, attributes: int) -> dict:
+    space, view, change = _ranking_scenario(donors, attributes)
+    pipeline = RewritingSearchPipeline(
+        ViewSynchronizer(space.mkb), QCModel(space.mkb)
+    )
+    sweep = {}
+    for policy in ("exhaustive", "pruned", "top_k(3)", "first_legal"):
+        result = pipeline.search(
+            view, change, include_dominated=True, policy=policy
+        )
+        sweep[policy] = {
+            "winner": str(result.chosen.rewriting.view.relation_names),
+            "qc": result.chosen.qc,
+            "generated": result.counters.generated
+            + result.counters.dominated,
+            "assessed": result.counters.assessed,
+            "pruned": result.counters.pruned,
+        }
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scales: assert harness health, not performance",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        storm_args = dict(
+            views=120,
+            view_relations=30,
+            spare_relations=20,
+            changes=24,
+            hot_renames=4,
+            replacement_deletes=2,
+        )
+        donors, attributes = 4, 4
+    else:
+        storm_args = dict(
+            views=1000,
+            view_relations=250,
+            spare_relations=120,
+            changes=240,
+            hot_renames=8,
+            replacement_deletes=2,
+        )
+        donors, attributes = 6, 5
+
+    dispatch = bench_batched_dispatch(**storm_args)
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["views", dispatch["views"]],
+                ["changes in batch", dispatch["changes"]],
+                ["synchronizations", dispatch["synchronizations"]],
+                ["eager full-scan dispatch (s)", f"{dispatch['eager_seconds']:.4f}"],
+                ["indexed batched dispatch (s)", f"{dispatch['batched_seconds']:.4f}"],
+                ["speedup", f"{dispatch['speedup']:.1f}x"],
+                ["outcomes identical", dispatch["outcomes_equal"]],
+            ],
+            title="Batched change dispatch (evolution storm)",
+        )
+    )
+
+    ranking = bench_pruned_ranking(donors, attributes)
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["legal candidates", ranking["legal_candidates"]],
+                ["fully assessed (exhaustive)", ranking["assessed_exhaustive"]],
+                ["fully assessed (pruned)", ranking["assessed_pruned"]],
+                ["assessments skipped", ranking["pruned"]],
+                ["assessment reduction", f"{ranking['assessment_reduction']:.1%}"],
+                ["winner identical", ranking["winner_identical"]],
+                ["QC-Value identical", ranking["qc_value_equal"]],
+                ["eager evaluate (s)", f"{ranking['eager_seconds']:.4f}"],
+                ["pruned pipeline (s)", f"{ranking['pruned_seconds']:.4f}"],
+                ["speedup", f"{ranking['speedup']:.1f}x"],
+            ],
+            title="Upper-bound-pruned ranking (dominated spectrum requested)",
+        )
+    )
+
+    sweep = bench_policy_sweep(donors, attributes)
+    emit(
+        format_table(
+            ["policy", "winner", "QC", "generated", "assessed", "pruned"],
+            [
+                [
+                    policy,
+                    row["winner"],
+                    f"{row['qc']:.4f}",
+                    row["generated"],
+                    row["assessed"],
+                    row["pruned"],
+                ]
+                for policy, row in sweep.items()
+            ],
+            title="Search-policy sweep",
+        )
+    )
+
+    if not args.smoke:
+        if dispatch["speedup"] < 10.0:
+            raise SystemExit(
+                f"batched dispatch speedup {dispatch['speedup']:.1f}x < 10x"
+            )
+        if ranking["assessed_pruned"] >= ranking["assessed_exhaustive"]:
+            raise SystemExit("upper-bound pruning skipped nothing")
+    if not dispatch["outcomes_equal"]:
+        raise SystemExit("batched dispatch diverged from eager outcomes")
+    if not (ranking["winner_identical"] and ranking["qc_value_equal"]):
+        raise SystemExit("pruned ranking diverged from exhaustive winner")
+
+    path = emit_json(
+        "sync",
+        {
+            "batched_dispatch": dispatch,
+            "pruned_ranking": ranking,
+            "policy_sweep": sweep,
+            "config": {"smoke": args.smoke},
+        },
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

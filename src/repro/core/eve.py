@@ -7,17 +7,28 @@ exposes the workflow a warehouse operator walks through:
 1. register sources, relations, constraints, statistics;
 2. define E-SQL views (optionally materializing them);
 3. feed data updates — materialized views are maintained incrementally;
-4. feed capability changes — affected views are synchronized: candidate
-   rewritings are generated, ranked by the QC-Model, and the best legal
-   rewriting is committed (the paper's headline improvement over the first
-   EVE prototype, which "simply picked the first legal view rewriting it
-   discovered").
+4. feed capability changes — affected views are synchronized through the
+   streaming rewriting-search pipeline
+   (:class:`~repro.sync.pipeline.RewritingSearchPipeline`): candidate
+   rewritings stream out of pluggable generators, are legality-filtered
+   and deduplicated in-flight, and ranked with upper-bound pruning; the
+   best legal rewriting is committed (the paper's headline improvement
+   over the first EVE prototype, which "simply picked the first legal
+   view rewriting it discovered" — that behaviour survives as the
+   ``first_legal`` search policy).
+
+Dispatch is *indexed*: the VKB maintains a relation → views inverted
+index, so a capability change or data update touches only the views that
+actually reference the changed relation.  Batches of changes go through
+:meth:`EVESystem.apply_changes`, which applies the whole batch to the
+space first and then visits each affected view once — replaying only the
+changes relevant to it and rematerializing its extent a single time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.errors import SynchronizationError, ViewUndefinedError
 from repro.esql.ast import ViewDefinition
@@ -30,10 +41,19 @@ from repro.qc.model import Evaluation, QCModel
 from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
 from repro.relational.relation import Relation
-from repro.space.changes import SchemaChange
+from repro.space.changes import (
+    DeleteRelation,
+    RenameRelation,
+    SchemaChange,
+)
 from repro.space.space import InformationSpace
 from repro.space.updates import DataUpdate
 from repro.sync.legality import check_legality
+from repro.sync.pipeline import (
+    RewritingSearchPipeline,
+    SearchPolicy,
+    StageCounters,
+)
 from repro.sync.rewriting import Rewriting
 from repro.sync.synchronizer import ViewSynchronizer
 from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
@@ -48,6 +68,11 @@ class SynchronizationResult:
     change: SchemaChange
     evaluations: list[Evaluation]
     chosen: Evaluation | None
+    #: Per-stage pipeline accounting (generated / filtered / pruned /
+    #: assessed); None only for results predating the pipeline.
+    counters: StageCounters | None = None
+    #: The search policy that produced this result.
+    policy: SearchPolicy | None = None
 
     @property
     def survived(self) -> bool:
@@ -58,13 +83,21 @@ class SynchronizationResult:
 
 
 class EVESystem:
-    """End-to-end Evolvable View Environment over a simulated space."""
+    """End-to-end Evolvable View Environment over a simulated space.
+
+    ``policy`` selects the rewriting-search policy (see
+    :class:`~repro.sync.pipeline.SearchPolicy`): ``"pruned"`` (default)
+    commits the identical winner as ``"exhaustive"`` while skipping
+    provably-dominated assessments; ``"first_legal"`` reproduces the
+    original EVE prototype.
+    """
 
     def __init__(
         self,
         params: TradeoffParameters | None = None,
         space: InformationSpace | None = None,
         auto_synchronize: bool = True,
+        policy: SearchPolicy | str = "pruned",
     ) -> None:
         self.space = space if space is not None else InformationSpace()
         self.params = params if params is not None else TradeoffParameters()
@@ -79,6 +112,9 @@ class EVESystem:
         )
         self.qc_model = QCModel(
             self.space.mkb, self.params, cache=self.assessment_cache
+        )
+        self.pipeline = RewritingSearchPipeline(
+            self.synchronizer, self.qc_model, policy
         )
         self.maintainer = ViewMaintainer(self.space)
         self._extents: dict[str, Relation] = {}
@@ -95,6 +131,10 @@ class EVESystem:
     @property
     def mkb(self):
         return self.space.mkb
+
+    @property
+    def policy(self) -> SearchPolicy:
+        return self.pipeline.policy
 
     def add_source(self, name: str):
         return self.space.add_source(name)
@@ -147,24 +187,22 @@ class EVESystem:
         return self._extents[view_name]
 
     # ------------------------------------------------------------------
-    # Data updates -> incremental maintenance
+    # Data updates -> incremental maintenance (index-dispatched)
     # ------------------------------------------------------------------
     def _handle_data_update(self, update: DataUpdate) -> None:
-        for record in self.vkb.alive_views():
-            if update.relation not in record.current.relation_names:
-                continue
+        for record in self.vkb.views_referencing(update.relation):
             extent = self._extents.get(record.name)
             if extent is None:
                 continue
             self.maintainer.maintain(record.current, extent, update)
 
     # ------------------------------------------------------------------
-    # Capability changes -> synchronization
+    # Capability changes -> synchronization (index-dispatched)
     # ------------------------------------------------------------------
     def _handle_capability_change(self, change: SchemaChange) -> None:
         if not self.auto_synchronize:
             return
-        for record in list(self.vkb.alive_views()):
+        for record in self.vkb.views_referencing(change.relation):
             if not self.synchronizer.is_affected(record.current, change):
                 continue
             self._sync_log.append(self.synchronize_view(record, change))
@@ -174,25 +212,174 @@ class EVESystem:
         record: ViewRecord,
         change: SchemaChange,
         workload: WorkloadSpec | None = None,
+        policy: SearchPolicy | str | None = None,
     ) -> SynchronizationResult:
         """Generate, rank, and commit the best legal rewriting."""
-        rewritings = self.synchronizer.synchronize(record.current, change)
-        rewritings = [r for r in rewritings if check_legality(r).legal]
-        if not rewritings:
-            self.vkb.mark_undefined(record.name)
-            self._extents.pop(record.name, None)
-            return SynchronizationResult(record.name, change, [], None)
-        evaluations = self.qc_model.evaluate(rewritings, workload)
-        chosen = evaluations[0]
-        self.vkb.apply_rewriting(chosen.rewriting)
-        if record.name in self._extents:
+        result = self._synchronize_record(record, change, workload, policy)
+        if result.survived and record.name in self._extents:
             self._extents[record.name] = evaluate_view(
-                chosen.rewriting.view,
+                record.current,
                 self.space.relations(),
                 self.space.mkb.statistics,
             )
-        return SynchronizationResult(record.name, change, evaluations, chosen)
+        return result
 
+    def _synchronize_record(
+        self,
+        record: ViewRecord,
+        change: SchemaChange,
+        workload: WorkloadSpec | None = None,
+        policy: SearchPolicy | str | None = None,
+    ) -> SynchronizationResult:
+        """Pipeline search + VKB commit, without touching the extent."""
+        outcome = self.pipeline.search(
+            record.current, change, workload=workload, policy=policy
+        )
+        if outcome.chosen is None:
+            self.vkb.mark_undefined(record.name)
+            self._extents.pop(record.name, None)
+            return SynchronizationResult(
+                record.name, change, [], None, outcome.counters, outcome.policy
+            )
+        self.vkb.apply_rewriting(outcome.chosen.rewriting)
+        return SynchronizationResult(
+            record.name,
+            change,
+            outcome.evaluations,
+            outcome.chosen,
+            outcome.counters,
+            outcome.policy,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched capability changes
+    # ------------------------------------------------------------------
+    def apply_changes(
+        self, changes: Iterable[SchemaChange]
+    ) -> list[SynchronizationResult]:
+        """Apply a composed batch of capability changes, dispatch indexed.
+
+        Batches are split at relation-identity chains — links where a
+        change can only be replayed against a *live* intermediate state:
+
+        * a change addressing a name an earlier ``RenameRelation`` in the
+          batch introduced (rename-the-rename, delete-the-renamed), and
+        * a ``RenameRelation``/``DeleteRelation`` whose subject an earlier
+          change in the batch already touched (views synchronized for the
+          earlier change would land mid-chain on a relation the batch end
+          state no longer offers).
+
+        Each such link starts a fresh sub-batch, restoring sequential
+        semantics exactly there; chain-free batches — the normal case —
+        pay nothing but one linear scan.
+        """
+        batch = list(changes)
+        introduced: set[str] = set()
+        touched: set[str] = set()
+        for index, change in enumerate(batch):
+            chains = change.relation in introduced or (
+                isinstance(change, (RenameRelation, DeleteRelation))
+                and change.relation in touched
+            )
+            if chains:
+                return self._apply_batch(batch[:index]) + self.apply_changes(
+                    batch[index:]
+                )
+            touched.add(change.relation)
+            if isinstance(change, RenameRelation):
+                introduced.add(change.new_name)
+        return self._apply_batch(batch)
+
+    def _apply_batch(
+        self, changes: Iterable[SchemaChange]
+    ) -> list[SynchronizationResult]:
+        """One chain-free batch: apply all, then visit each view once.
+
+        The whole batch is applied to the information space first (the
+        per-change listeners still run, minus auto-synchronization);
+        affected views are collected through the VKB's inverted index as
+        each change lands.  Every affected view is then visited *once*:
+        the batch's changes are replayed against its evolving definition
+        — skipping changes that no longer touch it — and its extent is
+        rematerialized a single time at the end instead of once per
+        change.  Views never referencing a changed relation are never
+        examined at all, which is what makes thousand-view spaces cheap
+        to evolve.
+
+        Synchronization happens against the *post-batch* knowledge: when
+        changes in one batch interact (a donor deleted later in the same
+        batch, say), the pipeline only ever substitutes relations that
+        survive the whole batch.  Composition can therefore reach the
+        sequential end state in *fewer rewritings* — e.g. a replacement
+        lands directly on a donor column renamed later in the batch —
+        so a view's ``generations`` count may be lower than under
+        one-change-at-a-time application even though the definitions
+        and extents agree.
+        """
+        batch = list(changes)
+        by_relation: dict[str, list[tuple[int, SchemaChange]]] = {}
+        for position, change in enumerate(batch):
+            by_relation.setdefault(change.relation, []).append(
+                (position, change)
+            )
+
+        #: view name -> ordered (position, change) worklist.
+        affected: dict[str, list[tuple[int, SchemaChange]]] = {}
+        was_auto = self.auto_synchronize
+        self.auto_synchronize = False
+        try:
+            for position, change in enumerate(batch):
+                for record in self.vkb.views_referencing(change.relation):
+                    if self.synchronizer.is_affected(record.current, change):
+                        affected.setdefault(record.name, []).append(
+                            (position, change)
+                        )
+                self.space.apply_change(change)
+        finally:
+            self.auto_synchronize = was_auto
+
+        results: list[SynchronizationResult] = []
+        for name, worklist in affected.items():
+            record = self.vkb.record(name)
+            queued = {position for position, _ in worklist}
+            cursor = 0
+            while cursor < len(worklist) and record.alive:
+                position, change = worklist[cursor]
+                cursor += 1
+                if not self.synchronizer.is_affected(record.current, change):
+                    continue
+                result = self._synchronize_record(record, change)
+                results.append(result)
+                self._sync_log.append(result)
+                if not record.alive:
+                    break
+                # A committed rewriting changes what the view references —
+                # relations it pulled in, and attribute names an earlier
+                # rename introduced (which the pre-batch affectedness test
+                # could not see).  Re-queue every later change on a relation
+                # the view now references; the replay's own is_affected
+                # check skips the irrelevant ones against the evolved
+                # definition.
+                merged = False
+                for relation in record.current.relation_names:
+                    for later in by_relation.get(relation, ()):
+                        if later[0] > position and later[0] not in queued:
+                            queued.add(later[0])
+                            worklist.append(later)
+                            merged = True
+                if merged:
+                    worklist[cursor:] = sorted(worklist[cursor:])
+            if record.alive and name in self._extents:
+                self._extents[name] = evaluate_view(
+                    record.current,
+                    self.space.relations(),
+                    self.space.mkb.statistics,
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Candidate inspection / external ranking
+    # ------------------------------------------------------------------
     def candidate_rewritings(
         self,
         view_name: str,

@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.errors import EvaluationError
 from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator
-from repro.misd.statistics import SpaceStatistics
+from repro.misd.statistics import DEFAULT_SELECTIVITY, SpaceStatistics
 from repro.relational.compile import compile_clauses
 from repro.relational.expressions import AttributeRef, Comparator, PrimitiveClause
 from repro.relational.relation import Relation
@@ -141,11 +141,17 @@ def _join_order(
     lookup: RelationLookup,
     statistics: SpaceStatistics | None,
 ) -> list[str]:
-    """Greedy cardinality order: smallest relation first, then always the
+    """Greedy selectivity-weighted cardinality order: the relation with
+    the smallest *estimated surviving size* first, then always the
     cheapest relation that an equijoin connects to the bound set (hash
-    probes beat cartesian growth); unconnected relations only when nothing
-    else is left.  Ties keep FROM order, so single-relation views and
-    equal-size inputs behave exactly as written."""
+    probes beat cartesian growth); unconnected relations only when
+    nothing else is left.  The estimate folds local-condition
+    selectivity into the cardinality — each single-relation WHERE
+    conjunct scales the relation by its sigma (``SpaceStatistics`` when
+    supplied, the paper's default sigma otherwise), so a large-but-
+    heavily-filtered relation can lead the join.  Ties keep FROM order,
+    so single-relation views and equal-estimate inputs behave exactly
+    as written."""
     names = list(view.relation_names)
     if len(names) <= 1:
         return names
@@ -154,6 +160,25 @@ def _join_order(
         if statistics is not None and name in statistics.relations:
             return statistics.cardinality(name)
         return lookup(name).cardinality
+
+    local_clauses: dict[str, int] = {}
+    for item in view.where:
+        relations = item.clause.relations()
+        if len(relations) == 1 and not item.clause.is_equijoin:
+            name = next(iter(relations))
+            local_clauses[name] = local_clauses.get(name, 0) + 1
+
+    def selectivity(name: str) -> float:
+        if statistics is not None and name in statistics.relations:
+            return statistics.selectivity(name)
+        return DEFAULT_SELECTIVITY
+
+    def estimated_size(name: str) -> float:
+        size = float(cardinality(name))
+        clauses = local_clauses.get(name, 0)
+        if clauses:
+            size *= selectivity(name) ** clauses
+        return size
 
     equijoins = [
         item.clause
@@ -168,13 +193,13 @@ def _join_order(
                 return True
         return False
 
-    order = [min(names, key=lambda n: (cardinality(n), names.index(n)))]
+    order = [min(names, key=lambda n: (estimated_size(n), names.index(n)))]
     placed = set(order)
     pending = [n for n in names if n not in placed]
     while pending:
         linked = [n for n in pending if connected(n, placed)]
         pool = linked if linked else pending
-        choice = min(pool, key=lambda n: (cardinality(n), names.index(n)))
+        choice = min(pool, key=lambda n: (estimated_size(n), names.index(n)))
         order.append(choice)
         placed.add(choice)
         pending.remove(choice)

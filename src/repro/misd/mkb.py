@@ -52,6 +52,24 @@ class MetaKnowledgeBase:
         self._dropped_schemas: dict[str, Schema] = {}
         self.statistics = statistics if statistics is not None else SpaceStatistics()
 
+    def _snapshot_schema(self, relation: str, schema: Schema) -> None:
+        """Record a pre-change snapshot, merging with earlier snapshots.
+
+        Capability changes may arrive in composed batches: a relation can
+        lose two attributes before any affected view is synchronized.
+        Overwriting the snapshot would forget the first attribute and
+        leave the view unresolvable, so snapshots accumulate — every
+        attribute name the relation ever offered stays resolvable.  Live
+        views never reference an attribute retired before their last
+        synchronization, so the extra names are unreachable from them.
+        """
+        previous = self._dropped_schemas.get(relation)
+        if previous is not None:
+            for attribute in previous:
+                if attribute.name not in schema:
+                    schema = schema.add_attribute(attribute)
+        self._dropped_schemas[relation] = schema
+
     # ------------------------------------------------------------------
     # Schema registration (IS registration, Sec. 3)
     # ------------------------------------------------------------------
@@ -334,7 +352,7 @@ class MetaKnowledgeBase:
         """Drop the relation; retire (don't discard) constraints touching it."""
         self.version += 1
         if relation in self._schemas:
-            self._dropped_schemas[relation] = self._schemas[relation]
+            self._snapshot_schema(relation, self._schemas[relation])
             self.deregister_relation(relation)
         self._historical_join.extend(
             jc for jc in self._join_constraints if jc.involves(relation)
@@ -356,7 +374,7 @@ class MetaKnowledgeBase:
         if new in self._schemas:
             raise ConstraintError(f"relation name {new!r} already registered")
         # Views still referencing the old name resolve via the snapshot.
-        self._dropped_schemas[old] = schema
+        self._snapshot_schema(old, schema)
         owner = self._owners[old]
         del self._schemas[old]
         del self._owners[old]
@@ -391,12 +409,22 @@ class MetaKnowledgeBase:
 
         self._join_constraints = [rename_in_jc(jc) for jc in self._join_constraints]
         self._pc_constraints = [rename_in_pc(pc) for pc in self._pc_constraints]
+        # Retired constraints must follow the rename too: they still route
+        # replacements from vanished relations to this (live) one, and a
+        # stale name would silently disable those routes — visible when a
+        # composed batch deletes a relation and then renames its donor.
+        self._historical_join = [
+            rename_in_jc(jc) for jc in self._historical_join
+        ]
+        self._historical_pc = [
+            rename_in_pc(pc) for pc in self._historical_pc
+        ]
 
     def on_attribute_deleted(self, relation: str, attribute: str) -> None:
         """Shrink the schema; retire constraints that referenced the attribute."""
         self.version += 1
         schema = self._require(relation)
-        self._dropped_schemas[relation] = schema
+        self._snapshot_schema(relation, schema)
         self._schemas[relation] = schema.drop_attribute(attribute)
 
         def jc_survives(jc: JoinConstraint) -> bool:
@@ -446,7 +474,7 @@ class MetaKnowledgeBase:
         """Rename inside the schema and rewrite constraints that use it."""
         self.version += 1
         schema = self._require(relation)
-        self._dropped_schemas[relation] = schema  # pre-change snapshot
+        self._snapshot_schema(relation, schema)  # pre-change snapshot
         self._schemas[relation] = schema.rename_attribute(old, new)
         attribute_map = {old: new}
 
@@ -483,6 +511,14 @@ class MetaKnowledgeBase:
 
         self._join_constraints = [rename_in_jc(jc) for jc in self._join_constraints]
         self._pc_constraints = [rename_in_pc(pc) for pc in self._pc_constraints]
+        # Keep retired routes pointing at the live column name (see
+        # :meth:`on_relation_renamed`).
+        self._historical_join = [
+            rename_in_jc(jc) for jc in self._historical_join
+        ]
+        self._historical_pc = [
+            rename_in_pc(pc) for pc in self._historical_pc
+        ]
 
     # ------------------------------------------------------------------
     # Convenience constructors for common constraint shapes

@@ -13,6 +13,7 @@ proposes for otherwise incomparable rewritings.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -24,6 +25,7 @@ from repro.qc.cost import (
     CostAssessment,
     MaintenancePlan,
     assess_cost,
+    full_scan_ios,
     normalize_costs,
     plan_for_view,
 )
@@ -32,6 +34,7 @@ from repro.qc.quality import (
     QualityAssessment,
     assess_quality,
     assess_quality_estimated,
+    dd_attr,
     exact_extent_numbers,
 )
 from repro.qc.workload import WorkloadSpec, aggregate_cost
@@ -157,6 +160,15 @@ class QCModel:
             workload, plan, self._statistics, single
         )
 
+    def quality_of(self, rewriting: Rewriting) -> QualityAssessment:
+        """Full (memoized) quality assessment of one rewriting.
+
+        The public entry point the streaming pipeline uses to assess a
+        single candidate: identical floats to what :meth:`evaluate`
+        computes for the same rewriting, through the same cache.
+        """
+        return self._quality_of(rewriting)
+
     def _quality_of(self, rewriting: Rewriting) -> QualityAssessment:
         if self.cache is not None:
             return self.cache.quality(
@@ -168,6 +180,138 @@ class QCModel:
             )
         return assess_quality_estimated(
             rewriting, self.params, self._mkb, self._statistics
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental ranking: cheap bounds for stop-early search
+    # ------------------------------------------------------------------
+    def quality_floor(self, rewriting: Rewriting) -> float:
+        """A cheap lower bound on ``DD(Vi)`` (Eq. 20).
+
+        Only the interface term is computed: ``DD >= rho_attr * DD_attr``
+        because the extent divergence is non-negative.  ``DD_attr`` needs
+        nothing but the two interfaces and the original's flags — no
+        extent estimation, no constraint overlap — so a search can bound
+        a candidate's best-case quality before paying for the full
+        assessment.  The inequality holds under IEEE-754 rounding: the
+        floor is the exact first summand of the value
+        :func:`~repro.qc.quality.assess_quality` computes, and adding
+        the non-negative extent term can only round to something >= it.
+        """
+        return self.params.rho_attr * dd_attr(
+            rewriting.original, rewriting.view, self.params
+        )
+
+    def qc_upper_bound(
+        self, rewriting: Rewriting, normalized_cost: float = 0.0
+    ) -> float:
+        """An upper bound on the QC-Value (Eq. 26) of ``rewriting``.
+
+        Quality is bounded by attribute preservation
+        (:meth:`quality_floor`); the cost term takes whatever lower
+        bound on the *normalized* (Eq. 25, in ``[0, 1]``) cost the
+        caller has — ``0.0`` (the min-cost candidate's score) when
+        nothing is known yet, the exact normalized cost once the
+        candidate set's totals are in.  Do **not** pass a raw Eq. 24
+        total (e.g. :meth:`cost_lower_bound`) here; normalize it
+        against the candidate set's min/max first.  With the exact
+        normalized cost the bound is monotone under IEEE-754, so
+        ``qc_upper_bound(r, norm) >= qc`` holds float-for-float — the
+        guarantee the pruned search policy relies on to pick the
+        identical winner as the exhaustive one.
+        """
+        return qc_score(self.quality_floor(rewriting), normalized_cost, self.params)
+
+    def cost_lower_bound(
+        self,
+        rewriting: Rewriting,
+        workload: WorkloadSpec | None = None,
+        updated_relation: str | None = None,
+    ) -> float:
+        """A lower bound on the Eq. 24 total under the best-case plan.
+
+        The bound prices the maintenance itinerary as if every relation
+        of the rewriting were co-hosted with the updated one (one
+        notification plus at most one query round trip — the fewest
+        messages and transfers any ownership layout allows) and charges
+        each joined relation the cheaper of a full scan and an index
+        probe fed by the smallest delta any visiting order could
+        produce.  It needs no ownership lookup, so it is priceable even
+        before :func:`~repro.qc.cost.plan_for_view` could be built.
+
+        It returns a raw Eq. 24 total, **not** the Eq. 25 normalized
+        score :meth:`qc_upper_bound` consumes — the streaming pipeline
+        prices every legal candidate exactly (normalization needs the
+        set's totals anyway) and does not call this.  It is the standing
+        bound for callers that must rank *before* a candidate set
+        exists: cross-view batch scheduling (salvage the cheapest views
+        first) is the intended consumer (see ROADMAP open items).
+        """
+        names = rewriting.view.relation_names
+        if workload is None:
+            updated = (
+                updated_relation if updated_relation is not None else names[0]
+            )
+            if updated not in names:
+                raise EvaluationError(
+                    f"updated relation {updated!r} is not referenced by "
+                    f"view {rewriting.view.name!r}"
+                )
+            return self._single_update_lower_bound(names, updated)
+        plan = self._plan(rewriting, updated_relation)
+        total = 0.0
+        for relation, count in workload.update_counts(
+            plan, self._statistics
+        ).items():
+            if count > 0:
+                total += count * self._single_update_lower_bound(
+                    names, relation
+                )
+        return total
+
+    def _single_update_lower_bound(
+        self, names: Sequence[str], updated: str
+    ) -> float:
+        stats = self._statistics
+        params = self.params
+        others = [name for name in names if name != updated]
+        # CF_M: a single-relation view sends only the update notification;
+        # anything else needs at least one query/response round trip.
+        messages = 1.0 if not others else 3.0
+        # CF_T: the single-site itinerary — notification, delta out, final
+        # result back — is what every multi-site layout decomposes into
+        # plus extra intermediate shipments.
+        width = float(stats.tuple_size(updated))
+        transferred = width
+        if others:
+            cardinality = 1.0
+            for name in others:
+                cardinality *= (
+                    stats.join_selectivity
+                    * stats.cardinality(name)
+                    * stats.selectivity(name)
+                )
+                width += stats.tuple_size(name)
+            transferred += float(stats.tuple_size(updated)) + cardinality * width
+        # CF_IO: per joined relation, min(scan, probe) with the probe fed
+        # by the smallest delta any visiting order could produce (every
+        # shrinking join applied first, no growing join applied at all).
+        js = stats.join_selectivity
+        growth = {name: js * stats.cardinality(name) for name in others}
+        ios = 0.0
+        for name in others:
+            delta = 1.0
+            for other in others:
+                if other != name:
+                    delta *= min(1.0, growth[other])
+            probe = delta * math.ceil(
+                js * stats.cardinality(name) / stats.blocking_factor
+            )
+            ios += min(float(full_scan_ios(name, stats)), probe)
+        return (
+            messages * params.cost_m
+            + transferred * params.cost_t
+            + ios * params.cost_io
         )
 
     # ------------------------------------------------------------------

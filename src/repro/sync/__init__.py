@@ -3,7 +3,10 @@
 Public surface:
 
 * :class:`ViewKnowledgeBase` / :class:`ViewRecord` — the VKB of Fig. 1
-* :class:`ViewSynchronizer` — legal-rewriting generation (SVS/CVS moves)
+* :class:`ViewSynchronizer` — legal-rewriting generation (SVS/CVS moves,
+  pluggable :mod:`repro.sync.generators` strategies)
+* :class:`RewritingSearchPipeline` / :class:`SearchPolicy` /
+  :class:`StageCounters` — the streaming synchronize-and-rank pipeline
 * :class:`Rewriting`, the :class:`Move` hierarchy,
   :class:`ExtentRelationship` — rewriting provenance
 * :func:`check_legality` / :func:`is_legal` — independent legality audit
@@ -49,3 +52,17 @@ __all__ = [
 from repro.sync.heuristic import HeuristicOutcome, HeuristicSynchronizer
 
 __all__ += ["HeuristicOutcome", "HeuristicSynchronizer"]
+
+from repro.sync.pipeline import (
+    PipelineResult,
+    RewritingSearchPipeline,
+    SearchPolicy,
+    StageCounters,
+)
+
+__all__ += [
+    "PipelineResult",
+    "RewritingSearchPipeline",
+    "SearchPolicy",
+    "StageCounters",
+]

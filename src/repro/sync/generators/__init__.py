@@ -1,0 +1,68 @@
+"""Pluggable candidate generators — the move families of the synchronizer.
+
+The default chain (order matters: it fixes candidate ordering, and with
+it deduplication and ranking tie-breaks):
+
+1. :class:`RenameGenerator` — renames fold into the definition,
+2. :class:`DropGenerator` — SVS drop moves,
+3. :class:`AttributeReplacementGenerator` — redirect a lost attribute,
+4. :class:`RelationReplacementGenerator` — CVS wholesale substitution.
+
+The dominated spectrum (:class:`DominatedSpectrumGenerator`) is not part
+of the chain: it is a stream *expander* applied only when a caller
+explicitly requests the strictly-inferior variants.
+"""
+
+from repro.sync.generators.attribute import AttributeReplacementGenerator
+from repro.sync.generators.base import (
+    SYNTHETIC_FLAGS,
+    CandidateGenerator,
+    GenerationContext,
+)
+from repro.sync.generators.dominated import (
+    MAX_DOMINATED_VARIANTS,
+    DominatedSpectrumGenerator,
+    iter_dominated_variants,
+)
+from repro.sync.generators.drop import (
+    DropGenerator,
+    drop_attribute_move,
+    drop_relation_move,
+)
+from repro.sync.generators.rename import RenameGenerator
+from repro.sync.generators.replace import (
+    RelationReplacementGenerator,
+    Route,
+    build_replacement,
+    iter_replacement_routes,
+)
+
+
+def default_generators() -> tuple[CandidateGenerator, ...]:
+    """The built-in move families, in the canonical order."""
+    return (
+        RenameGenerator(),
+        DropGenerator(),
+        AttributeReplacementGenerator(),
+        RelationReplacementGenerator(),
+    )
+
+
+__all__ = [
+    "AttributeReplacementGenerator",
+    "CandidateGenerator",
+    "DominatedSpectrumGenerator",
+    "DropGenerator",
+    "GenerationContext",
+    "MAX_DOMINATED_VARIANTS",
+    "RelationReplacementGenerator",
+    "RenameGenerator",
+    "Route",
+    "SYNTHETIC_FLAGS",
+    "build_replacement",
+    "default_generators",
+    "drop_attribute_move",
+    "drop_relation_move",
+    "iter_dominated_variants",
+    "iter_replacement_routes",
+]

@@ -1,0 +1,116 @@
+"""Attribute replacement moves: redirect a lost attribute elsewhere.
+
+A deleted attribute is redirected to an equivalent attribute of another
+relation through a PC constraint; when the donor is not already in the
+view, it is joined in via a join constraint (with synthetic, evolvable
+flags on the introduced clauses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.esql.ast import FromItem, ViewDefinition, WhereItem
+from repro.relational.expressions import AttributeRef
+from repro.space.changes import DeleteAttribute, SchemaChange
+from repro.sync.generators.base import (
+    SYNTHETIC_FLAGS,
+    CandidateGenerator,
+    GenerationContext,
+)
+from repro.sync.rewriting import (
+    AddJoinMove,
+    ExtentRelationship,
+    Move,
+    ReplaceAttributeMove,
+    Rewriting,
+)
+
+
+class AttributeReplacementGenerator(CandidateGenerator):
+    """Redirect the lost attribute to an equivalent one elsewhere."""
+
+    name = "replace-attribute"
+
+    def applies_to(self, change: SchemaChange) -> bool:
+        return isinstance(change, DeleteAttribute)
+
+    def generate(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        context: GenerationContext,
+    ) -> Iterator[Rewriting]:
+        assert isinstance(change, DeleteAttribute)
+        relation, attribute = change.relation, change.attribute
+        mkb = context.mkb
+        old_ref = AttributeRef(attribute, relation)
+        select_items = [i for i in view.select if i.ref == old_ref]
+        where_items = [
+            i for i in view.where if old_ref in i.clause.attribute_refs
+        ]
+        if any(not i.flags.replaceable for i in select_items):
+            return
+        if any(not i.flags.replaceable for i in where_items):
+            return
+        for pc in mkb.sync_pc_constraints(relation):
+            if attribute not in pc.left.attributes:
+                continue
+            donor = pc.right.relation
+            if donor not in mkb:
+                continue
+            new_attribute = pc.attribute_map()[attribute]
+            if new_attribute not in mkb.schema(donor):
+                continue  # the donor has since lost the column itself
+            new_ref = AttributeRef(new_attribute, donor)
+            base_extent = ExtentRelationship.from_pc(pc.relationship)
+            if pc.left.has_selection or pc.right.has_selection:
+                base_extent = ExtentRelationship.UNKNOWN
+
+            if donor in view.relation_names:
+                new_view = view.replacing_attribute(old_ref, new_ref)
+                # Value provenance changes; without key knowledge the
+                # row-wise correspondence is not guaranteed.
+                extent = (
+                    ExtentRelationship.EQUAL
+                    if base_extent is ExtentRelationship.EQUAL
+                    else ExtentRelationship.UNKNOWN
+                )
+                yield Rewriting(
+                    view,
+                    new_view,
+                    (ReplaceAttributeMove(old_ref, new_ref, pc),),
+                    extent,
+                )
+                continue
+
+            join_clauses = _join_path_into_view(mkb, view, donor, relation)
+            if join_clauses is None:
+                continue
+            new_view = view.adding_from_item(
+                FromItem(donor, SYNTHETIC_FLAGS, context.owner_or_none(donor))
+            )
+            new_view = new_view.adding_where_items(
+                WhereItem(clause, SYNTHETIC_FLAGS) for clause in join_clauses
+            )
+            new_view = new_view.replacing_attribute(old_ref, new_ref)
+            moves: tuple[Move, ...] = (
+                AddJoinMove(donor, tuple(join_clauses)),
+                ReplaceAttributeMove(old_ref, new_ref, pc),
+            )
+            # Joining a carrier relation in can both lose rows (failed
+            # matches) and cannot be proven lossless without key metadata.
+            yield Rewriting(view, new_view, moves, ExtentRelationship.UNKNOWN)
+
+
+def _join_path_into_view(
+    mkb, view: ViewDefinition, donor: str, lost_relation: str
+):
+    """Join clauses connecting ``donor`` to a surviving view relation."""
+    for jc in mkb.sync_join_constraints(donor):
+        partner = jc.other(donor)
+        if partner == lost_relation:
+            continue
+        if partner in view.relation_names:
+            return list(jc.condition.clauses)
+    return None

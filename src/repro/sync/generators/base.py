@@ -1,0 +1,77 @@
+"""The candidate-generator protocol of the rewriting-search pipeline.
+
+Each move family of the synchronizer (rename / drop / attribute
+replacement / relation replacement / dominated spectrum) is one
+:class:`CandidateGenerator` strategy.  Generators *yield* rewritings
+lazily instead of building lists, so downstream stages (VE filtering,
+deduplication, legality, QC pruning) can discard candidates before the
+next one is even constructed — and a ``first_legal`` search never pays
+for the part of the spectrum it does not visit.
+
+A generator receives the *resolved* view (fully qualified against the
+historical MKB schemas), the capability change, and a
+:class:`GenerationContext` exposing the meta knowledge it may consult.
+Custom generators plug into :class:`~repro.sync.synchronizer.ViewSynchronizer`
+via its ``generators`` argument; they run after the built-in families in
+registration order, so the default candidate ordering (and therefore tie
+breaking) is stable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import UnknownRelationError
+from repro.esql.ast import ViewDefinition
+from repro.esql.params import EvolutionFlags
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.space.changes import SchemaChange
+from repro.sync.rewriting import Rewriting
+
+#: Flags given to components the synchronizer introduces itself (join
+#: clauses, PC selection clauses).  They are dispensable+replaceable so
+#: future synchronizations can evolve them again.
+SYNTHETIC_FLAGS = EvolutionFlags(dispensable=True, replaceable=True)
+
+
+@dataclass(frozen=True)
+class GenerationContext:
+    """Everything a generator may consult while producing candidates."""
+
+    mkb: MetaKnowledgeBase
+
+    def owner_or_none(self, relation: str) -> str | None:
+        """The owning source of ``relation``, or None for retired names."""
+        try:
+            return self.mkb.owner(relation)
+        except UnknownRelationError:
+            return None
+
+
+class CandidateGenerator(ABC):
+    """One move family of the rewriting search.
+
+    ``applies_to`` gates the family on the change kind; ``generate``
+    lazily yields every rewriting the family can produce for the view.
+    Yielded rewritings must be legal *by construction* with respect to
+    the evolution flags they consume — the pipeline still audits them
+    independently, but a generator should never need the audit to fail.
+    """
+
+    #: Stable identifier used in counters and diagnostics.
+    name: str = "generator"
+
+    @abstractmethod
+    def applies_to(self, change: SchemaChange) -> bool:
+        """Whether this family produces candidates for ``change``."""
+
+    @abstractmethod
+    def generate(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        context: GenerationContext,
+    ) -> Iterator[Rewriting]:
+        """Lazily yield candidate rewritings of ``view`` under ``change``."""

@@ -1,0 +1,77 @@
+"""The dominated-variant spectrum (footnote 2).
+
+Variants that drop further dispensable attributes from a base rewriting
+are strictly inferior in information preservation — useful for studying
+the full candidate space, never for picking a winner.  The spectrum is
+exponential in the number of dispensable attributes, so this module is
+built to stay *unmaterialized*: :func:`iter_dominated_variants` is a
+generator, and :class:`DominatedSpectrumGenerator` expands a candidate
+stream lazily (bases first, then each base's variants) only when a
+caller explicitly asks for the spectrum.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.sync.rewriting import DropAttributeMove, Rewriting
+
+#: Upper bound on the dominated-variant spectrum per base rewriting.
+MAX_DOMINATED_VARIANTS = 32
+
+
+def iter_dominated_variants(
+    rewriting: Rewriting, limit: int = MAX_DOMINATED_VARIANTS
+) -> Iterator[Rewriting]:
+    """Lazily yield variants that drop further dispensable attributes."""
+    droppable = [
+        item for item in rewriting.view.select if item.flags.dispensable
+    ]
+    produced = 0
+    for size in range(1, len(droppable) + 1):
+        for subset in combinations(droppable, size):
+            if len(subset) == len(rewriting.view.select):
+                continue  # would empty the interface
+            working = rewriting.view
+            moves = list(rewriting.moves)
+            try:
+                for item in subset:
+                    working = working.dropping_select_item(item.output_name)
+                    moves.append(
+                        DropAttributeMove(item.output_name, item.ref)
+                    )
+            except SchemaError:  # a sibling drop emptied the interface
+                continue
+            yield Rewriting(
+                rewriting.original,
+                working,
+                tuple(moves),
+                rewriting.extent_relationship,
+            )
+            produced += 1
+            if produced >= limit:
+                return
+
+
+class DominatedSpectrumGenerator:
+    """Stream expander: every base candidate, then each base's variants.
+
+    The ordering (all bases before any variant) mirrors the eager
+    synchronizer, so deduplication and stable ranking tie-breaks behave
+    identically whether the spectrum arrives from a list or a stream.
+    """
+
+    name = "dominated-spectrum"
+
+    def __init__(self, limit: int = MAX_DOMINATED_VARIANTS) -> None:
+        self.limit = limit
+
+    def expand(self, stream: Iterable[Rewriting]) -> Iterator[Rewriting]:
+        bases: list[Rewriting] = []
+        for rewriting in stream:
+            bases.append(rewriting)
+            yield rewriting
+        for rewriting in bases:
+            yield from iter_dominated_variants(rewriting, self.limit)

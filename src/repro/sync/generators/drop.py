@@ -1,0 +1,121 @@
+"""Drop moves (SVS): remove dispensable components touched by a loss.
+
+* ``delete-relation`` — remove the relation plus every SELECT item and
+  WHERE conjunct on it (all must be dispensable).
+* ``delete-attribute`` — remove every reference to the lost attribute.
+
+Both produce at most one rewriting, so this family streams cheaply ahead
+of the replacement searches in the default chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SchemaError
+from repro.esql.ast import ViewDefinition
+from repro.relational.expressions import AttributeRef
+from repro.space.changes import DeleteAttribute, DeleteRelation, SchemaChange
+from repro.sync.generators.base import CandidateGenerator, GenerationContext
+from repro.sync.rewriting import (
+    DropAttributeMove,
+    DropConditionMove,
+    DropRelationMove,
+    ExtentRelationship,
+    Move,
+    Rewriting,
+)
+
+
+class DropGenerator(CandidateGenerator):
+    """The SVS drop family for relation and attribute losses."""
+
+    name = "drop"
+
+    def applies_to(self, change: SchemaChange) -> bool:
+        return isinstance(change, (DeleteRelation, DeleteAttribute))
+
+    def generate(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        context: GenerationContext,
+    ) -> Iterator[Rewriting]:
+        if isinstance(change, DeleteRelation):
+            rewriting = drop_relation_move(view, change.relation)
+        else:
+            assert isinstance(change, DeleteAttribute)
+            rewriting = drop_attribute_move(
+                view, change.relation, change.attribute
+            )
+        if rewriting is not None:
+            yield rewriting
+
+
+def drop_relation_move(
+    view: ViewDefinition, relation: str
+) -> Rewriting | None:
+    """The SVS move: remove the relation and everything on it."""
+    from_item = view.from_item(relation)
+    if not from_item.flags.dispensable:
+        return None
+    affected_select = view.select_items_from(relation)
+    affected_where = view.where_items_on(relation)
+    if any(not item.flags.dispensable for item in affected_select):
+        return None
+    if any(not item.flags.dispensable for item in affected_where):
+        return None
+    try:
+        new_view = view.dropping_relation(relation)
+    except SchemaError:  # empties the interface or the FROM clause
+        return None
+    moves: list[Move] = [DropRelationMove(relation)]
+    moves.extend(
+        DropAttributeMove(item.output_name, item.ref)
+        for item in affected_select
+    )
+    moves.extend(DropConditionMove(item.clause) for item in affected_where)
+    # Removing join/selection conditions can only widen the extent on
+    # the surviving attributes.
+    extent = (
+        ExtentRelationship.SUPERSET
+        if affected_where
+        else ExtentRelationship.EQUAL
+    )
+    return Rewriting(view, new_view, tuple(moves), extent)
+
+
+def drop_attribute_move(
+    view: ViewDefinition, relation: str, attribute: str
+) -> Rewriting | None:
+    """Remove every reference to the lost attribute (SVS move)."""
+    ref = AttributeRef(attribute, relation)
+    affected_select = [item for item in view.select if item.ref == ref]
+    affected_where = [
+        item for item in view.where if ref in item.clause.attribute_refs
+    ]
+    if any(not item.flags.dispensable for item in affected_select):
+        return None
+    if any(not item.flags.dispensable for item in affected_where):
+        return None
+    working = view
+    moves: list[Move] = []
+    for item in affected_select:
+        if len(working.select) == 1:
+            return None  # would empty the interface
+        working = working.dropping_select_item(item.output_name)
+        moves.append(DropAttributeMove(item.output_name, item.ref))
+    for item in affected_where:
+        index = next(
+            i for i, w in enumerate(working.where) if w.clause == item.clause
+        )
+        working = working.dropping_where_item(index)
+        moves.append(DropConditionMove(item.clause))
+    if not moves:
+        return None
+    extent = (
+        ExtentRelationship.SUPERSET
+        if affected_where
+        else ExtentRelationship.EQUAL
+    )
+    return Rewriting(view, working, tuple(moves), extent)

@@ -1,0 +1,44 @@
+"""Rename moves: change-relation-name / change-attribute-name.
+
+Renames always fold into the view definition and yield exactly one
+equivalent rewriting (Sec. 3.3) — the cheapest family, which is why it
+runs first in the default generator chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.esql.ast import ViewDefinition
+from repro.relational.expressions import AttributeRef
+from repro.space.changes import RenameAttribute, RenameRelation, SchemaChange
+from repro.sync.generators.base import CandidateGenerator, GenerationContext
+from repro.sync.rewriting import ExtentRelationship, RenameMove, Rewriting
+
+
+class RenameGenerator(CandidateGenerator):
+    """Folds renames into the definition — always one equivalent rewriting."""
+
+    name = "rename"
+
+    def applies_to(self, change: SchemaChange) -> bool:
+        return isinstance(change, (RenameRelation, RenameAttribute))
+
+    def generate(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        context: GenerationContext,
+    ) -> Iterator[Rewriting]:
+        if isinstance(change, RenameRelation):
+            new_view = view.replacing_relation(change.relation, change.new_name)
+            move = RenameMove(
+                f"rename relation {change.relation} -> {change.new_name}"
+            )
+        else:
+            assert isinstance(change, RenameAttribute)
+            old = AttributeRef(change.attribute, change.relation)
+            new = AttributeRef(change.new_name, change.relation)
+            new_view = view.replacing_attribute(old, new)
+            move = RenameMove(f"rename attribute {old} -> {new}")
+        yield Rewriting(view, new_view, (move,), ExtentRelationship.EQUAL)

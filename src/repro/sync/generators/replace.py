@@ -1,0 +1,226 @@
+"""Relation replacement moves (the CVS core).
+
+A deleted relation (or one that lost an attribute — the Sec. 7.6
+heuristic keeps whole-relation substitution on the table in that case
+too) is substituted by another relation related to it through a PC
+constraint.  Attribute names are translated through the constraint's
+positional correspondence, the constraint's right-side selection is
+folded into the WHERE clause, and uncovered dispensable components are
+dropped alongside.
+
+Routes are discovered directly (one constraint) and transitively
+(two selection-free constraints through an intermediate relation — the
+Experiment 1 situation).  Route discovery is itself lazy: a
+``first_legal`` search that accepts the first substitution never pays
+for the transitive sweep behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.esql.ast import SelectItem, ViewDefinition, WhereItem
+from repro.misd.constraints import PCConstraint
+from repro.space.changes import DeleteAttribute, DeleteRelation, SchemaChange
+from repro.sync.generators.base import (
+    SYNTHETIC_FLAGS,
+    CandidateGenerator,
+    GenerationContext,
+)
+from repro.sync.rewriting import (
+    DropAttributeMove,
+    DropConditionMove,
+    ExtentRelationship,
+    Move,
+    ReplaceRelationMove,
+    Rewriting,
+)
+
+
+@dataclass(frozen=True)
+class Route:
+    """One way to reach a live replacement relation from a lost one.
+
+    ``attribute_map`` translates the lost relation's attributes to the
+    donor's; ``constraints`` is the PC path (length 1 for direct routes);
+    ``donor_selection`` is the right-side selection to fold into the
+    rewritten WHERE clause, phrased over the donor, or None.
+    """
+
+    donor: str
+    attribute_map: dict[str, str]
+    extent: ExtentRelationship
+    constraints: tuple[PCConstraint, ...]
+    donor_selection: object | None = None
+
+
+class RelationReplacementGenerator(CandidateGenerator):
+    """Substitute the losing relation wholesale via each replacement route."""
+
+    name = "replace-relation"
+
+    def applies_to(self, change: SchemaChange) -> bool:
+        return isinstance(change, (DeleteRelation, DeleteAttribute))
+
+    def generate(
+        self,
+        view: ViewDefinition,
+        change: SchemaChange,
+        context: GenerationContext,
+    ) -> Iterator[Rewriting]:
+        relation = change.relation
+        from_item = view.from_item(relation)
+        if not from_item.flags.replaceable:
+            return
+        used_select = view.select_items_from(relation)
+        used_where = view.where_items_on(relation)
+        for route in iter_replacement_routes(context.mkb, view, relation):
+            rewriting = build_replacement(
+                context, view, relation, route, used_select, used_where
+            )
+            if rewriting is not None:
+                yield rewriting
+
+
+def iter_replacement_routes(
+    mkb, view: ViewDefinition, relation: str
+) -> Iterator[Route]:
+    """Direct and 2-hop PC routes from ``relation`` to a live donor.
+
+    Direct routes use one constraint.  Transitive routes chain two
+    selection-free constraints through an intermediate relation (which
+    may itself be dead) — the Experiment 1 situation, where S and T
+    are both related to a common ancestor R but not to each other.
+    The composed extent effect follows the relationship lattice;
+    opposite directions compose to UNKNOWN.
+    """
+    seen_donors: set[str] = set()
+    for pc in mkb.sync_pc_constraints(relation):
+        donor = pc.right.relation
+        if donor in mkb and donor not in view.relation_names:
+            extent = ExtentRelationship.from_pc(pc.relationship)
+            if pc.left.has_selection:
+                extent = extent.compose(ExtentRelationship.SUBSET)
+            seen_donors.add(donor)
+            yield Route(
+                donor,
+                pc.attribute_map(),
+                extent,
+                (pc,),
+                pc.right.condition if pc.right.has_selection else None,
+            )
+        # Transitive continuation (only through selection-free hops).
+        if pc.left.has_selection or pc.right.has_selection:
+            continue
+        for pc2 in mkb.sync_pc_constraints(donor):
+            final = pc2.right.relation
+            if (
+                final == relation
+                or final in seen_donors
+                or final not in mkb
+                or final in view.relation_names
+                or pc2.left.has_selection
+                or pc2.right.has_selection
+            ):
+                continue
+            first_map = pc.attribute_map()
+            second_map = pc2.attribute_map()
+            composed = {
+                name: second_map[mid]
+                for name, mid in first_map.items()
+                if mid in second_map
+            }
+            if not composed:
+                continue
+            extent = ExtentRelationship.from_pc(pc.relationship).compose(
+                ExtentRelationship.from_pc(pc2.relationship)
+            )
+            seen_donors.add(final)
+            yield Route(final, composed, extent, (pc, pc2), None)
+
+
+def build_replacement(
+    context: GenerationContext,
+    view: ViewDefinition,
+    relation: str,
+    route: Route,
+    used_select: tuple[SelectItem, ...],
+    used_where: tuple[WhereItem, ...],
+) -> Rewriting | None:
+    donor = route.donor
+    # An attribute is only covered when the donor *currently* offers
+    # the corresponding column — a retired constraint may map onto a
+    # column the donor has since lost.
+    donor_schema = context.mkb.schema(donor)
+    covered = {
+        name
+        for name, target in route.attribute_map.items()
+        if target in donor_schema
+    }
+    working = view
+    moves: list[Move] = []
+    extent = ExtentRelationship.EQUAL
+
+    # SELECT items from the lost relation that the donor cannot supply
+    # must be dropped — only allowed when dispensable.
+    for item in used_select:
+        if item.ref.attribute in covered:
+            if not item.flags.replaceable:
+                return None
+            continue
+        if not item.flags.dispensable:
+            return None
+        if len(working.select) == 1:
+            return None
+        working = working.dropping_select_item(item.output_name)
+        moves.append(DropAttributeMove(item.output_name, item.ref))
+
+    # WHERE conjuncts with un-covered references must be dropped too.
+    for item in used_where:
+        refs_on_lost = [
+            ref
+            for ref in item.clause.attribute_refs
+            if ref.relation == relation
+        ]
+        if all(ref.attribute in covered for ref in refs_on_lost):
+            if not item.flags.replaceable:
+                return None
+            continue
+        if not item.flags.dispensable:
+            return None
+        index = next(
+            i for i, w in enumerate(working.where) if w.clause == item.clause
+        )
+        working = working.dropping_where_item(index)
+        moves.append(DropConditionMove(item.clause))
+        extent = extent.compose(ExtentRelationship.SUPERSET)
+
+    if not any(
+        item.ref.relation == relation for item in working.select
+    ) and not any(
+        item.references_relation(relation) for item in working.where
+    ):
+        # Nothing from the lost relation survives; substituting the
+        # donor would add an unconstrained relation. Prefer the pure
+        # drop move, which the drop family generates separately.
+        return None
+
+    working = working.replacing_relation(
+        relation, donor, route.attribute_map, context.owner_or_none(donor)
+    )
+    moves.append(
+        ReplaceRelationMove(
+            relation, donor, route.constraints[0], route.constraints
+        )
+    )
+    extent = extent.compose(route.extent)
+    if route.donor_selection is not None:
+        # Align the donor with the constrained fragment by folding the
+        # right-side selection (already phrased over the donor) into
+        # the WHERE clause.
+        working = working.adding_where_items(
+            WhereItem(clause, SYNTHETIC_FLAGS)
+            for clause in route.donor_selection.clauses
+        )
+    return Rewriting(view, working, tuple(moves), extent)

@@ -2,39 +2,46 @@
 
 Re-implements the rewriting generation the paper builds on (the SVS
 algorithm of [LNR97b] and the relation-substitution core of the CVS
-algorithm [NLR98]) to the extent the QC-Model experiments exercise it:
+algorithm [NLR98]) to the extent the QC-Model experiments exercise it.
+The move families live in :mod:`repro.sync.generators` as pluggable
+:class:`~repro.sync.generators.CandidateGenerator` strategies:
 
-* **Drop moves** — dispensable attributes, conditions, or whole relations
-  are removed from the view (SVS).
-* **Replacement moves** — a deleted relation (or one that lost an
-  attribute) is substituted by another relation related to it through a PC
-  constraint; attribute names are translated through the constraint's
-  positional correspondence, the constraint's right-side selection is
-  folded into the WHERE clause, and uncovered dispensable components are
-  dropped alongside (CVS).
-* **Attribute replacement moves** — a single deleted attribute is
-  redirected to an equivalent attribute of another relation, joining that
-  relation in via a join constraint when it is not already in the view.
-* **Renames** — change-relation-name / change-attribute-name fold into the
-  definition and always yield one equivalent rewriting.
+* **Renames** (:class:`~repro.sync.generators.RenameGenerator`) —
+  change-relation-name / change-attribute-name fold into the definition
+  and always yield one equivalent rewriting.
+* **Drop moves** (:class:`~repro.sync.generators.DropGenerator`) —
+  dispensable attributes, conditions, or whole relations are removed
+  from the view (SVS).
+* **Attribute replacement moves**
+  (:class:`~repro.sync.generators.AttributeReplacementGenerator`) — a
+  single deleted attribute is redirected to an equivalent attribute of
+  another relation, joining that relation in when needed.
+* **Relation replacement moves**
+  (:class:`~repro.sync.generators.RelationReplacementGenerator`) — a
+  lost relation is substituted wholesale via a PC constraint (CVS).
 
-Every emitted rewriting is legal by construction (the preconditions mirror
-:mod:`repro.sync.legality`) and carries its move provenance plus the
-inferred extent relationship, filtered against the view's VE parameter.
+Every emitted rewriting is legal by construction (the preconditions
+mirror :mod:`repro.sync.legality`) and carries its move provenance plus
+the inferred extent relationship.
+
+Two consumption styles share the same generation machinery:
+
+* :meth:`ViewSynchronizer.synchronize` — the eager reference path: the
+  full legal candidate list, VE-filtered and deduplicated (what the
+  first EVE prototype materialized before ranking).
+* :meth:`ViewSynchronizer.generate_candidates` — the streaming path the
+  :class:`~repro.sync.pipeline.RewritingSearchPipeline` consumes:
+  candidates are yielded one by one so legality filtering,
+  deduplication, and QC pruning discard them before the next is built.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import combinations
-from typing import Iterable
+from typing import Iterable, Iterator
 
-from repro.esql.ast import FromItem, SelectItem, ViewDefinition, WhereItem
-from repro.esql.params import EvolutionFlags
+from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator
-from repro.misd.constraints import PCConstraint
 from repro.misd.mkb import MetaKnowledgeBase
-from repro.relational.expressions import AttributeRef
 from repro.space.changes import (
     AddAttribute,
     AddRelation,
@@ -44,43 +51,13 @@ from repro.space.changes import (
     RenameRelation,
     SchemaChange,
 )
-from repro.sync.rewriting import (
-    AddJoinMove,
-    DropAttributeMove,
-    DropConditionMove,
-    DropRelationMove,
-    ExtentRelationship,
-    Move,
-    RenameMove,
-    ReplaceAttributeMove,
-    ReplaceRelationMove,
-    Rewriting,
+from repro.sync.generators import (
+    CandidateGenerator,
+    DominatedSpectrumGenerator,
+    GenerationContext,
+    default_generators,
 )
-
-#: Flags given to components the synchronizer introduces itself (join
-#: clauses, PC selection clauses).  They are dispensable+replaceable so
-#: future synchronizations can evolve them again.
-_SYNTHETIC_FLAGS = EvolutionFlags(dispensable=True, replaceable=True)
-
-#: Upper bound on the dominated-variant spectrum per base rewriting.
-_MAX_DOMINATED_VARIANTS = 32
-
-
-@dataclass(frozen=True)
-class _Route:
-    """One way to reach a live replacement relation from a lost one.
-
-    ``attribute_map`` translates the lost relation's attributes to the
-    donor's; ``constraints`` is the PC path (length 1 for direct routes);
-    ``donor_selection`` is the right-side selection to fold into the
-    rewritten WHERE clause, phrased over the donor, or None.
-    """
-
-    donor: str
-    attribute_map: dict[str, str]
-    extent: ExtentRelationship
-    constraints: tuple[PCConstraint, ...]
-    donor_selection: object | None = None
+from repro.sync.rewriting import ExtentRelationship, Rewriting
 
 
 class ViewSynchronizer:
@@ -92,11 +69,27 @@ class ViewSynchronizer:
     change re-synchronizes every affected view, and resolution is pure
     given the MKB state, so the owner invalidates the cache whenever that
     state moves.
+
+    ``generators`` overrides (or, via
+    :func:`~repro.sync.generators.default_generators` plus extras,
+    extends) the move families consulted; they run in the given order,
+    which fixes candidate ordering and therefore every downstream
+    tie-break.
     """
 
-    def __init__(self, mkb: MetaKnowledgeBase, cache=None) -> None:
+    def __init__(
+        self,
+        mkb: MetaKnowledgeBase,
+        cache=None,
+        generators: Iterable[CandidateGenerator] | None = None,
+    ) -> None:
         self._mkb = mkb
         self._cache = cache
+        self.generators: tuple[CandidateGenerator, ...] = (
+            tuple(generators) if generators is not None else default_generators()
+        )
+        self._context = GenerationContext(mkb)
+        self._dominated = DominatedSpectrumGenerator()
 
     # ------------------------------------------------------------------
     # Affectedness
@@ -128,7 +121,7 @@ class ViewSynchronizer:
         )
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Eager entry point (the reference path)
     # ------------------------------------------------------------------
     def synchronize(
         self,
@@ -144,33 +137,47 @@ class ViewSynchronizer:
         dispensable attributes and are strictly inferior in information
         preservation — useful for studying the full candidate space.
         """
-        view = self._resolve(view)
+        view = self.resolve(view)
         if not self.is_affected(view, change):
             return [Rewriting(view, view, (), ExtentRelationship.EQUAL)]
-
-        if isinstance(change, RenameRelation):
-            candidates = [self._rename_relation(view, change)]
-        elif isinstance(change, RenameAttribute):
-            candidates = [self._rename_attribute(view, change)]
-        elif isinstance(change, DeleteRelation):
-            candidates = list(self._sync_relation_loss(view, change.relation))
-        elif isinstance(change, DeleteAttribute):
-            candidates = list(
-                self._sync_attribute_loss(view, change.relation, change.attribute)
-            )
-        else:  # pragma: no cover - adds never affect
-            candidates = []
-
         legal = [
             rewriting
-            for rewriting in candidates
+            for rewriting in self.generate_candidates(view, change)
             if rewriting.extent_relationship.satisfies(view.extent_parameter)
         ]
         if include_dominated:
-            legal = self._with_dominated_spectrum(legal)
+            legal = list(self._dominated.expand(legal))
         return _deduplicate(legal)
 
-    def _resolve(self, view: ViewDefinition) -> ViewDefinition:
+    # ------------------------------------------------------------------
+    # Streaming entry points (the pipeline path)
+    # ------------------------------------------------------------------
+    def generate_candidates(
+        self, resolved_view: ViewDefinition, change: SchemaChange
+    ) -> Iterator[Rewriting]:
+        """Lazily yield every candidate the move families produce.
+
+        ``resolved_view`` must already be resolved (:meth:`resolve`);
+        candidates arrive in chain order, unfiltered — VE compliance,
+        deduplication, and the independent legality audit are downstream
+        stages of the pipeline.
+        """
+        for generator in self.generators:
+            if generator.applies_to(change):
+                yield from generator.generate(
+                    resolved_view, change, self._context
+                )
+
+    def expand_dominated(
+        self, stream: Iterable[Rewriting]
+    ) -> Iterator[Rewriting]:
+        """Expand a candidate stream with each base's dominated variants."""
+        return self._dominated.expand(stream)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, view: ViewDefinition) -> ViewDefinition:
         """Fully qualify the view against (historical) MKB schemas."""
         if self._cache is not None:
             return self._cache.resolved_view(
@@ -185,417 +192,6 @@ class ViewSynchronizer:
         for name in view.relation_names:
             schemas[name] = self._mkb.historical_schema(name)
         return ViewValidator(schemas).resolve_view(view)
-
-    # ------------------------------------------------------------------
-    # Renames (always one equivalent rewriting)
-    # ------------------------------------------------------------------
-    def _rename_relation(
-        self, view: ViewDefinition, change: RenameRelation
-    ) -> Rewriting:
-        new_view = view.replacing_relation(change.relation, change.new_name)
-        move = RenameMove(
-            f"rename relation {change.relation} -> {change.new_name}"
-        )
-        return Rewriting(view, new_view, (move,), ExtentRelationship.EQUAL)
-
-    def _rename_attribute(
-        self, view: ViewDefinition, change: RenameAttribute
-    ) -> Rewriting:
-        old = AttributeRef(change.attribute, change.relation)
-        new = AttributeRef(change.new_name, change.relation)
-        new_view = view.replacing_attribute(old, new)
-        move = RenameMove(
-            f"rename attribute {old} -> {new}"
-        )
-        return Rewriting(view, new_view, (move,), ExtentRelationship.EQUAL)
-
-    # ------------------------------------------------------------------
-    # delete-relation
-    # ------------------------------------------------------------------
-    def _sync_relation_loss(
-        self, view: ViewDefinition, relation: str
-    ) -> Iterable[Rewriting]:
-        drop = self._drop_relation_move(view, relation)
-        if drop is not None:
-            yield drop
-        yield from self._replacement_rewritings(view, relation)
-
-    def _drop_relation_move(
-        self, view: ViewDefinition, relation: str
-    ) -> Rewriting | None:
-        """The SVS move: remove the relation and everything on it."""
-        from_item = view.from_item(relation)
-        if not from_item.flags.dispensable:
-            return None
-        affected_select = view.select_items_from(relation)
-        affected_where = view.where_items_on(relation)
-        if any(not item.flags.dispensable for item in affected_select):
-            return None
-        if any(not item.flags.dispensable for item in affected_where):
-            return None
-        try:
-            new_view = view.dropping_relation(relation)
-        except Exception:  # empties the interface or the FROM clause
-            return None
-        moves: list[Move] = [DropRelationMove(relation)]
-        moves.extend(
-            DropAttributeMove(item.output_name, item.ref)
-            for item in affected_select
-        )
-        moves.extend(DropConditionMove(item.clause) for item in affected_where)
-        # Removing join/selection conditions can only widen the extent on
-        # the surviving attributes.
-        extent = (
-            ExtentRelationship.SUPERSET
-            if affected_where
-            else ExtentRelationship.EQUAL
-        )
-        return Rewriting(view, new_view, tuple(moves), extent)
-
-    # ------------------------------------------------------------------
-    # delete-attribute
-    # ------------------------------------------------------------------
-    def _sync_attribute_loss(
-        self, view: ViewDefinition, relation: str, attribute: str
-    ) -> Iterable[Rewriting]:
-        drop = self._drop_attribute_move(view, relation, attribute)
-        if drop is not None:
-            yield drop
-        yield from self._attribute_replacement_rewritings(
-            view, relation, attribute
-        )
-        # The Sec. 7.6 heuristic: replacing the whole relation is also on
-        # the table when a single attribute disappears.
-        yield from self._replacement_rewritings(view, relation)
-
-    def _drop_attribute_move(
-        self, view: ViewDefinition, relation: str, attribute: str
-    ) -> Rewriting | None:
-        """Remove every reference to the lost attribute (SVS move)."""
-        ref = AttributeRef(attribute, relation)
-        affected_select = [
-            item for item in view.select if item.ref == ref
-        ]
-        affected_where = [
-            item for item in view.where if ref in item.clause.attribute_refs
-        ]
-        if any(not item.flags.dispensable for item in affected_select):
-            return None
-        if any(not item.flags.dispensable for item in affected_where):
-            return None
-        working = view
-        moves: list[Move] = []
-        for item in affected_select:
-            if len(working.select) == 1:
-                return None  # would empty the interface
-            working = working.dropping_select_item(item.output_name)
-            moves.append(DropAttributeMove(item.output_name, item.ref))
-        for item in affected_where:
-            index = next(
-                i for i, w in enumerate(working.where) if w.clause == item.clause
-            )
-            working = working.dropping_where_item(index)
-            moves.append(DropConditionMove(item.clause))
-        if not moves:
-            return None
-        extent = (
-            ExtentRelationship.SUPERSET
-            if affected_where
-            else ExtentRelationship.EQUAL
-        )
-        return Rewriting(view, working, tuple(moves), extent)
-
-    def _attribute_replacement_rewritings(
-        self, view: ViewDefinition, relation: str, attribute: str
-    ) -> Iterable[Rewriting]:
-        """Redirect the lost attribute to an equivalent one elsewhere."""
-        old_ref = AttributeRef(attribute, relation)
-        select_items = [i for i in view.select if i.ref == old_ref]
-        where_items = [
-            i for i in view.where if old_ref in i.clause.attribute_refs
-        ]
-        if any(not i.flags.replaceable for i in select_items):
-            return
-        if any(not i.flags.replaceable for i in where_items):
-            return
-        for pc in self._mkb.sync_pc_constraints(relation):
-            if attribute not in pc.left.attributes:
-                continue
-            donor = pc.right.relation
-            if donor not in self._mkb:
-                continue
-            new_attribute = pc.attribute_map()[attribute]
-            if new_attribute not in self._mkb.schema(donor):
-                continue  # the donor has since lost the column itself
-            new_ref = AttributeRef(new_attribute, donor)
-            base_extent = ExtentRelationship.from_pc(pc.relationship)
-            if pc.left.has_selection or pc.right.has_selection:
-                base_extent = ExtentRelationship.UNKNOWN
-
-            if donor in view.relation_names:
-                new_view = view.replacing_attribute(old_ref, new_ref)
-                # Value provenance changes; without key knowledge the
-                # row-wise correspondence is not guaranteed.
-                extent = (
-                    ExtentRelationship.EQUAL
-                    if base_extent is ExtentRelationship.EQUAL
-                    else ExtentRelationship.UNKNOWN
-                )
-                yield Rewriting(
-                    view,
-                    new_view,
-                    (ReplaceAttributeMove(old_ref, new_ref, pc),),
-                    extent,
-                )
-                continue
-
-            join_clauses = self._join_path_into_view(view, donor, relation)
-            if join_clauses is None:
-                continue
-            new_view = view.adding_from_item(
-                FromItem(donor, _SYNTHETIC_FLAGS, self._owner_or_none(donor))
-            )
-            new_view = new_view.adding_where_items(
-                WhereItem(clause, _SYNTHETIC_FLAGS) for clause in join_clauses
-            )
-            new_view = new_view.replacing_attribute(old_ref, new_ref)
-            moves: tuple[Move, ...] = (
-                AddJoinMove(donor, tuple(join_clauses)),
-                ReplaceAttributeMove(old_ref, new_ref, pc),
-            )
-            # Joining a carrier relation in can both lose rows (failed
-            # matches) and cannot be proven lossless without key metadata.
-            yield Rewriting(view, new_view, moves, ExtentRelationship.UNKNOWN)
-
-    def _join_path_into_view(
-        self, view: ViewDefinition, donor: str, lost_relation: str
-    ):
-        """Join clauses connecting ``donor`` to a surviving view relation."""
-        for jc in self._mkb.sync_join_constraints(donor):
-            partner = jc.other(donor)
-            if partner == lost_relation:
-                continue
-            if partner in view.relation_names:
-                return list(jc.condition.clauses)
-        return None
-
-    def _owner_or_none(self, relation: str) -> str | None:
-        try:
-            return self._mkb.owner(relation)
-        except Exception:
-            return None
-
-    # ------------------------------------------------------------------
-    # Relation replacement (CVS core)
-    # ------------------------------------------------------------------
-    def _replacement_rewritings(
-        self, view: ViewDefinition, relation: str
-    ) -> Iterable[Rewriting]:
-        """Substitute ``relation`` wholesale via each replacement route."""
-        from_item = view.from_item(relation)
-        if not from_item.flags.replaceable:
-            return
-        used_select = view.select_items_from(relation)
-        used_where = view.where_items_on(relation)
-        for route in self._replacement_routes(view, relation):
-            rewriting = self._build_replacement(
-                view, relation, route, used_select, used_where
-            )
-            if rewriting is not None:
-                yield rewriting
-
-    def _replacement_routes(
-        self, view: ViewDefinition, relation: str
-    ) -> list["_Route"]:
-        """Direct and 2-hop PC routes from ``relation`` to a live donor.
-
-        Direct routes use one constraint.  Transitive routes chain two
-        selection-free constraints through an intermediate relation (which
-        may itself be dead) — the Experiment 1 situation, where S and T
-        are both related to a common ancestor R but not to each other.
-        The composed extent effect follows the relationship lattice;
-        opposite directions compose to UNKNOWN.
-        """
-        routes: list[_Route] = []
-        seen_donors: set[str] = set()
-        for pc in self._mkb.sync_pc_constraints(relation):
-            donor = pc.right.relation
-            if donor in self._mkb and donor not in view.relation_names:
-                extent = ExtentRelationship.from_pc(pc.relationship)
-                if pc.left.has_selection:
-                    extent = extent.compose(ExtentRelationship.SUBSET)
-                routes.append(
-                    _Route(
-                        donor,
-                        pc.attribute_map(),
-                        extent,
-                        (pc,),
-                        pc.right.condition
-                        if pc.right.has_selection
-                        else None,
-                    )
-                )
-                seen_donors.add(donor)
-            # Transitive continuation (only through selection-free hops).
-            if pc.left.has_selection or pc.right.has_selection:
-                continue
-            for pc2 in self._mkb.sync_pc_constraints(donor):
-                final = pc2.right.relation
-                if (
-                    final == relation
-                    or final in seen_donors
-                    or final not in self._mkb
-                    or final in view.relation_names
-                    or pc2.left.has_selection
-                    or pc2.right.has_selection
-                ):
-                    continue
-                first_map = pc.attribute_map()
-                second_map = pc2.attribute_map()
-                composed = {
-                    name: second_map[mid]
-                    for name, mid in first_map.items()
-                    if mid in second_map
-                }
-                if not composed:
-                    continue
-                extent = ExtentRelationship.from_pc(pc.relationship).compose(
-                    ExtentRelationship.from_pc(pc2.relationship)
-                )
-                routes.append(
-                    _Route(final, composed, extent, (pc, pc2), None)
-                )
-                seen_donors.add(final)
-        return routes
-
-    def _build_replacement(
-        self,
-        view: ViewDefinition,
-        relation: str,
-        route: "_Route",
-        used_select: tuple[SelectItem, ...],
-        used_where: tuple[WhereItem, ...],
-    ) -> Rewriting | None:
-        donor = route.donor
-        # An attribute is only covered when the donor *currently* offers
-        # the corresponding column — a retired constraint may map onto a
-        # column the donor has since lost.
-        donor_schema = self._mkb.schema(donor)
-        covered = {
-            name
-            for name, target in route.attribute_map.items()
-            if target in donor_schema
-        }
-        working = view
-        moves: list[Move] = []
-        extent = ExtentRelationship.EQUAL
-
-        # SELECT items from the lost relation that the donor cannot supply
-        # must be dropped — only allowed when dispensable.
-        for item in used_select:
-            if item.ref.attribute in covered:
-                if not item.flags.replaceable:
-                    return None
-                continue
-            if not item.flags.dispensable:
-                return None
-            if len(working.select) == 1:
-                return None
-            working = working.dropping_select_item(item.output_name)
-            moves.append(DropAttributeMove(item.output_name, item.ref))
-
-        # WHERE conjuncts with un-covered references must be dropped too.
-        for item in used_where:
-            refs_on_lost = [
-                ref
-                for ref in item.clause.attribute_refs
-                if ref.relation == relation
-            ]
-            if all(ref.attribute in covered for ref in refs_on_lost):
-                if not item.flags.replaceable:
-                    return None
-                continue
-            if not item.flags.dispensable:
-                return None
-            index = next(
-                i for i, w in enumerate(working.where) if w.clause == item.clause
-            )
-            working = working.dropping_where_item(index)
-            moves.append(DropConditionMove(item.clause))
-            extent = extent.compose(ExtentRelationship.SUPERSET)
-
-        if not any(
-            item.ref.relation == relation for item in working.select
-        ) and not any(
-            item.references_relation(relation) for item in working.where
-        ):
-            # Nothing from the lost relation survives; substituting the
-            # donor would add an unconstrained relation. Prefer the pure
-            # drop move, which the caller generates separately.
-            return None
-
-        working = working.replacing_relation(
-            relation, donor, route.attribute_map, self._owner_or_none(donor)
-        )
-        moves.append(
-            ReplaceRelationMove(
-                relation, donor, route.constraints[0], route.constraints
-            )
-        )
-        extent = extent.compose(route.extent)
-        if route.donor_selection is not None:
-            # Align the donor with the constrained fragment by folding the
-            # right-side selection (already phrased over the donor) into
-            # the WHERE clause.
-            working = working.adding_where_items(
-                WhereItem(clause, _SYNTHETIC_FLAGS)
-                for clause in route.donor_selection.clauses
-            )
-        return Rewriting(view, working, tuple(moves), extent)
-
-    # ------------------------------------------------------------------
-    # Dominated spectrum (footnote 2)
-    # ------------------------------------------------------------------
-    def _with_dominated_spectrum(
-        self, rewritings: list[Rewriting]
-    ) -> list[Rewriting]:
-        expanded = list(rewritings)
-        for rewriting in rewritings:
-            expanded.extend(_dominated_variants(rewriting))
-        return expanded
-
-
-def _dominated_variants(rewriting: Rewriting) -> list[Rewriting]:
-    """Variants that drop further dispensable attributes (strictly inferior)."""
-    droppable = [
-        item
-        for item in rewriting.view.select
-        if item.flags.dispensable
-    ]
-    variants: list[Rewriting] = []
-    for size in range(1, len(droppable) + 1):
-        for subset in combinations(droppable, size):
-            if len(subset) == len(rewriting.view.select):
-                continue  # would empty the interface
-            working = rewriting.view
-            moves = list(rewriting.moves)
-            try:
-                for item in subset:
-                    working = working.dropping_select_item(item.output_name)
-                    moves.append(DropAttributeMove(item.output_name, item.ref))
-            except Exception:
-                continue
-            variants.append(
-                Rewriting(
-                    rewriting.original,
-                    working,
-                    tuple(moves),
-                    rewriting.extent_relationship,
-                )
-            )
-            if len(variants) >= _MAX_DOMINATED_VARIANTS:
-                return variants
-    return variants
 
 
 def _deduplicate(rewritings: list[Rewriting]) -> list[Rewriting]:

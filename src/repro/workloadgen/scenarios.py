@@ -8,6 +8,7 @@ seeded and deterministic.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.esql import parse_view
@@ -15,6 +16,11 @@ from repro.esql.ast import ViewDefinition
 from repro.misd.statistics import RelationStatistics, SpaceStatistics
 from repro.qc.cost import MaintenancePlan, SourceGroup
 from repro.relational.relation import Relation
+from repro.space.changes import (
+    DeleteRelation,
+    RenameAttribute,
+    SchemaChange,
+)
 from repro.space.space import InformationSpace
 from repro.workloadgen.generator import (
     distributions,
@@ -238,3 +244,145 @@ def build_cardinality_scenario(
     )
     original = {"R1": r1.copy(), "R2": r2.copy()}
     return CardinalityScenario(space, view, original)
+
+
+# ----------------------------------------------------------------------
+# Evolution storm: thousands of views under a batched change stream
+# ----------------------------------------------------------------------
+@dataclass
+class EvolutionStormScenario:
+    """A large view population plus a composed capability-change batch.
+
+    The change stream mirrors what a real warehouse's control plane
+    sees: most changes land on relations no view references (``spare``
+    churn — the case indexed dispatch makes free), a minority rename
+    attributes that live views actually use (cheap rename
+    synchronizations), and a few delete relations that are mirrored
+    elsewhere (full replacement searches).  Everything is seeded and
+    deterministic, so two builds with the same arguments produce
+    byte-identical spaces — the property the eager-vs-batched dispatch
+    benchmark relies on.
+    """
+
+    space: InformationSpace
+    views: list[ViewDefinition]
+    changes: list[SchemaChange]
+    view_relations: tuple[str, ...]
+    spare_relations: tuple[str, ...]
+    mirrored_relations: tuple[str, ...]
+
+
+def build_evolution_storm_scenario(
+    views: int = 1000,
+    view_relations: int = 200,
+    spare_relations: int = 100,
+    changes: int = 120,
+    sources: int = 8,
+    hot_renames: int = 12,
+    replacement_deletes: int = 4,
+    seed: int = 23,
+) -> EvolutionStormScenario:
+    """The 1k-view evolution-storm setup (ROADMAP scaling scenario).
+
+    ``views`` single-relation views are spread round-robin over
+    ``view_relations`` relations; ``spare_relations`` further relations
+    carry no views at all.  The batch holds ``changes`` events:
+    ``replacement_deletes`` deletes of mirrored view relations,
+    ``hot_renames`` attribute renames on viewed attributes, and spare
+    churn for the rest.  Chained renames are emitted in replay-safe
+    order (each rename targets the name the previous one produced).
+    """
+    if views < 1 or view_relations < 1 or sources < 1:
+        raise ValueError("storm needs at least one view, relation, source")
+    view_relations = min(view_relations, max(views, 1))
+    replacement_deletes = min(replacement_deletes, view_relations - 1)
+    spare_churn = changes - hot_renames - replacement_deletes
+    if spare_churn < 0:
+        raise ValueError("changes must cover hot renames and deletes")
+    if spare_relations < 1 and spare_churn > 0:
+        raise ValueError("spare churn needs spare relations")
+
+    rng = random.Random(seed)
+    space = InformationSpace()
+    source_names = [f"IS{i}" for i in range(sources)]
+    for name in source_names:
+        space.add_source(name)
+
+    def register(name: str, slot: int) -> None:
+        schema = make_schema(name, ["A0", "A1", "A2"])
+        space.register_relation(
+            source_names[slot % sources],
+            Relation(schema),
+            RelationStatistics(cardinality=400, tuple_size=100),
+        )
+
+    view_rel_names = [f"Rel{i}" for i in range(view_relations)]
+    spare_names = [f"Spare{i}" for i in range(spare_relations)]
+    for slot, name in enumerate(view_rel_names):
+        register(name, slot)
+    for slot, name in enumerate(spare_names):
+        register(name, slot + view_relations)
+
+    # The first ``replacement_deletes`` view relations get an equivalent
+    # mirror so their views survive the delete via CVS replacement.
+    mirrored = tuple(view_rel_names[:replacement_deletes])
+    for slot, name in enumerate(mirrored):
+        mirror = f"Mirror{slot}"
+        register(mirror, slot + view_relations + spare_relations)
+        space.mkb.add_equivalence(name, mirror, ["A0", "A1", "A2"])
+
+    view_definitions = []
+    for index in range(views):
+        relation = view_rel_names[index % view_relations]
+        view_definitions.append(
+            parse_view(
+                f"CREATE VIEW V{index} (VE = '~') AS "
+                f"SELECT {relation}.A0 (AR = true), "
+                f"{relation}.A1 (AD = true, AR = true) "
+                f"FROM {relation} (RR = true)"
+            )
+        )
+
+    # Change stream: draw change kinds in a deterministic shuffle while
+    # tracking per-relation attribute chains so replays stay valid.
+    kinds = (
+        ["spare"] * spare_churn
+        + ["hot"] * hot_renames
+        + ["delete"] * replacement_deletes
+    )
+    rng.shuffle(kinds)
+    spare_cycle = list(spare_names)
+    rng.shuffle(spare_cycle)
+    hot_pool = view_rel_names[replacement_deletes:] or view_rel_names
+    delete_queue = list(mirrored)
+    current_attr: dict[str, str] = {}
+    batch: list[SchemaChange] = []
+    for step, kind in enumerate(kinds):
+        if kind == "delete" and delete_queue:
+            relation = delete_queue.pop(0)
+            batch.append(
+                DeleteRelation(space.owner_of(relation).name, relation)
+            )
+            continue
+        if kind == "hot":
+            relation = hot_pool[step % len(hot_pool)]
+            attribute = current_attr.get(relation, "A0")
+            new_name = f"B{step}"
+        else:
+            relation = spare_cycle[step % len(spare_cycle)]
+            attribute = current_attr.get(relation, "A2")
+            new_name = f"Z{step}"
+        batch.append(
+            RenameAttribute(
+                space.owner_of(relation).name, relation, attribute, new_name
+            )
+        )
+        current_attr[relation] = new_name
+    return EvolutionStormScenario(
+        space,
+        view_definitions,
+        batch,
+        tuple(view_rel_names),
+        tuple(spare_names),
+        mirrored,
+    )

@@ -1,0 +1,244 @@
+"""Indexed, batched change dispatch through ``EVESystem.apply_changes``."""
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.esql.evaluator import evaluate_view
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import (
+    DeleteAttribute,
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.sync.legality import check_legality
+from repro.sync.pipeline import SearchPolicy
+
+
+def build_system():
+    eve = EVESystem()
+    eve.add_source("IS1")
+    eve.add_source("IS2")
+    eve.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B", "C"]), [(1, 10, 7), (2, 20, 7)]),
+    )
+    eve.register_relation(
+        "IS2",
+        Relation(Schema("T", ["A", "B", "C"]), [(1, 10, 7), (3, 30, 9)]),
+    )
+    eve.register_relation("IS2", Relation(Schema("U", ["X"]), [(5,)]))
+    eve.mkb.add_equivalence("R", "T", ["A", "B", "C"])
+    eve.define_view(
+        "CREATE VIEW V (VE = '~') AS "
+        "SELECT R.A (AR = true), R.B (AD = true, AR = true) "
+        "FROM R (RR = true)"
+    )
+    eve.define_view("CREATE VIEW W AS SELECT U.X FROM U")
+    return eve
+
+
+class TestBatchedDispatch:
+    def test_batch_matches_sequential_changes(self):
+        batch = [
+            DeleteAttribute("IS1", "R", "C"),
+            DeleteRelation("IS1", "R"),
+        ]
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        results = batched.apply_changes(batch)
+        assert results  # at least the delete touched V
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        assert sorted(sequential.extent("V").rows) == sorted(
+            batched.extent("V").rows
+        )
+        assert sequential.generations("V") == batched.generations("V")
+
+    def test_batch_results_land_in_sync_log(self):
+        eve = build_system()
+        results = eve.apply_changes([DeleteRelation("IS1", "R")])
+        assert list(eve.synchronization_log) == results
+        result = results[0]
+        assert result.counters is not None
+        assert result.counters.assessed >= 1
+        assert result.policy == SearchPolicy.pruned()
+
+    def test_unreferenced_changes_touch_no_view(self):
+        eve = build_system()
+        # U is referenced by W but the renamed attribute is unused by V;
+        # deleting T (unreferenced) must not synchronize anything either.
+        results = eve.apply_changes(
+            [
+                DeleteRelation("IS2", "T"),
+                RenameAttribute("IS1", "R", "C", "C9"),
+            ]
+        )
+        assert results == []
+        assert eve.generations("V") == 0
+        assert eve.generations("W") == 0
+
+    def test_rewriting_composes_later_batch_changes(self):
+        # V is rewritten from R onto T by the first change; the second
+        # change renames an attribute of T.  Synchronizing against the
+        # post-batch MKB composes both: the replacement lands directly on
+        # the renamed column, reaching the sequential end state in fewer
+        # generations.
+        batch = [
+            DeleteRelation("IS1", "R"),
+            RenameAttribute("IS2", "T", "A", "Alpha"),
+        ]
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        batched.apply_changes(batch)
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        assert 1 <= batched.generations("V") <= sequential.generations("V")
+        refs = {
+            str(item.ref) for item in batched.vkb.current("V").select
+        }
+        assert "T.Alpha" in refs
+        assert sorted(batched.extent("V").rows) == sorted(
+            sequential.extent("V").rows
+        )
+
+    def test_chained_attribute_renames_on_same_relation(self):
+        # A batch can rename the same attribute twice; the second change
+        # addresses a name that only exists mid-batch, so it is invisible
+        # to the pre-batch affectedness scan and must be re-queued when
+        # the first synchronization rewrites the view.
+        batch = [
+            RenameAttribute("IS1", "R", "A", "A1"),
+            RenameAttribute("IS1", "R", "A1", "A2"),
+        ]
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        batched.apply_changes(batch)
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        refs = {str(item.ref) for item in batched.vkb.current("V").select}
+        assert "R.A2" in refs
+        assert sorted(batched.extent("V").rows) == sorted(
+            sequential.extent("V").rows
+        )
+
+    def test_rename_then_delete_attribute_chain(self):
+        batch = [
+            RenameAttribute("IS1", "R", "B", "B1"),
+            DeleteAttribute("IS1", "R", "B1"),
+        ]
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        batched.apply_changes(batch)
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        assert sorted(batched.extent("V").rows) == sorted(
+            sequential.extent("V").rows
+        )
+
+    def test_chained_relation_renames(self):
+        from repro.space.changes import RenameRelation
+
+        batch = [
+            RenameRelation("IS1", "R", "R2"),
+            RenameRelation("IS1", "R2", "R3"),
+        ]
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        batched.apply_changes(batch)
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        assert batched.vkb.current("V").relation_names == ("R3",)
+        assert sorted(batched.extent("V").rows) == sorted(
+            sequential.extent("V").rows
+        )
+
+    @pytest.mark.parametrize(
+        "batch",
+        [
+            # attribute chain, then the relation itself renamed + deleted
+            [
+                RenameAttribute("IS1", "R", "A", "A1"),
+                RenameAttribute("IS1", "R", "A1", "A2"),
+                RenameRelation("IS1", "R", "R2"),
+                DeleteRelation("IS1", "R2"),
+            ],
+            # attribute change followed by delete of the same relation
+            [
+                RenameAttribute("IS1", "R", "B", "B1"),
+                DeleteRelation("IS1", "R"),
+            ],
+        ],
+        ids=["rename-chain-then-delete", "touch-then-delete"],
+    )
+    def test_mixed_identity_chains_match_sequential(self, batch):
+        sequential = build_system()
+        for change in batch:
+            sequential.space.apply_change(change)
+        batched = build_system()
+        batched.apply_changes(batch)
+        assert sequential.vkb.current("V") == batched.vkb.current("V")
+        assert sequential.is_alive("V") == batched.is_alive("V")
+        if batched.is_alive("V"):
+            assert sorted(batched.extent("V").rows) == sorted(
+                sequential.extent("V").rows
+            )
+
+    def test_extent_rematerialized_once_and_correct(self):
+        eve = build_system()
+        eve.apply_changes(
+            [
+                DeleteRelation("IS1", "R"),
+                RenameAttribute("IS2", "T", "B", "Beta"),
+            ]
+        )
+        recomputed = evaluate_view(
+            eve.vkb.current("V"), eve.space.relations()
+        )
+        assert sorted(eve.extent("V").rows) == sorted(recomputed.rows)
+        for rewriting in eve.vkb.record("V").history:
+            assert check_legality(rewriting).legal
+
+    def test_dead_views_stay_dead_within_batch(self):
+        eve = build_system()
+        eve.apply_changes(
+            [
+                DeleteRelation("IS2", "U"),
+                DeleteRelation("IS1", "R"),
+            ]
+        )
+        assert not eve.is_alive("W")
+        assert eve.is_alive("V")
+        with pytest.raises(Exception):
+            eve.extent("W")
+
+
+class TestPolicyWiring:
+    def test_system_policy_configurable(self):
+        eve = EVESystem(policy="first_legal")
+        assert eve.policy == SearchPolicy.first_legal()
+
+    def test_per_call_policy_override(self):
+        eve = build_system()
+        eve.auto_synchronize = False
+        eve.space.delete_relation("R")
+        record = eve.vkb.record("V")
+        result = eve.synchronize_view(
+            record, DeleteRelation("IS1", "R"), policy="exhaustive"
+        )
+        assert result.policy == SearchPolicy.exhaustive()
+        assert result.counters.pruned == 0
+
+    def test_auto_sync_results_carry_counters(self):
+        eve = build_system()
+        eve.space.delete_relation("R")
+        result = eve.synchronization_log[0]
+        assert result.counters is not None
+        assert result.counters.generated >= 1
+        assert result.policy == SearchPolicy.pruned()

@@ -1,0 +1,99 @@
+"""Local-condition selectivity in the greedy join order (ROADMAP item).
+
+The indexed engine's greedy order used to rank relations by raw
+cardinality; a large-but-heavily-filtered relation was always joined
+late even when its selection leaves almost nothing.  Folding each
+single-relation WHERE conjunct's sigma into the estimate lets such a
+relation lead the join.
+"""
+
+import pytest
+
+from repro.esql.evaluator import _join_order, evaluate_view
+from repro.esql.parser import parse_view
+from repro.esql.validate import ViewValidator
+from repro.misd.statistics import SpaceStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def relations():
+    return {
+        # Big has 300 rows but its local condition keeps almost none.
+        "Big": Relation(
+            Schema("Big", ["A", "F"]),
+            [(i, i % 100) for i in range(300)],
+        ),
+        "Small": Relation(
+            Schema("Small", ["A", "B"]), [(i, 2 * i) for i in range(100)]
+        ),
+    }
+
+
+def _resolved(text, relations):
+    view = parse_view(text)
+    schemas = {name: relations[name].schema for name in view.relation_names}
+    return ViewValidator(schemas).resolve_view(view)
+
+
+VIEW = (
+    "CREATE VIEW V AS SELECT Big.A, Small.B FROM Small, Big "
+    "WHERE Big.A = Small.A AND Big.F = 7"
+)
+
+
+class TestSelectivityFoldedOrder:
+    def test_statistics_selectivity_reorders_plan(self, relations):
+        view = _resolved(VIEW, relations)
+        statistics = SpaceStatistics()
+        statistics.register_simple("Big", 300, selectivity=0.01)
+        statistics.register_simple("Small", 100, selectivity=1.0)
+
+        lookup = relations.__getitem__
+        # Raw cardinality would start with Small (100 < 300); the folded
+        # estimate ranks Big at 300 * 0.01 = 3 and reorders the plan.
+        order = _join_order(view, lookup, statistics)
+        assert order == ["Big", "Small"]
+
+    def test_without_statistics_default_sigma_applies(self, relations):
+        # Big at 300 * 0.5 = 150 still beats nothing (Small = 100), so
+        # the unfiltered ordering is preserved when sigma is unknown and
+        # the discount is the paper's default 0.5.
+        view = _resolved(VIEW, relations)
+        order = _join_order(view, relations.__getitem__, None)
+        assert order == ["Small", "Big"]
+
+    def test_default_sigma_can_still_reorder(self, relations):
+        # Two local conjuncts discount Big to 300 * 0.25 = 75 < 100.
+        view = _resolved(
+            "CREATE VIEW V AS SELECT Big.A, Small.B FROM Small, Big "
+            "WHERE Big.A = Small.A AND Big.F = 7 AND Big.F < 50",
+            relations,
+        )
+        order = _join_order(view, relations.__getitem__, None)
+        assert order == ["Big", "Small"]
+
+    def test_reordered_plan_result_is_unchanged(self, relations):
+        view = _resolved(VIEW, relations)
+        statistics = SpaceStatistics()
+        statistics.register_simple("Big", 300, selectivity=0.01)
+        statistics.register_simple("Small", 100, selectivity=1.0)
+        fast = evaluate_view(view, relations, statistics)
+        reference = evaluate_view(view, relations, engine="naive")
+        assert sorted(fast.rows) == sorted(reference.rows)
+
+    def test_selectivity_ignored_for_join_clauses(self, relations):
+        # Only single-relation, non-equijoin conjuncts count as local
+        # filters; the equijoin between the two relations must not
+        # discount either side.
+        view = _resolved(
+            "CREATE VIEW V AS SELECT Big.A, Small.B FROM Small, Big "
+            "WHERE Big.A = Small.A",
+            relations,
+        )
+        statistics = SpaceStatistics()
+        statistics.register_simple("Big", 300, selectivity=0.01)
+        statistics.register_simple("Small", 100, selectivity=1.0)
+        order = _join_order(view, relations.__getitem__, statistics)
+        assert order == ["Small", "Big"]

@@ -1,0 +1,133 @@
+"""The incremental-ranking bounds: quality floor, cost floor, QC ceiling."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.qc.model import QCModel
+from repro.qc.workload import WorkloadModel, WorkloadSpec
+from repro.space.changes import DeleteRelation
+from repro.sync.legality import check_legality
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.workloadgen.scenarios import build_cardinality_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    sc = build_cardinality_scenario()
+    synchronizer = ViewSynchronizer(sc.space.mkb)
+    candidates = [
+        rewriting
+        for rewriting in synchronizer.synchronize(
+            sc.view, DeleteRelation("IS1", "R2"), include_dominated=True
+        )
+        if check_legality(rewriting).legal
+    ]
+    return sc, QCModel(sc.space.mkb), candidates
+
+
+class TestQualityFloor:
+    def test_floor_never_exceeds_full_assessment(self, scenario):
+        _, model, candidates = scenario
+        for rewriting in candidates:
+            assert model.quality_floor(rewriting) <= model.quality_of(
+                rewriting
+            ).dd
+
+    def test_floor_is_exact_without_extent_divergence(self, scenario):
+        # When the extent term vanishes, DD == rho_attr * DD_attr and the
+        # floor is tight — the bound loses nothing on pure interface loss.
+        _, model, candidates = scenario
+        tight = [
+            rewriting
+            for rewriting in candidates
+            if model.quality_of(rewriting).dd_ext == 0.0
+        ]
+        assert tight, "scenario should include an extent-preserving rewriting"
+        for rewriting in tight:
+            assert model.quality_floor(rewriting) == model.quality_of(
+                rewriting
+            ).dd
+
+
+class TestQcUpperBound:
+    def test_bound_dominates_actual_qc(self, scenario):
+        _, model, candidates = scenario
+        for evaluation in model.evaluate(candidates):
+            bound = model.qc_upper_bound(
+                evaluation.rewriting, evaluation.normalized_cost
+            )
+            assert bound >= evaluation.qc
+
+    def test_bound_without_cost_knowledge_is_looser(self, scenario):
+        _, model, candidates = scenario
+        for evaluation in model.evaluate(candidates):
+            assert model.qc_upper_bound(
+                evaluation.rewriting
+            ) >= model.qc_upper_bound(
+                evaluation.rewriting, evaluation.normalized_cost
+            )
+
+
+class TestCostLowerBound:
+    def test_bound_never_exceeds_cost(self, scenario):
+        _, model, candidates = scenario
+        for rewriting in candidates:
+            for updated in (None, *rewriting.view.relation_names):
+                assert (
+                    model.cost_lower_bound(
+                        rewriting, updated_relation=updated
+                    )
+                    <= model.cost_of(
+                        rewriting, updated_relation=updated
+                    ).total
+                )
+
+    @pytest.mark.parametrize(
+        "model_kind",
+        [WorkloadModel.M1_PROPORTIONAL, WorkloadModel.M2_PER_RELATION],
+    )
+    def test_bound_holds_under_workloads(self, scenario, model_kind):
+        _, model, candidates = scenario
+        workload = WorkloadSpec(model_kind, 0.01)
+        for rewriting in candidates[:8]:
+            assert (
+                model.cost_lower_bound(rewriting, workload)
+                <= model.cost_of(rewriting, workload).total
+            )
+
+    def test_unknown_updated_relation_rejected(self, scenario):
+        _, model, candidates = scenario
+        with pytest.raises(EvaluationError):
+            model.cost_lower_bound(
+                candidates[0], updated_relation="Nonexistent"
+            )
+
+    def test_single_relation_view_prices_notification_only(self):
+        from repro.workloadgen.scenarios import build_survival_scenario
+
+        sc = build_survival_scenario()
+        synchronizer = ViewSynchronizer(sc.space.mkb)
+        model = QCModel(sc.space.mkb)
+        sc.space.delete_relation("R")
+        single = [
+            rewriting
+            for rewriting in synchronizer.synchronize(
+                sc.view, DeleteRelation("IS1", "R")
+            )
+            if len(rewriting.view.relation_names) == 1
+        ]
+        assert single
+        statistics = sc.space.mkb.statistics
+        for rewriting in single:
+            name = rewriting.view.relation_names[0]
+            expected = (
+                statistics.tuple_size(name) * model.params.cost_t
+                + 1 * model.params.cost_m
+            )
+            assert model.cost_lower_bound(rewriting) == pytest.approx(
+                expected
+            )
+            assert (
+                model.cost_lower_bound(rewriting)
+                <= model.cost_of(rewriting).total
+            )

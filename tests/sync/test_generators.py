@@ -1,0 +1,205 @@
+"""Unit tests for the pluggable candidate-generator strategies."""
+
+from itertools import islice
+
+import pytest
+
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import (
+    AddAttribute,
+    DeleteAttribute,
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.space.space import InformationSpace
+from repro.sync.generators import (
+    AttributeReplacementGenerator,
+    CandidateGenerator,
+    DropGenerator,
+    GenerationContext,
+    RelationReplacementGenerator,
+    RenameGenerator,
+    default_generators,
+)
+from repro.sync.rewriting import ExtentRelationship, RenameMove, Rewriting
+from repro.sync.synchronizer import ViewSynchronizer, _deduplicate
+from repro.esql.parser import parse_view
+
+
+@pytest.fixture
+def space():
+    space = InformationSpace()
+    for source, name in [("IS1", "R"), ("IS2", "S"), ("IS3", "T")]:
+        space.add_source(source)
+        space.register_relation(
+            source,
+            Relation(Schema(name, ["A", "B"])),
+            RelationStatistics(cardinality=100),
+        )
+    space.mkb.add_equivalence("R", "S", ["A", "B"])
+    space.mkb.add_containment("R", "T", ["A", "B"])
+    return space
+
+
+@pytest.fixture
+def context(space):
+    return GenerationContext(space.mkb)
+
+
+def _view(text):
+    return parse_view(text)
+
+
+REPLACEABLE_VIEW = (
+    "CREATE VIEW V (VE = '~') AS "
+    "SELECT R.A (AD = true, AR = true), R.B (AD = true, AR = true) "
+    "FROM R (RD = true, RR = true)"
+)
+
+
+class TestChainShape:
+    def test_default_chain_order(self):
+        names = [generator.name for generator in default_generators()]
+        assert names == [
+            "rename",
+            "drop",
+            "replace-attribute",
+            "replace-relation",
+        ]
+
+    def test_applies_to_gating(self):
+        rename, drop, attr, relation = default_generators()
+        delete_rel = DeleteRelation("IS1", "R")
+        delete_attr = DeleteAttribute("IS1", "R", "A")
+        rename_rel = RenameRelation("IS1", "R", "R2")
+        add = AddAttribute(
+            "IS1", "R", new_attribute=Schema("R", ["Z"]).attribute("Z")
+        )
+        assert rename.applies_to(rename_rel)
+        assert not rename.applies_to(delete_rel)
+        assert drop.applies_to(delete_rel) and drop.applies_to(delete_attr)
+        assert attr.applies_to(delete_attr) and not attr.applies_to(delete_rel)
+        assert relation.applies_to(delete_rel)
+        assert relation.applies_to(delete_attr)  # the Sec. 7.6 heuristic
+        assert not any(g.applies_to(add) for g in default_generators())
+
+
+class TestIndividualGenerators:
+    def test_rename_yields_single_equal_rewriting(self, space, context):
+        view = ViewSynchronizer(space.mkb).resolve(_view(REPLACEABLE_VIEW))
+        change = RenameAttribute("IS1", "R", "A", "Alpha")
+        out = list(RenameGenerator().generate(view, change, context))
+        assert len(out) == 1
+        assert out[0].extent_relationship is ExtentRelationship.EQUAL
+        assert isinstance(out[0].moves[0], RenameMove)
+        # The alias pins the interface: output names survive the rename.
+        assert out[0].view.interface == view.interface
+
+    def test_drop_refuses_indispensable(self, space, context):
+        view = ViewSynchronizer(space.mkb).resolve(
+            _view("CREATE VIEW V AS SELECT R.A, R.B FROM R")
+        )
+        out = list(
+            DropGenerator().generate(
+                view, DeleteRelation("IS1", "R"), context
+            )
+        )
+        assert out == []
+
+    def test_relation_replacement_routes(self, space, context):
+        view = ViewSynchronizer(space.mkb).resolve(_view(REPLACEABLE_VIEW))
+        out = list(
+            RelationReplacementGenerator().generate(
+                view, DeleteRelation("IS1", "R"), context
+            )
+        )
+        donors = [r.view.relation_names for r in out]
+        assert ("S",) in donors and ("T",) in donors
+
+    def test_attribute_replacement_redirects(self, space, context):
+        # The donor S is already joined into the view, so the lost R.A can
+        # be redirected to S.A without adding a carrier relation.
+        view = ViewSynchronizer(space.mkb).resolve(
+            _view(
+                "CREATE VIEW V2 (VE = '~') AS "
+                "SELECT R.A (AR = true), S.B "
+                "FROM R, S "
+                "WHERE (R.A = S.A) (CD = true, CR = true)"
+            )
+        )
+        out = list(
+            AttributeReplacementGenerator().generate(
+                view, DeleteAttribute("IS1", "R", "A"), context
+            )
+        )
+        assert out
+        for rewriting in out:
+            assert all(
+                item.ref.relation != "R" or item.ref.attribute != "A"
+                for item in rewriting.view.select
+            )
+
+
+class TestStreamingContract:
+    def test_stream_matches_eager_synchronize(self, space):
+        synchronizer = ViewSynchronizer(space.mkb)
+        view = _view(REPLACEABLE_VIEW)
+        change = DeleteRelation("IS1", "R")
+        resolved = synchronizer.resolve(view)
+        streamed = [
+            rewriting
+            for rewriting in synchronizer.generate_candidates(
+                resolved, change
+            )
+            if rewriting.extent_relationship.satisfies(
+                resolved.extent_parameter
+            )
+        ]
+        assert _deduplicate(streamed) == synchronizer.synchronize(
+            view, change
+        )
+
+    def test_generation_is_lazy_past_the_first_candidate(self, space):
+        class Boom(CandidateGenerator):
+            name = "boom"
+
+            def applies_to(self, change):
+                return True
+
+            def generate(self, view, change, context):
+                raise AssertionError("late generator must not be consulted")
+                yield  # pragma: no cover
+
+        synchronizer = ViewSynchronizer(
+            space.mkb, generators=(*default_generators(), Boom())
+        )
+        view = synchronizer.resolve(_view(REPLACEABLE_VIEW))
+        change = DeleteRelation("IS1", "R")
+        first = list(
+            islice(synchronizer.generate_candidates(view, change), 1)
+        )
+        assert len(first) == 1  # drop move; Boom never ran
+        with pytest.raises(AssertionError):
+            list(synchronizer.generate_candidates(view, change))
+
+    def test_custom_generator_extends_the_chain(self, space):
+        class Identity(CandidateGenerator):
+            name = "identity"
+
+            def applies_to(self, change):
+                return isinstance(change, DeleteRelation)
+
+            def generate(self, view, change, context):
+                yield Rewriting(view, view, (), ExtentRelationship.EQUAL)
+
+        synchronizer = ViewSynchronizer(
+            space.mkb, generators=(*default_generators(), Identity())
+        )
+        view = synchronizer.resolve(_view(REPLACEABLE_VIEW))
+        out = list(
+            synchronizer.generate_candidates(view, DeleteRelation("IS1", "R"))
+        )
+        assert out[-1].view == view  # the custom candidate arrived last

@@ -1,0 +1,189 @@
+"""Unit tests for the streaming rewriting-search pipeline."""
+
+import pytest
+
+from repro.errors import SynchronizationError
+from repro.esql.parser import parse_view
+from repro.misd.statistics import RelationStatistics
+from repro.qc.model import QCModel
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import DeleteAttribute, DeleteRelation
+from repro.space.space import InformationSpace
+from repro.sync.legality import check_legality
+from repro.sync.pipeline import (
+    RewritingSearchPipeline,
+    SearchPolicy,
+    StageCounters,
+)
+from repro.sync.synchronizer import ViewSynchronizer
+
+
+@pytest.fixture
+def space():
+    space = InformationSpace()
+    layout = [
+        ("IS0", "R", 4000),
+        ("IS1", "S1", 2000),
+        ("IS2", "S2", 4000),
+        ("IS3", "S3", 6000),
+    ]
+    for source, name, cardinality in layout:
+        space.add_source(source)
+        space.register_relation(
+            source,
+            Relation(Schema(name, ["A", "B", "C"])),
+            RelationStatistics(cardinality=cardinality, tuple_size=100),
+        )
+    for donor in ("S1", "S2", "S3"):
+        space.mkb.add_containment("R", donor, ["A", "B", "C"])
+    return space
+
+
+@pytest.fixture
+def pipeline(space):
+    return RewritingSearchPipeline(
+        ViewSynchronizer(space.mkb), QCModel(space.mkb)
+    )
+
+
+VIEW = (
+    "CREATE VIEW V (VE = '~') AS "
+    "SELECT R.A (AD = true, AR = true), R.B (AD = true, AR = true), "
+    "R.C (AD = true, AR = true) "
+    "FROM R (RR = true)"
+)
+
+CHANGE = DeleteRelation("IS0", "R")
+
+
+class TestPolicies:
+    def test_policy_parsing(self):
+        assert SearchPolicy.of("pruned") == SearchPolicy.pruned()
+        assert SearchPolicy.of("top_k(4)") == SearchPolicy.top_k(4)
+        assert str(SearchPolicy.top_k(4)) == "top_k(4)"
+        with pytest.raises(SynchronizationError):
+            SearchPolicy.of("best_effort")
+        with pytest.raises(SynchronizationError):
+            SearchPolicy.top_k(0)
+
+    def test_exhaustive_matches_eager_reference(self, space, pipeline):
+        view = parse_view(VIEW)
+        synchronizer = pipeline.synchronizer
+        eager = [
+            rewriting
+            for rewriting in synchronizer.synchronize(view, CHANGE)
+            if check_legality(rewriting).legal
+        ]
+        reference = pipeline.qc_model.evaluate(eager)
+        result = pipeline.search(view, CHANGE, policy="exhaustive")
+        assert [e.rewriting for e in result.evaluations] == [
+            e.rewriting for e in reference
+        ]
+        assert [e.qc for e in result.evaluations] == [e.qc for e in reference]
+        assert result.counters.assessed == len(eager)
+
+    def test_pruned_same_winner_fewer_assessments(self, space, pipeline):
+        view = parse_view(VIEW)
+        exhaustive = pipeline.search(view, CHANGE, policy="exhaustive")
+        pruned = pipeline.search(view, CHANGE, policy="pruned")
+        assert pruned.chosen.rewriting == exhaustive.chosen.rewriting
+        assert pruned.chosen.qc == exhaustive.chosen.qc
+        assert pruned.counters.assessed <= exhaustive.counters.assessed
+        assert (
+            pruned.counters.assessed + pruned.counters.pruned
+            == pruned.counters.legal
+        )
+
+    def test_top_k_returns_k_ranked(self, space, pipeline):
+        view = parse_view(VIEW)
+        result = pipeline.search(view, CHANGE, policy="top_k(2)")
+        assert len(result.evaluations) <= 2
+        assert [e.rank for e in result.evaluations] == list(
+            range(1, len(result.evaluations) + 1)
+        )
+        exhaustive = pipeline.search(view, CHANGE, policy="exhaustive")
+        assert result.chosen.rewriting == exhaustive.chosen.rewriting
+        assert result.chosen.qc == exhaustive.chosen.qc
+
+    def test_first_legal_stops_generating(self, space, pipeline):
+        view = parse_view(VIEW)
+        result = pipeline.search(view, CHANGE, policy="first_legal")
+        exhaustive = pipeline.search(view, CHANGE, policy="exhaustive")
+        # The old-EVE baseline: one candidate generated, one assessed,
+        # and it is the generation-order-first legal rewriting.
+        assert result.counters.generated < exhaustive.counters.generated
+        assert result.counters.assessed == 1
+        assert result.chosen.rewriting.view.relation_names == ("S1",)
+
+    def test_default_policy_is_pruned(self, pipeline):
+        assert pipeline.policy == SearchPolicy.pruned()
+
+
+class TestStreamBehaviour:
+    def test_unaffected_view_yields_identity(self, space, pipeline):
+        view = parse_view(VIEW)
+        unrelated = DeleteAttribute("IS1", "S1", "C")
+        result = pipeline.search(view, unrelated)
+        assert result.survived
+        assert result.chosen.rewriting.is_identity
+        assert result.counters.generated == 1
+
+    def test_dead_view_has_no_winner(self, space, pipeline):
+        doomed = parse_view("CREATE VIEW W AS SELECT S1.A, S1.B FROM S1")
+        result = pipeline.search(doomed, DeleteRelation("IS1", "S1"))
+        assert not result.survived
+        assert result.evaluations == []
+        assert result.counters.legal == 0
+
+    def test_counters_balance(self, space, pipeline):
+        view = parse_view(VIEW)
+        for policy in ("exhaustive", "pruned"):
+            counters = pipeline.search(view, CHANGE, policy=policy).counters
+            assert (
+                counters.generated + counters.dominated
+                == counters.ve_rejected
+                + counters.duplicates
+                + counters.illegal
+                + counters.legal
+            )
+
+    def test_dominated_spectrum_only_on_request(self, space, pipeline, monkeypatch):
+        import repro.sync.generators.dominated as dominated
+
+        def boom(rewriting, limit=32):
+            raise AssertionError("spectrum materialized without request")
+
+        monkeypatch.setattr(dominated, "iter_dominated_variants", boom)
+        view = parse_view(VIEW)
+        result = pipeline.search(view, CHANGE)  # fine: spectrum not requested
+        assert result.survived
+        with pytest.raises(AssertionError):
+            pipeline.search(view, CHANGE, include_dominated=True)
+
+    def test_dominated_spectrum_counted(self, space, pipeline):
+        view = parse_view(VIEW)
+        result = pipeline.search(view, CHANGE, include_dominated=True)
+        assert result.counters.dominated > 0
+
+
+class TestCounters:
+    def test_merged(self):
+        left = StageCounters(generated=2, assessed=1)
+        right = StageCounters(generated=3, pruned=4)
+        merged = left.merged(right)
+        assert merged.generated == 5
+        assert merged.assessed == 1
+        assert merged.pruned == 4
+
+    def test_str_mentions_stages(self):
+        text = str(StageCounters(generated=7))
+        assert "generated=7" in text and "pruned=0" in text
+
+
+class TestPolicyParsing:
+    def test_malformed_top_k_raises_domain_error(self):
+        with pytest.raises(SynchronizationError):
+            SearchPolicy.of("top_k(x)")
+        with pytest.raises(SynchronizationError):
+            SearchPolicy.of("top_k(")

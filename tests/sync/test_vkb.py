@@ -80,3 +80,40 @@ class TestSynchronizationBookkeeping:
             )
             vkb.apply_rewriting(rewriting)
         assert record.generations == 2
+
+
+class TestInvertedIndex:
+    def _rewrite(self, vkb, name, text):
+        rewriting = Rewriting(
+            vkb.current(name),
+            parse_view(text),
+            (),
+            ExtentRelationship.EQUAL,
+        )
+        return vkb.apply_rewriting(rewriting)
+
+    def test_index_follows_rewritings(self, vkb):
+        # V1 moves from R to T: the index forgets R, learns T.
+        self._rewrite(vkb, "V1", "CREATE VIEW V1 AS SELECT T.A FROM T")
+        assert vkb.views_referencing("R") == ()
+        assert [r.name for r in vkb.views_referencing("T")] == ["V1"]
+
+    def test_index_forgets_dropped_views(self, vkb):
+        vkb.drop("V2")
+        assert vkb.views_referencing("S") == ()
+
+    def test_index_forgets_dead_views(self, vkb):
+        vkb.mark_undefined("V2")
+        assert vkb.views_referencing("S") == ()
+        # V1 is untouched.
+        assert [r.name for r in vkb.views_referencing("R")] == ["V1"]
+
+    def test_index_order_is_definition_order(self, vkb):
+        vkb.define(parse_view("CREATE VIEW V0 AS SELECT R.B FROM R"))
+        assert [r.name for r in vkb.views_referencing("R")] == ["V1", "V0"]
+
+    def test_shared_relation_counts_every_view(self, vkb):
+        vkb.define(parse_view("CREATE VIEW V3 AS SELECT R.A, S.B FROM R, S"))
+        assert [r.name for r in vkb.views_referencing("S")] == ["V2", "V3"]
+        vkb.mark_undefined("V2")
+        assert [r.name for r in vkb.views_referencing("S")] == ["V3"]

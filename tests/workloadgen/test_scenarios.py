@@ -92,3 +92,50 @@ class TestCardinalityScenario:
         scenario = build_cardinality_scenario(populate=True)
         scenario.space.delete_relation("R2")
         assert scenario.original_relations["R2"].cardinality == 4000
+
+
+class TestEvolutionStorm:
+    def _build(self, **overrides):
+        from repro.workloadgen.scenarios import build_evolution_storm_scenario
+
+        args = dict(
+            views=60,
+            view_relations=12,
+            spare_relations=8,
+            changes=18,
+            hot_renames=3,
+            replacement_deletes=2,
+            seed=5,
+        )
+        args.update(overrides)
+        return build_evolution_storm_scenario(**args)
+
+    def test_deterministic(self):
+        first = self._build()
+        second = self._build()
+        assert [c.describe() for c in first.changes] == [
+            c.describe() for c in second.changes
+        ]
+        assert [str(v) for v in first.views] == [str(v) for v in second.views]
+
+    def test_shape(self):
+        scenario = self._build()
+        assert len(scenario.views) == 60
+        assert len(scenario.changes) == 18
+        assert len(scenario.mirrored_relations) == 2
+        # Every mirrored relation has an equivalent donor registered.
+        for index, name in enumerate(scenario.mirrored_relations):
+            assert f"Mirror{index}" in scenario.space.mkb.relation_names
+            assert scenario.space.mkb.sync_pc_constraints(name)
+
+    def test_batch_replays_cleanly_end_to_end(self):
+        from repro.core.eve import EVESystem
+
+        scenario = self._build()
+        eve = EVESystem(space=scenario.space)
+        for view in scenario.views:
+            eve.define_view(view, materialize=False)
+        results = eve.apply_changes(scenario.changes)
+        # Mirrored deletes keep their views alive via replacement.
+        assert all(result.survived for result in results)
+        assert all(record.alive for record in eve.vkb)
