@@ -372,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
     if not all(checks):
         print("EQUIVALENCE FAILURE", checks)
         return 1
+    # Mode marker for the CI regression gate: smoke-scale timings are
+    # not comparable with committed full-run baselines.
+    payload["config"] = {"smoke": args.smoke}
     if not args.no_json:
         path = emit_json("engine", payload)
         print(f"wrote {path}")

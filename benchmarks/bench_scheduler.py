@@ -1,0 +1,304 @@
+"""Scheduler benchmarks: serial reference vs cost-aware parallel dispatch.
+
+Two timed scenarios over the 1k-view scheduler-stress storm (every view
+needs a replacement search over a donor spectrum — the workload the
+cross-view scheduler exists for):
+
+1. **Parallel storm** — the serial reference scheduler replays every
+   affected view one after the other; the parallel scheduler dispatches
+   chain groups to a thread pool *and coalesces* structurally identical
+   searches (one search per definition-modulo-name + worklist class,
+   results rebound to every follower).  Committed winners, QC-Values,
+   and extents must be identical — the speedup is pure scheduling.  An
+   ablation row reports the thread executor with coalescing off, so the
+   JSON shows honestly where the win comes from on a given machine
+   (coalescing is CPU-count-independent; executor parallelism is not,
+   and equals ~1x on a single-core GIL-bound host).
+2. **Deadline sweep** — the same storm under shrinking wall-clock
+   budgets with ``degrade="first_legal"``: views scheduled past the
+   budget fall back to the old-EVE first-legal policy
+   (cheapest-to-salvage views, scheduled first, keep full QC ranking).
+   Reported per budget: degraded view count and total QC achieved —
+   the quality/cost trade-off curve the budget buys.  A zero-budget
+   ``degrade="defer"`` run plus :meth:`EVESystem.resume_deferred`
+   round-trips the deferral path.
+
+Results are persisted as machine-readable ``BENCH_scheduler.json`` at
+the repo root (via :func:`conftest.emit_json`).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py [--smoke]
+
+``--smoke`` shrinks every scale so CI can assert the harness stays
+healthy in seconds.  Full runs enforce >=2x parallel speedup with
+identical outcomes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from conftest import emit, emit_json  # noqa: E402
+
+from repro.core.eve import EVESystem  # noqa: E402
+from repro.core.report import format_table  # noqa: E402
+from repro.sync.scheduler import SynchronizationScheduler  # noqa: E402
+from repro.workloadgen.scenarios import (  # noqa: E402
+    build_scheduler_stress_scenario,
+)
+
+
+def _stress_system(**stress_args) -> tuple[EVESystem, list]:
+    scenario = build_scheduler_stress_scenario(**stress_args)
+    eve = EVESystem(space=scenario.space)
+    for view in scenario.views:
+        eve.define_view(view, materialize=False)
+    return eve, scenario.changes
+
+
+def _fingerprint(eve: EVESystem) -> list[tuple]:
+    # Structural ViewDefinition equality (order-sensitive), not repr:
+    # outcomes_equal must catch any divergence, not just the interface.
+    return [
+        (record.name, record.alive, record.generations, record.current)
+        for record in eve.vkb
+    ]
+
+
+def _run(scheduler: SynchronizationScheduler | None, **stress_args):
+    eve, changes = _stress_system(**stress_args)
+    start = perf_counter()
+    if scheduler is None:
+        results = eve.apply_changes(changes)
+    else:
+        results = eve.apply_changes(changes, scheduler=scheduler)
+    seconds = perf_counter() - start
+    return eve, results, seconds
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: serial reference vs parallel + coalescing scheduler
+# ----------------------------------------------------------------------
+def bench_parallel_storm(workers: int, **stress_args) -> dict:
+    serial_eve, serial_results, serial_seconds = _run(None, **stress_args)
+
+    parallel = SynchronizationScheduler(
+        executor="threads", max_workers=workers, coalesce=True
+    )
+    parallel_eve, parallel_results, parallel_seconds = _run(
+        parallel, **stress_args
+    )
+
+    # Ablation: executor parallelism alone, no search coalescing.
+    threads_only = SynchronizationScheduler(
+        executor="threads", max_workers=workers
+    )
+    _, _, threads_only_seconds = _run(threads_only, **stress_args)
+
+    outcomes_equal = _fingerprint(serial_eve) == _fingerprint(parallel_eve)
+    qc_equal = [
+        (r.view_name, r.chosen.qc if r.chosen else None)
+        for r in serial_results
+    ] == [
+        (r.view_name, r.chosen.qc if r.chosen else None)
+        for r in parallel_results
+    ]
+    report = parallel_eve.last_schedule[0]
+    return {
+        "views": stress_args.get("views", 1000),
+        "changes": stress_args.get("view_relations", 100),
+        "synchronizations": len(parallel_results),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "threads_only_seconds": threads_only_seconds,
+        "threads_only_speedup": (
+            serial_seconds / threads_only_seconds
+            if threads_only_seconds
+            else 0.0
+        ),
+        "outcomes_equal": outcomes_equal and qc_equal,
+        "coalesced_searches": report.coalesced,
+        "workers": report.workers,
+        "executor": report.executor,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: QC achieved vs wall-clock budget
+# ----------------------------------------------------------------------
+def bench_deadline_sweep(
+    serial_seconds: float, workers: int, **stress_args
+) -> dict:
+    """Run the storm under shrinking budgets; report QC vs budget."""
+    sweep = {}
+    fractions = {"unbounded": None, "half": 0.5, "tenth": 0.1, "zero": 0.0}
+    for label, fraction in fractions.items():
+        budget = None if fraction is None else serial_seconds * fraction
+        scheduler = SynchronizationScheduler(
+            executor="threads",
+            max_workers=workers,
+            coalesce=True,
+            budget=budget,
+            degrade="first_legal",
+        )
+        eve, results, seconds = _run(scheduler, **stress_args)
+        report = eve.last_schedule[0]
+        sweep[label] = {
+            "budget_seconds": budget,
+            "wall_seconds": seconds,
+            "synchronized": len(results),
+            "degraded": len(report.degraded_views),
+            "deferred": len(report.deferred),
+            "qc_achieved": sum(
+                result.chosen.qc for result in results if result.chosen
+            ),
+        }
+
+    # The defer path: a zero budget parks everything explicitly, and
+    # resume_deferred replays it to the exact unbounded outcome.
+    deferring = SynchronizationScheduler(
+        budget=0.0, degrade="defer", coalesce=True
+    )
+    eve, results, _ = _run(deferring, **stress_args)
+    deferred_count = sum(
+        len(report.deferred) for report in eve.last_schedule
+    )
+    resumed = eve.resume_deferred()
+    reference_eve, _, _ = _run(None, **stress_args)
+    sweep["zero_defer"] = {
+        "budget_seconds": 0.0,
+        "synchronized_at_deadline": len(results),
+        "deferred": deferred_count,
+        "resumed": len(resumed),
+        "resume_matches_serial": (
+            _fingerprint(eve) == _fingerprint(reference_eve)
+        ),
+    }
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scales: assert harness health, not performance",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        stress_args = dict(
+            views=80, view_relations=16, donors_per_relation=3,
+            view_attributes=2,
+        )
+        workers = 2
+    else:
+        stress_args = dict(
+            views=1000, view_relations=100, donors_per_relation=6,
+            view_attributes=3,
+        )
+        workers = min(8, max(2, (os.cpu_count() or 1)))
+
+    storm = bench_parallel_storm(workers, **stress_args)
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["views", storm["views"]],
+                ["synchronizations", storm["synchronizations"]],
+                ["serial reference (s)", f"{storm['serial_seconds']:.4f}"],
+                ["parallel scheduler (s)", f"{storm['parallel_seconds']:.4f}"],
+                ["speedup", f"{storm['speedup']:.1f}x"],
+                [
+                    "threads w/o coalescing (s)",
+                    f"{storm['threads_only_seconds']:.4f} "
+                    f"({storm['threads_only_speedup']:.1f}x)",
+                ],
+                ["coalesced searches", storm["coalesced_searches"]],
+                ["workers / cpus", f"{storm['workers']} / {storm['cpu_count']}"],
+                ["outcomes identical", storm["outcomes_equal"]],
+            ],
+            title="Parallel scheduler (1k-view salvage storm)",
+        )
+    )
+
+    sweep = bench_deadline_sweep(
+        storm["serial_seconds"], workers, **stress_args
+    )
+    emit(
+        format_table(
+            ["budget", "seconds", "synced", "degraded", "QC achieved"],
+            [
+                [
+                    label,
+                    (
+                        "-"
+                        if row["budget_seconds"] is None
+                        else f"{row['budget_seconds']:.3f}"
+                    ),
+                    row["synchronized"],
+                    row["degraded"],
+                    f"{row['qc_achieved']:.2f}",
+                ]
+                for label, row in sweep.items()
+                if "qc_achieved" in row
+            ],
+            title="Deadline sweep (degrade to first_legal past budget)",
+        )
+    )
+    defer_row = sweep["zero_defer"]
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["synchronized at deadline", defer_row["synchronized_at_deadline"]],
+                ["deferred", defer_row["deferred"]],
+                ["resumed", defer_row["resumed"]],
+                ["resume matches serial", defer_row["resume_matches_serial"]],
+            ],
+            title="Zero-budget deferral + resume",
+        )
+    )
+
+    if not storm["outcomes_equal"]:
+        raise SystemExit("parallel scheduler diverged from serial outcomes")
+    if not defer_row["resume_matches_serial"]:
+        raise SystemExit("deferral resume diverged from serial outcomes")
+    if not args.smoke:
+        if storm["speedup"] < 2.0:
+            raise SystemExit(
+                f"parallel speedup {storm['speedup']:.1f}x < 2x"
+            )
+        unbounded = sweep["unbounded"]["qc_achieved"]
+        zero = sweep["zero"]["qc_achieved"]
+        if sweep["zero"]["degraded"] == 0:
+            raise SystemExit("zero budget degraded nothing")
+        if unbounded < zero:
+            raise SystemExit("degraded run achieved more QC than unbounded")
+
+    path = emit_json(
+        "scheduler",
+        {
+            "parallel_storm": storm,
+            "deadline_sweep": sweep,
+            "config": {"smoke": args.smoke, **stress_args},
+        },
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

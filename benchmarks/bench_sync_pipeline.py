@@ -65,8 +65,9 @@ def _storm_system(**storm_args):
 
 
 def _storm_fingerprint(eve: EVESystem) -> list[tuple]:
+    # Structural ViewDefinition equality (order-sensitive), not repr.
     return [
-        (record.name, record.alive, record.generations, str(record.current))
+        (record.name, record.alive, record.generations, record.current)
         for record in eve.vkb
     ]
 

@@ -1,0 +1,313 @@
+"""Validate BENCH_*.json payloads and gate speedup regressions.
+
+This is the benchmark-JSON contract in one importable place (it used to
+live as a heredoc inside ``.github/workflows/ci.yml``).  Two layers:
+
+* **Structural validation** — every known BENCH file must carry its
+  expected sections and fields, and its *correctness invariants* must
+  hold (extents/outcomes/rankings identical, pruning never assessed
+  more than exhaustive, deferral resume matched serial).  These are
+  mode-independent: they gate smoke and full runs alike.
+* **Regression gate** — headline ``speedup`` fields are compared
+  against a baseline payload (the committed BENCH file) and fail on a
+  >30% drop.  Timings are only comparable between runs of the same
+  mode, so a smoke run checked against a committed full-run baseline is
+  reported as an explicit SKIP, never a silent pass.
+
+Timing-noise fields (e.g. ``pruned_ranking.speedup``, a sub-10ms
+measurement) are deliberately not gated; their correctness invariants
+are gated instead.
+
+Usage::
+
+    python benchmarks/validate_bench.py [FILE ...]
+    python benchmarks/validate_bench.py --baseline-dir DIR [FILE ...]
+
+With no FILE arguments, every ``BENCH_*.json`` at the repo root is
+validated.  ``--baseline-dir`` additionally compares each file against
+the same-named file in DIR (missing baselines are skipped).  Importable
+from tests: see :func:`validate_payload` and :func:`check_regression`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default tolerated relative drop of a gated speedup before failing.
+MAX_REGRESSION = 0.30
+
+#: name -> (section, field) pairs gated against the baseline.  Only
+#: headline speedups with enough signal to survive runner jitter.
+GATED_SPEEDUPS = {
+    "engine": (
+        ("view_evaluation", "speedup"),
+        ("maintenance_propagation", "speedup"),
+        ("synchronize_and_rank", "speedup"),
+    ),
+    "sync": (("batched_dispatch", "speedup"),),
+    "scheduler": (("parallel_storm", "speedup"),),
+}
+
+
+class BenchValidationError(Exception):
+    """A BENCH payload violated its structural or invariant contract."""
+
+
+def _require(payload: dict, name: str, sections: dict) -> None:
+    for section, fields in sections.items():
+        if section not in payload:
+            raise BenchValidationError(f"{name}: missing section {section!r}")
+        for field in fields:
+            if field not in payload[section]:
+                raise BenchValidationError(
+                    f"{name}: {section}: missing {field!r}"
+                )
+
+
+def _invariant(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchValidationError(message)
+
+
+# ----------------------------------------------------------------------
+# Per-file validators
+# ----------------------------------------------------------------------
+def validate_engine(payload: dict) -> None:
+    _require(
+        payload,
+        "BENCH_engine",
+        {
+            "view_evaluation": ("speedup", "extents_equal"),
+            "maintenance_propagation": ("speedup", "counters_equal"),
+            "synchronize_and_rank": ("speedup", "rankings_identical"),
+        },
+    )
+    _invariant(
+        payload["view_evaluation"]["extents_equal"],
+        "view evaluation extents diverged",
+    )
+    _invariant(
+        payload["maintenance_propagation"]["counters_equal"],
+        "maintenance counters diverged",
+    )
+    _invariant(
+        payload["synchronize_and_rank"]["rankings_identical"],
+        "cached ranking diverged",
+    )
+
+
+def validate_sync(payload: dict) -> None:
+    _require(
+        payload,
+        "BENCH_sync",
+        {
+            "batched_dispatch": ("speedup", "outcomes_equal"),
+            "pruned_ranking": (
+                "assessed_exhaustive",
+                "assessed_pruned",
+                "winner_identical",
+                "qc_value_equal",
+            ),
+            "policy_sweep": (),
+        },
+    )
+    _invariant(
+        payload["batched_dispatch"]["outcomes_equal"],
+        "batched dispatch outcomes diverged",
+    )
+    ranking = payload["pruned_ranking"]
+    _invariant(
+        ranking["winner_identical"] and ranking["qc_value_equal"],
+        "pruned ranking winner diverged",
+    )
+    _invariant(
+        ranking["assessed_pruned"] <= ranking["assessed_exhaustive"],
+        "pruning assessed more than exhaustive",
+    )
+
+
+def validate_scheduler(payload: dict) -> None:
+    _require(
+        payload,
+        "BENCH_scheduler",
+        {
+            "parallel_storm": (
+                "speedup",
+                "outcomes_equal",
+                "serial_seconds",
+                "parallel_seconds",
+                "coalesced_searches",
+            ),
+            "deadline_sweep": ("unbounded", "zero", "zero_defer"),
+        },
+    )
+    _invariant(
+        payload["parallel_storm"]["outcomes_equal"],
+        "parallel scheduler outcomes diverged",
+    )
+    sweep = payload["deadline_sweep"]
+    _invariant(
+        sweep["zero_defer"]["resume_matches_serial"],
+        "deferral resume diverged from serial outcomes",
+    )
+    _invariant(
+        sweep["unbounded"]["qc_achieved"] >= sweep["zero"]["qc_achieved"],
+        "degraded run achieved more QC than unbounded",
+    )
+    _invariant(
+        sweep["unbounded"]["degraded"] == 0,
+        "unbounded run degraded views",
+    )
+
+
+VALIDATORS = {
+    "engine": validate_engine,
+    "sync": validate_sync,
+    "scheduler": validate_scheduler,
+}
+
+
+def bench_name(path: Path) -> str:
+    """``BENCH_<name>.json`` -> ``<name>`` (raises on foreign files)."""
+    stem = path.name
+    if not (stem.startswith("BENCH_") and stem.endswith(".json")):
+        raise BenchValidationError(f"not a BENCH file: {path}")
+    return stem[len("BENCH_") : -len(".json")]
+
+
+def validate_payload(name: str, payload: dict) -> None:
+    """Structural + invariant validation for one named payload."""
+    try:
+        validator = VALIDATORS[name]
+    except KeyError:
+        raise BenchValidationError(
+            f"no validator for BENCH_{name}.json "
+            f"(known: {', '.join(sorted(VALIDATORS))})"
+        ) from None
+    validator(payload)
+
+
+def is_smoke(payload: dict) -> bool:
+    """Whether the payload came from a smoke-scale run.
+
+    Older payloads carry no ``config`` block; those predate smoke modes
+    and are full runs by construction.
+    """
+    return bool(payload.get("config", {}).get("smoke"))
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def check_regression(
+    name: str,
+    current: dict,
+    baseline: dict,
+    max_regression: float = MAX_REGRESSION,
+) -> tuple[str, list[str]]:
+    """Compare gated speedups of ``current`` against ``baseline``.
+
+    Returns ``(status, messages)`` where status is ``"ok"``, ``"skip"``
+    (modes differ — smoke timings are not comparable with full-run
+    baselines), or ``"fail"``.
+    """
+    if is_smoke(current) != is_smoke(baseline):
+        mode = lambda p: "smoke" if is_smoke(p) else "full"  # noqa: E731
+        return "skip", [
+            f"BENCH_{name}: {mode(current)} run not comparable with "
+            f"{mode(baseline)} baseline — speedup gate skipped"
+        ]
+    messages = []
+    status = "ok"
+    for section, field in GATED_SPEEDUPS.get(name, ()):
+        try:
+            was = float(baseline[section][field])
+            now = float(current[section][field])
+        except (KeyError, TypeError, ValueError):
+            messages.append(
+                f"BENCH_{name}: {section}.{field} missing from current "
+                f"or baseline — failing the gate"
+            )
+            status = "fail"
+            continue
+        floor = was * (1.0 - max_regression)
+        if now < floor:
+            messages.append(
+                f"BENCH_{name}: {section}.{field} regressed "
+                f"{was:.2f}x -> {now:.2f}x (floor {floor:.2f}x)"
+            )
+            status = "fail"
+        else:
+            messages.append(
+                f"BENCH_{name}: {section}.{field} {was:.2f}x -> {now:.2f}x OK"
+            )
+    return status, messages
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="BENCH_*.json files (default: all at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="directory holding baseline BENCH files to gate against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=MAX_REGRESSION,
+        help="tolerated relative speedup drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found")
+        return 1
+
+    failed = False
+    for path in files:
+        name = bench_name(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        try:
+            validate_payload(name, payload)
+        except BenchValidationError as error:
+            print(f"FAIL {path.name}: {error}")
+            failed = True
+            continue
+        print(f"OK   {path.name}")
+
+        if args.baseline_dir is None:
+            continue
+        baseline_path = args.baseline_dir / path.name
+        if not baseline_path.exists():
+            print(f"SKIP {path.name}: no baseline in {args.baseline_dir}")
+            continue
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        status, messages = check_regression(
+            name, payload, baseline, args.max_regression
+        )
+        for message in messages:
+            print(f"{status.upper():4s} {message}")
+        failed = failed or status == "fail"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,17 @@ changes relevant to it and rematerializing its extent a single time.
 
 from __future__ import annotations
 
+import dataclasses
+import math
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.errors import SynchronizationError, ViewUndefinedError
+from repro.errors import (
+    EvaluationError,
+    SynchronizationError,
+    ViewUndefinedError,
+)
 from repro.esql.ast import ViewDefinition
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
@@ -55,6 +62,15 @@ from repro.sync.pipeline import (
     StageCounters,
 )
 from repro.sync.rewriting import Rewriting
+from repro.sync.scheduler import (
+    BatchWorkPlan,
+    DeferredSynchronization,
+    ScheduleReport,
+    SynchronizationScheduler,
+    ViewWorkItem,
+    build_work_plan,
+    coalesce_fingerprint,
+)
 from repro.sync.synchronizer import ViewSynchronizer
 from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
 from repro.maintenance.simulator import ViewMaintainer
@@ -98,10 +114,28 @@ class EVESystem:
         space: InformationSpace | None = None,
         auto_synchronize: bool = True,
         policy: SearchPolicy | str = "pruned",
+        scheduler: SynchronizationScheduler | None = None,
     ) -> None:
         self.space = space if space is not None else InformationSpace()
         self.params = params if params is not None else TradeoffParameters()
         self.auto_synchronize = auto_synchronize
+        #: Batch executor: the default (serial, cost-ordered, no budget)
+        #: reproduces the sequential reference exactly; pass a
+        #: parallel/budgeted :class:`SynchronizationScheduler` to change
+        #: how `apply_changes` dispatches its work plan.
+        self.scheduler = (
+            scheduler if scheduler is not None else SynchronizationScheduler()
+        )
+        #: ScheduleReports of the most recent :meth:`apply_changes`
+        #: call, one per chain-free sub-batch.
+        self.last_schedule: tuple[ScheduleReport, ...] = ()
+        # Guards VKB commits and extent bookkeeping when a parallel
+        # executor replays independent views concurrently.
+        self._commit_lock = threading.Lock()
+        #: Crash-consistency journal: inside apply_changes, every
+        #: committed result is appended here the moment it lands so an
+        #: executor exception cannot desynchronize VKB and sync log.
+        self._batch_journal: list[SynchronizationResult] | None = None
         self.vkb = ViewKnowledgeBase()
         # Shared memo for assessments and view resolution; invalidated on
         # every capability change (registered before the synchronization
@@ -236,12 +270,14 @@ class EVESystem:
             record.current, change, workload=workload, policy=policy
         )
         if outcome.chosen is None:
-            self.vkb.mark_undefined(record.name)
-            self._extents.pop(record.name, None)
+            with self._commit_lock:
+                self.vkb.mark_undefined(record.name)
+                self._extents.pop(record.name, None)
             return SynchronizationResult(
                 record.name, change, [], None, outcome.counters, outcome.policy
             )
-        self.vkb.apply_rewriting(outcome.chosen.rewriting)
+        with self._commit_lock:
+            self.vkb.apply_rewriting(outcome.chosen.rewriting)
         return SynchronizationResult(
             record.name,
             change,
@@ -255,7 +291,9 @@ class EVESystem:
     # Batched capability changes
     # ------------------------------------------------------------------
     def apply_changes(
-        self, changes: Iterable[SchemaChange]
+        self,
+        changes: Iterable[SchemaChange],
+        scheduler: SynchronizationScheduler | None = None,
     ) -> list[SynchronizationResult]:
         """Apply a composed batch of capability changes, dispatch indexed.
 
@@ -272,8 +310,59 @@ class EVESystem:
         Each such link starts a fresh sub-batch, restoring sequential
         semantics exactly there; chain-free batches — the normal case —
         pay nothing but one linear scan.
+
+        Each sub-batch is staged into an immutable
+        :class:`~repro.sync.scheduler.BatchWorkPlan` and handed to the
+        ``scheduler`` (argument, else :attr:`scheduler`) for cost-aware,
+        possibly parallel/budgeted dispatch; per-sub-batch
+        :class:`~repro.sync.scheduler.ScheduleReport`\\ s land in
+        :attr:`last_schedule`.  Whatever the executor, results and the
+        synchronization log arrive in plan (view definition) order, and
+        committed winners/extents are identical to the serial reference.
         """
+        from time import perf_counter
+
+        active = scheduler if scheduler is not None else self.scheduler
         batch = list(changes)
+        results: list[SynchronizationResult] = []
+        reports: list[ScheduleReport] = []
+        # One deadline anchor for the whole call: a chain-split batch
+        # runs several scheduler executions, and the budget covers their
+        # sum, not each sub-batch afresh.
+        deadline_anchor = perf_counter()
+        for sub_batch in self._split_identity_chains(batch):
+            plan = self._stage_batch(sub_batch, coalesce=active.coalesce)
+            # Committed results are journaled as they land so that an
+            # executor exception mid-batch cannot leave VKB commits the
+            # synchronization log never saw; on success the journal is
+            # discarded in favour of the report's plan-ordered results.
+            # Reports of completed sub-batches are preserved either way
+            # — their DeferredSynchronization records must stay
+            # resumable even when a later sub-batch fails.
+            self._batch_journal = []
+            try:
+                report = active.execute(
+                    plan, self, deadline_anchor=deadline_anchor
+                )
+            except BaseException:
+                self._sync_log.extend(self._batch_journal)
+                self.last_schedule = tuple(reports)
+                raise
+            finally:
+                self._batch_journal = None
+            self._sync_log.extend(report.results)
+            results.extend(report.results)
+            reports.append(report)
+        self.last_schedule = tuple(reports)
+        return results
+
+    @staticmethod
+    def _split_identity_chains(
+        batch: list[SchemaChange],
+    ) -> list[list[SchemaChange]]:
+        """Split at relation-identity chain links (see apply_changes)."""
+        sub_batches: list[list[SchemaChange]] = []
+        start = 0
         introduced: set[str] = set()
         touched: set[str] = set()
         for index, change in enumerate(batch):
@@ -282,99 +371,197 @@ class EVESystem:
                 and change.relation in touched
             )
             if chains:
-                return self._apply_batch(batch[:index]) + self.apply_changes(
-                    batch[index:]
-                )
+                sub_batches.append(batch[start:index])
+                start = index
+                introduced, touched = set(), set()
             touched.add(change.relation)
             if isinstance(change, RenameRelation):
                 introduced.add(change.new_name)
-        return self._apply_batch(batch)
+        sub_batches.append(batch[start:])
+        return sub_batches
 
-    def _apply_batch(
-        self, changes: Iterable[SchemaChange]
-    ) -> list[SynchronizationResult]:
-        """One chain-free batch: apply all, then visit each view once.
+    def _stage_batch(
+        self, batch: list[SchemaChange], coalesce: bool = True
+    ) -> BatchWorkPlan:
+        """Apply one chain-free batch to the space; emit the work plan.
 
         The whole batch is applied to the information space first (the
         per-change listeners still run, minus auto-synchronization);
         affected views are collected through the VKB's inverted index as
-        each change lands.  Every affected view is then visited *once*:
-        the batch's changes are replayed against its evolving definition
-        — skipping changes that no longer touch it — and its extent is
-        rematerialized a single time at the end instead of once per
-        change.  Views never referencing a changed relation are never
-        examined at all, which is what makes thousand-view spaces cheap
-        to evolve.
+        each change lands.  Each affected view becomes one immutable
+        :class:`~repro.sync.scheduler.ViewWorkItem` carrying its ordered
+        worklist, its salvage-cost lower bound
+        (:meth:`~repro.qc.model.QCModel.salvage_lower_bound`, priced the
+        moment the view enters the plan, while the touched relation's
+        statistics are still live), and its coalescing identity.  Views
+        never referencing a changed relation are never examined at all,
+        which is what makes thousand-view spaces cheap to evolve.
 
-        Synchronization happens against the *post-batch* knowledge: when
-        changes in one batch interact (a donor deleted later in the same
-        batch, say), the pipeline only ever substitutes relations that
-        survive the whole batch.  Composition can therefore reach the
-        sequential end state in *fewer rewritings* — e.g. a replacement
-        lands directly on a donor column renamed later in the batch —
-        so a view's ``generations`` count may be lower than under
-        one-change-at-a-time application even though the definitions
-        and extents agree.
+        Synchronization then happens against the *post-batch* knowledge:
+        when changes in one batch interact (a donor deleted later in the
+        same batch, say), the pipeline only ever substitutes relations
+        that survive the whole batch.  Composition can therefore reach
+        the sequential end state in *fewer rewritings* — e.g. a
+        replacement lands directly on a donor column renamed later in
+        the batch — so a view's ``generations`` count may be lower than
+        under one-change-at-a-time application even though the
+        definitions and extents agree.
         """
-        batch = list(changes)
-        by_relation: dict[str, list[tuple[int, SchemaChange]]] = {}
-        for position, change in enumerate(batch):
-            by_relation.setdefault(change.relation, []).append(
-                (position, change)
-            )
-
-        #: view name -> ordered (position, change) worklist.
-        affected: dict[str, list[tuple[int, SchemaChange]]] = {}
+        #: view name -> (order, worklist, cost_bound, definition_key).
+        staged: dict[str, list] = {}
         was_auto = self.auto_synchronize
         self.auto_synchronize = False
         try:
             for position, change in enumerate(batch):
                 for record in self.vkb.views_referencing(change.relation):
-                    if self.synchronizer.is_affected(record.current, change):
-                        affected.setdefault(record.name, []).append(
-                            (position, change)
+                    if not self.synchronizer.is_affected(
+                        record.current, change
+                    ):
+                        continue
+                    entry = staged.get(record.name)
+                    if entry is None:
+                        # First touch: price the salvage bound against
+                        # the statistics as they stand right now (the
+                        # changed relation still exists) and fingerprint
+                        # the definition modulo the view name.
+                        try:
+                            bound = self.qc_model.salvage_lower_bound(
+                                record.current, change.relation
+                            )
+                        except EvaluationError:
+                            # Unpriceable views (no statistics-backed
+                            # bound) schedule last, behind every priced
+                            # one, rather than blocking the batch.
+                            bound = math.inf
+                        # Fingerprinting renders printer forms — skip
+                        # it when no coalescing scheduler will read the
+                        # key (the view name is unique, so identity
+                        # keys make coalescing a safe no-op).
+                        key = (
+                            coalesce_fingerprint(record.current)
+                            if coalesce
+                            else record.name
                         )
+                        entry = staged[record.name] = [
+                            len(staged), [], bound, key
+                        ]
+                    entry[1].append((position, change))
                 self.space.apply_change(change)
         finally:
             self.auto_synchronize = was_auto
+        return build_work_plan(
+            [
+                (name, order, tuple(worklist), bound, key)
+                for name, (order, worklist, bound, key) in staged.items()
+            ],
+            batch,
+        )
 
+    # ------------------------------------------------------------------
+    # SchedulerRuntime protocol (consumed by SynchronizationScheduler)
+    # ------------------------------------------------------------------
+    def replay_item(
+        self,
+        item: ViewWorkItem,
+        plan: BatchWorkPlan,
+        policy: SearchPolicy | str | None = None,
+    ) -> list[SynchronizationResult]:
+        """Replay one view's worklist against its evolving definition.
+
+        Changes that no longer touch the evolved definition are skipped.
+        A committed rewriting changes what the view references —
+        relations it pulled in, and attribute names an earlier rename
+        introduced (which the pre-batch affectedness test could not
+        see) — so every later change on a relation the view now
+        references is re-queued; the replay's own ``is_affected`` check
+        skips the irrelevant ones against the evolved definition.
+        """
+        record = self.vkb.record(item.view_name)
+        worklist = list(item.worklist)
+        queued = {position for position, _ in worklist}
         results: list[SynchronizationResult] = []
-        for name, worklist in affected.items():
-            record = self.vkb.record(name)
-            queued = {position for position, _ in worklist}
-            cursor = 0
-            while cursor < len(worklist) and record.alive:
-                position, change = worklist[cursor]
-                cursor += 1
-                if not self.synchronizer.is_affected(record.current, change):
-                    continue
-                result = self._synchronize_record(record, change)
-                results.append(result)
-                self._sync_log.append(result)
-                if not record.alive:
-                    break
-                # A committed rewriting changes what the view references —
-                # relations it pulled in, and attribute names an earlier
-                # rename introduced (which the pre-batch affectedness test
-                # could not see).  Re-queue every later change on a relation
-                # the view now references; the replay's own is_affected
-                # check skips the irrelevant ones against the evolved
-                # definition.
-                merged = False
-                for relation in record.current.relation_names:
-                    for later in by_relation.get(relation, ()):
-                        if later[0] > position and later[0] not in queued:
-                            queued.add(later[0])
-                            worklist.append(later)
-                            merged = True
-                if merged:
-                    worklist[cursor:] = sorted(worklist[cursor:])
-            if record.alive and name in self._extents:
-                self._extents[name] = evaluate_view(
-                    record.current,
-                    self.space.relations(),
-                    self.space.mkb.statistics,
-                )
+        cursor = 0
+        while cursor < len(worklist) and record.alive:
+            position, change = worklist[cursor]
+            cursor += 1
+            if not self.synchronizer.is_affected(record.current, change):
+                continue
+            result = self._synchronize_record(record, change, policy=policy)
+            if self._batch_journal is not None:
+                self._batch_journal.append(result)
+            results.append(result)
+            if not record.alive:
+                break
+            merged = False
+            for relation in record.current.relation_names:
+                for later in plan.changes_on(relation):
+                    if later[0] > position and later[0] not in queued:
+                        queued.add(later[0])
+                        worklist.append(later)
+                        merged = True
+            if merged:
+                worklist[cursor:] = sorted(worklist[cursor:])
+        return results
+
+    def adopt_results(
+        self, results: Sequence[SynchronizationResult]
+    ) -> None:
+        """Commit replay results produced outside the live VKB.
+
+        Used by the process executor (results searched in a forked
+        child) and by coalesced followers (results rebound from a
+        structurally identical leader): replays exactly the commits
+        :meth:`_synchronize_record` would have made.
+        """
+        with self._commit_lock:
+            for result in results:
+                if result.chosen is None:
+                    self.vkb.mark_undefined(result.view_name)
+                    self._extents.pop(result.view_name, None)
+                else:
+                    self.vkb.apply_rewriting(result.chosen.rewriting)
+                if self._batch_journal is not None:
+                    self._batch_journal.append(result)
+
+    def finalize_view(self, view_name: str) -> None:
+        """Rematerialize one replayed view's extent, once per batch."""
+        record = self.vkb.record(view_name)
+        if record.alive and view_name in self._extents:
+            self._extents[view_name] = evaluate_view(
+                record.current,
+                self.space.relations(),
+                self.space.mkb.statistics,
+            )
+
+    def resume_deferred(
+        self,
+        deferred: Sequence[DeferredSynchronization] | None = None,
+    ) -> list[SynchronizationResult]:
+        """Replay synchronizations a budgeted scheduler parked.
+
+        With no argument, resumes every deferral recorded by the most
+        recent :meth:`apply_changes` call — and consumes those records,
+        so calling again is a no-op rather than a re-replay.  Deferral
+        is pure postponement: the batch already landed on the space, so
+        the replay runs against the same post-batch knowledge it would
+        have seen at schedule time.
+        """
+        if deferred is None:
+            deferred = tuple(
+                record
+                for report in self.last_schedule
+                for record in report.deferred
+            )
+            self.last_schedule = tuple(
+                dataclasses.replace(report, deferred=())
+                for report in self.last_schedule
+            )
+        results: list[SynchronizationResult] = []
+        for record in deferred:
+            replayed = self.replay_item(record.item, record.plan)
+            self._sync_log.extend(replayed)
+            results.extend(replayed)
+            self.finalize_view(record.view_name)
         return results
 
     # ------------------------------------------------------------------

@@ -39,7 +39,7 @@ from repro.qc.quality import (
 )
 from repro.qc.workload import WorkloadSpec, aggregate_cost
 from repro.relational.relation import Relation
-from repro.sync.rewriting import Rewriting
+from repro.sync.rewriting import ExtentRelationship, Rewriting
 
 
 @dataclass(frozen=True)
@@ -244,8 +244,10 @@ class QCModel:
         prices every legal candidate exactly (normalization needs the
         set's totals anyway) and does not call this.  It is the standing
         bound for callers that must rank *before* a candidate set
-        exists: cross-view batch scheduling (salvage the cheapest views
-        first) is the intended consumer (see ROADMAP open items).
+        exists: the cross-view batch scheduler
+        (:class:`~repro.sync.scheduler.SynchronizationScheduler`)
+        consumes it through :meth:`salvage_lower_bound` to synchronize
+        the cheapest-to-salvage views first when a deadline looms.
         """
         names = rewriting.view.relation_names
         if workload is None:
@@ -268,6 +270,28 @@ class QCModel:
                     names, relation
                 )
         return total
+
+    def salvage_lower_bound(
+        self,
+        view,
+        updated_relation: str | None = None,
+        workload: WorkloadSpec | None = None,
+    ) -> float:
+        """:meth:`cost_lower_bound` of keeping ``view`` as it stands.
+
+        Wraps the view in its identity rewriting, so the value bounds
+        the cost of every rewriting that preserves (or extends) the
+        current relation set — rename and replacement moves.  It is
+        *not* a bound over drop rewritings, which shrink the relation
+        set and can maintain for less; as the batch scheduler's
+        cheapest-to-salvage-first priority that asymmetry is
+        intentional — the priority prices salvaging the view's current
+        information content, not discarding it — and scheduling order
+        never changes committed outcomes anyway (only which views make
+        a deadline).
+        """
+        identity = Rewriting(view, view, (), ExtentRelationship.EQUAL)
+        return self.cost_lower_bound(identity, workload, updated_relation)
 
     def _single_update_lower_bound(
         self, names: Sequence[str], updated: str

@@ -66,3 +66,25 @@ __all__ += [
     "SearchPolicy",
     "StageCounters",
 ]
+
+from repro.sync.scheduler import (
+    BatchWorkPlan,
+    ChainGroup,
+    DeferredSynchronization,
+    ScheduleReport,
+    SynchronizationScheduler,
+    ViewWorkItem,
+    build_work_plan,
+    coalesce_fingerprint,
+)
+
+__all__ += [
+    "BatchWorkPlan",
+    "ChainGroup",
+    "DeferredSynchronization",
+    "ScheduleReport",
+    "SynchronizationScheduler",
+    "ViewWorkItem",
+    "build_work_plan",
+    "coalesce_fingerprint",
+]

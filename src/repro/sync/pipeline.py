@@ -33,6 +33,7 @@ Four :class:`SearchPolicy` flavours:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import SynchronizationError
@@ -123,6 +124,10 @@ class StageCounters:
     costed: int = 0         #: maintenance-cost pricings performed
     assessed: int = 0       #: full quality assessments performed
     pruned: int = 0         #: assessments skipped via the QC upper bound
+    seconds: float = 0.0    #: wall-clock spent in the search (per view)
+    degraded: int = 0       #: searches demoted to ``first_legal`` by a
+                            #: scheduler deadline (see sync.scheduler)
+    deferred: int = 0       #: synchronizations parked past the budget
 
     def merged(self, other: "StageCounters") -> "StageCounters":
         return StageCounters(
@@ -133,13 +138,16 @@ class StageCounters:
         )
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"generated={self.generated} dominated={self.dominated} "
             f"ve_rejected={self.ve_rejected} duplicates={self.duplicates} "
             f"illegal={self.illegal} legal={self.legal} "
             f"costed={self.costed} assessed={self.assessed} "
-            f"pruned={self.pruned}"
+            f"pruned={self.pruned} seconds={self.seconds:.4f}"
         )
+        if self.degraded or self.deferred:
+            text += f" degraded={self.degraded} deferred={self.deferred}"
+        return text
 
 
 @dataclass
@@ -254,6 +262,7 @@ class RewritingSearchPipeline:
         prototype instead.  An empty result (``chosen is None``) means
         the view cannot be salvaged.
         """
+        started = perf_counter()
         active = SearchPolicy.of(policy) if policy is not None else self.policy
         counters = StageCounters()
         resolved = self.synchronizer.resolve(view)
@@ -281,6 +290,7 @@ class RewritingSearchPipeline:
                 if active.kind == "top_k":
                     evaluations = evaluations[: active.k]
         chosen = evaluations[0] if evaluations else None
+        counters.seconds = perf_counter() - started
         return PipelineResult(
             resolved.name, change, active, evaluations, chosen, counters
         )

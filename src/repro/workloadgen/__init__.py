@@ -22,9 +22,13 @@ from repro.workloadgen.scenarios import (
     TABLE1,
     TABLE3_CARDINALITIES,
     CardinalityScenario,
+    EvolutionStormScenario,
+    SchedulerStressScenario,
     SiteScenario,
     SurvivalScenario,
     build_cardinality_scenario,
+    build_evolution_storm_scenario,
+    build_scheduler_stress_scenario,
     build_survival_scenario,
     site_scenarios,
 )
@@ -33,9 +37,13 @@ __all__ = [
     "TABLE1",
     "TABLE3_CARDINALITIES",
     "CardinalityScenario",
+    "EvolutionStormScenario",
+    "SchedulerStressScenario",
     "SiteScenario",
     "SurvivalScenario",
     "build_cardinality_scenario",
+    "build_evolution_storm_scenario",
+    "build_scheduler_stress_scenario",
     "build_survival_scenario",
     "distributions",
     "make_schema",

@@ -386,3 +386,108 @@ def build_evolution_storm_scenario(
         tuple(spare_names),
         mirrored,
     )
+
+
+# ----------------------------------------------------------------------
+# Scheduler stress: a salvage storm of replacement-heavy worklists
+# ----------------------------------------------------------------------
+@dataclass
+class SchedulerStressScenario:
+    """A large view population whose batch makes every view searchable.
+
+    Unlike the evolution storm (where most changes are spare churn and
+    synchronizations are cheap renames), every change here deletes a
+    view relation that has several containment donors — so every
+    affected view runs a full replacement search over the donor
+    spectrum.  That is the workload the batch scheduler exists for: the
+    per-view searches are expensive, independent, and (views sharing a
+    relation) structurally identical, exercising cost ordering, the
+    parallel executors, coalescing, and deadline degradation all at
+    once.  Generation is deterministic: two builds with equal arguments
+    yield byte-identical spaces.
+    """
+
+    space: InformationSpace
+    views: list[ViewDefinition]
+    changes: list[SchemaChange]
+    view_relations: tuple[str, ...]
+    donors_per_relation: int
+
+
+def build_scheduler_stress_scenario(
+    views: int = 1000,
+    view_relations: int = 100,
+    donors_per_relation: int = 6,
+    view_attributes: int = 3,
+    sources: int = 8,
+    base_cardinality: int = 4000,
+    donor_cardinality: int = 2000,
+    donor_cardinality_step: int = 700,
+) -> SchedulerStressScenario:
+    """The 1k-view scheduler-stress storm (ROADMAP scaling scenario).
+
+    ``views`` multi-attribute views (all attributes dispensable and
+    replaceable) are spread round-robin over ``view_relations``
+    relations; each relation owns ``donors_per_relation`` containment
+    donors of staggered cardinality, and the batch deletes *every* view
+    relation.  Every view therefore needs a replacement search whose
+    candidate spectrum grows with the donor count — sized so per-view
+    work dominates dispatch overhead.
+    """
+    if views < 1 or view_relations < 1 or sources < 1:
+        raise ValueError("stress storm needs views, relations, sources")
+    if donors_per_relation < 1:
+        raise ValueError("every deleted relation needs at least one donor")
+    view_relations = min(view_relations, views)
+
+    space = InformationSpace()
+    source_names = [f"IS{i}" for i in range(sources)]
+    for name in source_names:
+        space.add_source(name)
+
+    attribute_names = [f"A{i}" for i in range(view_attributes + 1)]
+    relation_names = [f"Rel{i}" for i in range(view_relations)]
+    changes: list[SchemaChange] = []
+    for index, relation in enumerate(relation_names):
+        source = source_names[index % sources]
+        space.register_relation(
+            source,
+            Relation(make_schema(relation, attribute_names)),
+            RelationStatistics(
+                cardinality=base_cardinality, tuple_size=100
+            ),
+        )
+        for donor_index in range(donors_per_relation):
+            donor = f"Donor{index}_{donor_index}"
+            space.register_relation(
+                source_names[(index + donor_index + 1) % sources],
+                Relation(make_schema(donor, attribute_names)),
+                RelationStatistics(
+                    cardinality=donor_cardinality
+                    + donor_cardinality_step * donor_index,
+                    tuple_size=100,
+                ),
+            )
+            space.mkb.add_containment(relation, donor, attribute_names)
+        changes.append(DeleteRelation(source, relation))
+
+    view_definitions = []
+    for index in range(views):
+        relation = relation_names[index % view_relations]
+        select = ", ".join(
+            f"{relation}.A{i} (AD = true, AR = true)"
+            for i in range(view_attributes)
+        )
+        view_definitions.append(
+            parse_view(
+                f"CREATE VIEW V{index} (VE = '~') AS "
+                f"SELECT {select} FROM {relation} (RR = true)"
+            )
+        )
+    return SchedulerStressScenario(
+        space,
+        view_definitions,
+        changes,
+        tuple(relation_names),
+        donors_per_relation,
+    )

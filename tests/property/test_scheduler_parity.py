@@ -1,0 +1,162 @@
+"""Serial/parallel parity: executors must never change committed outcomes.
+
+The acceptance property of the scheduler: whatever the executor
+(``serial`` / ``threads`` / ``processes``), with or without search
+coalescing, a scheduled batch commits the identical winners with the
+identical QC-Values and materializes the identical extents as the serial
+reference.  Hypothesis drives the storm generators over seeds and
+shapes; every configuration is compared against the default scheduler's
+fingerprint.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.eve import EVESystem
+from repro.sync.scheduler import SynchronizationScheduler, _fork_available
+from repro.workloadgen.scenarios import (
+    build_evolution_storm_scenario,
+    build_scheduler_stress_scenario,
+)
+
+
+def storm_system(seed, views, changes):
+    scenario = build_evolution_storm_scenario(
+        views=views,
+        view_relations=max(3, views // 3),
+        spare_relations=4,
+        changes=changes,
+        sources=3,
+        hot_renames=min(4, changes - 2),
+        replacement_deletes=2,
+        seed=seed,
+    )
+    eve = EVESystem(space=scenario.space)
+    for view in scenario.views:
+        eve.define_view(view, materialize=False)
+    return eve, scenario.changes
+
+
+def stress_system(views, relations, donors):
+    scenario = build_scheduler_stress_scenario(
+        views=views,
+        view_relations=relations,
+        donors_per_relation=donors,
+        view_attributes=2,
+        sources=3,
+    )
+    eve = EVESystem(space=scenario.space)
+    for view in scenario.views:
+        eve.define_view(view, materialize=False)
+    return eve, scenario.changes
+
+
+def outcome_fingerprint(eve, results):
+    # record.current compares structurally (ViewDefinition equality is
+    # order-sensitive over SELECT/FROM/WHERE), so a committed rewriting
+    # that differs anywhere — not just in the interface — breaks parity.
+    return (
+        [
+            (record.name, record.alive, record.generations, record.current)
+            for record in eve.vkb
+        ],
+        [
+            (result.view_name, result.chosen.qc if result.chosen else None)
+            for result in results
+        ],
+    )
+
+
+SCHEDULERS = {
+    "serial+coalesce": dict(coalesce=True),
+    "threads": dict(executor="threads", max_workers=3),
+    "threads+coalesce": dict(
+        executor="threads", max_workers=3, coalesce=True
+    ),
+    "plan-order": dict(order="plan"),
+}
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    views=st.integers(min_value=6, max_value=24),
+    changes=st.integers(min_value=6, max_value=18),
+)
+def test_executors_commit_identical_outcomes_on_storms(
+    seed, views, changes
+):
+    reference_eve, batch = storm_system(seed, views, changes)
+    reference = outcome_fingerprint(
+        reference_eve, reference_eve.apply_changes(batch)
+    )
+    for label, config in SCHEDULERS.items():
+        eve, batch = storm_system(seed, views, changes)
+        results = eve.apply_changes(
+            batch, scheduler=SynchronizationScheduler(**config)
+        )
+        assert outcome_fingerprint(eve, results) == reference, label
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    views=st.integers(min_value=6, max_value=20),
+    donors=st.integers(min_value=1, max_value=3),
+)
+def test_executors_commit_identical_outcomes_on_salvage_storms(
+    views, donors
+):
+    relations = max(2, views // 4)
+    reference_eve, batch = stress_system(views, relations, donors)
+    reference = outcome_fingerprint(
+        reference_eve, reference_eve.apply_changes(batch)
+    )
+    for label, config in SCHEDULERS.items():
+        eve, batch = stress_system(views, relations, donors)
+        results = eve.apply_changes(
+            batch, scheduler=SynchronizationScheduler(**config)
+        )
+        assert outcome_fingerprint(eve, results) == reference, label
+
+
+@pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+@pytest.mark.parametrize("coalesce", [False, True], ids=["plain", "coalesce"])
+def test_process_executor_commits_identical_outcomes(coalesce):
+    reference_eve, batch = stress_system(views=12, relations=4, donors=2)
+    reference = outcome_fingerprint(
+        reference_eve, reference_eve.apply_changes(batch)
+    )
+    eve, batch = stress_system(views=12, relations=4, donors=2)
+    scheduler = SynchronizationScheduler(
+        executor="processes", max_workers=2, coalesce=coalesce
+    )
+    results = eve.apply_changes(batch, scheduler=scheduler)
+    assert outcome_fingerprint(eve, results) == reference
+    assert eve.last_schedule[0].executor == "processes"
+
+
+def test_degraded_runs_still_salvage_every_view():
+    """first_legal degradation trades QC for latency, never survival."""
+    reference_eve, batch = stress_system(views=10, relations=5, donors=2)
+    reference_results = reference_eve.apply_changes(batch)
+    eve, batch = stress_system(views=10, relations=5, donors=2)
+    results = eve.apply_changes(
+        batch,
+        scheduler=SynchronizationScheduler(
+            budget=0.0, degrade="first_legal"
+        ),
+    )
+    assert [r.view_name for r in results] == [
+        r.view_name for r in reference_results
+    ]
+    assert all(result.survived for result in results)
+    total_reference = sum(r.chosen.qc for r in reference_results)
+    total_degraded = sum(r.chosen.qc for r in results)
+    assert total_degraded <= total_reference

@@ -1,0 +1,499 @@
+"""Unit tests for the cost-aware synchronization scheduler."""
+
+import threading
+
+import pytest
+
+from repro.core.eve import EVESystem
+from repro.errors import (
+    EvaluationError,
+    SynchronizationError,
+)
+from repro.esql.parser import parse_view
+from repro.misd.statistics import RelationStatistics
+from repro.qc.model import QCModel
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import (
+    DeleteRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.space.space import InformationSpace
+from repro.sync.pipeline import SearchPolicy, StageCounters
+from repro.sync.scheduler import (
+    BatchWorkPlan,
+    SynchronizationScheduler,
+    ViewWorkItem,
+    build_work_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+def build_system(materialize=False):
+    """Three relations with donors; V0/V1 share R0, V2 uses R1."""
+    eve = EVESystem()
+    eve.add_source("IS0")
+    eve.add_source("IS1")
+    for name in ("R0", "R1"):
+        eve.register_relation(
+            "IS0",
+            Relation(Schema(name, ["A", "B"]), [(1, 10), (2, 20)]),
+            RelationStatistics(cardinality=400, tuple_size=100),
+        )
+        eve.register_relation(
+            "IS1",
+            Relation(Schema(f"{name}M", ["A", "B"]), [(1, 10), (2, 20)]),
+            RelationStatistics(cardinality=400, tuple_size=100),
+        )
+        eve.mkb.add_equivalence(name, f"{name}M", ["A", "B"])
+    for index, relation in enumerate(["R0", "R0", "R1"]):
+        eve.define_view(
+            f"CREATE VIEW V{index} (VE = '~') AS "
+            f"SELECT {relation}.A (AR = true), "
+            f"{relation}.B (AD = true, AR = true) "
+            f"FROM {relation} (RR = true)",
+            materialize=materialize,
+        )
+    return eve
+
+
+def fingerprint(eve):
+    return [
+        (record.name, record.alive, record.generations, record.current)
+        for record in eve.vkb
+    ]
+
+
+class RecordingRuntime:
+    """A fake SchedulerRuntime that records dispatch, returns nothing."""
+
+    def __init__(self, fail_for=()):
+        self.replayed = []
+        self.threads = {}
+        self.finalized = []
+        self.adopted = []
+        self.fail_for = set(fail_for)
+
+    def replay_item(self, item, plan, policy=None):
+        if item.view_name in self.fail_for:
+            raise ValueError(f"injected failure for {item.view_name}")
+        self.replayed.append((item.view_name, policy))
+        self.threads[item.view_name] = threading.get_ident()
+        return []
+
+    def adopt_results(self, results):
+        self.adopted.extend(results)
+
+    def finalize_view(self, view_name):
+        self.finalized.append(view_name)
+
+
+def make_plan(rows, changes):
+    """rows: (view_name, worklist_positions, cost_bound, definition_key)."""
+    staged = [
+        (
+            name,
+            order,
+            tuple((position, changes[position]) for position in positions),
+            bound,
+            key,
+        )
+        for order, (name, positions, bound, key) in enumerate(rows)
+    ]
+    return build_work_plan(staged, changes)
+
+
+CHANGES = [
+    DeleteRelation("IS0", "R0"),
+    DeleteRelation("IS0", "R1"),
+    DeleteRelation("IS0", "R2"),
+]
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+class TestWorkPlan:
+    def test_chain_groups_connect_shared_relations(self):
+        plan = make_plan(
+            [
+                ("V0", (0,), 5.0, "k0"),
+                ("V1", (0, 1), 1.0, "k1"),  # bridges R0 and R1
+                ("V2", (1,), 3.0, "k2"),
+                ("V3", (2,), 2.0, "k3"),
+            ],
+            CHANGES,
+        )
+        groups = plan.groups()
+        by_view = {
+            item.view_name: group.key
+            for group in groups
+            for item in group.items
+        }
+        assert by_view["V0"] == by_view["V1"] == by_view["V2"]
+        assert by_view["V3"] != by_view["V0"]
+        chained = next(g for g in groups if g.key == by_view["V0"])
+        assert chained.cost_bound == 1.0
+        assert [item.view_name for item in chained.items] == ["V0", "V1", "V2"]
+
+    def test_items_keep_plan_order_and_positions(self):
+        plan = make_plan(
+            [("V1", (1,), 2.0, "a"), ("V0", (0,), 1.0, "b")], CHANGES
+        )
+        assert [item.view_name for item in plan.items] == ["V1", "V0"]
+        assert plan.items[0].positions == (1,)
+        assert plan.changes_on("R0") == ((0, CHANGES[0]),)
+
+    def test_coalesce_key_pairs_definition_and_worklist(self):
+        plan = make_plan(
+            [
+                ("V0", (0,), 1.0, "same"),
+                ("V1", (0,), 1.0, "same"),
+                ("V2", (0, 1), 1.0, "same"),
+            ],
+            CHANGES,
+        )
+        keys = {item.view_name: item.coalesce_key for item in plan.items}
+        assert keys["V0"] == keys["V1"]
+        assert keys["V2"] != keys["V0"]  # same definition, other worklist
+
+
+# ----------------------------------------------------------------------
+# Scheduler dispatch (probed through a fake runtime)
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def test_empty_plan_reports_empty(self):
+        report = SynchronizationScheduler().execute(
+            make_plan([], CHANGES), RecordingRuntime()
+        )
+        assert report.results == ()
+        assert report.deferred == ()
+        assert report.coalesced == 0
+
+    def test_cost_order_dispatches_cheapest_first(self):
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [
+                ("V0", (0,), 9.0, "a"),
+                ("V1", (1,), 1.0, "b"),
+                ("V2", (2,), 4.0, "c"),
+            ],
+            CHANGES,
+        )
+        SynchronizationScheduler(order="cost").execute(plan, runtime)
+        assert [name for name, _ in runtime.replayed] == ["V1", "V2", "V0"]
+        SynchronizationScheduler(order="plan").execute(
+            plan, runtime := RecordingRuntime()
+        )
+        assert [name for name, _ in runtime.replayed] == ["V0", "V1", "V2"]
+
+    def test_chain_groups_never_split_across_workers(self):
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [(f"V{i}", (i % 3,), float(i), f"k{i}") for i in range(12)],
+            CHANGES,
+        )
+        SynchronizationScheduler(
+            executor="threads", max_workers=4
+        ).execute(plan, runtime)
+        groups = plan.groups()
+        assert len(groups) == 3
+        for group in groups:
+            workers = {
+                runtime.threads[item.view_name] for item in group.items
+            }
+            assert len(workers) == 1
+
+    def test_zero_budget_defers_everything(self):
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
+        )
+        report = SynchronizationScheduler(
+            budget=0.0, degrade="defer"
+        ).execute(plan, runtime)
+        assert runtime.replayed == []
+        assert [d.view_name for d in report.deferred] == ["V0", "V1"]
+        assert runtime.finalized == []  # deferred views keep stale extents
+        assert report.counters.deferred == 2
+
+    def test_zero_budget_degrades_to_first_legal(self):
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
+        )
+        report = SynchronizationScheduler(
+            budget=0.0, degrade="first_legal"
+        ).execute(plan, runtime)
+        assert [policy for _, policy in runtime.replayed] == [
+            "first_legal",
+            "first_legal",
+        ]
+        assert report.degraded_views == ("V0", "V1")
+        assert report.deferred == ()
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_replay_exceptions_surface(self, executor):
+        plan = make_plan(
+            [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
+        )
+        runtime = RecordingRuntime(fail_for={"V1"})
+        scheduler = SynchronizationScheduler(
+            executor=executor, max_workers=2
+        )
+        with pytest.raises(ValueError, match="injected failure"):
+            scheduler.execute(plan, runtime)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SynchronizationError):
+            SynchronizationScheduler(executor="rayon")
+        with pytest.raises(SynchronizationError):
+            SynchronizationScheduler(degrade="drop")
+        with pytest.raises(SynchronizationError):
+            SynchronizationScheduler(order="random")
+        with pytest.raises(SynchronizationError):
+            SynchronizationScheduler(budget=-1.0)
+        with pytest.raises(SynchronizationError):
+            SynchronizationScheduler(max_workers=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end through EVESystem
+# ----------------------------------------------------------------------
+class TestSystemIntegration:
+    def test_empty_batch_is_a_noop(self):
+        eve = build_system()
+        assert eve.apply_changes([]) == []
+        assert len(eve.last_schedule) == 1
+        assert eve.last_schedule[0].results == ()
+
+    def test_default_scheduler_matches_pre_scheduler_reference(self):
+        batch = [
+            DeleteRelation("IS0", "R0"),
+            RenameAttribute("IS0", "R1", "A", "Alpha"),
+        ]
+        sequential = build_system(materialize=True)
+        for change in batch:
+            sequential.space.apply_change(change)
+        scheduled = build_system(materialize=True)
+        results = scheduled.apply_changes(batch)
+        assert fingerprint(sequential) == fingerprint(scheduled)
+        assert [r.view_name for r in results] == ["V0", "V1", "V2"]
+        assert list(scheduled.synchronization_log) == results
+
+    def test_per_view_timing_lands_in_counters(self):
+        eve = build_system()
+        results = eve.apply_changes([DeleteRelation("IS0", "R0")])
+        assert results and all(
+            r.counters is not None and r.counters.seconds > 0.0
+            for r in results
+        )
+        report = eve.last_schedule[0]
+        assert set(report.per_view_seconds) == {"V0", "V1"}
+        assert report.wall_seconds > 0.0
+
+    def test_coalescing_rebinds_identical_views_exactly(self):
+        plain = build_system(materialize=True)
+        plain.apply_changes([DeleteRelation("IS0", "R0")])
+        coalesced = build_system(materialize=True)
+        results = coalesced.apply_changes(
+            [DeleteRelation("IS0", "R0")],
+            scheduler=SynchronizationScheduler(coalesce=True),
+        )
+        assert coalesced.last_schedule[0].coalesced == 1
+        assert fingerprint(plain) == fingerprint(coalesced)
+        assert [(r.view_name, r.chosen.qc) for r in results] == [
+            (r.view_name, r.chosen.qc)
+            for r in plain.synchronization_log
+        ]
+        for view in ("V0", "V1"):
+            assert sorted(coalesced.extent(view).rows) == sorted(
+                plain.extent(view).rows
+            )
+            assert coalesced.vkb.current(view).name == view
+
+    def test_where_order_variants_never_coalesce(self):
+        # fingerprint_view (the assessment cache's) sorts WHERE
+        # conjuncts; the coalesce key must NOT, or a follower would be
+        # committed with the leader's clause order.
+        def build_pair():
+            eve = EVESystem()
+            eve.add_source("IS0")
+            eve.register_relation(
+                "IS0",
+                Relation(Schema("R", ["A", "B"]), [(1, 2), (1, 3)]),
+                RelationStatistics(cardinality=400, tuple_size=100),
+            )
+            for name, where in (
+                ("W1", "(R.A = 1) AND (R.B = 2)"),
+                ("W2", "(R.B = 2) AND (R.A = 1)"),
+            ):
+                eve.define_view(
+                    f"CREATE VIEW {name} (VE = '~') AS "
+                    f"SELECT R.A (AR = true), R.B (AD = true, AR = true) "
+                    f"FROM R (RR = true) WHERE {where}"
+                )
+            return eve
+
+        change = [RenameAttribute("IS0", "R", "A", "A9")]
+        reference = build_pair()
+        reference.apply_changes(change)
+        coalesced = build_pair()
+        coalesced.apply_changes(
+            change, scheduler=SynchronizationScheduler(coalesce=True)
+        )
+        assert coalesced.last_schedule[0].coalesced == 0
+        assert fingerprint(coalesced) == fingerprint(reference)
+        # Each view keeps its own WHERE order, order-sensitively.
+        assert coalesced.vkb.current("W1") != coalesced.vkb.current(
+            "W2"
+        ).renamed("W1")
+
+    def test_degraded_batch_commits_first_legal_winners(self):
+        eve = build_system()
+        results = eve.apply_changes(
+            [DeleteRelation("IS0", "R0")],
+            scheduler=SynchronizationScheduler(
+                budget=0.0, degrade="first_legal"
+            ),
+        )
+        assert results
+        for result in results:
+            assert result.policy == SearchPolicy.first_legal()
+            assert result.counters.degraded == 1
+        assert eve.last_schedule[0].degraded_views == ("V0", "V1")
+
+    def test_mid_batch_failure_keeps_sync_log_consistent_with_vkb(self):
+        eve = build_system()
+        original_search = eve.pipeline.search
+
+        def failing_search(view, change, **kwargs):
+            if view.name == "V1":
+                raise SynchronizationError("injected search failure")
+            return original_search(view, change, **kwargs)
+
+        eve.pipeline.search = failing_search
+        with pytest.raises(SynchronizationError, match="injected"):
+            eve.apply_changes([DeleteRelation("IS0", "R0")])
+        # V0 committed before the failure: the VKB evolved, and the
+        # journal made sure the synchronization log saw it too.
+        assert eve.generations("V0") == 1
+        assert [r.view_name for r in eve.synchronization_log] == ["V0"]
+
+    def test_completed_subbatch_reports_survive_later_failure(self):
+        eve = build_system()
+        original_search = eve.pipeline.search
+
+        def failing_search(view, change, **kwargs):
+            if isinstance(change, DeleteRelation) and view.name == "V1":
+                raise SynchronizationError("injected delete failure")
+            return original_search(view, change, **kwargs)
+
+        eve.pipeline.search = failing_search
+        # Rename-then-delete of the renamed relation is an identity
+        # chain: apply_changes splits it into two scheduler executions.
+        batch = [
+            RenameRelation("IS0", "R0", "RX"),
+            DeleteRelation("IS0", "RX"),
+        ]
+        with pytest.raises(SynchronizationError, match="injected"):
+            eve.apply_changes(batch)
+        # The first sub-batch's report (and any deferral records it
+        # might carry) survives the second sub-batch's failure...
+        assert len(eve.last_schedule) == 1
+        assert [r.view_name for r in eve.last_schedule[0].results] == [
+            "V0",
+            "V1",
+        ]
+        # ...and every VKB commit made before the failure is logged.
+        logged = [r.view_name for r in eve.synchronization_log]
+        assert logged == ["V0", "V1", "V0"]
+
+    def test_resume_deferred_consumes_its_records(self):
+        eve = build_system()
+        eve.apply_changes(
+            [DeleteRelation("IS0", "R0")],
+            scheduler=SynchronizationScheduler(budget=0.0, degrade="defer"),
+        )
+        assert len(eve.resume_deferred()) == 2
+        assert eve.resume_deferred() == []  # consumed, not re-replayed
+        assert all(report.deferred == () for report in eve.last_schedule)
+
+    def test_defer_and_resume_reaches_serial_outcome(self):
+        eve = build_system(materialize=True)
+        batch = [DeleteRelation("IS0", "R0")]
+        results = eve.apply_changes(
+            batch,
+            scheduler=SynchronizationScheduler(budget=0.0, degrade="defer"),
+        )
+        assert results == []
+        assert eve.generations("V0") == 0  # untouched, stale definition
+        resumed = eve.resume_deferred()
+        reference = build_system(materialize=True)
+        reference.apply_changes(batch)
+        assert fingerprint(eve) == fingerprint(reference)
+        assert [r.view_name for r in resumed] == ["V0", "V1"]
+        assert sorted(eve.extent("V0").rows) == sorted(
+            reference.extent("V0").rows
+        )
+
+    def test_work_plan_is_immutable(self):
+        eve = build_system()
+        eve.apply_changes([DeleteRelation("IS0", "R0")])
+        plan = BatchWorkPlan(
+            items=(
+                ViewWorkItem("V", 0, ((0, CHANGES[0]),), 1.0, "k", ("d", (0,))),
+            ),
+            changes=(CHANGES[0],),
+            by_relation={},
+        )
+        with pytest.raises(AttributeError):
+            plan.items[0].cost_bound = 2.0  # frozen dataclass
+
+
+# ----------------------------------------------------------------------
+# Salvage bound + counters plumbing
+# ----------------------------------------------------------------------
+class TestSalvageBound:
+    def test_multi_relation_views_cost_more_to_salvage(self):
+        space = InformationSpace()
+        space.add_source("IS0")
+        for name in ("R", "S"):
+            space.register_relation(
+                "IS0",
+                Relation(Schema(name, ["A", "B"])),
+                RelationStatistics(cardinality=400, tuple_size=100),
+            )
+        model = QCModel(space.mkb)
+        single = parse_view("CREATE VIEW V1 AS SELECT R.A FROM R")
+        joined = parse_view(
+            "CREATE VIEW V2 AS SELECT R.A FROM R, S WHERE R.A = S.A"
+        )
+        cheap = model.salvage_lower_bound(single, "R")
+        rich = model.salvage_lower_bound(joined, "R")
+        assert 0.0 < cheap < rich
+
+    def test_unreferenced_update_relation_rejected(self):
+        space = InformationSpace()
+        space.add_source("IS0")
+        space.register_relation(
+            "IS0",
+            Relation(Schema("R", ["A"])),
+            RelationStatistics(cardinality=400, tuple_size=100),
+        )
+        model = QCModel(space.mkb)
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        with pytest.raises(EvaluationError):
+            model.salvage_lower_bound(view, "ELSEWHERE")
+
+    def test_counters_merge_scheduler_fields(self):
+        merged = StageCounters(seconds=0.25, degraded=1).merged(
+            StageCounters(seconds=0.5, deferred=2)
+        )
+        assert merged.seconds == 0.75
+        assert merged.degraded == 1
+        assert merged.deferred == 2
+        assert "degraded=1" in str(merged)

@@ -1,0 +1,118 @@
+"""The benchmark-JSON contract (benchmarks/validate_bench.py) as a unit."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import validate_bench  # noqa: E402
+from validate_bench import (  # noqa: E402
+    BenchValidationError,
+    GATED_SPEEDUPS,
+    bench_name,
+    check_regression,
+    is_smoke,
+    validate_payload,
+)
+
+
+def committed(name):
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    if not path.exists():
+        pytest.skip(f"{path.name} not generated yet")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class TestStructuralValidation:
+    @pytest.mark.parametrize("name", ["engine", "sync", "scheduler"])
+    def test_committed_payloads_validate(self, name):
+        validate_payload(name, committed(name))
+
+    def test_missing_section_rejected(self):
+        with pytest.raises(BenchValidationError, match="missing section"):
+            validate_payload("engine", {})
+
+    def test_violated_invariant_rejected(self):
+        payload = committed("scheduler")
+        payload["parallel_storm"]["outcomes_equal"] = False
+        with pytest.raises(BenchValidationError, match="diverged"):
+            validate_payload("scheduler", payload)
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(BenchValidationError, match="no validator"):
+            validate_payload("warp-drive", {})
+
+    def test_bench_name_parses_only_bench_files(self):
+        assert bench_name(Path("BENCH_scheduler.json")) == "scheduler"
+        with pytest.raises(BenchValidationError):
+            bench_name(Path("results.json"))
+
+    def test_every_gated_bench_has_a_validator(self):
+        assert set(GATED_SPEEDUPS) <= set(validate_bench.VALIDATORS)
+
+
+class TestRegressionGate:
+    def baseline(self):
+        return {
+            "config": {"smoke": False},
+            "parallel_storm": {"speedup": 6.0},
+        }
+
+    def test_within_tolerance_passes(self):
+        current = {
+            "config": {"smoke": False},
+            "parallel_storm": {"speedup": 4.5},
+        }
+        status, messages = check_regression(
+            "scheduler", current, self.baseline()
+        )
+        assert status == "ok"
+        assert any("OK" in message for message in messages)
+
+    def test_large_regression_fails(self):
+        current = {
+            "config": {"smoke": False},
+            "parallel_storm": {"speedup": 2.0},
+        }
+        status, messages = check_regression(
+            "scheduler", current, self.baseline()
+        )
+        assert status == "fail"
+        assert any("regressed" in message for message in messages)
+
+    def test_smoke_vs_full_is_an_explicit_skip(self):
+        current = {
+            "config": {"smoke": True},
+            "parallel_storm": {"speedup": 0.5},
+        }
+        status, messages = check_regression(
+            "scheduler", current, self.baseline()
+        )
+        assert status == "skip"
+        assert any("not comparable" in message for message in messages)
+
+    def test_missing_gated_field_fails_loudly(self):
+        status, _ = check_regression(
+            "scheduler", {"config": {"smoke": False}}, self.baseline()
+        )
+        assert status == "fail"
+
+    def test_payloads_without_config_count_as_full_runs(self):
+        assert not is_smoke({})
+        status, _ = check_regression(
+            "scheduler",
+            {"parallel_storm": {"speedup": 5.9}},
+            self.baseline(),
+        )
+        assert status == "ok"
+
+    def test_committed_files_pass_the_gate_against_themselves(self):
+        for name in GATED_SPEEDUPS:
+            payload = committed(name)
+            status, _ = check_regression(name, payload, payload)
+            assert status == "ok"
