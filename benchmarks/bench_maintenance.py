@@ -1,0 +1,198 @@
+"""Maintenance benchmarks: the tuple delta plane vs the binding plane.
+
+One timed scenario, the 10k-update maintenance storm
+(:func:`~repro.workloadgen.scenarios.build_maintenance_storm_scenario`):
+a three-source join view whose updated relation receives a long
+insert/delete stream.  Three lanes run the identical stream:
+
+1. **dict per-update** — the binding-plane reference: every update is
+   propagated on its own, deltas travel as per-row dicts, WHERE clauses
+   interpret per candidate, and the view is re-resolved per update.
+2. **tuple per-update** — the compiled positional-tuple plane, still one
+   :meth:`ViewMaintainer.maintain` call per update.
+3. **tuple batch** — the whole stream through
+   :meth:`ViewMaintainer.maintain_batch`: one resolution, one plan, one
+   compiled pipeline, per-update accounting recovered from provenance.
+
+The modeled CF_M/CF_T/CF_IO counters and the final extents must be
+identical across all three lanes — that is the equivalence contract of
+the delta plane, and ``validate_bench.py`` gates it on every run.
+
+Results are persisted as machine-readable ``BENCH_maintenance.json`` at
+the repo root (via :func:`conftest.emit_json`).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_maintenance.py [--smoke]
+
+``--smoke`` shrinks the storm so CI can assert the harness stays healthy
+in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from conftest import emit, emit_json  # noqa: E402
+
+from repro.core.report import format_table  # noqa: E402
+from repro.esql.evaluator import evaluate_view  # noqa: E402
+from repro.maintenance.simulator import ViewMaintainer  # noqa: E402
+from repro.space.updates import UpdateKind  # noqa: E402
+from repro.workloadgen.scenarios import (  # noqa: E402
+    build_maintenance_storm_scenario,
+)
+
+
+def _replay(space, stream):
+    """Apply one intent stream to the sources, yielding DataUpdates."""
+    for relation, kind, row in stream:
+        if kind is UpdateKind.INSERT:
+            yield space.insert(relation, row)
+        else:
+            yield space.delete(relation, row)
+
+
+def _run_lane(
+    updates: int, rows: int, representation: str, batched: bool
+):
+    scenario = build_maintenance_storm_scenario(updates=updates, rows=rows)
+    space, view = scenario.space, scenario.view
+    extent = evaluate_view(view, space.relations())
+    maintainer = ViewMaintainer(space, representation=representation)
+    start = time.perf_counter()
+    if batched:
+        applied = list(_replay(space, scenario.updates))
+        maintainer.maintain_batch(view, extent, applied)
+    else:
+        for update in _replay(space, scenario.updates):
+            maintainer.maintain(view, extent, update)
+    seconds = time.perf_counter() - start
+    return seconds, extent, maintainer.counters
+
+
+def bench_update_storm(updates: int, rows: int) -> dict:
+    dict_seconds, dict_extent, dict_counters = _run_lane(
+        updates, rows, "dict", batched=False
+    )
+    tuple_seconds, tuple_extent, tuple_counters = _run_lane(
+        updates, rows, "tuple", batched=False
+    )
+    batch_seconds, batch_extent, batch_counters = _run_lane(
+        updates, rows, "tuple", batched=True
+    )
+
+    def factors(counters):
+        return (
+            counters.messages,
+            counters.bytes_transferred,
+            counters.io_operations,
+        )
+
+    counters_equal = (
+        factors(dict_counters)
+        == factors(tuple_counters)
+        == factors(batch_counters)
+    )
+    extents_equal = dict_extent == tuple_extent == batch_extent
+    return {
+        "updates": updates,
+        "rows": rows,
+        "dict_seconds": round(dict_seconds, 6),
+        "tuple_seconds": round(tuple_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        # Headline: the tuple+batch path against the dict per-update
+        # reference (the acceptance floor is 3x on full runs).
+        "speedup": round(dict_seconds / max(batch_seconds, 1e-9), 2),
+        "tuple_speedup": round(dict_seconds / max(tuple_seconds, 1e-9), 2),
+        "counters_equal": counters_equal,
+        "extents_equal": extents_equal,
+        "final_extent": batch_extent.cardinality,
+        "messages": batch_counters.messages,
+        "bytes_transferred": batch_counters.bytes_transferred,
+        "io_operations": batch_counters.io_operations,
+    }
+
+
+def run(updates: int = 10_000, rows: int = 4_000) -> dict:
+    return {
+        "benchmark": "maintenance",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "update_storm": bench_update_storm(updates, rows),
+    }
+
+
+def report(payload: dict) -> None:
+    storm = payload["update_storm"]
+    rows = [
+        (
+            "dict per-update (reference)",
+            f"{storm['updates']} updates @ {storm['rows']} key rows",
+            f"{storm['dict_seconds']:.3f}s",
+            "1.0x",
+        ),
+        (
+            "tuple per-update",
+            "same stream",
+            f"{storm['tuple_seconds']:.3f}s",
+            f"{storm['tuple_speedup']:.1f}x",
+        ),
+        (
+            "tuple maintain_batch",
+            "same stream",
+            f"{storm['batch_seconds']:.3f}s",
+            f"{storm['speedup']:.1f}x",
+        ),
+    ]
+    emit(
+        format_table(
+            ["Lane", "Scale", "Wall clock", "Speedup"],
+            rows,
+            title="Maintenance storm: delta plane representations",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--updates", type=int, default=10_000)
+    parser.add_argument("--rows", type=int, default=4_000)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scales for CI health checks",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="print only, do not persist"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.updates, args.rows = 400, 300
+
+    payload = run(updates=args.updates, rows=args.rows)
+    report(payload)
+    storm = payload["update_storm"]
+    if not (storm["counters_equal"] and storm["extents_equal"]):
+        print(
+            "EQUIVALENCE FAILURE",
+            [storm["counters_equal"], storm["extents_equal"]],
+        )
+        return 1
+    # Mode marker for the CI regression gate: smoke-scale timings are
+    # not comparable with committed full-run baselines.
+    payload["config"] = {"smoke": args.smoke}
+    if not args.no_json:
+        path = emit_json("maintenance", payload)
+        print(f"wrote {path}")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ GATED_SPEEDUPS = {
     ),
     "sync": (("batched_dispatch", "speedup"),),
     "scheduler": (("parallel_storm", "speedup"),),
+    "maintenance": (("update_storm", "speedup"),),
 }
 
 
@@ -165,10 +166,38 @@ def validate_scheduler(payload: dict) -> None:
     )
 
 
+def validate_maintenance(payload: dict) -> None:
+    _require(
+        payload,
+        "BENCH_maintenance",
+        {
+            "update_storm": (
+                "speedup",
+                "tuple_speedup",
+                "counters_equal",
+                "extents_equal",
+                "dict_seconds",
+                "tuple_seconds",
+                "batch_seconds",
+            ),
+        },
+    )
+    storm = payload["update_storm"]
+    _invariant(
+        storm["counters_equal"],
+        "delta-plane modeled counters diverged across representations",
+    )
+    _invariant(
+        storm["extents_equal"],
+        "delta-plane extents diverged across representations",
+    )
+
+
 VALIDATORS = {
     "engine": validate_engine,
     "sync": validate_sync,
     "scheduler": validate_scheduler,
+    "maintenance": validate_maintenance,
 }
 
 

@@ -6,7 +6,10 @@ exposes the workflow a warehouse operator walks through:
 
 1. register sources, relations, constraints, statistics;
 2. define E-SQL views (optionally materializing them);
-3. feed data updates — materialized views are maintained incrementally;
+3. feed data updates — materialized views are maintained incrementally
+   (batched streams go through :meth:`EVESystem.apply_updates`, which
+   groups updates per view and streams each group through the
+   maintainer's compiled tuple pipeline);
 4. feed capability changes — affected views are synchronized through the
    streaming rewriting-search pipeline
    (:class:`~repro.sync.pipeline.RewritingSearchPipeline`): candidate
@@ -54,7 +57,7 @@ from repro.space.changes import (
     SchemaChange,
 )
 from repro.space.space import InformationSpace
-from repro.space.updates import DataUpdate
+from repro.space.updates import DataUpdate, UpdateKind
 from repro.sync.legality import check_legality
 from repro.sync.pipeline import (
     RewritingSearchPipeline,
@@ -67,12 +70,14 @@ from repro.sync.scheduler import (
     DeferredSynchronization,
     ScheduleReport,
     SynchronizationScheduler,
+    UnitBudgetMeter,
     ViewWorkItem,
     build_work_plan,
     coalesce_fingerprint,
 )
 from repro.sync.synchronizer import ViewSynchronizer
 from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
+from repro.maintenance.counters import MaintenanceCounters
 from repro.maintenance.simulator import ViewMaintainer
 
 
@@ -151,6 +156,10 @@ class EVESystem:
             self.synchronizer, self.qc_model, policy
         )
         self.maintainer = ViewMaintainer(self.space)
+        #: True while :meth:`apply_updates` batches maintenance itself;
+        #: the per-update listener backs off so updates are not
+        #: propagated twice.
+        self._defer_maintenance = False
         self._extents: dict[str, Relation] = {}
         self._sync_log: list[SynchronizationResult] = []
         self.space.on_data_update(self._handle_data_update)
@@ -224,11 +233,96 @@ class EVESystem:
     # Data updates -> incremental maintenance (index-dispatched)
     # ------------------------------------------------------------------
     def _handle_data_update(self, update: DataUpdate) -> None:
+        if self._defer_maintenance:
+            return
         for record in self.vkb.views_referencing(update.relation):
             extent = self._extents.get(record.name)
             if extent is None:
                 continue
             self.maintainer.maintain(record.current, extent, update)
+
+    def apply_updates(
+        self,
+        updates: Iterable[tuple],
+    ) -> MaintenanceCounters:
+        """Apply a batched data-update stream, maintenance batched per view.
+
+        Each entry is ``(relation, kind, row)`` with ``kind`` an
+        :class:`~repro.space.updates.UpdateKind` (or its string value).
+        Updates are applied to their owning sources in stream order;
+        instead of propagating each one through every referencing view
+        immediately (the per-update listener path), updates accumulate
+        per affected materialized view and flow through
+        :meth:`~repro.maintenance.simulator.ViewMaintainer.maintain_batch`
+        — one view resolution and one compiled tuple pipeline per run.
+
+        Outcomes are identical to the sequential per-update protocol:
+        a view's pending batch is flushed *before* applying any update
+        that targets a different relation the view references, which is
+        exactly the boundary past which earlier deltas would otherwise
+        join against rows from the future.  Single-relation streams —
+        the common storm shape — therefore batch end to end, while
+        pathologically interleaved streams degrade to per-update work,
+        never to wrong extents.
+
+        Returns the maintenance counters accumulated by the stream.
+        """
+        before = self.maintainer.counters.snapshot()
+        pending: dict[str, list[DataUpdate]] = {}
+
+        def flush(view_name: str) -> None:
+            batch = pending.pop(view_name)
+            record = self.vkb.record(view_name)
+            extent = self._extents.get(view_name)
+            if record.alive and extent is not None:
+                self.maintainer.maintain_batch(record.current, extent, batch)
+
+        was_deferred = self._defer_maintenance
+        self._defer_maintenance = True
+        try:
+            for relation, kind, row in updates:
+                kind = UpdateKind(kind) if isinstance(kind, str) else kind
+                # Flush any view whose pending deltas would join against
+                # this relation once the update lands.
+                referencing = {
+                    record.name
+                    for record in self.vkb.views_referencing(relation)
+                }
+                for view_name in [
+                    name
+                    for name, batch in pending.items()
+                    if name in referencing
+                    and any(u.relation != relation for u in batch)
+                ]:
+                    flush(view_name)
+                if kind is UpdateKind.INSERT:
+                    update = self.space.insert(relation, row)
+                else:
+                    update = self.space.delete(relation, row)
+                for record in self.vkb.views_referencing(relation):
+                    if record.name in self._extents:
+                        pending.setdefault(record.name, []).append(update)
+        finally:
+            # Pending batches cover updates that already landed on the
+            # sources, so they are flushed even when the stream fails
+            # mid-way (an invalid delete, say) — otherwise every extent
+            # with pending work would be left permanently stale, which
+            # the sequential per-update protocol could never produce.
+            # Every view gets its flush even when one of them fails;
+            # the first flush error surfaces after the rest completed.
+            try:
+                flush_error: BaseException | None = None
+                for view_name in list(pending):
+                    try:
+                        flush(view_name)
+                    except BaseException as error:
+                        if flush_error is None:
+                            flush_error = error
+                if flush_error is not None:
+                    raise flush_error
+            finally:
+                self._defer_maintenance = was_deferred
+        return self.maintainer.counters.diff(before)
 
     # ------------------------------------------------------------------
     # Capability changes -> synchronization (index-dispatched)
@@ -326,10 +420,13 @@ class EVESystem:
         batch = list(changes)
         results: list[SynchronizationResult] = []
         reports: list[ScheduleReport] = []
-        # One deadline anchor for the whole call: a chain-split batch
-        # runs several scheduler executions, and the budget covers their
-        # sum, not each sub-batch afresh.
+        # One deadline anchor (and one modeled-cost meter) for the whole
+        # call: a chain-split batch runs several scheduler executions,
+        # and either budget covers their sum, not each sub-batch afresh.
         deadline_anchor = perf_counter()
+        unit_meter = (
+            UnitBudgetMeter() if active.budget_units is not None else None
+        )
         for sub_batch in self._split_identity_chains(batch):
             plan = self._stage_batch(sub_batch, coalesce=active.coalesce)
             # Committed results are journaled as they land so that an
@@ -342,7 +439,8 @@ class EVESystem:
             self._batch_journal = []
             try:
                 report = active.execute(
-                    plan, self, deadline_anchor=deadline_anchor
+                    plan, self, deadline_anchor=deadline_anchor,
+                    unit_meter=unit_meter,
                 )
             except BaseException:
                 self._sync_log.extend(self._batch_journal)

@@ -2,13 +2,17 @@
 
 Public surface:
 
-* :class:`ViewMaintainer` — propagates single-tuple updates into a
-  materialized extent, measuring messages / bytes / I/Os for comparison
-  against the analytic cost model of Sec. 6
+* :class:`ViewMaintainer` — propagates single-tuple updates (and, via
+  :meth:`~repro.maintenance.simulator.ViewMaintainer.maintain_batch`,
+  whole update streams) into a materialized extent, measuring
+  messages / bytes / I/Os for comparison against the analytic cost
+  model of Sec. 6
 * :class:`MaintenanceCounters` — the measured factors
+* :class:`DeltaBatch` — the compiled positional-tuple delta plane
 """
 
 from repro.maintenance.counters import MaintenanceCounters
+from repro.maintenance.delta import DeltaBatch
 from repro.maintenance.simulator import ViewMaintainer
 
-__all__ = ["MaintenanceCounters", "ViewMaintainer"]
+__all__ = ["DeltaBatch", "MaintenanceCounters", "ViewMaintainer"]

@@ -27,6 +27,20 @@ class MaintenanceCounters:
     def record_io(self, operations: int) -> None:
         self.io_operations += operations
 
+    def snapshot(self) -> "MaintenanceCounters":
+        """Immutable copy of the current totals (pair with :meth:`diff`)."""
+        return MaintenanceCounters(
+            self.messages, self.bytes_transferred, self.io_operations
+        )
+
+    def diff(self, earlier: "MaintenanceCounters") -> "MaintenanceCounters":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return MaintenanceCounters(
+            self.messages - earlier.messages,
+            self.bytes_transferred - earlier.bytes_transferred,
+            self.io_operations - earlier.io_operations,
+        )
+
     def merged(self, other: "MaintenanceCounters") -> "MaintenanceCounters":
         return MaintenanceCounters(
             self.messages + other.messages,

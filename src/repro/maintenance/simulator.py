@@ -16,12 +16,35 @@ All three cost factors are *measured* via
 byte payload is the actual delta size, and per-source I/O charges the
 min(full scan, per-delta-tuple index probes) rule of Appendix A against
 the real matching-tuple counts.
+
+Two delta representations execute the sweep:
+
+* ``representation="tuple"`` (default) — the compiled positional-tuple
+  plane of :mod:`repro.maintenance.delta`: deltas travel as
+  :class:`~repro.maintenance.delta.DeltaBatch` es, residual WHERE
+  conjuncts compile once per (condition, bound-column layout), and index
+  probes yield tuples directly.
+* ``representation="dict"`` — the original per-row binding dicts with
+  per-candidate clause interpretation, retained as the equivalence
+  reference (pair with ``use_index=False`` for the fully naive path).
+
+Both representations accept the same delta rows in the same order and
+record byte-identical modeled CF_M/CF_T/CF_IO counters — enforced by
+``tests/property/test_delta_parity.py``.
+
+:meth:`ViewMaintainer.maintain_batch` additionally streams a whole
+:class:`~repro.space.updates.DataUpdate` batch through one compiled
+pipeline: the view is resolved once, the maintenance plan is built once
+per (view, updated-relation) run, and provenance tags recover the
+per-update cardinalities every message/IO charge needs — so the batch
+path's counters equal the per-update loop's exactly.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from itertools import groupby
+from typing import Iterable
 
 from repro.errors import MaintenanceError
 from repro.esql.ast import ViewDefinition
@@ -33,6 +56,9 @@ from repro.space.source import Binding, _clause_decidable
 from repro.space.space import InformationSpace
 from repro.space.updates import DataUpdate, UpdateKind
 from repro.maintenance.counters import MaintenanceCounters
+from repro.maintenance.delta import DeltaBatch, seed_plan
+
+_REPRESENTATIONS = ("tuple", "dict")
 
 
 class ViewMaintainer:
@@ -43,18 +69,30 @@ class ViewMaintainer:
         space: InformationSpace,
         statistics: SpaceStatistics | None = None,
         use_index: bool = True,
+        representation: str = "tuple",
     ) -> None:
+        if representation not in _REPRESENTATIONS:
+            raise MaintenanceError(
+                f"unknown delta representation {representation!r}; "
+                f"expected one of {', '.join(_REPRESENTATIONS)}"
+            )
         self._space = space
         self._statistics = (
             statistics if statistics is not None else space.mkb.statistics
         )
         # How single-site queries are *executed* (index probes vs nested
-        # loops); the modeled cost counters are identical either way.
+        # loops, tuple batches vs binding dicts); the modeled cost
+        # counters are identical across all four combinations.
         self._use_index = use_index
+        self._representation = representation
         self.counters = MaintenanceCounters()
 
+    @property
+    def representation(self) -> str:
+        return self._representation
+
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
     def maintain(
         self,
@@ -69,20 +107,73 @@ class ViewMaintainer:
                 f"update at {update.relation!r} does not affect view "
                 f"{view.name!r}"
             )
-        before = MaintenanceCounters(
-            self.counters.messages,
-            self.counters.bytes_transferred,
-            self.counters.io_operations,
-        )
+        before = self.counters.snapshot()
         resolved = self._resolve(view)
         plan = self._plan(resolved, update.relation)
-        delta_rows = self._propagate(resolved, plan, update)
-        self._apply(resolved, extent, delta_rows, update.kind)
-        return MaintenanceCounters(
-            self.counters.messages - before.messages,
-            self.counters.bytes_transferred - before.bytes_transferred,
-            self.counters.io_operations - before.io_operations,
-        )
+        self._run(resolved, extent, plan, [update])
+        return self.counters.diff(before)
+
+    def maintain_batch(
+        self,
+        view: ViewDefinition,
+        extent: Relation,
+        updates: Iterable[DataUpdate],
+    ) -> MaintenanceCounters:
+        """Stream a whole update batch through the compiled pipeline.
+
+        The view is resolved once and the maintenance plan is built once
+        per (view, updated-relation) run; consecutive updates at the
+        same relation propagate as one tagged
+        :class:`~repro.maintenance.delta.DeltaBatch` whose provenance
+        recovers per-update cardinalities, so the modeled counters are
+        byte-identical to calling :meth:`maintain` per update.
+
+        Updates must already be applied to their source relations (the
+        same contract as :meth:`maintain`).  Equivalence with the
+        sequential per-update protocol additionally requires that no
+        update in the batch targets a relation an *earlier* update's
+        propagation joins against — an update's own relation is never
+        joined, so any single-relation stream qualifies, and
+        :meth:`~repro.core.eve.EVESystem.apply_updates` flushes mixed
+        streams at exactly the boundaries where the guarantee would
+        break.
+        """
+        batch = list(updates)
+        for update in batch:
+            if update.relation not in view.relation_names:
+                raise MaintenanceError(
+                    f"update at {update.relation!r} does not affect view "
+                    f"{view.name!r}"
+                )
+        before = self.counters.snapshot()
+        if batch:
+            resolved = self._resolve(view)
+            plans: dict[str, MaintenancePlan] = {}
+            for relation, run_iter in groupby(
+                batch, key=lambda update: update.relation
+            ):
+                run = list(run_iter)
+                plan = plans.get(relation)
+                if plan is None:
+                    plan = plans[relation] = self._plan(resolved, relation)
+                self._run(resolved, extent, plan, run)
+        return self.counters.diff(before)
+
+    def _run(
+        self,
+        resolved: ViewDefinition,
+        extent: Relation,
+        plan: MaintenancePlan,
+        updates: list[DataUpdate],
+    ) -> None:
+        """Propagate + apply one same-relation update run."""
+        if self._representation == "dict":
+            for update in updates:
+                deltas = self._propagate(resolved, plan, update)
+                self._apply(resolved, extent, deltas, update.kind)
+        else:
+            batch = self._propagate_tuples(resolved, plan, updates)
+            self._apply_batch(resolved, extent, batch, updates)
 
     def _resolve(self, view: ViewDefinition) -> ViewDefinition:
         schemas = {
@@ -101,7 +192,7 @@ class ViewMaintainer:
         return plan_for_view(view, owners, updated_relation)
 
     # ------------------------------------------------------------------
-    # Delta propagation (the Sec. 6.1 sweep)
+    # Delta propagation (the Sec. 6.1 sweep) — binding plane
     # ------------------------------------------------------------------
     def _propagate(
         self,
@@ -120,8 +211,7 @@ class ViewMaintainer:
             deltas: list[Binding] = []
         else:
             deltas = [seed]
-        widths = {update.relation: updated_schema.tuple_byte_size()}
-        delta_width = widths[update.relation]
+        delta_width = updated_schema.tuple_byte_size()
 
         # The update notification itself (first term of Eq. 21).
         self.counters.record_message(delta_width)
@@ -137,7 +227,7 @@ class ViewMaintainer:
             source = self._space.source(group.source)
             # Ship the delta (plus the query) down to the source.
             self.counters.record_message(len(deltas) * delta_width)
-            self._charge_io(deltas, local)
+            self._charge_io(len(deltas), local)
             deltas = source.answer_single_site_query(
                 deltas, local, condition, use_index=self._use_index
             )
@@ -148,16 +238,77 @@ class ViewMaintainer:
             self.counters.record_message(len(deltas) * delta_width)
         return deltas
 
-    def _charge_io(self, deltas: list[Binding], local: list[str]) -> None:
+    # ------------------------------------------------------------------
+    # Delta propagation — tuple plane (single updates and batches)
+    # ------------------------------------------------------------------
+    def _propagate_tuples(
+        self,
+        view: ViewDefinition,
+        plan: MaintenancePlan,
+        updates: list[DataUpdate],
+    ) -> DeltaBatch:
+        """One same-relation run through the compiled tuple pipeline.
+
+        Message and I/O charges are recorded *per update* from the
+        batch's provenance counts, reproducing the per-update reference
+        totals exactly (the counters are sums, so only the per-update
+        quantities matter, not the interleaving).
+        """
+        condition = view.condition()
+        relation = plan.updated_relation
+        updated_schema = self._space.relation(relation).schema
+        splan = seed_plan(condition, relation, updated_schema)
+        rows: list[tuple] = []
+        tags: list[int] = []
+        for position, update in enumerate(updates):
+            # Local selections on the updated relation prune the seed.
+            if splan.predicate(update.row):
+                rows.append(update.row)
+                tags.append(position)
+        batch = DeltaBatch(splan.columns, rows, tags)
+        delta_width = updated_schema.tuple_byte_size()
+        counts = batch.counts_by_tag(len(updates))
+
+        # The update notifications themselves (first term of Eq. 21).
+        for _ in updates:
+            self.counters.record_message(delta_width)
+
+        for index, group in enumerate(plan.groups):
+            local = (
+                list(plan.first_source_other_relations)
+                if index == 0
+                else list(group.relations)
+            )
+            if not local:
+                continue  # no query to the updating source (footnote 12)
+            source = self._space.source(group.source)
+            # Ship each update's delta (plus the query) down to the IS.
+            for count in counts:
+                self.counters.record_message(count * delta_width)
+            for count in counts:
+                self._charge_io(count, local)
+            batch = source.answer_single_site_batch(
+                batch, local, condition, use_index=self._use_index
+            )
+            for name in local:
+                schema = self._space.relation(name).schema
+                delta_width += schema.tuple_byte_size()
+            counts = batch.counts_by_tag(len(updates))
+            # Ship each update's joined delta back to the warehouse.
+            for count in counts:
+                self.counters.record_message(count * delta_width)
+        return batch
+
+    def _charge_io(self, cardinality: int, local: list[str]) -> None:
         """Appendix A pricing against actual cardinalities.
 
         Per local relation: the optimizer either scans it once
         (ceil(|R|/bfr)) or probes per delta tuple at
         ceil(js*|R|/bfr) blocks each — whichever is cheaper.
+        ``cardinality`` is one update's delta count entering the source.
         """
         bfr = self._statistics.blocking_factor
         js = self._statistics.join_selectivity
-        cardinality = len(deltas)
         for name in local:
             relation_size = self._space.relation(name).cardinality
             scan = math.ceil(relation_size / bfr) if relation_size else 0
@@ -179,6 +330,44 @@ class ViewMaintainer:
     ) -> None:
         keys = [str(item.ref) for item in view.select]
         rows = [tuple(binding[key] for key in keys) for binding in deltas]
+        self._apply_rows(view, extent, rows, kind)
+
+    def _apply_batch(
+        self,
+        view: ViewDefinition,
+        extent: Relation,
+        batch: DeltaBatch,
+        updates: list[DataUpdate],
+    ) -> None:
+        """Project once, then apply per update in stream order."""
+        keys = [str(item.ref) for item in view.select]
+        projected = batch.project(keys)
+        if batch.tags is None:
+            if batch.rows:
+                raise MaintenanceError(
+                    "delta batch carries no provenance tags; cannot map "
+                    "rows back to their originating updates"
+                )
+            tags: list[int] = []
+        else:
+            tags = batch.tags
+        for tag, group in groupby(
+            zip(tags, projected), key=lambda pair: pair[0]
+        ):
+            self._apply_rows(
+                view,
+                extent,
+                [row for _, row in group],
+                updates[tag].kind,
+            )
+
+    def _apply_rows(
+        self,
+        view: ViewDefinition,
+        extent: Relation,
+        rows: list[tuple],
+        kind: UpdateKind,
+    ) -> None:
         if kind is UpdateKind.INSERT:
             for row in rows:
                 extent.insert(row)

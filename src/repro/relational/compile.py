@@ -60,6 +60,18 @@ def schema_slots(schema: Schema, qualified: bool = True) -> dict[str, int]:
     return slots
 
 
+def layout_slots(columns: Sequence[str]) -> dict[str, int]:
+    """Slot layout of an explicit column list (e.g. a delta batch).
+
+    Unlike :func:`schema_slots` the keys are exactly the given column
+    names — for delta batches these are fully qualified ``R.A`` strings,
+    so resolution through :func:`resolve_slot` behaves exactly like the
+    interpreted path over a binding dict keyed by qualified names (the
+    bare-name fallback never matches a qualified key, in either plane).
+    """
+    return {column: position for position, column in enumerate(columns)}
+
+
 def _unresolved(ref: AttributeRef) -> RowPredicate:
     """Predicate that fails like the interpreter: lazily, on first use."""
 

@@ -6,10 +6,25 @@ primitive the view maintainer (Algorithm 1, Sec. 6.1) relies on: "join this
 incoming delta relation with your local relations referenced by the view,
 apply the local selection conditions, send the result back".
 
-Delta relations in flight are represented as *bindings*: mappings from
-fully qualified attribute names (``"R.A"``) to values.  This mirrors how a
-real delta accumulates columns from every relation it has joined with so
-far, without inventing synthetic schemas for intermediate results.
+Two in-flight representations of the delta relation exist:
+
+* the **tuple plane** (:meth:`InformationSource.answer_single_site_batch`,
+  the default) — a :class:`~repro.maintenance.delta.DeltaBatch` of
+  positional tuples under an ordered schema of bound qualified columns,
+  with probe keys and residual WHERE conjuncts compiled once per
+  (condition, layout) and evaluated with no per-row dict construction;
+* the **binding plane** (:meth:`InformationSource.answer_single_site_query`)
+  — per-row ``dict`` mappings from fully qualified attribute names
+  (``"R.A"``) to values, with clauses interpreted per candidate.  It is
+  retained as the equivalence reference
+  (``ViewMaintainer(representation="dict")``): both planes accept the
+  same candidates in the same order, enforced by
+  ``tests/property/test_delta_parity.py``.
+
+Either way the delta accumulates columns from every relation it has
+joined with so far, without inventing synthetic schemas for intermediate
+results; message/byte/IO accounting lives in the maintenance simulator
+and is byte-identical across representations.
 """
 
 from __future__ import annotations
@@ -103,9 +118,9 @@ class InformationSource:
         """
         current = incoming
         for name in local_relations:
-            local = self.relation(name)
             if not self.offers(name):  # pragma: no cover - defensive
                 raise MaintenanceError(f"IS {self.name!r} does not offer {name!r}")
+            local = self.relation(name)
             attribute_keys = [
                 f"{name}.{attr}" for attr in local.schema.attribute_names
             ]
@@ -123,6 +138,38 @@ class InformationSource:
                             extended.append(candidate)
                 current = extended
         return current
+
+    def answer_single_site_batch(
+        self,
+        batch,
+        local_relations: Sequence[str],
+        condition: Condition,
+        use_index: bool = True,
+    ):
+        """Tuple-plane single-site query: extend a ``DeltaBatch``.
+
+        The compiled counterpart of :meth:`answer_single_site_query`:
+        ``batch`` is a :class:`~repro.maintenance.delta.DeltaBatch`
+        whose rows share one bound-column layout, so probe keys and the
+        decidable-so-far residual clauses are planned once per
+        (condition, layout, relation) — memoized across calls — instead
+        of being re-derived per incoming row.  Provenance tags ride
+        along row for row.  Accepted candidates and their order are
+        identical to the binding plane's, for both ``use_index`` modes.
+        """
+        # Imported lazily: repro.maintenance imports this module back
+        # (the simulator consumes the wrapper interface), so a top-level
+        # import would cycle during package initialization.
+        from repro.maintenance.delta import extend_batch
+
+        for name in local_relations:
+            if not self.offers(name):  # pragma: no cover - defensive
+                raise MaintenanceError(
+                    f"IS {self.name!r} does not offer {name!r}"
+                )
+        return extend_batch(
+            self, batch, local_relations, condition, use_index=use_index
+        )
 
 
 def _extend_indexed(
@@ -148,7 +195,7 @@ def _extend_indexed(
     probe_keys: list[str] = []
     residual: list[PrimitiveClause] = []
     for clause in condition.clauses:
-        pair = _probe_pair(clause, name, local, bound_keys)
+        pair = probe_pair(clause, name, local.schema, bound_keys)
         if pair is not None:
             probe_attrs.append(pair[0])
             probe_keys.append(pair[1])
@@ -170,17 +217,10 @@ def _extend_indexed(
 
     # No equijoin link: prune rows once with the clauses local to this
     # relation, then cross with the bindings (the naive path re-evaluated
-    # those clauses per binding x row).
-    local_only = [
-        c
-        for c in residual
-        if c.attribute_refs
-        and all(
-            ref.relation == name and ref.attribute in local.schema
-            for ref in c.attribute_refs
-        )
-    ]
-    cross = [c for c in residual if c not in local_only]
+    # those clauses per binding x row).  Partitioned in one pass — the
+    # former ``c not in local_only`` list probe re-scanned the local
+    # list per clause, O(n^2) in the conjunction size.
+    local_only, cross = partition_local_clauses(residual, name, local.schema)
     cross_condition = Condition(cross)
     rows = list(local)
     if local_only:
@@ -201,25 +241,69 @@ def _extend_indexed(
     return extended
 
 
-def _probe_pair(
+# ----------------------------------------------------------------------
+# Clause classifiers — shared by BOTH delta planes
+# ----------------------------------------------------------------------
+# The binding plane below and the compiled tuple plane
+# (:mod:`repro.maintenance.delta`) must accept exactly the same
+# candidates, so the clause classification they plan joins with is one
+# implementation, not two kept in lockstep by hand.
+
+
+def probe_pair(
     clause: PrimitiveClause,
-    name: str,
-    local: Relation,
-    bound_keys: set[str],
+    relation_name: str,
+    schema: Schema,
+    bound_keys: frozenset[str] | set[str],
 ) -> tuple[str, str] | None:
-    """``(local_attribute, bound_binding_key)`` when the clause can probe."""
+    """``(local_attribute, bound_key)`` when the clause can index-probe.
+
+    The clause must be an equijoin linking an attribute of the local
+    relation to a column every incoming delta row already binds (and
+    not a self-join within the local relation, which only the extended
+    layout can decide).
+    """
     if clause.comparator is not Comparator.EQ or not clause.is_join_clause:
         return None
     left, right = clause.left, clause.right
     for new, bound in ((left, right), (right, left)):
         if (
-            new.relation == name
-            and new.attribute in local.schema
+            new.relation == relation_name
+            and new.attribute in schema
             and bound.qualified in bound_keys
-            and not (bound.relation == name and bound.attribute in local.schema)
+            and not (
+                bound.relation == relation_name
+                and bound.attribute in schema
+            )
         ):
             return new.attribute, bound.qualified
     return None
+
+
+def partition_local_clauses(
+    clauses: Sequence[PrimitiveClause],
+    relation_name: str,
+    schema: Schema,
+) -> tuple[list[PrimitiveClause], list[PrimitiveClause]]:
+    """Split clauses into (local to the relation, everything else).
+
+    A clause is local when every attribute reference is qualified to
+    the relation and names one of its attributes — decidable against a
+    local row alone, so the no-probe path can prune the relation once
+    before cross-joining.  One pass, order preserved within each part.
+    """
+    local_only: list[PrimitiveClause] = []
+    others: list[PrimitiveClause] = []
+    for clause in clauses:
+        refs = clause.attribute_refs
+        if refs and all(
+            ref.relation == relation_name and ref.attribute in schema
+            for ref in refs
+        ):
+            local_only.append(clause)
+        else:
+            others.append(clause)
+    return local_only, others
 
 
 def _satisfied_so_far(condition: Condition, binding: Binding) -> bool:

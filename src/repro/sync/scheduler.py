@@ -15,6 +15,10 @@ replay into an explicit, immutable *work plan* and schedules it:
   ``degrade="first_legal"``) or is parked as an explicit
   :class:`DeferredSynchronization` record (``degrade="defer"``) that
   :meth:`~repro.core.eve.EVESystem.resume_deferred` can replay later.
+  ``budget_units`` is the machine-independent twin: a token bucket of
+  *modeled* Eq. 24 cost, debited per dispatched view from its salvage
+  bound — same degrade/defer semantics, fully deterministic (no wall
+  clock), so budgets can be planned offline and asserted in tests.
 * **Pluggable executors** — ``serial`` (the reference), ``threads``
   (:class:`~concurrent.futures.ThreadPoolExecutor`), and ``processes``
   (fork-based, for true CPU parallelism where the platform offers it;
@@ -239,6 +243,19 @@ class ItemOutcome:
 
 
 @dataclass
+class UnitBudgetMeter:
+    """Modeled-cost units debited so far against one ``budget_units``.
+
+    A mutable accumulator shared across every scheduler execution of one
+    logical run (``apply_changes`` passes one meter to all of a batch's
+    chain-split sub-plans, so the bucket covers their sum — the
+    modeled-cost analogue of the wall-clock ``deadline_anchor``).
+    """
+
+    spent: float = 0.0
+
+
+@dataclass
 class ScheduleReport:
     """The full accounting of one scheduled batch execution."""
 
@@ -251,6 +268,10 @@ class ScheduleReport:
     workers: int
     coalesced: int
     budget: float | None
+    #: Modeled-cost token bucket in force (None when unbudgeted) and
+    #: the Eq. 24 units debited by this execution's dispatches.
+    budget_units: float | None = None
+    units_spent: float = 0.0
 
     @property
     def counters(self) -> StageCounters:
@@ -341,11 +362,16 @@ class SynchronizationScheduler:
     ``executor``
         ``"serial"`` | ``"threads"`` | ``"processes"`` (fork; falls back
         to serial where fork is unavailable).
-    ``budget`` / ``degrade``
-        Wall-clock seconds after which remaining groups degrade to the
+    ``budget`` / ``budget_units`` / ``degrade``
+        Wall-clock seconds (``budget``) or a token bucket of modeled
+        Eq. 24 cost units (``budget_units``, debited per dispatched
+        view from its salvage bound; machine-independent and
+        deterministic) after which remaining groups degrade to the
         ``first_legal`` policy (``degrade="first_legal"``) or are parked
         as :class:`DeferredSynchronization` records (``"defer"``).
-        ``budget=0.0`` degrades/defers everything deterministically.
+        Either budget at 0.0 degrades/defers everything
+        deterministically; when both are set, whichever exhausts first
+        wins.
     ``coalesce``
         Run one search per (definition modulo name, worklist) class and
         rebind results to followers — identical outcomes, large wins on
@@ -357,6 +383,7 @@ class SynchronizationScheduler:
         executor: str = "serial",
         max_workers: int | None = None,
         budget: float | None = None,
+        budget_units: float | None = None,
         degrade: str = "first_legal",
         order: str = "cost",
         coalesce: bool = False,
@@ -377,11 +404,14 @@ class SynchronizationScheduler:
             )
         if budget is not None and budget < 0:
             raise SynchronizationError("budget must be >= 0 seconds")
+        if budget_units is not None and budget_units < 0:
+            raise SynchronizationError("budget_units must be >= 0")
         if max_workers is not None and max_workers < 1:
             raise SynchronizationError("max_workers must be >= 1")
         self.executor = executor
         self.max_workers = max_workers
         self.budget = budget
+        self.budget_units = budget_units
         self.degrade = degrade
         self.order = order
         self.coalesce = coalesce
@@ -394,6 +424,7 @@ class SynchronizationScheduler:
         plan: BatchWorkPlan,
         runtime: SchedulerRuntime,
         deadline_anchor: float | None = None,
+        unit_meter: UnitBudgetMeter | None = None,
     ) -> ScheduleReport:
         """Dispatch the plan; report results/deferrals in plan order.
 
@@ -401,11 +432,17 @@ class SynchronizationScheduler:
         budget clock; callers replaying several plans under one deadline
         (``apply_changes`` over a chain-split batch) pass the same
         anchor to every execution so the budget covers their sum.
+        ``unit_meter`` plays the same role for ``budget_units``: one
+        shared meter makes the token bucket span every sub-plan of a
+        logical run (a fresh meter is created here when omitted).
         """
         wall_started = perf_counter()
         started = (
             wall_started if deadline_anchor is None else deadline_anchor
         )
+        if unit_meter is None and self.budget_units is not None:
+            unit_meter = UnitBudgetMeter()
+        units_before = unit_meter.spent if unit_meter is not None else 0.0
         groups = list(plan.groups())
         if self.order == "cost":
             groups.sort(key=lambda group: (group.cost_bound, group.order))
@@ -421,16 +458,18 @@ class SynchronizationScheduler:
         deferred: list[DeferredSynchronization] = []
         if executor == "serial":
             self._execute_serial(
-                plan, runtime, groups, started, outcomes, deferred
+                plan, runtime, groups, started, unit_meter, outcomes, deferred
             )
             workers = 1
         elif executor == "threads":
             self._execute_threads(
-                plan, runtime, groups, started, workers, outcomes, deferred
+                plan, runtime, groups, started, unit_meter, workers,
+                outcomes, deferred,
             )
         else:
             self._execute_processes(
-                plan, runtime, groups, started, workers, outcomes, deferred
+                plan, runtime, groups, started, unit_meter, workers,
+                outcomes, deferred,
             )
 
         # Adoption + reporting happen in plan order regardless of the
@@ -464,42 +503,81 @@ class SynchronizationScheduler:
             workers=workers,
             coalesced=sum(1 for outcome in outcomes if outcome.coalesced),
             budget=self.budget,
+            budget_units=self.budget_units,
+            # Per-execution debit: a shared meter accumulates across a
+            # chain-split batch's sub-plans, but each report accounts
+            # only its own dispatches.
+            units_spent=(
+                unit_meter.spent - units_before
+                if unit_meter is not None
+                else 0.0
+            ),
         )
 
     # ------------------------------------------------------------------
     # Budget bookkeeping
     # ------------------------------------------------------------------
-    def _over_budget(self, started: float) -> bool:
+    def _over_budget(
+        self, started: float, meter: UnitBudgetMeter | None
+    ) -> bool:
+        if (
+            self.budget_units is not None
+            and meter is not None
+            and meter.spent >= self.budget_units
+        ):
+            return True
         return (
             self.budget is not None
             and perf_counter() - started >= self.budget
         )
+
+    def _debit(
+        self, meter: UnitBudgetMeter | None, group: ChainGroup
+    ) -> None:
+        """Debit a dispatched group's items from the token bucket.
+
+        Each view is charged its salvage bound (the cost-ordering
+        priority); unpriceable views (``inf`` bound) debit nothing —
+        they schedule last under cost order anyway, and an infinite
+        debit would silently zero the bucket for everyone after them.
+        """
+        if meter is None:
+            return
+        for item in group.items:
+            if item.cost_bound != float("inf"):
+                meter.spent += item.cost_bound
 
     def _park(
         self,
         plan: BatchWorkPlan,
         group: ChainGroup,
         deferred: list[DeferredSynchronization],
+        meter: UnitBudgetMeter | None = None,
     ) -> None:
-        for item in group.items:
-            deferred.append(
-                DeferredSynchronization(
-                    item,
-                    plan,
-                    f"budget of {self.budget}s exhausted before dispatch",
-                )
+        if (
+            self.budget_units is not None
+            and meter is not None
+            and meter.spent >= self.budget_units
+        ):
+            reason = (
+                f"budget of {self.budget_units} cost units exhausted "
+                f"before dispatch"
             )
+        else:
+            reason = f"budget of {self.budget}s exhausted before dispatch"
+        for item in group.items:
+            deferred.append(DeferredSynchronization(item, plan, reason))
 
     # ------------------------------------------------------------------
     # Executors
     # ------------------------------------------------------------------
     def _execute_serial(
-        self, plan, runtime, groups, started, outcomes, deferred
+        self, plan, runtime, groups, started, meter, outcomes, deferred
     ) -> None:
         for group in groups:
-            if self._over_budget(started):
+            if self._over_budget(started, meter):
                 if self.degrade == "defer":
-                    self._park(plan, group, deferred)
+                    self._park(plan, group, deferred, meter)
                     continue
                 outcomes.extend(
                     self._run_group(
@@ -507,23 +585,29 @@ class SynchronizationScheduler:
                     )
                 )
             else:
+                self._debit(meter, group)
                 outcomes.extend(
                     self._run_group(plan, runtime, group, None, False)
                 )
 
     def _execute_threads(
-        self, plan, runtime, groups, started, workers, outcomes, deferred
+        self, plan, runtime, groups, started, meter, workers, outcomes,
+        deferred,
     ) -> None:
         pending = list(groups)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             running = set()
 
+            # dispatch() only ever runs on the scheduling thread, so the
+            # unit meter is read and debited without synchronization.
             def dispatch() -> None:
                 while pending and len(running) < workers:
-                    if self._over_budget(started):
+                    if self._over_budget(started, meter):
                         if self.degrade == "defer":
                             while pending:
-                                self._park(plan, pending.pop(0), deferred)
+                                self._park(
+                                    plan, pending.pop(0), deferred, meter
+                                )
                             return
                         group = pending.pop(0)
                         running.add(
@@ -534,6 +618,7 @@ class SynchronizationScheduler:
                         )
                     else:
                         group = pending.pop(0)
+                        self._debit(meter, group)
                         running.add(
                             pool.submit(
                                 self._run_group, plan, runtime, group,
@@ -549,7 +634,8 @@ class SynchronizationScheduler:
                 dispatch()
 
     def _execute_processes(
-        self, plan, runtime, groups, started, workers, outcomes, deferred
+        self, plan, runtime, groups, started, meter, workers, outcomes,
+        deferred,
     ) -> None:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
@@ -561,12 +647,13 @@ class SynchronizationScheduler:
         # at their dispatch points.
         dispatchable: list[tuple[ChainGroup, str | None, bool]] = []
         for group in groups:
-            if self._over_budget(started):
+            if self._over_budget(started, meter):
                 if self.degrade == "defer":
-                    self._park(plan, group, deferred)
+                    self._park(plan, group, deferred, meter)
                     continue
                 dispatchable.append((group, "first_legal", True))
             else:
+                self._debit(meter, group)
                 dispatchable.append((group, None, False))
         if not dispatchable:
             return

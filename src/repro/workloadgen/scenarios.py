@@ -22,6 +22,7 @@ from repro.space.changes import (
     SchemaChange,
 )
 from repro.space.space import InformationSpace
+from repro.space.updates import UpdateKind
 from repro.workloadgen.generator import (
     distributions,
     make_schema,
@@ -386,6 +387,85 @@ def build_evolution_storm_scenario(
         tuple(spare_names),
         mirrored,
     )
+
+
+# ----------------------------------------------------------------------
+# Maintenance storm: a batched update stream against a multi-site view
+# ----------------------------------------------------------------------
+@dataclass
+class MaintenanceStormScenario:
+    """A multi-site join view plus a long single-relation update stream.
+
+    The stream is the workload shape the delta plane exists for: every
+    update targets one relation (``updated_relation``) of a view that
+    joins relations on two further sources, so Algorithm 1 runs the
+    full multi-hop sweep per update and a batched stream can share one
+    resolution, plan, and compiled pipeline end to end.  Updates are
+    ``(relation, kind, row)`` intents, *not yet applied* — replay them
+    through ``space.insert``/``space.delete`` (or hand the stream to
+    :meth:`~repro.core.eve.EVESystem.apply_updates`).  Generation is
+    arithmetic and fully deterministic: equal arguments yield
+    byte-identical spaces and streams.
+    """
+
+    space: InformationSpace
+    view: ViewDefinition
+    updates: list[tuple[str, UpdateKind, tuple]]
+    updated_relation: str
+    rows: int
+
+
+def build_maintenance_storm_scenario(
+    updates: int = 10_000,
+    rows: int = 4_000,
+    delete_every: int = 7,
+    prune_every: int = 11,
+    tuple_size: int = 8,
+) -> MaintenanceStormScenario:
+    """The 10k-update maintenance storm (ROADMAP scaling scenario).
+
+    ``R(A, B)`` at IS1 receives every update; ``S(A, C)`` at IS2 and
+    ``T(A, D)`` at IS3 are keyed uniquely on ``A`` in ``[0, rows)``, so
+    each surviving delta tuple joins exactly one row per hop.  Every
+    ``delete_every``-th event deletes the oldest still-live row instead
+    of inserting; every ``prune_every``-th insert carries a negative
+    ``B`` that the view's local selection prunes at the seed (the
+    seed-filter path stays hot).  ``R`` starts empty, so replaying the
+    stream in order is always valid (deletes only target live rows).
+    """
+    if updates < 1 or rows < 1:
+        raise ValueError("storm needs at least one update and one key row")
+    space = InformationSpace()
+    for source, schema, relation_rows in [
+        ("IS1", make_schema("R", ["A", "B"]), []),
+        ("IS2", make_schema("S", ["A", "C"]), [(a, 2 * a) for a in range(rows)]),
+        ("IS3", make_schema("T", ["A", "D"]), [(a, 3 * a) for a in range(rows)]),
+    ]:
+        space.add_source(source)
+        space.register_relation(
+            source,
+            Relation(schema, relation_rows),
+            RelationStatistics(
+                cardinality=max(len(relation_rows), 1), tuple_size=tuple_size
+            ),
+        )
+    view = parse_view(
+        "CREATE VIEW VStorm AS SELECT R.B, S.C, T.D FROM R, S, T "
+        "WHERE R.A = S.A AND S.A = T.A AND R.B >= 0"
+    )
+    stream: list[tuple[str, UpdateKind, tuple]] = []
+    live: list[tuple] = []
+    next_live = 0
+    for step in range(updates):
+        if step % delete_every == delete_every - 1 and next_live < len(live):
+            stream.append(("R", UpdateKind.DELETE, live[next_live]))
+            next_live += 1
+            continue
+        payload = -1 if step % prune_every == 0 else step
+        row = (step % rows, payload)
+        stream.append(("R", UpdateKind.INSERT, row))
+        live.append(row)
+    return MaintenanceStormScenario(space, view, stream, "R", rows)
 
 
 # ----------------------------------------------------------------------

@@ -168,3 +168,123 @@ class TestCountersUnit:
         counters.record_message(0)
         assert counters.messages == 2
         assert counters.bytes_transferred == 64
+
+    def test_snapshot_is_an_independent_copy(self):
+        counters = MaintenanceCounters(1, 10, 100)
+        frozen = counters.snapshot()
+        counters.record_message(5)
+        counters.record_io(7)
+        assert (frozen.messages, frozen.bytes_transferred,
+                frozen.io_operations) == (1, 10, 100)
+
+    def test_diff_recovers_the_delta_since_a_snapshot(self):
+        counters = MaintenanceCounters(1, 10, 100)
+        frozen = counters.snapshot()
+        counters.record_message(32)
+        counters.record_io(3)
+        delta = counters.diff(frozen)
+        assert (delta.messages, delta.bytes_transferred,
+                delta.io_operations) == (1, 32, 3)
+
+
+class TestRepresentations:
+    def test_unknown_representation_rejected(self, space):
+        with pytest.raises(MaintenanceError, match="representation"):
+            ViewMaintainer(space, representation="quantum")
+
+    @pytest.mark.parametrize("representation", ["dict", "tuple"])
+    def test_both_representations_maintain_correctly(
+        self, space, view, representation
+    ):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space, representation=representation)
+        update = space.source("IS1").insert("R", (2, 21))
+        maintainer.maintain(view, extent, update)
+        assert sorted(extent.rows) == sorted(materialize(view, space).rows)
+        assert maintainer.representation == representation
+
+
+class TestMaintainBatch:
+    def test_empty_batch_is_a_noop(self, space, view):
+        maintainer = ViewMaintainer(space)
+        extent = materialize(view, space)
+        before = sorted(extent.rows)
+        counters = maintainer.maintain_batch(view, extent, [])
+        assert counters.messages == 0
+        assert counters.bytes_transferred == 0
+        assert counters.io_operations == 0
+        assert sorted(extent.rows) == before
+
+    def test_mixed_insert_delete_stream(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        source = space.source("IS1")
+        updates = [
+            source.insert("R", (1, 11)),
+            source.insert("R", (2, 22)),
+            source.delete("R", (1, 11)),
+        ]
+        counters = maintainer.maintain_batch(view, extent, updates)
+        assert sorted(extent.rows) == sorted(materialize(view, space).rows)
+        # One notification plus one query/response round trip per update.
+        assert counters.messages == 9
+
+    def test_unrelated_update_rejected(self, space, view):
+        maintainer = ViewMaintainer(space)
+        extent = materialize(view, space)
+        ghost = DataUpdate("IS9", "Zzz", UpdateKind.INSERT, (1,))
+        with pytest.raises(MaintenanceError):
+            maintainer.maintain_batch(view, extent, [ghost])
+
+    def test_batch_counters_equal_per_update_counters(self, view):
+        def build():
+            sp = InformationSpace()
+            sp.add_source("IS1")
+            sp.add_source("IS2")
+            sp.register_relation(
+                "IS1",
+                Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]),
+                RelationStatistics(cardinality=2, tuple_size=8),
+            )
+            sp.register_relation(
+                "IS2",
+                Relation(
+                    Schema("S", ["A", "C"]), [(1, 100), (2, 200), (2, 201)]
+                ),
+                RelationStatistics(cardinality=3, tuple_size=8),
+            )
+            return sp
+
+        rows = [(k % 3, k) for k in range(10)]
+
+        reference_space = build()
+        reference_extent = materialize(view, reference_space)
+        reference = ViewMaintainer(reference_space, representation="dict")
+        for row in rows:
+            update = reference_space.source("IS1").insert("R", row)
+            reference.maintain(view, reference_extent, update)
+
+        batch_space = build()
+        batch_extent = materialize(view, batch_space)
+        maintainer = ViewMaintainer(batch_space)
+        updates = [
+            batch_space.source("IS1").insert("R", row) for row in rows
+        ]
+        maintainer.maintain_batch(view, batch_extent, updates)
+
+        assert batch_extent.rows == reference_extent.rows
+        for attribute in ("messages", "bytes_transferred", "io_operations"):
+            assert getattr(maintainer.counters, attribute) == getattr(
+                reference.counters, attribute
+            )
+
+    def test_inconsistent_extent_detected_in_batch(self, space, view):
+        extent = materialize(view, space)
+        maintainer = ViewMaintainer(space)
+        source = space.source("IS1")
+        # Remove a joined row from the extent behind the maintainer's
+        # back, then propagate its delete through the batch path.
+        update = source.delete("R", (1, 10))
+        extent.delete((1, 10, 100))
+        with pytest.raises(MaintenanceError, match="inconsistent"):
+            maintainer.maintain_batch(view, extent, [update])

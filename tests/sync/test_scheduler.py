@@ -497,3 +497,118 @@ class TestSalvageBound:
         assert merged.degraded == 1
         assert merged.deferred == 2
         assert "degraded=1" in str(merged)
+
+
+# ----------------------------------------------------------------------
+# Modeled-cost token bucket (budget_units)
+# ----------------------------------------------------------------------
+class TestUnitBudget:
+    """budget_units is wall-clock-free: every assertion is deterministic."""
+
+    def plan(self):
+        return make_plan(
+            [
+                ("V0", (0,), 1.0, "a"),
+                ("V1", (1,), 2.0, "b"),
+                ("V2", (2,), 4.0, "c"),
+            ],
+            CHANGES,
+        )
+
+    def test_negative_budget_units_rejected(self):
+        with pytest.raises(SynchronizationError, match="budget_units"):
+            SynchronizationScheduler(budget_units=-0.5)
+
+    def test_zero_units_defers_everything(self):
+        runtime = RecordingRuntime()
+        report = SynchronizationScheduler(
+            budget_units=0.0, degrade="defer"
+        ).execute(self.plan(), runtime)
+        assert runtime.replayed == []
+        assert [d.view_name for d in report.deferred] == ["V0", "V1", "V2"]
+        assert "cost units" in report.deferred[0].reason
+        assert report.units_spent == 0.0
+        assert report.budget_units == 0.0
+
+    def test_bucket_admits_cheapest_views_first(self):
+        # Cost order dispatches V0 (debit 1.0) then V1 (debit 2.0);
+        # the bucket is then exactly exhausted, so V2 degrades.
+        runtime = RecordingRuntime()
+        report = SynchronizationScheduler(
+            budget_units=3.0, degrade="first_legal"
+        ).execute(self.plan(), runtime)
+        assert [
+            (name, policy) for name, policy in runtime.replayed
+        ] == [("V0", None), ("V1", None), ("V2", "first_legal")]
+        assert report.degraded_views == ("V2",)
+        assert report.units_spent == 3.0
+
+    def test_bucket_spans_chain_groups_not_items(self):
+        # Views sharing a chain group dispatch (and debit) together.
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [("V0", (0,), 1.0, "a"), ("V1", (0,), 2.0, "b")], CHANGES
+        )
+        report = SynchronizationScheduler(
+            budget_units=1.5, degrade="defer"
+        ).execute(plan, runtime)
+        assert [name for name, _ in runtime.replayed] == ["V0", "V1"]
+        assert report.deferred == ()
+        assert report.units_spent == 3.0
+
+    def test_unpriceable_views_debit_nothing(self):
+        runtime = RecordingRuntime()
+        plan = make_plan(
+            [("V0", (0,), float("inf"), "a"), ("V1", (1,), 1.0, "b")],
+            CHANGES,
+        )
+        report = SynchronizationScheduler(
+            budget_units=10.0, degrade="defer"
+        ).execute(plan, runtime)
+        assert report.deferred == ()
+        assert report.units_spent == 1.0
+
+    def test_zero_units_defer_and_resume_reaches_serial_outcome(self):
+        eve = build_system(materialize=True)
+        batch = [DeleteRelation("IS0", "R0")]
+        results = eve.apply_changes(
+            batch,
+            scheduler=SynchronizationScheduler(
+                budget_units=0.0, degrade="defer"
+            ),
+        )
+        assert results == []
+        assert eve.resume_deferred() != []
+        reference = build_system(materialize=True)
+        reference.apply_changes(batch)
+        assert fingerprint(eve) == fingerprint(reference)
+        assert sorted(eve.extent("V0").rows) == sorted(
+            reference.extent("V0").rows
+        )
+
+    def test_partial_bucket_through_the_system_is_deterministic(self):
+        # A tiny bucket admits exactly the first (cheapest-to-salvage)
+        # chain group — dispatch checks the bucket *before* debiting —
+        # and parks the rest; resuming reaches the serial outcome.
+        eve = build_system(materialize=True)
+        batch = [DeleteRelation("IS0", "R0"), DeleteRelation("IS0", "R1")]
+        eve.apply_changes(
+            batch,
+            scheduler=SynchronizationScheduler(
+                budget_units=0.5, degrade="defer"
+            ),
+        )
+        report = eve.last_schedule[0]
+        dispatched = {result.view_name for result in report.results}
+        parked = {record.view_name for record in report.deferred}
+        # Exactly one chain group ran: either R1's lone view or R0's
+        # pair (cost order picks the cheaper bound), never a mix.
+        assert dispatched in ({"V2"}, {"V0", "V1"})
+        assert parked == {"V0", "V1", "V2"} - dispatched
+        assert report.units_spent > 0.5
+        assert "cost units" in report.deferred[0].reason
+        resumed = eve.resume_deferred()
+        assert {result.view_name for result in resumed} == parked
+        reference = build_system(materialize=True)
+        reference.apply_changes(batch)
+        assert fingerprint(eve) == fingerprint(reference)

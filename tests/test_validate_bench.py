@@ -29,7 +29,9 @@ def committed(name):
 
 
 class TestStructuralValidation:
-    @pytest.mark.parametrize("name", ["engine", "sync", "scheduler"])
+    @pytest.mark.parametrize(
+        "name", ["engine", "sync", "scheduler", "maintenance"]
+    )
     def test_committed_payloads_validate(self, name):
         validate_payload(name, committed(name))
 
@@ -42,6 +44,12 @@ class TestStructuralValidation:
         payload["parallel_storm"]["outcomes_equal"] = False
         with pytest.raises(BenchValidationError, match="diverged"):
             validate_payload("scheduler", payload)
+
+    def test_maintenance_counters_invariant_enforced(self):
+        payload = committed("maintenance")
+        payload["update_storm"]["counters_equal"] = False
+        with pytest.raises(BenchValidationError, match="counters diverged"):
+            validate_payload("maintenance", payload)
 
     def test_unknown_bench_rejected(self):
         with pytest.raises(BenchValidationError, match="no validator"):
