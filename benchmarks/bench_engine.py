@@ -34,6 +34,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from conftest import emit, emit_json  # noqa: E402
 
+from repro.config import EngineConfig, MaintenanceConfig, SystemConfig  # noqa: E402
+from repro.core.eve import EVESystem  # noqa: E402
 from repro.core.report import format_table  # noqa: E402
 from repro.esql.evaluator import evaluate_view  # noqa: E402
 from repro.esql.parser import parse_view  # noqa: E402
@@ -81,11 +83,11 @@ def bench_view_evaluation(rows: int, t_rows: int = 400) -> dict:
     view = parse_view(_EVALUATION_VIEW)
 
     start = time.perf_counter()
-    naive = evaluate_view(view, relations, engine="naive")
+    naive = evaluate_view(view, relations, config=EngineConfig(engine="naive"))
     naive_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    indexed = evaluate_view(view, relations, engine="indexed")
+    indexed = evaluate_view(view, relations, config=EngineConfig(engine="indexed"))
     indexed_seconds = time.perf_counter() - start
 
     return {
@@ -102,7 +104,7 @@ def bench_view_evaluation_indexed_only(rows: int, t_rows: int = 400) -> dict:
     relations = _evaluation_relations(rows, t_rows)
     view = parse_view(_EVALUATION_VIEW)
     start = time.perf_counter()
-    extent = evaluate_view(view, relations, engine="indexed")
+    extent = evaluate_view(view, relations, config=EngineConfig(engine="indexed"))
     seconds = time.perf_counter() - start
     return {
         "rows": rows,
@@ -137,7 +139,9 @@ def _run_maintenance(rows: int, updates: int, use_index: bool):
         "CREATE VIEW V AS SELECT R.A, S.C FROM R, S WHERE R.A = S.A"
     )
     extent = evaluate_view(view, space.relations())
-    maintainer = ViewMaintainer(space, use_index=use_index)
+    maintainer = ViewMaintainer(
+        space, config=MaintenanceConfig(use_index=use_index)
+    )
     source = space.source("IS1")
     start = time.perf_counter()
     for k in range(updates):
@@ -270,6 +274,35 @@ def bench_synchronize_and_rank(rows: int, rounds: int = 10) -> dict:
 
 
 # ----------------------------------------------------------------------
+# System surface: the same salvage, end to end through EVESystem
+# ----------------------------------------------------------------------
+def bench_system_surface(rows: int) -> tuple[dict, dict]:
+    """Drive the Scenario-3 salvage through ``EVESystem.apply_changes``
+    and return the summary plus the run's serializable SystemReport —
+    the payload every BENCH file now embeds for ``validate_bench.py``."""
+    from repro.space.changes import DeleteRelation
+
+    space = _synchronization_space(rows)
+    eve = EVESystem(space=space, config=SystemConfig.fast())
+    eve.define_view(parse_view(_SYNC_VIEW))
+    start = time.perf_counter()
+    results = eve.apply_changes([DeleteRelation("IS1", "R")])
+    seconds = time.perf_counter() - start
+    report = eve.last_report
+    summary = {
+        "synchronizations": len(results),
+        "survived": sum(1 for r in results if r.survived),
+        "seconds": round(seconds, 6),
+        "winner_qc": (
+            round(results[0].chosen.qc, 6)
+            if results and results[0].chosen
+            else None
+        ),
+    }
+    return summary, report.to_dict()
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def run(
@@ -287,6 +320,9 @@ def run(
     payload["view_evaluation"] = bench_view_evaluation(rows, t_rows)
     payload["maintenance_propagation"] = bench_maintenance(rows, updates)
     payload["synchronize_and_rank"] = bench_synchronize_and_rank(rows, rounds)
+    payload["system_surface"], payload["system_report"] = (
+        bench_system_surface(rows)
+    )
     if large_rows:
         payload["view_evaluation_large"] = bench_view_evaluation_indexed_only(
             large_rows, t_rows

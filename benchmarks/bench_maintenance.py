@@ -39,6 +39,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from conftest import emit, emit_json  # noqa: E402
 
+from repro.config import MaintenanceConfig, SystemConfig  # noqa: E402
+from repro.core.eve import EVESystem  # noqa: E402
 from repro.core.report import format_table  # noqa: E402
 from repro.esql.evaluator import evaluate_view  # noqa: E402
 from repro.maintenance.simulator import ViewMaintainer  # noqa: E402
@@ -63,7 +65,9 @@ def _run_lane(
     scenario = build_maintenance_storm_scenario(updates=updates, rows=rows)
     space, view = scenario.space, scenario.view
     extent = evaluate_view(view, space.relations())
-    maintainer = ViewMaintainer(space, representation=representation)
+    maintainer = ViewMaintainer(
+        space, config=MaintenanceConfig(representation=representation)
+    )
     start = time.perf_counter()
     if batched:
         applied = list(_replay(space, scenario.updates))
@@ -75,7 +79,21 @@ def _run_lane(
     return seconds, extent, maintainer.counters
 
 
-def bench_update_storm(updates: int, rows: int) -> dict:
+def _run_system_lane(updates: int, rows: int):
+    """The whole stream through EVESystem.apply_updates (tuple plane,
+    join-graph flush batching) — the surface operators actually call.
+    Returns the wall clock, the final extent, the per-call counters,
+    and the run's serializable SystemReport."""
+    scenario = build_maintenance_storm_scenario(updates=updates, rows=rows)
+    eve = EVESystem(space=scenario.space, config=SystemConfig.fast())
+    eve.define_view(scenario.view)
+    start = time.perf_counter()
+    counters = eve.apply_updates(scenario.updates)
+    seconds = time.perf_counter() - start
+    return seconds, eve.extent(scenario.view.name), counters, eve.last_report
+
+
+def bench_update_storm(updates: int, rows: int) -> tuple[dict, dict]:
     dict_seconds, dict_extent, dict_counters = _run_lane(
         updates, rows, "dict", batched=False
     )
@@ -84,6 +102,9 @@ def bench_update_storm(updates: int, rows: int) -> dict:
     )
     batch_seconds, batch_extent, batch_counters = _run_lane(
         updates, rows, "tuple", batched=True
+    )
+    system_seconds, system_extent, system_counters, system_report = (
+        _run_system_lane(updates, rows)
     )
 
     def factors(counters):
@@ -97,9 +118,12 @@ def bench_update_storm(updates: int, rows: int) -> dict:
         factors(dict_counters)
         == factors(tuple_counters)
         == factors(batch_counters)
+        == factors(system_counters)
     )
-    extents_equal = dict_extent == tuple_extent == batch_extent
-    return {
+    extents_equal = (
+        dict_extent == tuple_extent == batch_extent == system_extent
+    )
+    storm = {
         "updates": updates,
         "rows": rows,
         "dict_seconds": round(dict_seconds, 6),
@@ -109,6 +133,11 @@ def bench_update_storm(updates: int, rows: int) -> dict:
         # reference (the acceptance floor is 3x on full runs).
         "speedup": round(dict_seconds / max(batch_seconds, 1e-9), 2),
         "tuple_speedup": round(dict_seconds / max(tuple_seconds, 1e-9), 2),
+        "system_seconds": round(system_seconds, 6),
+        "system_speedup": round(
+            dict_seconds / max(system_seconds, 1e-9), 2
+        ),
+        "system_flushes": len(system_report.flushes),
         "counters_equal": counters_equal,
         "extents_equal": extents_equal,
         "final_extent": batch_extent.cardinality,
@@ -116,14 +145,17 @@ def bench_update_storm(updates: int, rows: int) -> dict:
         "bytes_transferred": batch_counters.bytes_transferred,
         "io_operations": batch_counters.io_operations,
     }
+    return storm, system_report.to_dict()
 
 
 def run(updates: int = 10_000, rows: int = 4_000) -> dict:
+    storm, system_report = bench_update_storm(updates, rows)
     return {
         "benchmark": "maintenance",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
-        "update_storm": bench_update_storm(updates, rows),
+        "update_storm": storm,
+        "system_report": system_report,
     }
 
 
@@ -147,6 +179,12 @@ def report(payload: dict) -> None:
             "same stream",
             f"{storm['batch_seconds']:.3f}s",
             f"{storm['speedup']:.1f}x",
+        ),
+        (
+            "EVESystem.apply_updates",
+            f"same stream, {storm['system_flushes']} flush(es)",
+            f"{storm['system_seconds']:.3f}s",
+            f"{storm['system_speedup']:.1f}x",
         ),
     ]
     emit(

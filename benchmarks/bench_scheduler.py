@@ -46,6 +46,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from conftest import emit, emit_json  # noqa: E402
 
+from repro.config import ScheduleConfig  # noqa: E402
 from repro.core.eve import EVESystem  # noqa: E402
 from repro.core.report import format_table  # noqa: E402
 from repro.sync.scheduler import SynchronizationScheduler  # noqa: E402
@@ -85,11 +86,11 @@ def _run(scheduler: SynchronizationScheduler | None, **stress_args):
 # ----------------------------------------------------------------------
 # Scenario 1: serial reference vs parallel + coalescing scheduler
 # ----------------------------------------------------------------------
-def bench_parallel_storm(workers: int, **stress_args) -> dict:
+def bench_parallel_storm(workers: int, **stress_args) -> tuple[dict, dict]:
     serial_eve, serial_results, serial_seconds = _run(None, **stress_args)
 
     parallel = SynchronizationScheduler(
-        executor="threads", max_workers=workers, coalesce=True
+        ScheduleConfig(executor="threads", max_workers=workers, coalesce=True)
     )
     parallel_eve, parallel_results, parallel_seconds = _run(
         parallel, **stress_args
@@ -97,7 +98,7 @@ def bench_parallel_storm(workers: int, **stress_args) -> dict:
 
     # Ablation: executor parallelism alone, no search coalescing.
     threads_only = SynchronizationScheduler(
-        executor="threads", max_workers=workers
+        ScheduleConfig(executor="threads", max_workers=workers)
     )
     _, _, threads_only_seconds = _run(threads_only, **stress_args)
 
@@ -109,11 +110,16 @@ def bench_parallel_storm(workers: int, **stress_args) -> dict:
         (r.view_name, r.chosen.qc if r.chosen else None)
         for r in parallel_results
     ]
-    report = parallel_eve.last_schedule[0]
-    return {
+    # The scheduling facts come from the run's SystemReport — the
+    # serializable surface the system now exposes for exactly this.
+    system_report = parallel_eve.last_report.to_dict()
+    (batch,) = system_report["schedule"]["batches"]
+    storm = {
         "views": stress_args.get("views", 1000),
         "changes": stress_args.get("view_relations", 100),
-        "synchronizations": len(parallel_results),
+        "synchronizations": len(
+            system_report["synchronization"]["views"]
+        ),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": (
@@ -126,11 +132,12 @@ def bench_parallel_storm(workers: int, **stress_args) -> dict:
             else 0.0
         ),
         "outcomes_equal": outcomes_equal and qc_equal,
-        "coalesced_searches": report.coalesced,
-        "workers": report.workers,
-        "executor": report.executor,
+        "coalesced_searches": batch["coalesced"],
+        "workers": batch["workers"],
+        "executor": batch["executor"],
         "cpu_count": os.cpu_count() or 1,
     }
+    return storm, system_report
 
 
 # ----------------------------------------------------------------------
@@ -145,20 +152,22 @@ def bench_deadline_sweep(
     for label, fraction in fractions.items():
         budget = None if fraction is None else serial_seconds * fraction
         scheduler = SynchronizationScheduler(
-            executor="threads",
-            max_workers=workers,
-            coalesce=True,
-            budget=budget,
-            degrade="first_legal",
+            ScheduleConfig(
+                executor="threads",
+                max_workers=workers,
+                coalesce=True,
+                budget=budget,
+                degrade="first_legal",
+            )
         )
         eve, results, seconds = _run(scheduler, **stress_args)
-        report = eve.last_schedule[0]
+        report = eve.last_report
         sweep[label] = {
             "budget_seconds": budget,
             "wall_seconds": seconds,
             "synchronized": len(results),
             "degraded": len(report.degraded_views),
-            "deferred": len(report.deferred),
+            "deferred": len(report.deferred_views),
             "qc_achieved": sum(
                 result.chosen.qc for result in results if result.chosen
             ),
@@ -167,12 +176,10 @@ def bench_deadline_sweep(
     # The defer path: a zero budget parks everything explicitly, and
     # resume_deferred replays it to the exact unbounded outcome.
     deferring = SynchronizationScheduler(
-        budget=0.0, degrade="defer", coalesce=True
+        ScheduleConfig(budget=0.0, degrade="defer", coalesce=True)
     )
     eve, results, _ = _run(deferring, **stress_args)
-    deferred_count = sum(
-        len(report.deferred) for report in eve.last_schedule
-    )
+    deferred_count = len(eve.last_report.deferred_views)
     resumed = eve.resume_deferred()
     reference_eve, _, _ = _run(None, **stress_args)
     sweep["zero_defer"] = {
@@ -212,7 +219,7 @@ def main(argv=None) -> None:
         )
         workers = min(8, max(2, (os.cpu_count() or 1)))
 
-    storm = bench_parallel_storm(workers, **stress_args)
+    storm, system_report = bench_parallel_storm(workers, **stress_args)
     emit(
         format_table(
             ["metric", "value"],
@@ -294,6 +301,7 @@ def main(argv=None) -> None:
         {
             "parallel_storm": storm,
             "deadline_sweep": sweep,
+            "system_report": system_report,
             "config": {"smoke": args.smoke, **stress_args},
         },
     )

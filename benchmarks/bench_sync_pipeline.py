@@ -72,7 +72,7 @@ def _storm_fingerprint(eve: EVESystem) -> list[tuple]:
     ]
 
 
-def bench_batched_dispatch(**storm_args) -> dict:
+def bench_batched_dispatch(**storm_args) -> tuple[dict, dict]:
     eager_eve, changes = _storm_system(**storm_args)
     eager_eve.auto_synchronize = False
     start = perf_counter()
@@ -95,16 +95,26 @@ def bench_batched_dispatch(**storm_args) -> dict:
     outcomes_equal = _storm_fingerprint(eager_eve) == _storm_fingerprint(
         batched_eve
     )
-    return {
+    # Per-call accounting now rides on the serializable SystemReport;
+    # the dispatch metrics below consume it instead of re-deriving from
+    # the raw result list.
+    system_report = batched_eve.last_report.to_dict()
+    dispatch = {
         "views": storm_args.get("views", 1000),
         "changes": len(changes),
-        "synchronizations": len(results),
+        "synchronizations": len(
+            system_report["synchronization"]["views"]
+        ),
+        "survived": system_report["synchronization"]["survived"],
+        "undefined": system_report["synchronization"]["undefined"],
         "eager_synchronizations": synchronizations,
         "eager_seconds": eager_seconds,
         "batched_seconds": batched_seconds,
         "speedup": eager_seconds / batched_seconds if batched_seconds else 0.0,
         "outcomes_equal": outcomes_equal,
     }
+    assert len(results) == dispatch["synchronizations"]
+    return dispatch, system_report
 
 
 # ----------------------------------------------------------------------
@@ -251,7 +261,7 @@ def main(argv=None) -> None:
         )
         donors, attributes = 6, 5
 
-    dispatch = bench_batched_dispatch(**storm_args)
+    dispatch, system_report = bench_batched_dispatch(**storm_args)
     emit(
         format_table(
             ["metric", "value"],
@@ -325,6 +335,7 @@ def main(argv=None) -> None:
             "batched_dispatch": dispatch,
             "pruned_ranking": ranking,
             "policy_sweep": sweep,
+            "system_report": system_report,
             "config": {"smoke": args.smoke},
         },
     )

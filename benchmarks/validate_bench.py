@@ -59,6 +59,97 @@ class BenchValidationError(Exception):
     """A BENCH payload violated its structural or invariant contract."""
 
 
+#: The SystemReport schema version this validator understands (kept in
+#: lockstep with ``repro.report.REPORT_SCHEMA_VERSION``).
+SYSTEM_REPORT_SCHEMA_VERSION = 1
+
+
+def validate_system_report(report: dict, context: str = "system_report") -> None:
+    """Validate one embedded ``SystemReport.to_dict()`` payload.
+
+    Every benchmark driver embeds the :class:`repro.report.SystemReport`
+    of its system-level run; this checks the stable schema (version,
+    sections, per-view rows) and the cross-section consistency
+    invariants (survived/undefined totals, non-negative counters).
+    """
+    if not isinstance(report, dict):
+        raise BenchValidationError(f"{context}: not a mapping")
+    if report.get("schema_version") != SYSTEM_REPORT_SCHEMA_VERSION:
+        raise BenchValidationError(
+            f"{context}: schema_version "
+            f"{report.get('schema_version')!r} != "
+            f"{SYSTEM_REPORT_SCHEMA_VERSION}"
+        )
+    if report.get("operation") not in ("apply_changes", "apply_updates"):
+        raise BenchValidationError(
+            f"{context}: unknown operation {report.get('operation')!r}"
+        )
+    for section in ("synchronization", "schedule", "maintenance"):
+        if section not in report:
+            raise BenchValidationError(
+                f"{context}: missing section {section!r}"
+            )
+    sync = report["synchronization"]
+    for field in ("views", "counters", "survived", "undefined"):
+        if field not in sync:
+            raise BenchValidationError(
+                f"{context}: synchronization: missing {field!r}"
+            )
+    views = sync["views"]
+    _invariant(
+        sync["survived"] + sync["undefined"] == len(views),
+        f"{context}: survived+undefined != len(views)",
+    )
+    for row in views:
+        for field in ("view", "change", "survived", "qc", "policy"):
+            if field not in row:
+                raise BenchValidationError(
+                    f"{context}: view row missing {field!r}"
+                )
+        _invariant(
+            row["survived"] == (row["qc"] is not None),
+            f"{context}: view {row['view']!r} survival/qc mismatch",
+        )
+    for batch in report["schedule"]["batches"]:
+        for field in ("executor", "workers", "views", "coalesced",
+                      "wall_seconds"):
+            if field not in batch:
+                raise BenchValidationError(
+                    f"{context}: schedule batch missing {field!r}"
+                )
+        _invariant(
+            batch["wall_seconds"] >= 0.0,
+            f"{context}: negative wall_seconds",
+        )
+    maintenance = report["maintenance"]
+    for field in ("flushes", "counters", "updates"):
+        if field not in maintenance:
+            raise BenchValidationError(
+                f"{context}: maintenance: missing {field!r}"
+            )
+    counters = maintenance["counters"]
+    for field in ("messages", "bytes_transferred", "io_operations"):
+        _invariant(
+            counters.get(field, -1) >= 0,
+            f"{context}: maintenance counter {field!r} missing/negative",
+        )
+    _invariant(
+        maintenance["updates"]
+        == sum(flush.get("updates", 0) for flush in maintenance["flushes"]),
+        f"{context}: flush update totals disagree",
+    )
+
+
+def _require_system_report(payload: dict, name: str) -> None:
+    if "system_report" not in payload:
+        raise BenchValidationError(
+            f"{name}: missing section 'system_report'"
+        )
+    validate_system_report(
+        payload["system_report"], f"{name}: system_report"
+    )
+
+
 def _require(payload: dict, name: str, sections: dict) -> None:
     for section, fields in sections.items():
         if section not in payload:
@@ -100,6 +191,7 @@ def validate_engine(payload: dict) -> None:
         payload["synchronize_and_rank"]["rankings_identical"],
         "cached ranking diverged",
     )
+    _require_system_report(payload, "BENCH_engine")
 
 
 def validate_sync(payload: dict) -> None:
@@ -130,6 +222,7 @@ def validate_sync(payload: dict) -> None:
         ranking["assessed_pruned"] <= ranking["assessed_exhaustive"],
         "pruning assessed more than exhaustive",
     )
+    _require_system_report(payload, "BENCH_sync")
 
 
 def validate_scheduler(payload: dict) -> None:
@@ -164,6 +257,7 @@ def validate_scheduler(payload: dict) -> None:
         sweep["unbounded"]["degraded"] == 0,
         "unbounded run degraded views",
     )
+    _require_system_report(payload, "BENCH_scheduler")
 
 
 def validate_maintenance(payload: dict) -> None:
@@ -191,6 +285,7 @@ def validate_maintenance(payload: dict) -> None:
         storm["extents_equal"],
         "delta-plane extents diverged across representations",
     )
+    _require_system_report(payload, "BENCH_maintenance")
 
 
 VALIDATORS = {

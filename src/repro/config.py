@@ -1,0 +1,409 @@
+"""Typed, validated, serializable configuration profiles for the system.
+
+Four PRs of growth scattered the system's controls across five
+constructors as stringly-typed kwargs (``policy="pruned"``,
+``engine="naive"``, ``use_index=``, ``representation=``, ``executor=``,
+``degrade=``, ``order=``, ``coalesce=``, ``budget=``,
+``budget_units=``).  This module replaces that flag soup with one
+declarative surface:
+
+* :class:`EngineConfig` — how view extents are *computed*
+  (``esql.evaluator``): compiled-tuple indexed engine vs the naive
+  dict-binding reference, and whether equijoins may probe hash indexes.
+* :class:`SearchConfig` — how rewritings are *searched*
+  (``sync.pipeline`` / ``sync.generators``): search policy, generator
+  chain, top-k width.
+* :class:`ScheduleConfig` — how batch synchronization is *dispatched*
+  (``sync.scheduler``): executor, workers, wall-clock / modeled-unit
+  budgets, degradation mode, ordering, coalescing.
+* :class:`MaintenanceConfig` — how deltas are *propagated*
+  (``maintenance.simulator``): tuple vs dict delta plane, index probes.
+
+:class:`SystemConfig` composes the four slices and is the one object
+:class:`~repro.core.eve.EVESystem` is configured with.  Named presets
+(:meth:`SystemConfig.reference`, :meth:`SystemConfig.fast`,
+:meth:`SystemConfig.bounded`) capture the parity planes the property
+tests pin against each other, and :meth:`SystemConfig.to_dict` /
+:meth:`SystemConfig.from_dict` round-trip losslessly through JSON so
+benchmarks, CI, and scenario sweeps declare configurations as data.
+
+Every field is validated at construction; invalid values raise
+:class:`~repro.errors.ConfigurationError` regardless of which subsystem
+the field configures.  All profiles are frozen: a configuration is a
+value, shared freely and compared with ``==``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EngineConfig",
+    "MaintenanceConfig",
+    "ScheduleConfig",
+    "SearchConfig",
+    "SystemConfig",
+    "warn_legacy_kwargs",
+]
+
+
+_ENGINES = ("indexed", "naive")
+_REPRESENTATIONS = ("tuple", "dict")
+_EXECUTORS = ("serial", "threads", "processes")
+_DEGRADE_MODES = ("first_legal", "defer")
+_ORDERS = ("cost", "plan")
+
+
+def warn_legacy_kwargs(api: str, replacement: str, names) -> None:
+    """Emit the one :class:`DeprecationWarning` a legacy spelling earns.
+
+    Every constructor that still accepts pre-config kwargs funnels
+    through here, so each call site warns exactly once (listing every
+    legacy kwarg it used) and the message always names the config slice
+    that replaces the spelling.
+    """
+    listed = ", ".join(sorted(names))
+    warnings.warn(
+        f"{api}: the {listed} keyword(s) are deprecated; "
+        f"pass {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _require_choice(value: str, choices: tuple[str, ...], what: str) -> None:
+    _require(
+        value in choices,
+        f"unknown {what} {value!r}; expected one of {', '.join(choices)}",
+    )
+
+
+# ----------------------------------------------------------------------
+# The four slices
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """How view extents are computed (:func:`repro.esql.evaluator.evaluate_view`).
+
+    ``engine``
+        ``"indexed"`` (default) — compiled positional-tuple predicates,
+        greedy cardinality join order; ``"naive"`` — the literal-order
+        dict-binding reference engine.
+    ``use_index``
+        Whether the indexed engine's equijoin steps may probe hash
+        indexes; ``False`` keeps the compiled-tuple plane but joins by
+        nested loops (ignored by the naive engine, which never probes).
+    """
+
+    engine: str = "indexed"
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        _require_choice(self.engine, _ENGINES, "evaluation engine")
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """How rewritings are searched (:class:`~repro.sync.pipeline.RewritingSearchPipeline`).
+
+    ``policy``
+        ``"exhaustive"`` | ``"pruned"`` (default) | ``"top_k"`` |
+        ``"first_legal"``; the ``"top_k(3)"`` string spelling is also
+        accepted and normalized into ``policy="top_k", top_k=3``.
+    ``top_k``
+        Ranking width when ``policy="top_k"`` (must be >= 1 there,
+        unset otherwise).
+    ``generators``
+        The candidate-generator chain, as registry names
+        (:data:`~repro.sync.generators.GENERATOR_REGISTRY`) in chain
+        order — the order fixes candidate ordering and every downstream
+        tie-break.
+    """
+
+    policy: str = "pruned"
+    top_k: int | None = None
+    generators: tuple[str, ...] = (
+        "rename",
+        "drop",
+        "attribute_replacement",
+        "relation_replacement",
+    )
+
+    def __post_init__(self) -> None:
+        from repro.sync.generators import GENERATOR_REGISTRY
+
+        policy, k = self.policy, self.top_k
+        if policy.startswith("top_k(") and policy.endswith(")"):
+            try:
+                parsed = int(policy[len("top_k(") : -1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"malformed search policy {policy!r}; "
+                    f"expected top_k(<int>)"
+                ) from None
+            _require(
+                k is None or k == parsed,
+                f"search policy {policy!r} conflicts with top_k={k}",
+            )
+            policy, k = "top_k", parsed
+            object.__setattr__(self, "policy", policy)
+            object.__setattr__(self, "top_k", k)
+        _require_choice(
+            policy,
+            ("exhaustive", "pruned", "top_k", "first_legal"),
+            "search policy",
+        )
+        if policy == "top_k":
+            _require(
+                k is not None and k >= 1,
+                "search policy 'top_k' needs top_k >= 1",
+            )
+        else:
+            _require(
+                k is None,
+                f"top_k={k} is only meaningful with policy='top_k'",
+            )
+        object.__setattr__(self, "generators", tuple(self.generators))
+        for name in self.generators:
+            _require(
+                name in GENERATOR_REGISTRY,
+                f"unknown candidate generator {name!r}; expected one of "
+                f"{', '.join(sorted(GENERATOR_REGISTRY))}",
+            )
+
+    def search_policy(self):
+        """The equivalent :class:`~repro.sync.pipeline.SearchPolicy`."""
+        from repro.sync.pipeline import SearchPolicy
+
+        if self.policy == "top_k":
+            return SearchPolicy.top_k(self.top_k)
+        return SearchPolicy(self.policy)
+
+    @classmethod
+    def from_policy(cls, policy) -> "SearchConfig":
+        """The slice a :class:`~repro.sync.pipeline.SearchPolicy` maps to
+        (used by the legacy ``policy=`` shims)."""
+        if policy.kind == "top_k":
+            return cls(policy="top_k", top_k=policy.k)
+        return cls(policy=policy.kind)
+
+    def build_generators(self):
+        """Instantiate the configured generator chain, in order."""
+        from repro.sync.generators import generators_from_names
+
+        return generators_from_names(self.generators)
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """How batch synchronization is dispatched (:class:`~repro.sync.scheduler.SynchronizationScheduler`).
+
+    Field semantics are the scheduler's: ``executor`` in ``serial`` |
+    ``threads`` | ``processes``; ``budget`` in wall-clock seconds and
+    ``budget_units`` in modeled Eq. 24 cost units (either exhausts the
+    other); ``degrade`` in ``first_legal`` | ``defer``; ``order`` in
+    ``cost`` | ``plan``; ``coalesce`` runs one search per structural
+    equivalence class.
+    """
+
+    executor: str = "serial"
+    max_workers: int | None = None
+    budget: float | None = None
+    budget_units: float | None = None
+    degrade: str = "first_legal"
+    order: str = "cost"
+    coalesce: bool = False
+
+    def __post_init__(self) -> None:
+        _require_choice(self.executor, _EXECUTORS, "executor")
+        _require_choice(self.degrade, _DEGRADE_MODES, "degrade mode")
+        _require_choice(self.order, _ORDERS, "order")
+        _require(
+            self.budget is None or self.budget >= 0,
+            "budget must be >= 0 seconds",
+        )
+        _require(
+            self.budget_units is None or self.budget_units >= 0,
+            "budget_units must be >= 0",
+        )
+        _require(
+            self.max_workers is None or self.max_workers >= 1,
+            "max_workers must be >= 1",
+        )
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """How deltas are propagated (:class:`~repro.maintenance.simulator.ViewMaintainer`).
+
+    ``representation``
+        ``"tuple"`` (default) — the compiled positional-tuple delta
+        plane; ``"dict"`` — the per-row binding reference plane.
+    ``use_index``
+        Whether single-site queries may probe the local relation's hash
+        index (``False`` forces nested loops).  Modeled CF_M/CF_T/CF_IO
+        counters are byte-identical across all four combinations.
+    """
+
+    representation: str = "tuple"
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        _require_choice(
+            self.representation, _REPRESENTATIONS, "delta representation"
+        )
+
+
+# ----------------------------------------------------------------------
+# The composed system profile
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemConfig:
+    """One declarative profile for the whole EVE stack.
+
+    ``EVESystem(config=SystemConfig(...))`` is the single entry point;
+    each subsystem receives its slice.  Three named presets cover the
+    planes the benchmarks and property tests exercise:
+
+    * :meth:`reference` — naive engine, dict delta plane, no index
+      probes, serial plan-order dispatch, exhaustive search: the
+      everything-eager parity plane every optimization is compared to.
+    * :meth:`fast` — indexed engine, tuple delta plane, pruned search,
+      threaded coalescing dispatch: the production-shaped plane.
+    * :meth:`bounded` — :meth:`fast` under a budget (modeled cost units
+      and/or wall-clock seconds) with a degradation mode.
+
+    All presets and the default commit byte-identical winners,
+    QC-Values, extents, and modeled CF_M/CF_T/CF_IO counters — enforced
+    by ``tests/property/test_config_parity.py``.
+    """
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
+    maintenance: MaintenanceConfig = field(default_factory=MaintenanceConfig)
+
+    def __post_init__(self) -> None:
+        for name, type_ in (
+            ("engine", EngineConfig),
+            ("search", SearchConfig),
+            ("schedule", ScheduleConfig),
+            ("maintenance", MaintenanceConfig),
+        ):
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                object.__setattr__(self, name, type_(**value))
+            elif not isinstance(value, type_):
+                raise ConfigurationError(
+                    f"SystemConfig.{name} must be a {type_.__name__} "
+                    f"(or a mapping of its fields), got {value!r}"
+                )
+
+    # -- presets --------------------------------------------------------
+    @classmethod
+    def reference(cls) -> "SystemConfig":
+        """The naive / dict / serial parity plane (everything eager)."""
+        return cls(
+            engine=EngineConfig(engine="naive", use_index=False),
+            search=SearchConfig(policy="exhaustive"),
+            schedule=ScheduleConfig(order="plan"),
+            maintenance=MaintenanceConfig(
+                representation="dict", use_index=False
+            ),
+        )
+
+    @classmethod
+    def fast(cls) -> "SystemConfig":
+        """Indexed / tuple / pruned / coalesced: the production plane."""
+        return cls(
+            schedule=ScheduleConfig(executor="threads", coalesce=True),
+        )
+
+    @classmethod
+    def bounded(
+        cls,
+        budget_units: float | None = None,
+        budget: float | None = None,
+        degrade: str = "first_legal",
+    ) -> "SystemConfig":
+        """:meth:`fast` under a modeled-cost and/or wall-clock budget."""
+        _require(
+            budget_units is not None or budget is not None,
+            "bounded() needs budget_units and/or budget",
+        )
+        return cls(
+            schedule=ScheduleConfig(
+                executor="threads",
+                coalesce=True,
+                budget=budget,
+                budget_units=budget_units,
+                degrade=degrade,
+            ),
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendition (JSON-safe, lossless under from_dict)."""
+        payload = asdict(self)
+        payload["search"]["generators"] = list(self.search.generators)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SystemConfig":
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        Unknown sections or fields raise
+        :class:`~repro.errors.ConfigurationError` — a typo'd sweep file
+        must fail loudly, not silently run the default.
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"SystemConfig payload must be a mapping, got {payload!r}"
+            )
+        sections = {
+            "engine": EngineConfig,
+            "search": SearchConfig,
+            "schedule": ScheduleConfig,
+            "maintenance": MaintenanceConfig,
+        }
+        unknown = set(payload) - set(sections)
+        _require(
+            not unknown,
+            f"unknown SystemConfig section(s): {', '.join(sorted(unknown))}",
+        )
+        kwargs = {}
+        for name, type_ in sections.items():
+            if name not in payload:
+                continue
+            section = payload[name]
+            if not isinstance(section, Mapping):
+                raise ConfigurationError(
+                    f"SystemConfig.{name} payload must be a mapping, "
+                    f"got {section!r}"
+                )
+            known = {f.name for f in fields(type_)}
+            bad = set(section) - known
+            _require(
+                not bad,
+                f"unknown {type_.__name__} field(s): "
+                f"{', '.join(sorted(bad))}",
+            )
+            kwargs[name] = type_(**section)
+        return cls(**kwargs)
+
+    def with_schedule(self, **changes) -> "SystemConfig":
+        """A copy with schedule fields replaced (sweep convenience)."""
+        return replace(self, schedule=replace(self.schedule, **changes))
+
+    def with_search(self, **changes) -> "SystemConfig":
+        """A copy with search fields replaced (sweep convenience)."""
+        return replace(self, search=replace(self.search, **changes))

@@ -32,11 +32,19 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.config import (
+    ScheduleConfig,
+    SearchConfig,
+    SystemConfig,
+    warn_legacy_kwargs,
+)
 from repro.errors import (
+    ConfigurationError,
     EvaluationError,
     SynchronizationError,
     ViewUndefinedError,
@@ -45,17 +53,28 @@ from repro.esql.ast import ViewDefinition
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
 from repro.esql.validate import ViewValidator
+from repro.events import (
+    BatchScheduled,
+    CacheInvalidated,
+    DegradedToFirstLegal,
+    EventBus,
+    SynchronizationDeferred,
+    ViewMaintained,
+    ViewSynchronized,
+)
 from repro.misd.statistics import RelationStatistics
 from repro.qc.assessment_cache import AssessmentCache
 from repro.qc.model import Evaluation, QCModel
 from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
 from repro.relational.relation import Relation
+from repro.report import MaintenanceFlush, SystemReport
 from repro.space.changes import (
     DeleteRelation,
     RenameRelation,
     SchemaChange,
 )
+from repro.space.source import clause_decidable
 from repro.space.space import InformationSpace
 from repro.space.updates import DataUpdate, UpdateKind
 from repro.sync.legality import check_legality
@@ -103,14 +122,70 @@ class SynchronizationResult:
         return [e.name for e in self.evaluations]
 
 
+class _PendingMaintenance:
+    """One view's unflushed update run inside :meth:`EVESystem.apply_updates`.
+
+    Carries the updates in stream order, the set of relations present
+    (the O(1) fast path of the join-graph boundary test), and the
+    cardinality overlays a deferred flush must price modeled I/O
+    against.  Overlays are captured *only at skip events*: between two
+    boundary events none of a pending update's priced relations can
+    change (any update to a relation the view references is itself a
+    boundary), so every update enqueued before a skip shares the
+    catalog state captured at that skip, and updates after the last
+    skip price the live catalog.  The common single-relation storm
+    therefore allocates nothing per update.
+    """
+
+    __slots__ = ("updates", "relations", "closed")
+
+    def __init__(self) -> None:
+        self.updates: list[DataUpdate] = []
+        self.relations: set[str] = set()
+        #: (end_index, sizes): updates[:end_index] not covered by an
+        #: earlier entry price against ``sizes``; past the last entry,
+        #: against the live catalog.
+        self.closed: list[tuple[int, dict[str, int]]] = []
+
+    def append(self, update: DataUpdate) -> None:
+        self.updates.append(update)
+        self.relations.add(update.relation)
+
+    def mark_boundary(self, sizes: dict[str, int]) -> None:
+        """A skipped foreign update is about to change the catalog:
+        freeze the pricing state for every update enqueued so far."""
+        end = len(self.updates)
+        if end and (not self.closed or self.closed[-1][0] != end):
+            self.closed.append((end, sizes))
+
+    def overlays(self) -> list[dict[str, int] | None] | None:
+        """Per-update ``relation_sizes`` for the flush (None = live)."""
+        if not self.closed:
+            return None
+        result: list[dict[str, int] | None] = []
+        boundary = 0
+        for end, sizes in self.closed:
+            result.extend([sizes] * (end - boundary))
+            boundary = end
+        result.extend([None] * (len(self.updates) - boundary))
+        return result
+
+
 class EVESystem:
     """End-to-end Evolvable View Environment over a simulated space.
 
-    ``policy`` selects the rewriting-search policy (see
-    :class:`~repro.sync.pipeline.SearchPolicy`): ``"pruned"`` (default)
-    commits the identical winner as ``"exhaustive"`` while skipping
-    provably-dominated assessments; ``"first_legal"`` reproduces the
-    original EVE prototype.
+    ``config`` (a :class:`~repro.config.SystemConfig`) is the one entry
+    point for every behavioural knob: evaluation engine, search policy
+    and generator chain, batch scheduling, and delta representation.
+    The pre-config ``policy=`` / ``scheduler=`` keyword spellings
+    survive one release behind :class:`DeprecationWarning` shims that
+    map onto the equivalent config.
+
+    Observers subscribe to the system's typed event bus
+    (:meth:`subscribe`); each :meth:`apply_changes` /
+    :meth:`apply_updates` call additionally aggregates its event
+    payloads into a serializable :class:`~repro.report.SystemReport`
+    exposed as :attr:`last_report`.
     """
 
     def __init__(
@@ -118,22 +193,65 @@ class EVESystem:
         params: TradeoffParameters | None = None,
         space: InformationSpace | None = None,
         auto_synchronize: bool = True,
-        policy: SearchPolicy | str = "pruned",
+        policy: SearchPolicy | str | None = None,
         scheduler: SynchronizationScheduler | None = None,
+        config: SystemConfig | None = None,
     ) -> None:
+        legacy = {
+            name
+            for name, value in (("policy", policy), ("scheduler", scheduler))
+            if value is not None
+        }
+        if legacy:
+            if config is not None:
+                raise ConfigurationError(
+                    "EVESystem: pass either config= or the legacy "
+                    f"keyword(s) {', '.join(sorted(legacy))}, not both"
+                )
+            warn_legacy_kwargs(
+                "EVESystem", "config=SystemConfig(...)", legacy
+            )
+            # Keep the profile truthful: the legacy spellings become
+            # the equivalent config slices (the supplied scheduler
+            # instance's own config is this system's schedule slice).
+            config = SystemConfig(
+                search=(
+                    SearchConfig.from_policy(SearchPolicy.of(policy))
+                    if policy is not None
+                    else SearchConfig()
+                ),
+                schedule=(
+                    scheduler.config
+                    if scheduler is not None
+                    else ScheduleConfig()
+                ),
+            )
+        #: The resolved system profile; every subsystem below is built
+        #: from its slice.
+        self.config = config if config is not None else SystemConfig()
         self.space = space if space is not None else InformationSpace()
         self.params = params if params is not None else TradeoffParameters()
         self.auto_synchronize = auto_synchronize
-        #: Batch executor: the default (serial, cost-ordered, no budget)
-        #: reproduces the sequential reference exactly; pass a
-        #: parallel/budgeted :class:`SynchronizationScheduler` to change
-        #: how `apply_changes` dispatches its work plan.
+        #: Typed event bus; see :meth:`subscribe`.
+        self.events = EventBus()
+        # Fork-based executors replay searches in child processes; an
+        # event observed there would fire again when the parent adopts
+        # the results, so emission is suppressed outside the owner pid.
+        self._owner_pid = os.getpid()
+        #: Batch executor built from ``config.schedule``: the default
+        #: (serial, cost-ordered, no budget) reproduces the sequential
+        #: reference exactly.
         self.scheduler = (
-            scheduler if scheduler is not None else SynchronizationScheduler()
+            scheduler
+            if scheduler is not None
+            else SynchronizationScheduler(self.config.schedule)
         )
         #: ScheduleReports of the most recent :meth:`apply_changes`
         #: call, one per chain-free sub-batch.
         self.last_schedule: tuple[ScheduleReport, ...] = ()
+        #: SystemReport of the most recent :meth:`apply_changes` or
+        #: :meth:`apply_updates` call (None before the first call).
+        self.last_report: SystemReport | None = None
         # Guards VKB commits and extent bookkeeping when a parallel
         # executor replays independent views concurrently.
         self._commit_lock = threading.Lock()
@@ -147,15 +265,19 @@ class EVESystem:
         # handler so rewritings are never scored against stale knowledge).
         self.assessment_cache = AssessmentCache()
         self.synchronizer = ViewSynchronizer(
-            self.space.mkb, cache=self.assessment_cache
+            self.space.mkb,
+            cache=self.assessment_cache,
+            generators=self.config.search.build_generators(),
         )
         self.qc_model = QCModel(
             self.space.mkb, self.params, cache=self.assessment_cache
         )
         self.pipeline = RewritingSearchPipeline(
-            self.synchronizer, self.qc_model, policy
+            self.synchronizer, self.qc_model, config=self.config.search
         )
-        self.maintainer = ViewMaintainer(self.space)
+        self.maintainer = ViewMaintainer(
+            self.space, config=self.config.maintenance
+        )
         #: True while :meth:`apply_updates` batches maintenance itself;
         #: the per-update listener backs off so updates are not
         #: propagated twice.
@@ -163,10 +285,23 @@ class EVESystem:
         self._extents: dict[str, Relation] = {}
         self._sync_log: list[SynchronizationResult] = []
         self.space.on_data_update(self._handle_data_update)
-        self.space.on_capability_change(
-            lambda change: self.assessment_cache.invalidate()
-        )
+        self.space.on_capability_change(self._invalidate_cache)
         self.space.on_capability_change(self._handle_capability_change)
+
+    def _invalidate_cache(self, change: SchemaChange) -> None:
+        self.assessment_cache.invalidate()
+        if self._observed(CacheInvalidated):
+            self.events.emit(CacheInvalidated("capability-change"))
+
+    def _observed(self, event_type) -> bool:
+        """Whether an event of this type should be built and emitted.
+
+        False in fork-executor children: the parent emits exactly once
+        when it adopts the child's results.
+        """
+        return os.getpid() == self._owner_pid and self.events.wants(
+            event_type
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -190,7 +325,27 @@ class EVESystem:
     ) -> Relation:
         # New relations change ownership maps and replacement routes.
         self.assessment_cache.invalidate()
+        if self._observed(CacheInvalidated):
+            self.events.emit(CacheInvalidated("relation-registered"))
         return self.space.register_relation(source, relation, statistics)
+
+    # ------------------------------------------------------------------
+    # Event bus
+    # ------------------------------------------------------------------
+    def subscribe(self, event_type, handler):
+        """Register ``handler`` for every event of ``event_type``.
+
+        ``event_type`` is one of the :mod:`repro.events` classes (or its
+        name); subscribing to :class:`~repro.events.SystemEvent` is the
+        firehose.  Handlers run synchronously on the emitting thread —
+        under a parallel scheduler that may be a worker thread — and
+        must not raise.  Returns ``handler`` (decorator-friendly).
+        """
+        return self.events.subscribe(event_type, handler)
+
+    def unsubscribe(self, event_type, handler) -> None:
+        """Remove one prior :meth:`subscribe` registration."""
+        self.events.unsubscribe(event_type, handler)
 
     # ------------------------------------------------------------------
     # View definition
@@ -208,7 +363,10 @@ class EVESystem:
         record = self.vkb.define(resolved)
         if materialize:
             self._extents[resolved.name] = evaluate_view(
-                resolved, self.space.relations(), self.space.mkb.statistics
+                resolved,
+                self.space.relations(),
+                self.space.mkb.statistics,
+                config=self.config.engine,
             )
         return record
 
@@ -225,7 +383,10 @@ class EVESystem:
         """Recompute the extent from scratch (full recomputation)."""
         view = self.vkb.current(view_name)
         self._extents[view_name] = evaluate_view(
-            view, self.space.relations(), self.space.mkb.statistics
+            view,
+            self.space.relations(),
+            self.space.mkb.statistics,
+            config=self.config.engine,
         )
         return self._extents[view_name]
 
@@ -235,11 +396,18 @@ class EVESystem:
     def _handle_data_update(self, update: DataUpdate) -> None:
         if self._defer_maintenance:
             return
+        observed = self._observed(ViewMaintained)
         for record in self.vkb.views_referencing(update.relation):
             extent = self._extents.get(record.name)
             if extent is None:
                 continue
-            self.maintainer.maintain(record.current, extent, update)
+            charged = self.maintainer.maintain(record.current, extent, update)
+            if observed:
+                self.events.emit(
+                    ViewMaintained(
+                        record.name, (update.relation,), 1, charged
+                    )
+                )
 
     def apply_updates(
         self,
@@ -256,52 +424,104 @@ class EVESystem:
         :meth:`~repro.maintenance.simulator.ViewMaintainer.maintain_batch`
         — one view resolution and one compiled tuple pipeline per run.
 
-        Outcomes are identical to the sequential per-update protocol:
-        a view's pending batch is flushed *before* applying any update
-        that targets a different relation the view references, which is
-        exactly the boundary past which earlier deltas would otherwise
-        join against rows from the future.  Single-relation streams —
-        the common storm shape — therefore batch end to end, while
-        pathologically interleaved streams degrade to per-update work,
-        never to wrong extents.
+        Outcomes are identical to the sequential per-update protocol.
+        A view's pending batch must be flushed before an update lands on
+        a *different* relation the view joins — past that boundary the
+        pending deltas would join against rows from the future.  The
+        boundary test is a *join-graph dependency analysis*, not a
+        relation-identity check: the incoming row is evaluated against
+        the view's WHERE clauses linking its relation to each pending
+        update's relation (plus the incoming relation's local
+        selections), and when every pending delta provably cannot join
+        the row — a failed equijoin key, a failed local filter — the
+        batch keeps growing across the boundary.  Modeled CF_IO prices
+        each update against an enqueue-time cardinality snapshot
+        (:class:`~repro.maintenance.simulator.ViewMaintainer`'s
+        ``relation_sizes`` overlay), so deferred flushes charge exactly
+        what the sequential protocol charged even though the catalog
+        has since moved on.  Single-relation streams — the common storm
+        shape — batch end to end, adversarial interleavings keep
+        batching as far as the join graph allows, and only updates that
+        can actually reach a pending delta force per-update work; never
+        wrong extents, never drifted counters
+        (``tests/property/test_delta_parity.py``).
 
-        Returns the maintenance counters accumulated by the stream.
+        Returns the maintenance counters accumulated by the stream;
+        per-flush accounting lands in :attr:`last_report` and on
+        :class:`~repro.events.ViewMaintained` events.
         """
         before = self.maintainer.counters.snapshot()
-        pending: dict[str, list[DataUpdate]] = {}
+        pending: dict[str, _PendingMaintenance] = {}
+        flushes: list[MaintenanceFlush] = []
 
         def flush(view_name: str) -> None:
-            batch = pending.pop(view_name)
+            work = pending.pop(view_name)
             record = self.vkb.record(view_name)
             extent = self._extents.get(view_name)
-            if record.alive and extent is not None:
-                self.maintainer.maintain_batch(record.current, extent, batch)
+            if not record.alive or extent is None:
+                return
+            charged = self.maintainer.maintain_batch(
+                record.current, extent, work.updates,
+                relation_sizes=work.overlays(),
+            )
+            relations: list[str] = []
+            for update in work.updates:
+                if update.relation not in relations:
+                    relations.append(update.relation)
+            flushes.append(
+                MaintenanceFlush(
+                    view_name, tuple(relations), len(work.updates), charged
+                )
+            )
+            if self._observed(ViewMaintained):
+                self.events.emit(
+                    ViewMaintained(
+                        view_name,
+                        tuple(relations),
+                        len(work.updates),
+                        charged,
+                    )
+                )
 
         was_deferred = self._defer_maintenance
         self._defer_maintenance = True
         try:
             for relation, kind, row in updates:
                 kind = UpdateKind(kind) if isinstance(kind, str) else kind
-                # Flush any view whose pending deltas would join against
-                # this relation once the update lands.
-                referencing = {
-                    record.name
-                    for record in self.vkb.views_referencing(relation)
-                }
-                for view_name in [
-                    name
-                    for name, batch in pending.items()
-                    if name in referencing
-                    and any(u.relation != relation for u in batch)
-                ]:
-                    flush(view_name)
+                row = tuple(row)
+                # Flush any view whose pending deltas could actually
+                # join against this relation once the update lands; a
+                # view that safely batches across the boundary instead
+                # freezes its pricing state (the landing update changes
+                # a cardinality its pending deltas are priced by).
+                referencing = list(self.vkb.views_referencing(relation))
+                for record in referencing:
+                    work = pending.get(record.name)
+                    if work is None:
+                        continue
+                    if self._pending_joins_update(
+                        record.current, work, relation, row
+                    ):
+                        flush(record.name)
+                    elif work.relations - {relation}:
+                        work.mark_boundary(
+                            {
+                                name: self.space.relation(name).cardinality
+                                for name in record.current.relation_names
+                            }
+                        )
                 if kind is UpdateKind.INSERT:
                     update = self.space.insert(relation, row)
                 else:
                     update = self.space.delete(relation, row)
-                for record in self.vkb.views_referencing(relation):
+                for record in referencing:
                     if record.name in self._extents:
-                        pending.setdefault(record.name, []).append(update)
+                        work = pending.get(record.name)
+                        if work is None:
+                            work = pending[record.name] = (
+                                _PendingMaintenance()
+                            )
+                        work.append(update)
         finally:
             # Pending batches cover updates that already landed on the
             # sources, so they are flushed even when the stream fails
@@ -322,7 +542,81 @@ class EVESystem:
                     raise flush_error
             finally:
                 self._defer_maintenance = was_deferred
-        return self.maintainer.counters.diff(before)
+                charged = self.maintainer.counters.diff(before)
+                self.last_report = SystemReport.for_updates(flushes, charged)
+        return charged
+
+    #: Above this many pending foreign updates the boundary analysis
+    #: flushes instead of scanning — a deterministic cost cap (flushing
+    #: is always outcome-preserving; only batching opportunity is lost).
+    _JOIN_ANALYSIS_LIMIT = 64
+
+    def _pending_joins_update(
+        self,
+        view: ViewDefinition,
+        work: "_PendingMaintenance",
+        relation: str,
+        row: tuple,
+    ) -> bool:
+        """Whether ``row`` landing on ``relation`` can reach any pending
+        delta — the join-graph boundary test of :meth:`apply_updates`.
+
+        A pending update at the same relation never joins it (an
+        update's own relation is not part of its propagation plan).  For
+        a pending update at another relation ``X``, the propagation
+        *does* join ``relation`` — but the row is still unreachable
+        when some WHERE clause over ``{X, relation}`` (a join edge of
+        the view's join graph, or a local selection on ``relation``)
+        provably fails for the (pending seed row, incoming row) pair:
+        the seed's ``X`` columns survive into every delta row unchanged,
+        so a failed edge excludes the candidate in the actual
+        propagation too.  Undecidable edges (three-relation chains,
+        stale schemas) conservatively force the flush.
+        """
+        if not (work.relations - {relation}):
+            return False  # single-relation run at the incoming relation
+        foreign = [u for u in work.updates if u.relation != relation]
+        if len(foreign) > self._JOIN_ANALYSIS_LIMIT:
+            return True
+        condition = view.condition()
+        schema = self.space.relation(relation).schema
+        incoming = {
+            f"{relation}.{attr}": value
+            for attr, value in zip(schema.attribute_names, row)
+        }
+        for clause in condition.clauses:
+            relations = clause.relations()
+            if relations == {relation}:
+                # A failed local selection keeps the row out of every
+                # propagation of this view, whatever is pending.
+                if clause_decidable(clause, incoming) and not clause.evaluate(
+                    incoming
+                ):
+                    return False
+        for update in foreign:
+            seed_schema = self.space.relation(update.relation).schema
+            binding = dict(incoming)
+            binding.update(
+                (f"{update.relation}.{attr}", value)
+                for attr, value in zip(
+                    seed_schema.attribute_names, update.row
+                )
+            )
+            # Any clause fully decidable over the (seed, incoming) pair
+            # can exclude the candidate: a join edge between the two
+            # relations, the incoming row's local selections, or the
+            # seed's own local selections (a pruned seed has an empty
+            # delta and reaches nothing).
+            for clause in condition.clauses:
+                relations = clause.relations()
+                if relations and relations <= {relation, update.relation}:
+                    if clause_decidable(
+                        clause, binding
+                    ) and not clause.evaluate(binding):
+                        break  # this pending delta cannot reach the row
+            else:
+                return True  # no edge excludes it: the row is reachable
+        return False
 
     # ------------------------------------------------------------------
     # Capability changes -> synchronization (index-dispatched)
@@ -349,6 +643,7 @@ class EVESystem:
                 record.current,
                 self.space.relations(),
                 self.space.mkb.statistics,
+                config=self.config.engine,
             )
         return result
 
@@ -367,19 +662,25 @@ class EVESystem:
             with self._commit_lock:
                 self.vkb.mark_undefined(record.name)
                 self._extents.pop(record.name, None)
-            return SynchronizationResult(
+            result = SynchronizationResult(
                 record.name, change, [], None, outcome.counters, outcome.policy
             )
-        with self._commit_lock:
-            self.vkb.apply_rewriting(outcome.chosen.rewriting)
-        return SynchronizationResult(
-            record.name,
-            change,
-            outcome.evaluations,
-            outcome.chosen,
-            outcome.counters,
-            outcome.policy,
-        )
+        else:
+            with self._commit_lock:
+                self.vkb.apply_rewriting(outcome.chosen.rewriting)
+            result = SynchronizationResult(
+                record.name,
+                change,
+                outcome.evaluations,
+                outcome.chosen,
+                outcome.counters,
+                outcome.policy,
+            )
+        if self._observed(ViewSynchronized):
+            self.events.emit(
+                ViewSynchronized(result.view_name, result.change, result)
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Batched capability changes
@@ -451,8 +752,29 @@ class EVESystem:
             self._sync_log.extend(report.results)
             results.extend(report.results)
             reports.append(report)
+            self._emit_schedule_events(report, active)
         self.last_schedule = tuple(reports)
+        self.last_report = SystemReport.for_changes(results, reports)
         return results
+
+    def _emit_schedule_events(
+        self, report: ScheduleReport, scheduler: SynchronizationScheduler
+    ) -> None:
+        """Publish one completed sub-batch's scheduling outcomes."""
+        if self._observed(BatchScheduled):
+            self.events.emit(BatchScheduled(report))
+        if report.degraded_views and self._observed(DegradedToFirstLegal):
+            for view_name in report.degraded_views:
+                self.events.emit(
+                    DegradedToFirstLegal(
+                        view_name,
+                        budget=scheduler.budget,
+                        budget_units=scheduler.budget_units,
+                    )
+                )
+        if report.deferred and self._observed(SynchronizationDeferred):
+            for record in report.deferred:
+                self.events.emit(SynchronizationDeferred(record))
 
     @staticmethod
     def _split_identity_chains(
@@ -620,6 +942,11 @@ class EVESystem:
                     self.vkb.apply_rewriting(result.chosen.rewriting)
                 if self._batch_journal is not None:
                     self._batch_journal.append(result)
+        if self._observed(ViewSynchronized):
+            for result in results:
+                self.events.emit(
+                    ViewSynchronized(result.view_name, result.change, result)
+                )
 
     def finalize_view(self, view_name: str) -> None:
         """Rematerialize one replayed view's extent, once per batch."""
@@ -629,6 +956,7 @@ class EVESystem:
                 record.current,
                 self.space.relations(),
                 self.space.mkb.statistics,
+                config=self.config.engine,
             )
 
     def resume_deferred(

@@ -76,3 +76,14 @@ class MaintenanceError(ReproError):
 
 class WorkspaceError(ReproError):
     """The information space is in a state that forbids the operation."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration value is invalid or inconsistent.
+
+    Raised by every :mod:`repro.config` profile constructor (unknown
+    engine/policy/executor/representation names, negative budgets,
+    ``max_workers < 1``, conflicting legacy-kwarg/config spellings) so
+    callers validate declarative configurations against one exception
+    type regardless of which subsystem the offending field configures.
+    """

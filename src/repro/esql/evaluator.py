@@ -57,7 +57,8 @@ def evaluate_view(
     view: ViewDefinition,
     relations: Mapping[str, Relation] | RelationLookup,
     statistics: SpaceStatistics | None = None,
-    engine: str = "indexed",
+    engine: str | None = None,
+    config: "EngineConfig | None" = None,
 ) -> Relation:
     """Compute the extent of ``view`` against the given relations.
 
@@ -66,11 +67,33 @@ def evaluate_view(
     they are unique.  ``statistics`` (optional) feeds the greedy join-order
     choice of the indexed engine; relations it does not cover fall back to
     their actual cardinality.
+
+    The engine is selected by ``config`` (an
+    :class:`~repro.config.EngineConfig` slice): ``engine="indexed"``
+    with ``use_index=True`` probes hash indexes, ``use_index=False``
+    keeps the compiled-tuple plane but joins by nested loops, and
+    ``engine="naive"`` runs the dict-binding reference.  The legacy
+    ``engine=`` string spelling survives one release behind a
+    :class:`DeprecationWarning` shim.
     """
-    if engine == "naive":
+    from repro.config import EngineConfig, warn_legacy_kwargs
+
+    if engine is not None:
+        if config is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "evaluate_view: pass either config= or the legacy "
+                "engine= keyword, not both"
+            )
+        warn_legacy_kwargs(
+            "evaluate_view", "config=EngineConfig(...)", ("engine",)
+        )
+        config = EngineConfig(engine=engine)
+    if config is None:
+        config = EngineConfig()
+    if config.engine == "naive":
         return _evaluate_view_naive(view, relations)
-    if engine != "indexed":
-        raise EvaluationError(f"unknown evaluation engine {engine!r}")
     lookup = _lookup_from(relations)
     schemas = {name: lookup(name).schema for name in view.relation_names}
     resolved = ViewValidator(schemas).resolve_view(view)
@@ -91,7 +114,14 @@ def evaluate_view(
 
         decidable = [c for c in remaining if c.relations() <= placed]
         remaining = [c for c in remaining if c.relations() - placed]
-        probe_pairs, residual = _split_probes(decidable, relation_name, slots, base)
+        if config.use_index:
+            probe_pairs, residual = _split_probes(
+                decidable, relation_name, slots, base
+            )
+        else:
+            # Index probes disabled: every decidable clause stays a
+            # compiled filter and the join runs as nested loops below.
+            probe_pairs, residual = [], decidable
 
         extended: list[tuple[Any, ...]] = []
         if probe_pairs and bindings:
@@ -368,10 +398,11 @@ def evaluate_views(
     views: Iterable[ViewDefinition],
     relations: Mapping[str, Relation] | RelationLookup,
     statistics: SpaceStatistics | None = None,
-    engine: str = "indexed",
+    engine: str | None = None,
+    config: "EngineConfig | None" = None,
 ) -> dict[str, Relation]:
     """Materialize several views; returns name -> extent."""
     return {
-        view.name: evaluate_view(view, relations, statistics, engine)
+        view.name: evaluate_view(view, relations, statistics, engine, config)
         for view in views
     }

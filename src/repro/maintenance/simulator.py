@@ -44,38 +44,65 @@ from __future__ import annotations
 
 import math
 from itertools import groupby
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
 
+from repro.config import MaintenanceConfig, warn_legacy_kwargs
 from repro.errors import MaintenanceError
 from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator
 from repro.misd.statistics import SpaceStatistics
 from repro.qc.cost import MaintenancePlan, plan_for_view
 from repro.relational.relation import Relation
-from repro.space.source import Binding, _clause_decidable
+from repro.space.source import Binding, clause_decidable
 from repro.space.space import InformationSpace
 from repro.space.updates import DataUpdate, UpdateKind
 from repro.maintenance.counters import MaintenanceCounters
 from repro.maintenance.delta import DeltaBatch, seed_plan
 
-_REPRESENTATIONS = ("tuple", "dict")
+#: Per-update relation-cardinality overlays for modeled-cost pricing:
+#: one mapping per update, consulted instead of the live catalog so a
+#: deferred flush prices exactly what the sequential protocol saw.
+SizeOverlays = Sequence[Mapping[str, int] | None] | None
 
 
 class ViewMaintainer:
-    """Executes Algorithm 1 against a simulated information space."""
+    """Executes Algorithm 1 against a simulated information space.
+
+    Configured with a :class:`~repro.config.MaintenanceConfig` slice;
+    the pre-config ``use_index=`` / ``representation=`` keyword
+    spellings survive one release behind :class:`DeprecationWarning`
+    shims that map onto the equivalent config.
+    """
 
     def __init__(
         self,
         space: InformationSpace,
         statistics: SpaceStatistics | None = None,
-        use_index: bool = True,
-        representation: str = "tuple",
+        use_index: bool | None = None,
+        representation: str | None = None,
+        config: MaintenanceConfig | None = None,
     ) -> None:
-        if representation not in _REPRESENTATIONS:
-            raise MaintenanceError(
-                f"unknown delta representation {representation!r}; "
-                f"expected one of {', '.join(_REPRESENTATIONS)}"
+        legacy = {
+            name: value
+            for name, value in (
+                ("use_index", use_index),
+                ("representation", representation),
             )
+            if value is not None
+        }
+        if legacy:
+            from repro.errors import ConfigurationError
+
+            if config is not None:
+                raise ConfigurationError(
+                    "ViewMaintainer: pass either config= or the legacy "
+                    f"keyword(s) {', '.join(sorted(legacy))}, not both"
+                )
+            warn_legacy_kwargs(
+                "ViewMaintainer", "config=MaintenanceConfig(...)", legacy
+            )
+            config = MaintenanceConfig(**legacy)
+        self.config = config if config is not None else MaintenanceConfig()
         self._space = space
         self._statistics = (
             statistics if statistics is not None else space.mkb.statistics
@@ -83,8 +110,8 @@ class ViewMaintainer:
         # How single-site queries are *executed* (index probes vs nested
         # loops, tuple batches vs binding dicts); the modeled cost
         # counters are identical across all four combinations.
-        self._use_index = use_index
-        self._representation = representation
+        self._use_index = self.config.use_index
+        self._representation = self.config.representation
         self.counters = MaintenanceCounters()
 
     @property
@@ -118,6 +145,7 @@ class ViewMaintainer:
         view: ViewDefinition,
         extent: Relation,
         updates: Iterable[DataUpdate],
+        relation_sizes: SizeOverlays = None,
     ) -> MaintenanceCounters:
         """Stream a whole update batch through the compiled pipeline.
 
@@ -132,11 +160,20 @@ class ViewMaintainer:
         same contract as :meth:`maintain`).  Equivalence with the
         sequential per-update protocol additionally requires that no
         update in the batch targets a relation an *earlier* update's
-        propagation joins against — an update's own relation is never
-        joined, so any single-relation stream qualifies, and
+        propagation actually joins against — an update's own relation is
+        never joined, so any single-relation stream qualifies, and
         :meth:`~repro.core.eve.EVESystem.apply_updates` flushes mixed
         streams at exactly the boundaries where the guarantee would
-        break.
+        break (its join-graph analysis proves the safe interleavings).
+
+        ``relation_sizes`` (optional) supplies one cardinality overlay
+        per update — relation name to the cardinality the *sequential*
+        protocol would have priced I/O against.  A caller that batches
+        across a proven-unjoinable foreign update passes the enqueue-time
+        snapshot so the Appendix A ``min(scan, probe)`` charges stay
+        byte-identical to the per-update reference even though the
+        catalog has since moved on.  ``None`` (or a ``None`` entry)
+        prices against the live catalog.
         """
         batch = list(updates)
         for update in batch:
@@ -145,18 +182,32 @@ class ViewMaintainer:
                     f"update at {update.relation!r} does not affect view "
                     f"{view.name!r}"
                 )
+        overlays = (
+            list(relation_sizes) if relation_sizes is not None else None
+        )
+        if overlays is not None and len(overlays) != len(batch):
+            raise MaintenanceError(
+                f"relation_sizes carries {len(overlays)} overlay(s) for "
+                f"{len(batch)} update(s)"
+            )
         before = self.counters.snapshot()
         if batch:
             resolved = self._resolve(view)
             plans: dict[str, MaintenancePlan] = {}
             for relation, run_iter in groupby(
-                batch, key=lambda update: update.relation
+                enumerate(batch), key=lambda pair: pair[1].relation
             ):
                 run = list(run_iter)
+                run_updates = [update for _, update in run]
+                run_overlays = (
+                    [overlays[position] for position, _ in run]
+                    if overlays is not None
+                    else None
+                )
                 plan = plans.get(relation)
                 if plan is None:
                     plan = plans[relation] = self._plan(resolved, relation)
-                self._run(resolved, extent, plan, run)
+                self._run(resolved, extent, plan, run_updates, run_overlays)
         return self.counters.diff(before)
 
     def _run(
@@ -165,14 +216,16 @@ class ViewMaintainer:
         extent: Relation,
         plan: MaintenancePlan,
         updates: list[DataUpdate],
+        overlays: SizeOverlays = None,
     ) -> None:
         """Propagate + apply one same-relation update run."""
         if self._representation == "dict":
-            for update in updates:
-                deltas = self._propagate(resolved, plan, update)
+            for position, update in enumerate(updates):
+                sizes = overlays[position] if overlays is not None else None
+                deltas = self._propagate(resolved, plan, update, sizes)
                 self._apply(resolved, extent, deltas, update.kind)
         else:
-            batch = self._propagate_tuples(resolved, plan, updates)
+            batch = self._propagate_tuples(resolved, plan, updates, overlays)
             self._apply_batch(resolved, extent, batch, updates)
 
     def _resolve(self, view: ViewDefinition) -> ViewDefinition:
@@ -199,6 +252,7 @@ class ViewMaintainer:
         view: ViewDefinition,
         plan: MaintenancePlan,
         update: DataUpdate,
+        sizes: Mapping[str, int] | None = None,
     ) -> list[Binding]:
         condition = view.condition()
         updated_schema = self._space.relation(update.relation).schema
@@ -227,7 +281,7 @@ class ViewMaintainer:
             source = self._space.source(group.source)
             # Ship the delta (plus the query) down to the source.
             self.counters.record_message(len(deltas) * delta_width)
-            self._charge_io(len(deltas), local)
+            self._charge_io(len(deltas), local, sizes)
             deltas = source.answer_single_site_query(
                 deltas, local, condition, use_index=self._use_index
             )
@@ -246,6 +300,7 @@ class ViewMaintainer:
         view: ViewDefinition,
         plan: MaintenancePlan,
         updates: list[DataUpdate],
+        overlays: SizeOverlays = None,
     ) -> DeltaBatch:
         """One same-relation run through the compiled tuple pipeline.
 
@@ -285,8 +340,12 @@ class ViewMaintainer:
             # Ship each update's delta (plus the query) down to the IS.
             for count in counts:
                 self.counters.record_message(count * delta_width)
-            for count in counts:
-                self._charge_io(count, local)
+            for position, count in enumerate(counts):
+                self._charge_io(
+                    count,
+                    local,
+                    overlays[position] if overlays is not None else None,
+                )
             batch = source.answer_single_site_batch(
                 batch, local, condition, use_index=self._use_index
             )
@@ -299,18 +358,29 @@ class ViewMaintainer:
                 self.counters.record_message(count * delta_width)
         return batch
 
-    def _charge_io(self, cardinality: int, local: list[str]) -> None:
+    def _charge_io(
+        self,
+        cardinality: int,
+        local: list[str],
+        sizes: Mapping[str, int] | None = None,
+    ) -> None:
         """Appendix A pricing against actual cardinalities.
 
         Per local relation: the optimizer either scans it once
         (ceil(|R|/bfr)) or probes per delta tuple at
         ceil(js*|R|/bfr) blocks each — whichever is cheaper.
         ``cardinality`` is one update's delta count entering the source.
+        ``sizes`` overlays per-relation cardinalities (deferred flushes
+        price against the sequential protocol's catalog state).
         """
         bfr = self._statistics.blocking_factor
         js = self._statistics.join_selectivity
         for name in local:
-            relation_size = self._space.relation(name).cardinality
+            relation_size = (
+                sizes[name]
+                if sizes is not None and name in sizes
+                else self._space.relation(name).cardinality
+            )
             scan = math.ceil(relation_size / bfr) if relation_size else 0
             probe = cardinality * math.ceil(js * relation_size / bfr)
             self.counters.record_io(min(scan, probe) if relation_size else 0)
@@ -383,6 +453,6 @@ class ViewMaintainer:
 def _binding_satisfies(condition, binding: Binding) -> bool:
     """Evaluate the decidable clauses against the seed binding."""
     for clause in condition.clauses:
-        if _clause_decidable(clause, binding) and not clause.evaluate(binding):
+        if clause_decidable(clause, binding) and not clause.evaluate(binding):
             return False
     return True

@@ -1,0 +1,284 @@
+"""Serializable run reports: one machine-readable record per system call.
+
+Every :meth:`~repro.core.eve.EVESystem.apply_changes` and
+:meth:`~repro.core.eve.EVESystem.apply_updates` call aggregates the
+payloads its events carried — per-view
+:class:`~repro.sync.pipeline.StageCounters`, per-batch
+:class:`~repro.sync.scheduler.ScheduleReport`\\ s, per-flush
+:class:`~repro.maintenance.counters.MaintenanceCounters` — into one
+:class:`SystemReport`, exposed as ``EVESystem.last_report`` and
+consumed by the benchmark drivers in place of their hand-rolled dicts.
+
+``SystemReport.to_dict()`` renders schema version
+:data:`REPORT_SCHEMA_VERSION` (validated by
+``benchmarks/validate_bench.py``)::
+
+    {
+      "schema_version": 1,
+      "operation": "apply_changes" | "apply_updates",
+      "synchronization": {
+        "views": [
+          {"view": str, "change": str, "survived": bool,
+           "qc": float | null, "policy": str | null,
+           "counters": {<StageCounters fields>} | null},
+          ...
+        ],
+        "counters": {<merged StageCounters fields>},
+        "survived": int, "undefined": int
+      },
+      "schedule": {
+        "batches": [
+          {"executor": str, "workers": int, "views": int,
+           "coalesced": int, "wall_seconds": float,
+           "budget": float | null, "budget_units": float | null,
+           "units_spent": float,
+           "degraded": [view, ...], "deferred": [view, ...]},
+          ...
+        ],
+        "degraded": [view, ...], "deferred": [view, ...]
+      },
+      "maintenance": {
+        "flushes": [
+          {"view": str, "relations": [str, ...], "updates": int,
+           "messages": int, "bytes_transferred": int,
+           "io_operations": int},
+          ...
+        ],
+        "counters": {"messages": int, "bytes_transferred": int,
+                     "io_operations": int},
+        "updates": int
+      }
+    }
+
+All three sections are always present (empty for the half of the API
+that did not run) so consumers can index unconditionally.  Keys are
+emitted sorted by :meth:`SystemReport.to_json`, making reports
+diff-stable across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.maintenance.counters import MaintenanceCounters
+from repro.sync.pipeline import StageCounters
+
+if TYPE_CHECKING:  # imported lazily to avoid package cycles
+    from repro.core.eve import SynchronizationResult
+    from repro.sync.scheduler import ScheduleReport
+
+__all__ = [
+    "MaintenanceFlush",
+    "REPORT_SCHEMA_VERSION",
+    "SynchronizationRecord",
+    "SystemReport",
+]
+
+#: Bump when the to_dict layout changes shape (validators pin this).
+REPORT_SCHEMA_VERSION = 1
+
+
+def _counters_dict(counters: StageCounters) -> dict[str, Any]:
+    payload = dataclasses.asdict(counters)
+    payload["seconds"] = round(payload["seconds"], 6)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Leaf records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SynchronizationRecord:
+    """One view's search outcome, flattened for serialization."""
+
+    view: str
+    change: str
+    survived: bool
+    qc: float | None
+    policy: str | None
+    counters: StageCounters | None
+
+    @classmethod
+    def of(cls, result: "SynchronizationResult") -> "SynchronizationRecord":
+        return cls(
+            view=result.view_name,
+            change=repr(result.change),
+            survived=result.survived,
+            qc=result.chosen.qc if result.chosen is not None else None,
+            policy=str(result.policy) if result.policy is not None else None,
+            counters=result.counters,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "view": self.view,
+            "change": self.change,
+            "survived": self.survived,
+            "qc": self.qc,
+            "policy": self.policy,
+            "counters": (
+                _counters_dict(self.counters)
+                if self.counters is not None
+                else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class MaintenanceFlush:
+    """One maintenance flush: a run of updates absorbed by one extent."""
+
+    view: str
+    relations: tuple[str, ...]
+    updates: int
+    counters: MaintenanceCounters
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "view": self.view,
+            "relations": list(self.relations),
+            "updates": self.updates,
+            "messages": self.counters.messages,
+            "bytes_transferred": self.counters.bytes_transferred,
+            "io_operations": self.counters.io_operations,
+        }
+
+
+# ----------------------------------------------------------------------
+# The aggregated report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemReport:
+    """Everything one ``apply_changes`` / ``apply_updates`` call did."""
+
+    operation: str
+    synchronizations: tuple[SynchronizationRecord, ...] = ()
+    schedules: "tuple[ScheduleReport, ...]" = ()
+    flushes: tuple[MaintenanceFlush, ...] = ()
+    #: Counters accumulated across the whole call (``apply_updates``).
+    maintenance_counters: MaintenanceCounters | None = None
+
+    # -- builders -------------------------------------------------------
+    @classmethod
+    def for_changes(
+        cls,
+        results: "Sequence[SynchronizationResult]",
+        schedules: "Sequence[ScheduleReport]",
+    ) -> "SystemReport":
+        return cls(
+            operation="apply_changes",
+            synchronizations=tuple(
+                SynchronizationRecord.of(result) for result in results
+            ),
+            schedules=tuple(schedules),
+        )
+
+    @classmethod
+    def for_updates(
+        cls,
+        flushes: Sequence[MaintenanceFlush],
+        counters: MaintenanceCounters,
+    ) -> "SystemReport":
+        return cls(
+            operation="apply_updates",
+            flushes=tuple(flushes),
+            maintenance_counters=counters,
+        )
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def counters(self) -> StageCounters:
+        """Call-merged pipeline counters (deferral accounting included)."""
+        merged = StageCounters()
+        for schedule in self.schedules:
+            merged = merged.merged(schedule.counters)
+        if not self.schedules:
+            for record in self.synchronizations:
+                if record.counters is not None:
+                    merged = merged.merged(record.counters)
+        return merged
+
+    @property
+    def degraded_views(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for schedule in self.schedules
+            for name in schedule.degraded_views
+        )
+
+    @property
+    def deferred_views(self) -> tuple[str, ...]:
+        return tuple(
+            record.view_name
+            for schedule in self.schedules
+            for record in schedule.deferred
+        )
+
+    @property
+    def updates(self) -> int:
+        return sum(flush.updates for flush in self.flushes)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        maintenance = self.maintenance_counters
+        if maintenance is None:
+            maintenance = MaintenanceCounters()
+            for flush in self.flushes:
+                maintenance = maintenance.merged(flush.counters)
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "operation": self.operation,
+            "synchronization": {
+                "views": [
+                    record.to_dict() for record in self.synchronizations
+                ],
+                "counters": _counters_dict(self.counters),
+                "survived": sum(
+                    1 for record in self.synchronizations if record.survived
+                ),
+                "undefined": sum(
+                    1
+                    for record in self.synchronizations
+                    if not record.survived
+                ),
+            },
+            "schedule": {
+                "batches": [
+                    {
+                        "executor": schedule.executor,
+                        "workers": schedule.workers,
+                        "views": len(schedule.results)
+                        + len(schedule.deferred),
+                        "coalesced": schedule.coalesced,
+                        "wall_seconds": round(schedule.wall_seconds, 6),
+                        "budget": schedule.budget,
+                        "budget_units": schedule.budget_units,
+                        "units_spent": round(schedule.units_spent, 6),
+                        "degraded": list(schedule.degraded_views),
+                        "deferred": [
+                            record.view_name
+                            for record in schedule.deferred
+                        ],
+                    }
+                    for schedule in self.schedules
+                ],
+                "degraded": list(self.degraded_views),
+                "deferred": list(self.deferred_views),
+            },
+            "maintenance": {
+                "flushes": [flush.to_dict() for flush in self.flushes],
+                "counters": {
+                    "messages": maintenance.messages,
+                    "bytes_transferred": maintenance.bytes_transferred,
+                    "io_operations": maintenance.io_operations,
+                },
+                "updates": self.updates,
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The stable wire form: sorted keys, schema-versioned."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -309,11 +309,22 @@ def partition_local_clauses(
 def _satisfied_so_far(condition: Condition, binding: Binding) -> bool:
     """Evaluate every clause whose attributes are all bound; skip the rest."""
     for clause in condition.clauses:
-        if _clause_decidable(clause, binding):
+        if clause_decidable(clause, binding):
             if not clause.evaluate(binding):
                 return False
     return True
 
 
-def _clause_decidable(clause: PrimitiveClause, binding: Binding) -> bool:
+def clause_decidable(clause: PrimitiveClause, binding: Binding) -> bool:
+    """Whether every attribute the clause references is bound.
+
+    Part of the shared clause-classification surface: the maintenance
+    simulator's seed filter and the system's join-graph flush analysis
+    (``EVESystem.apply_updates``) both rely on it, so the decidability
+    rule every delta plane uses stays one implementation.
+    """
     return all(ref.qualified in binding for ref in clause.attribute_refs)
+
+
+#: Backwards-compatible alias of :func:`clause_decidable`.
+_clause_decidable = clause_decidable

@@ -38,21 +38,54 @@ from repro.sync.generators.replace import (
 )
 
 
+#: name -> generator factory, the registry declarative configurations
+#: (:class:`repro.config.SearchConfig`) resolve generator *names* through.
+GENERATOR_REGISTRY: dict[str, type[CandidateGenerator]] = {
+    "rename": RenameGenerator,
+    "drop": DropGenerator,
+    "attribute_replacement": AttributeReplacementGenerator,
+    "relation_replacement": RelationReplacementGenerator,
+}
+
+#: The built-in chain, in the canonical order (it fixes candidate
+#: ordering, and with it deduplication and every ranking tie-break).
+DEFAULT_GENERATOR_NAMES: tuple[str, ...] = (
+    "rename",
+    "drop",
+    "attribute_replacement",
+    "relation_replacement",
+)
+
+
 def default_generators() -> tuple[CandidateGenerator, ...]:
     """The built-in move families, in the canonical order."""
-    return (
-        RenameGenerator(),
-        DropGenerator(),
-        AttributeReplacementGenerator(),
-        RelationReplacementGenerator(),
-    )
+    return generators_from_names(DEFAULT_GENERATOR_NAMES)
+
+
+def generators_from_names(names) -> tuple[CandidateGenerator, ...]:
+    """Instantiate a generator chain from registry names, in order."""
+    from repro.errors import ConfigurationError
+
+    chain = []
+    for name in names:
+        try:
+            factory = GENERATOR_REGISTRY[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown candidate generator {name!r}; expected one of "
+                f"{', '.join(sorted(GENERATOR_REGISTRY))}"
+            ) from None
+        chain.append(factory())
+    return tuple(chain)
 
 
 __all__ = [
     "AttributeReplacementGenerator",
     "CandidateGenerator",
+    "DEFAULT_GENERATOR_NAMES",
     "DominatedSpectrumGenerator",
     "DropGenerator",
+    "GENERATOR_REGISTRY",
     "GenerationContext",
     "MAX_DOMINATED_VARIANTS",
     "RelationReplacementGenerator",
@@ -63,6 +96,7 @@ __all__ = [
     "default_generators",
     "drop_attribute_move",
     "drop_relation_move",
+    "generators_from_names",
     "iter_dominated_variants",
     "iter_replacement_routes",
 ]

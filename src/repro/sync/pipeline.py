@@ -44,6 +44,7 @@ from repro.sync.rewriting import ExtentRelationship, Rewriting
 from repro.sync.synchronizer import ViewSynchronizer
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.config import SearchConfig
     from repro.qc.cost import CostAssessment
     from repro.qc.model import Evaluation, QCModel
     from repro.qc.quality import QualityAssessment
@@ -170,17 +171,44 @@ class PipelineResult:
 # The pipeline
 # ----------------------------------------------------------------------
 class RewritingSearchPipeline:
-    """Staged, streaming synchronize-and-rank over pluggable generators."""
+    """Staged, streaming synchronize-and-rank over pluggable generators.
+
+    The pipeline's default policy comes from its
+    :class:`~repro.config.SearchConfig` slice (``config=``); the
+    pre-config ``policy=`` constructor spelling survives one release
+    behind a :class:`DeprecationWarning` shim.  Per-call ``policy``
+    overrides on :meth:`search` are first-class (the scheduler's
+    degradation path relies on them) and never warn.
+    """
 
     def __init__(
         self,
         synchronizer: ViewSynchronizer,
         qc_model: "QCModel",
-        policy: SearchPolicy | str = "pruned",
+        policy: SearchPolicy | str | None = None,
+        config: "SearchConfig | None" = None,
     ) -> None:
         self.synchronizer = synchronizer
         self.qc_model = qc_model
-        self.policy = SearchPolicy.of(policy)
+        if policy is not None:
+            from repro.config import warn_legacy_kwargs
+            from repro.errors import ConfigurationError
+
+            if config is not None:
+                raise ConfigurationError(
+                    "RewritingSearchPipeline: pass either config= or the "
+                    "legacy policy= keyword, not both"
+                )
+            warn_legacy_kwargs(
+                "RewritingSearchPipeline",
+                "config=SearchConfig(...)",
+                ("policy",),
+            )
+            self.policy = SearchPolicy.of(policy)
+        elif config is not None:
+            self.policy = config.search_policy()
+        else:
+            self.policy = SearchPolicy.pruned()
 
     # ------------------------------------------------------------------
     # Stages

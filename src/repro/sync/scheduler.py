@@ -52,7 +52,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
 
-from repro.errors import SynchronizationError
+from repro.config import ScheduleConfig, warn_legacy_kwargs
 from repro.space.changes import SchemaChange
 from repro.sync.pipeline import SearchPolicy, StageCounters
 
@@ -310,9 +310,6 @@ class SchedulerRuntime(Protocol):
         ...
 
 
-_EXECUTORS = ("serial", "threads", "processes")
-_DEGRADE_MODES = ("first_legal", "defer")
-
 #: Fork-side state for the process executor: (runtime, plan, groups,
 #: policy overrides).  Set in the parent immediately before the pool
 #: forks its workers; index-addressed by :func:`_replay_group_in_fork`.
@@ -352,6 +349,12 @@ def _replay_group_in_fork(group_index: int):
 class SynchronizationScheduler:
     """Orders, budgets, and dispatches a :class:`BatchWorkPlan`.
 
+    Configured declaratively with a
+    :class:`~repro.config.ScheduleConfig` (the validated, serializable
+    profile slice); the pre-config keyword spellings survive one
+    release behind :class:`DeprecationWarning` shims that map onto the
+    equivalent config.  Field semantics:
+
     ``order``
         ``"cost"`` (default) dispatches chain groups cheapest-to-salvage
         first (ties broken by plan order); ``"plan"`` keeps definition
@@ -380,41 +383,50 @@ class SynchronizationScheduler:
 
     def __init__(
         self,
-        executor: str = "serial",
+        config: ScheduleConfig | None = None,
+        executor: str | None = None,
         max_workers: int | None = None,
         budget: float | None = None,
         budget_units: float | None = None,
-        degrade: str = "first_legal",
-        order: str = "cost",
-        coalesce: bool = False,
+        degrade: str | None = None,
+        order: str | None = None,
+        coalesce: bool | None = None,
     ) -> None:
-        if executor not in _EXECUTORS:
-            raise SynchronizationError(
-                f"unknown executor {executor!r}; "
-                f"expected one of {', '.join(_EXECUTORS)}"
+        legacy = {
+            name: value
+            for name, value in (
+                ("executor", executor),
+                ("max_workers", max_workers),
+                ("budget", budget),
+                ("budget_units", budget_units),
+                ("degrade", degrade),
+                ("order", order),
+                ("coalesce", coalesce),
             )
-        if degrade not in _DEGRADE_MODES:
-            raise SynchronizationError(
-                f"unknown degrade mode {degrade!r}; "
-                f"expected one of {', '.join(_DEGRADE_MODES)}"
+            if value is not None
+        }
+        if legacy:
+            from repro.errors import ConfigurationError
+
+            if config is not None:
+                raise ConfigurationError(
+                    "SynchronizationScheduler: pass either config= or the "
+                    f"legacy keyword(s) {', '.join(sorted(legacy))}, not both"
+                )
+            warn_legacy_kwargs(
+                "SynchronizationScheduler",
+                "config=ScheduleConfig(...)",
+                legacy,
             )
-        if order not in ("cost", "plan"):
-            raise SynchronizationError(
-                f"unknown order {order!r}; expected 'cost' or 'plan'"
-            )
-        if budget is not None and budget < 0:
-            raise SynchronizationError("budget must be >= 0 seconds")
-        if budget_units is not None and budget_units < 0:
-            raise SynchronizationError("budget_units must be >= 0")
-        if max_workers is not None and max_workers < 1:
-            raise SynchronizationError("max_workers must be >= 1")
-        self.executor = executor
-        self.max_workers = max_workers
-        self.budget = budget
-        self.budget_units = budget_units
-        self.degrade = degrade
-        self.order = order
-        self.coalesce = coalesce
+            config = ScheduleConfig(**legacy)
+        self.config = config if config is not None else ScheduleConfig()
+        self.executor = self.config.executor
+        self.max_workers = self.config.max_workers
+        self.budget = self.config.budget
+        self.budget_units = self.config.budget_units
+        self.degrade = self.config.degrade
+        self.order = self.config.order
+        self.coalesce = self.config.coalesce
 
     # ------------------------------------------------------------------
     # Entry point

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import SearchConfig, SystemConfig
 from repro.core.eve import EVESystem
 from repro.esql.evaluator import evaluate_view
 from repro.relational.relation import Relation
@@ -221,8 +222,16 @@ class TestBatchedDispatch:
 
 class TestPolicyWiring:
     def test_system_policy_configurable(self):
-        eve = EVESystem(policy="first_legal")
+        eve = EVESystem(
+            config=SystemConfig(search=SearchConfig(policy="first_legal"))
+        )
         assert eve.policy == SearchPolicy.first_legal()
+
+    def test_legacy_policy_kwarg_still_maps(self):
+        with pytest.warns(DeprecationWarning, match="policy"):
+            eve = EVESystem(policy="first_legal")
+        assert eve.policy == SearchPolicy.first_legal()
+        assert eve.config.search.policy == "first_legal"
 
     def test_per_call_policy_override(self):
         eve = build_system()

@@ -1,0 +1,200 @@
+"""Tests for the typed event/observer bus on EVESystem."""
+
+import pytest
+
+from repro.config import ScheduleConfig, SystemConfig
+from repro.errors import ConfigurationError
+from repro.events import (
+    BatchScheduled,
+    CacheInvalidated,
+    DegradedToFirstLegal,
+    EventBus,
+    SynchronizationDeferred,
+    SystemEvent,
+    ViewMaintained,
+    ViewSynchronized,
+)
+from repro.core.eve import EVESystem
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.changes import DeleteRelation
+
+
+def build_system(**kwargs):
+    """One replaceable view over R with a mirror donor."""
+    eve = EVESystem(**kwargs)
+    eve.add_source("IS1")
+    eve.add_source("IS2")
+    eve.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2),
+    )
+    eve.register_relation(
+        "IS2",
+        Relation(Schema("RM", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2),
+    )
+    eve.mkb.add_equivalence("R", "RM", ["A", "B"])
+    eve.define_view(
+        "CREATE VIEW V (VE = '~') AS "
+        "SELECT R.A (AR = true), R.B (AD = true, AR = true) "
+        "FROM R (RR = true)"
+    )
+    return eve
+
+
+# ----------------------------------------------------------------------
+# The bus itself
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_subscribe_by_class_and_by_name(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(CacheInvalidated, seen.append)
+        bus.subscribe("CacheInvalidated", seen.append)
+        bus.emit(CacheInvalidated("test"))
+        assert len(seen) == 2
+
+    def test_unknown_event_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="ViewExploded"):
+            EventBus().subscribe("ViewExploded", print)
+        with pytest.raises(ConfigurationError):
+            EventBus().subscribe(int, print)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(CacheInvalidated, seen.append)
+        bus.unsubscribe(CacheInvalidated, seen.append)
+        bus.unsubscribe(CacheInvalidated, seen.append)  # no-op twice
+        bus.emit(CacheInvalidated("test"))
+        assert seen == []
+
+    def test_firehose_receives_every_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(SystemEvent, seen.append)
+        bus.emit(CacheInvalidated("a"))
+        assert [type(e) for e in seen] == [CacheInvalidated]
+
+    def test_wants_guards_payload_construction(self):
+        bus = EventBus()
+        assert not bus.wants(ViewMaintained)
+        bus.subscribe(ViewMaintained, lambda e: None)
+        assert bus.wants(ViewMaintained)
+        assert not bus.wants(ViewSynchronized)
+        bus.subscribe(SystemEvent, lambda e: None)
+        assert bus.wants(ViewSynchronized)  # firehose listens to all
+
+    def test_subscribe_returns_handler_for_decorator_use(self):
+        bus = EventBus()
+
+        @lambda fn: bus.subscribe(CacheInvalidated, fn)
+        def handler(event):
+            pass
+
+        assert bus.wants(CacheInvalidated)
+
+
+# ----------------------------------------------------------------------
+# System emissions
+# ----------------------------------------------------------------------
+class TestSystemEvents:
+    def test_view_synchronized_on_capability_change(self):
+        eve = build_system()
+        seen = []
+        eve.subscribe(ViewSynchronized, seen.append)
+        eve.space.delete_relation("R")
+        assert [e.view_name for e in seen] == ["V"]
+        (event,) = seen
+        assert event.survived
+        assert event.result is eve.synchronization_log[0]
+        assert event.counters is event.result.counters
+        assert isinstance(event.change, DeleteRelation)
+
+    def test_view_synchronized_per_batch_result(self):
+        eve = build_system()
+        seen = []
+        eve.subscribe(ViewSynchronized, seen.append)
+        results = eve.apply_changes([DeleteRelation("IS1", "R")])
+        assert [e.result for e in seen] == results
+
+    def test_batch_scheduled_carries_schedule_report(self):
+        eve = build_system()
+        seen = []
+        eve.subscribe(BatchScheduled, seen.append)
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        assert [e.report for e in seen] == list(eve.last_schedule)
+
+    def test_view_maintained_on_listener_path(self):
+        eve = build_system()
+        seen = []
+        eve.subscribe(ViewMaintained, seen.append)
+        eve.space.insert("R", (3, 30))
+        (event,) = seen
+        assert event.view_name == "V"
+        assert event.relations == ("R",)
+        assert event.updates == 1
+        assert event.counters.messages > 0
+
+    def test_view_maintained_on_batched_flushes(self):
+        eve = build_system()
+        seen = []
+        eve.subscribe(ViewMaintained, seen.append)
+        eve.apply_updates(
+            [("R", "insert", (3, 30)), ("R", "insert", (4, 40))]
+        )
+        (event,) = seen  # one flush for the single-relation batch
+        assert event.updates == 2
+        assert (3, 30) in eve.extent("V").rows
+
+    def test_degraded_event_names_the_budget(self):
+        eve = build_system(
+            config=SystemConfig(
+                schedule=ScheduleConfig(budget=0.0, degrade="first_legal")
+            )
+        )
+        degraded = []
+        eve.subscribe(DegradedToFirstLegal, degraded.append)
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        (event,) = degraded
+        assert event.view_name == "V"
+        assert event.budget == 0.0
+
+    def test_deferred_event_carries_resumable_record(self):
+        eve = build_system(
+            config=SystemConfig(
+                schedule=ScheduleConfig(budget=0.0, degrade="defer")
+            )
+        )
+        deferred = []
+        eve.subscribe(SynchronizationDeferred, deferred.append)
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        (event,) = deferred
+        assert event.view_name == "V"
+        assert event.record in eve.last_schedule[0].deferred
+
+    def test_cache_invalidated_reasons(self):
+        eve = build_system()
+        reasons = []
+        eve.subscribe(CacheInvalidated, lambda e: reasons.append(e.reason))
+        eve.register_relation(
+            "IS1", Relation(Schema("X", ["A"])), RelationStatistics(1)
+        )
+        eve.space.delete_relation("X")
+        assert reasons == ["relation-registered", "capability-change"]
+
+    def test_unobserved_systems_pay_nothing(self):
+        # No subscription: the guard skips event construction entirely,
+        # so behaviour (and results) are identical with and without bus.
+        plain = build_system()
+        observed = build_system()
+        observed.subscribe(SystemEvent, lambda e: None)
+        plain.space.delete_relation("R")
+        observed.space.delete_relation("R")
+        assert (
+            plain.synchronization_log[0].chosen.qc
+            == observed.synchronization_log[0].chosen.qc
+        )

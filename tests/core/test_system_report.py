@@ -1,0 +1,142 @@
+"""Tests for the serializable per-call SystemReport."""
+
+import json
+
+from repro.config import ScheduleConfig, SystemConfig
+from repro.core.eve import EVESystem
+from repro.misd.statistics import RelationStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.report import REPORT_SCHEMA_VERSION, SystemReport
+from repro.space.changes import DeleteRelation
+
+
+def build_system(**kwargs):
+    eve = EVESystem(**kwargs)
+    eve.add_source("IS1")
+    eve.add_source("IS2")
+    eve.register_relation(
+        "IS1",
+        Relation(Schema("R", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2),
+    )
+    eve.register_relation(
+        "IS2",
+        Relation(Schema("RM", ["A", "B"]), [(1, 10), (2, 20)]),
+        RelationStatistics(cardinality=2),
+    )
+    eve.mkb.add_equivalence("R", "RM", ["A", "B"])
+    eve.define_view(
+        "CREATE VIEW V (VE = '~') AS "
+        "SELECT R.A (AR = true), R.B (AD = true, AR = true) "
+        "FROM R (RR = true)"
+    )
+    return eve
+
+
+class TestApplyChangesReport:
+    def test_report_aggregates_results_and_schedule(self):
+        eve = build_system()
+        results = eve.apply_changes([DeleteRelation("IS1", "R")])
+        report = eve.last_report
+        assert report.operation == "apply_changes"
+        assert [r.view for r in report.synchronizations] == ["V"]
+        (record,) = report.synchronizations
+        assert record.survived
+        assert record.qc == results[0].chosen.qc
+        assert record.policy == "pruned"
+        assert report.schedules == eve.last_schedule
+        assert report.counters.legal >= 1
+
+    def test_degradation_and_deferral_surface(self):
+        eve = build_system(
+            config=SystemConfig(
+                schedule=ScheduleConfig(budget=0.0, degrade="defer")
+            )
+        )
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        report = eve.last_report
+        assert report.deferred_views == ("V",)
+        assert report.synchronizations == ()
+        payload = report.to_dict()
+        assert payload["schedule"]["deferred"] == ["V"]
+        assert payload["schedule"]["batches"][0]["budget"] == 0.0
+
+    def test_to_dict_schema_shape(self):
+        eve = build_system()
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        payload = eve.last_report.to_dict()
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert set(payload) == {
+            "schema_version",
+            "operation",
+            "synchronization",
+            "schedule",
+            "maintenance",
+        }
+        sync = payload["synchronization"]
+        assert sync["survived"] == 1 and sync["undefined"] == 0
+        (view_row,) = sync["views"]
+        assert set(view_row) == {
+            "view", "change", "survived", "qc", "policy", "counters",
+        }
+        assert "DeleteRelation" in view_row["change"]
+        (batch,) = payload["schedule"]["batches"]
+        assert batch["executor"] == "serial"
+        assert batch["views"] == 1
+        # The empty half is present, not absent.
+        assert payload["maintenance"]["flushes"] == []
+        assert payload["maintenance"]["updates"] == 0
+
+    def test_to_json_is_stable_and_parseable(self):
+        eve = build_system()
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        wire = eve.last_report.to_json(indent=2)
+        parsed = json.loads(wire)
+        assert parsed == json.loads(eve.last_report.to_json())
+        # sort_keys: serialization order is deterministic
+        assert wire.index('"maintenance"') < wire.index('"operation"')
+
+
+class TestApplyUpdatesReport:
+    def test_report_records_flushes_and_counters(self):
+        eve = build_system()
+        charged = eve.apply_updates(
+            [
+                ("R", "insert", (3, 30)),
+                ("R", "insert", (4, 40)),
+                ("R", "delete", (1, 10)),
+            ]
+        )
+        report = eve.last_report
+        assert report.operation == "apply_updates"
+        (flush,) = report.flushes
+        assert flush.view == "V"
+        assert flush.updates == 3
+        assert flush.relations == ("R",)
+        assert report.maintenance_counters == charged
+        payload = report.to_dict()
+        assert payload["maintenance"]["updates"] == 3
+        assert (
+            payload["maintenance"]["counters"]["messages"]
+            == charged.messages
+        )
+        assert payload["synchronization"]["views"] == []
+        json.loads(report.to_json())
+
+    def test_each_call_replaces_the_report(self):
+        eve = build_system()
+        eve.apply_updates([("R", "insert", (3, 30))])
+        first = eve.last_report
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        assert eve.last_report is not first
+        assert eve.last_report.operation == "apply_changes"
+
+
+class TestReportObject:
+    def test_empty_report_serializes(self):
+        report = SystemReport(operation="apply_changes")
+        payload = report.to_dict()
+        assert payload["synchronization"]["views"] == []
+        assert payload["maintenance"]["counters"]["messages"] == 0
+        json.loads(report.to_json())

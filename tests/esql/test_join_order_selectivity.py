@@ -9,6 +9,7 @@ relation lead the join.
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.esql.evaluator import _join_order, evaluate_view
 from repro.esql.parser import parse_view
 from repro.esql.validate import ViewValidator
@@ -80,7 +81,7 @@ class TestSelectivityFoldedOrder:
         statistics.register_simple("Big", 300, selectivity=0.01)
         statistics.register_simple("Small", 100, selectivity=1.0)
         fast = evaluate_view(view, relations, statistics)
-        reference = evaluate_view(view, relations, engine="naive")
+        reference = evaluate_view(view, relations, config=EngineConfig(engine="naive"))
         assert sorted(fast.rows) == sorted(reference.rows)
 
     def test_selectivity_ignored_for_join_clauses(self, relations):

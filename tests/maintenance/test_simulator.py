@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.errors import MaintenanceError
+from repro.config import MaintenanceConfig
+from repro.errors import ConfigurationError, MaintenanceError
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
 from repro.maintenance.counters import MaintenanceCounters
@@ -189,15 +190,17 @@ class TestCountersUnit:
 
 class TestRepresentations:
     def test_unknown_representation_rejected(self, space):
-        with pytest.raises(MaintenanceError, match="representation"):
-            ViewMaintainer(space, representation="quantum")
+        with pytest.raises(ConfigurationError, match="representation"):
+            ViewMaintainer(space, config=MaintenanceConfig(representation="quantum"))
 
     @pytest.mark.parametrize("representation", ["dict", "tuple"])
     def test_both_representations_maintain_correctly(
         self, space, view, representation
     ):
         extent = materialize(view, space)
-        maintainer = ViewMaintainer(space, representation=representation)
+        maintainer = ViewMaintainer(
+            space, config=MaintenanceConfig(representation=representation)
+        )
         update = space.source("IS1").insert("R", (2, 21))
         maintainer.maintain(view, extent, update)
         assert sorted(extent.rows) == sorted(materialize(view, space).rows)
@@ -259,7 +262,9 @@ class TestMaintainBatch:
 
         reference_space = build()
         reference_extent = materialize(view, reference_space)
-        reference = ViewMaintainer(reference_space, representation="dict")
+        reference = ViewMaintainer(
+            reference_space, config=MaintenanceConfig(representation="dict")
+        )
         for row in rows:
             update = reference_space.source("IS1").insert("R", row)
             reference.maintain(view, reference_extent, update)

@@ -11,6 +11,7 @@ can keep pinning it.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.config import MaintenanceConfig
 from repro.core.eve import EVESystem
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
@@ -88,8 +89,15 @@ def factors(counters):
 
 
 def replay(space, view, operations):
-    """Filter the op stream to valid updates and apply them."""
-    updates = []
+    """Filter the op stream to valid updates, applying them lazily.
+
+    A generator, so ``for update in replay(...): maintain(update)``
+    follows the sequential protocol exactly: each update lands on its
+    source immediately before its own maintenance, never earlier.
+    (Materializing the list first would apply *future* updates before
+    maintaining the current one — not a state any sequential execution
+    can produce, so maintenance is not required to survive it.)
+    """
     for kind, relation_name, row in operations:
         if relation_name not in view.relation_names:
             continue
@@ -97,10 +105,9 @@ def replay(space, view, operations):
         if kind == "delete":
             if row not in source.relation(relation_name).rows:
                 continue
-            updates.append(source.delete(relation_name, row))
+            yield source.delete(relation_name, row)
         else:
-            updates.append(source.insert(relation_name, row))
-    return updates
+            yield source.insert(relation_name, row)
 
 
 @given(storm())
@@ -118,7 +125,10 @@ def test_tuple_plane_matches_dict_plane_per_update(data):
         space = build_space(initial_r, initial_s, initial_t)
         extent = evaluate_view(view, space.relations())
         maintainer = ViewMaintainer(
-            space, use_index=use_index, representation=representation
+            space,
+            config=MaintenanceConfig(
+                representation=representation, use_index=use_index
+            ),
         )
         for update in replay(space, view, operations):
             maintainer.maintain(view, extent, update)
@@ -144,7 +154,9 @@ def test_maintain_batch_matches_per_update_reference(data):
 
     reference_space = build_space(initial_r, initial_s, initial_t)
     reference_extent = evaluate_view(view, reference_space.relations())
-    reference = ViewMaintainer(reference_space, representation="dict")
+    reference = ViewMaintainer(
+        reference_space, config=MaintenanceConfig(representation="dict")
+    )
     for update in replay(reference_space, view, operations):
         reference.maintain(view, reference_extent, update)
 

@@ -13,6 +13,7 @@ from collections import Counter
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.config import EngineConfig, MaintenanceConfig
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_condition_clause, parse_view
 from repro.relational.algebra import join, select
@@ -65,8 +66,8 @@ def test_indexed_evaluator_matches_naive(r_data, s_data, t_data, clauses, order)
         "CREATE VIEW V AS SELECT R.A, R.B, S.C, T.D "
         f"FROM {', '.join(order)}{where}"
     )
-    indexed = evaluate_view(view, relations, engine="indexed")
-    naive = evaluate_view(view, relations, engine="naive")
+    indexed = evaluate_view(view, relations, config=EngineConfig(engine="indexed"))
+    naive = evaluate_view(view, relations, config=EngineConfig(engine="naive"))
     assert indexed == naive  # bag equality over identical schemas
 
 
@@ -79,8 +80,8 @@ def test_two_relation_views_agree(r_data, s_data, clauses):
     view = parse_view(
         f"CREATE VIEW V AS SELECT R.B, S.C FROM S, R{where}"
     )
-    indexed = evaluate_view(view, relations, engine="indexed")
-    naive = evaluate_view(view, relations, engine="naive")
+    indexed = evaluate_view(view, relations, config=EngineConfig(engine="indexed"))
+    naive = evaluate_view(view, relations, config=EngineConfig(engine="naive"))
     assert indexed == naive
 
 
@@ -241,7 +242,9 @@ def test_maintenance_propagation_indexed_matches_naive(
     for use_index in (True, False):
         space = _build_space(list(r_data), list(s_data))
         extent = evaluate_view(view, space.relations())
-        maintainer = ViewMaintainer(space, use_index=use_index)
+        maintainer = ViewMaintainer(
+            space, config=MaintenanceConfig(use_index=use_index)
+        )
         for relation_name, row in inserts:
             update = space.source(
                 "IS1" if relation_name == "R" else "IS2"

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.config import ScheduleConfig
 from repro.core.eve import EVESystem
 from repro.sync.scheduler import SynchronizationScheduler, _fork_available
 from repro.workloadgen.scenarios import (
@@ -98,7 +99,7 @@ def test_executors_commit_identical_outcomes_on_storms(
     for label, config in SCHEDULERS.items():
         eve, batch = storm_system(seed, views, changes)
         results = eve.apply_changes(
-            batch, scheduler=SynchronizationScheduler(**config)
+            batch, scheduler=SynchronizationScheduler(ScheduleConfig(**config))
         )
         assert outcome_fingerprint(eve, results) == reference, label
 
@@ -119,7 +120,7 @@ def test_executors_commit_identical_outcomes_on_salvage_storms(
     for label, config in SCHEDULERS.items():
         eve, batch = stress_system(views, relations, donors)
         results = eve.apply_changes(
-            batch, scheduler=SynchronizationScheduler(**config)
+            batch, scheduler=SynchronizationScheduler(ScheduleConfig(**config))
         )
         assert outcome_fingerprint(eve, results) == reference, label
 
@@ -135,7 +136,7 @@ def test_process_executor_commits_identical_outcomes(coalesce):
     )
     eve, batch = stress_system(views=12, relations=4, donors=2)
     scheduler = SynchronizationScheduler(
-        executor="processes", max_workers=2, coalesce=coalesce
+        ScheduleConfig(executor="processes", max_workers=2, coalesce=coalesce)
     )
     results = eve.apply_changes(batch, scheduler=scheduler)
     assert outcome_fingerprint(eve, results) == reference
@@ -150,7 +151,7 @@ def test_degraded_runs_still_salvage_every_view():
     results = eve.apply_changes(
         batch,
         scheduler=SynchronizationScheduler(
-            budget=0.0, degrade="first_legal"
+            ScheduleConfig(budget=0.0, degrade="first_legal")
         ),
     )
     assert [r.view_name for r in results] == [

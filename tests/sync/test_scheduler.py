@@ -4,8 +4,10 @@ import threading
 
 import pytest
 
+from repro.config import ScheduleConfig
 from repro.core.eve import EVESystem
 from repro.errors import (
+    ConfigurationError,
     EvaluationError,
     SynchronizationError,
 )
@@ -183,9 +185,9 @@ class TestDispatch:
             ],
             CHANGES,
         )
-        SynchronizationScheduler(order="cost").execute(plan, runtime)
+        SynchronizationScheduler(ScheduleConfig(order="cost")).execute(plan, runtime)
         assert [name for name, _ in runtime.replayed] == ["V1", "V2", "V0"]
-        SynchronizationScheduler(order="plan").execute(
+        SynchronizationScheduler(ScheduleConfig(order="plan")).execute(
             plan, runtime := RecordingRuntime()
         )
         assert [name for name, _ in runtime.replayed] == ["V0", "V1", "V2"]
@@ -196,9 +198,7 @@ class TestDispatch:
             [(f"V{i}", (i % 3,), float(i), f"k{i}") for i in range(12)],
             CHANGES,
         )
-        SynchronizationScheduler(
-            executor="threads", max_workers=4
-        ).execute(plan, runtime)
+        SynchronizationScheduler(ScheduleConfig(executor="threads", max_workers=4)).execute(plan, runtime)
         groups = plan.groups()
         assert len(groups) == 3
         for group in groups:
@@ -212,9 +212,7 @@ class TestDispatch:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(
-            budget=0.0, degrade="defer"
-        ).execute(plan, runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="defer")).execute(plan, runtime)
         assert runtime.replayed == []
         assert [d.view_name for d in report.deferred] == ["V0", "V1"]
         assert runtime.finalized == []  # deferred views keep stale extents
@@ -225,9 +223,7 @@ class TestDispatch:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(
-            budget=0.0, degrade="first_legal"
-        ).execute(plan, runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="first_legal")).execute(plan, runtime)
         assert [policy for _, policy in runtime.replayed] == [
             "first_legal",
             "first_legal",
@@ -241,23 +237,21 @@ class TestDispatch:
             [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
         )
         runtime = RecordingRuntime(fail_for={"V1"})
-        scheduler = SynchronizationScheduler(
-            executor=executor, max_workers=2
-        )
+        scheduler = SynchronizationScheduler(ScheduleConfig(executor=executor, max_workers=2))
         with pytest.raises(ValueError, match="injected failure"):
             scheduler.execute(plan, runtime)
 
     def test_invalid_configuration_rejected(self):
-        with pytest.raises(SynchronizationError):
-            SynchronizationScheduler(executor="rayon")
-        with pytest.raises(SynchronizationError):
-            SynchronizationScheduler(degrade="drop")
-        with pytest.raises(SynchronizationError):
-            SynchronizationScheduler(order="random")
-        with pytest.raises(SynchronizationError):
-            SynchronizationScheduler(budget=-1.0)
-        with pytest.raises(SynchronizationError):
-            SynchronizationScheduler(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ScheduleConfig(executor="rayon")
+        with pytest.raises(ConfigurationError):
+            ScheduleConfig(degrade="drop")
+        with pytest.raises(ConfigurationError):
+            ScheduleConfig(order="random")
+        with pytest.raises(ConfigurationError):
+            ScheduleConfig(budget=-1.0)
+        with pytest.raises(ConfigurationError):
+            ScheduleConfig(max_workers=0)
 
 
 # ----------------------------------------------------------------------
@@ -301,7 +295,7 @@ class TestSystemIntegration:
         coalesced = build_system(materialize=True)
         results = coalesced.apply_changes(
             [DeleteRelation("IS0", "R0")],
-            scheduler=SynchronizationScheduler(coalesce=True),
+            scheduler=SynchronizationScheduler(ScheduleConfig(coalesce=True)),
         )
         assert coalesced.last_schedule[0].coalesced == 1
         assert fingerprint(plain) == fingerprint(coalesced)
@@ -343,7 +337,7 @@ class TestSystemIntegration:
         reference.apply_changes(change)
         coalesced = build_pair()
         coalesced.apply_changes(
-            change, scheduler=SynchronizationScheduler(coalesce=True)
+            change, scheduler=SynchronizationScheduler(ScheduleConfig(coalesce=True))
         )
         assert coalesced.last_schedule[0].coalesced == 0
         assert fingerprint(coalesced) == fingerprint(reference)
@@ -356,9 +350,7 @@ class TestSystemIntegration:
         eve = build_system()
         results = eve.apply_changes(
             [DeleteRelation("IS0", "R0")],
-            scheduler=SynchronizationScheduler(
-                budget=0.0, degrade="first_legal"
-            ),
+            scheduler=SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="first_legal")),
         )
         assert results
         for result in results:
@@ -416,7 +408,7 @@ class TestSystemIntegration:
         eve = build_system()
         eve.apply_changes(
             [DeleteRelation("IS0", "R0")],
-            scheduler=SynchronizationScheduler(budget=0.0, degrade="defer"),
+            scheduler=SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="defer")),
         )
         assert len(eve.resume_deferred()) == 2
         assert eve.resume_deferred() == []  # consumed, not re-replayed
@@ -427,7 +419,7 @@ class TestSystemIntegration:
         batch = [DeleteRelation("IS0", "R0")]
         results = eve.apply_changes(
             batch,
-            scheduler=SynchronizationScheduler(budget=0.0, degrade="defer"),
+            scheduler=SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="defer")),
         )
         assert results == []
         assert eve.generations("V0") == 0  # untouched, stale definition
@@ -516,14 +508,12 @@ class TestUnitBudget:
         )
 
     def test_negative_budget_units_rejected(self):
-        with pytest.raises(SynchronizationError, match="budget_units"):
-            SynchronizationScheduler(budget_units=-0.5)
+        with pytest.raises(ConfigurationError, match="budget_units"):
+            ScheduleConfig(budget_units=-0.5)
 
     def test_zero_units_defers_everything(self):
         runtime = RecordingRuntime()
-        report = SynchronizationScheduler(
-            budget_units=0.0, degrade="defer"
-        ).execute(self.plan(), runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget_units=0.0, degrade="defer")).execute(self.plan(), runtime)
         assert runtime.replayed == []
         assert [d.view_name for d in report.deferred] == ["V0", "V1", "V2"]
         assert "cost units" in report.deferred[0].reason
@@ -534,9 +524,7 @@ class TestUnitBudget:
         # Cost order dispatches V0 (debit 1.0) then V1 (debit 2.0);
         # the bucket is then exactly exhausted, so V2 degrades.
         runtime = RecordingRuntime()
-        report = SynchronizationScheduler(
-            budget_units=3.0, degrade="first_legal"
-        ).execute(self.plan(), runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget_units=3.0, degrade="first_legal")).execute(self.plan(), runtime)
         assert [
             (name, policy) for name, policy in runtime.replayed
         ] == [("V0", None), ("V1", None), ("V2", "first_legal")]
@@ -549,9 +537,7 @@ class TestUnitBudget:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (0,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(
-            budget_units=1.5, degrade="defer"
-        ).execute(plan, runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget_units=1.5, degrade="defer")).execute(plan, runtime)
         assert [name for name, _ in runtime.replayed] == ["V0", "V1"]
         assert report.deferred == ()
         assert report.units_spent == 3.0
@@ -562,9 +548,7 @@ class TestUnitBudget:
             [("V0", (0,), float("inf"), "a"), ("V1", (1,), 1.0, "b")],
             CHANGES,
         )
-        report = SynchronizationScheduler(
-            budget_units=10.0, degrade="defer"
-        ).execute(plan, runtime)
+        report = SynchronizationScheduler(ScheduleConfig(budget_units=10.0, degrade="defer")).execute(plan, runtime)
         assert report.deferred == ()
         assert report.units_spent == 1.0
 
@@ -573,9 +557,7 @@ class TestUnitBudget:
         batch = [DeleteRelation("IS0", "R0")]
         results = eve.apply_changes(
             batch,
-            scheduler=SynchronizationScheduler(
-                budget_units=0.0, degrade="defer"
-            ),
+            scheduler=SynchronizationScheduler(ScheduleConfig(budget_units=0.0, degrade="defer")),
         )
         assert results == []
         assert eve.resume_deferred() != []
@@ -594,9 +576,7 @@ class TestUnitBudget:
         batch = [DeleteRelation("IS0", "R0"), DeleteRelation("IS0", "R1")]
         eve.apply_changes(
             batch,
-            scheduler=SynchronizationScheduler(
-                budget_units=0.5, degrade="defer"
-            ),
+            scheduler=SynchronizationScheduler(ScheduleConfig(budget_units=0.5, degrade="defer")),
         )
         report = eve.last_schedule[0]
         dispatched = {result.view_name for result in report.results}

@@ -1,0 +1,342 @@
+"""Tests for the typed configuration profiles and the deprecation shims.
+
+Three contracts:
+
+* every invalid field raises one consistent
+  :class:`~repro.errors.ConfigurationError`, whatever subsystem the
+  field configures;
+* ``SystemConfig.from_dict(c.to_dict()) == c`` holds losslessly for the
+  default and every named preset;
+* every legacy kwarg spelling emits :class:`DeprecationWarning` exactly
+  once and maps onto the equivalent config object.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.config import (
+    EngineConfig,
+    MaintenanceConfig,
+    ScheduleConfig,
+    SearchConfig,
+    SystemConfig,
+)
+from repro.core.eve import EVESystem
+from repro.errors import ConfigurationError
+from repro.esql.evaluator import evaluate_view
+from repro.esql.parser import parse_view
+from repro.maintenance.simulator import ViewMaintainer
+from repro.misd.mkb import MetaKnowledgeBase
+from repro.qc.model import QCModel
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.space.space import InformationSpace
+from repro.sync.pipeline import RewritingSearchPipeline, SearchPolicy
+from repro.sync.scheduler import SynchronizationScheduler
+from repro.sync.synchronizer import ViewSynchronizer
+
+ALL_PRESETS = {
+    "default": SystemConfig(),
+    "reference": SystemConfig.reference(),
+    "fast": SystemConfig.fast(),
+    "bounded-units": SystemConfig.bounded(budget_units=25.0),
+    "bounded-wall": SystemConfig.bounded(budget=1.5, degrade="defer"),
+}
+
+
+def one_deprecation(record) -> None:
+    """The shim contract: exactly one DeprecationWarning per call."""
+    hits = [w for w in record if w.category is DeprecationWarning]
+    assert len(hits) == 1, [str(w.message) for w in record]
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: EngineConfig(engine="quantum"),
+            lambda: SearchConfig(policy="psychic"),
+            lambda: SearchConfig(policy="top_k"),  # missing k
+            lambda: SearchConfig(policy="top_k", top_k=0),
+            lambda: SearchConfig(policy="pruned", top_k=3),
+            lambda: SearchConfig(policy="top_k(x)"),
+            lambda: SearchConfig(policy="top_k(2)", top_k=3),
+            lambda: SearchConfig(generators=("rename", "teleport")),
+            lambda: ScheduleConfig(executor="rayon"),
+            lambda: ScheduleConfig(degrade="drop"),
+            lambda: ScheduleConfig(order="random"),
+            lambda: ScheduleConfig(budget=-1.0),
+            lambda: ScheduleConfig(budget_units=-0.5),
+            lambda: ScheduleConfig(max_workers=0),
+            lambda: MaintenanceConfig(representation="quantum"),
+            lambda: SystemConfig(engine="indexed"),  # not a slice
+            lambda: SystemConfig.bounded(),  # no budget at all
+        ],
+        ids=[
+            "engine-name",
+            "policy-name",
+            "top_k-missing",
+            "top_k-zero",
+            "top_k-on-pruned",
+            "top_k-malformed",
+            "top_k-conflict",
+            "generator-name",
+            "executor-name",
+            "degrade-name",
+            "order-name",
+            "budget-negative",
+            "budget_units-negative",
+            "max_workers-zero",
+            "representation-name",
+            "slice-type",
+            "bounded-empty",
+        ],
+    )
+    def test_invalid_values_raise_configuration_error(self, build):
+        with pytest.raises(ConfigurationError):
+            build()
+
+    def test_error_messages_name_the_offender(self):
+        with pytest.raises(ConfigurationError, match="rayon"):
+            ScheduleConfig(executor="rayon")
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            ScheduleConfig(max_workers=-3)
+        with pytest.raises(ConfigurationError, match="teleport"):
+            SearchConfig(generators=("teleport",))
+
+    def test_top_k_string_spelling_normalizes(self):
+        config = SearchConfig(policy="top_k(3)")
+        assert (config.policy, config.top_k) == ("top_k", 3)
+        assert config.search_policy() == SearchPolicy.top_k(3)
+        assert config == SearchConfig(policy="top_k", top_k=3)
+
+    def test_slices_accept_mappings(self):
+        config = SystemConfig(engine={"engine": "naive"})
+        assert config.engine == EngineConfig(engine="naive")
+
+    def test_profiles_are_frozen_values(self):
+        config = SystemConfig()
+        with pytest.raises(AttributeError):
+            config.engine = EngineConfig()
+        assert SystemConfig() == SystemConfig()
+        assert SystemConfig.fast() != SystemConfig.reference()
+
+
+# ----------------------------------------------------------------------
+# Serialization round trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", list(ALL_PRESETS))
+    def test_to_dict_from_dict_is_lossless(self, name):
+        config = ALL_PRESETS[name]
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("name", list(ALL_PRESETS))
+    def test_round_trip_survives_json(self, name):
+        config = ALL_PRESETS[name]
+        wire = json.dumps(config.to_dict(), sort_keys=True)
+        assert SystemConfig.from_dict(json.loads(wire)) == config
+
+    def test_missing_sections_default(self):
+        config = SystemConfig.from_dict({"engine": {"engine": "naive"}})
+        assert config.engine.engine == "naive"
+        assert config.schedule == ScheduleConfig()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="warp"):
+            SystemConfig.from_dict({"warp": {}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="speed"):
+            SystemConfig.from_dict({"engine": {"speed": 11}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.from_dict("fast")
+        with pytest.raises(ConfigurationError):
+            SystemConfig.from_dict({"engine": "naive"})
+
+    def test_sweep_helpers_replace_fields(self):
+        swept = SystemConfig.fast().with_schedule(budget_units=9.0)
+        assert swept.schedule.budget_units == 9.0
+        assert swept.schedule.coalesce is True  # other fields kept
+        assert SystemConfig().with_search(policy="first_legal") == (
+            SystemConfig(search=SearchConfig(policy="first_legal"))
+        )
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+def tiny_space():
+    space = InformationSpace()
+    space.add_source("IS1")
+    space.register_relation(
+        "IS1", Relation(Schema("R", ["A", "B"]), [(1, 2), (3, 4)])
+    )
+    return space
+
+
+class TestShims:
+    def test_scheduler_legacy_kwargs_warn_once_and_map(self):
+        with pytest.warns(DeprecationWarning) as record:
+            scheduler = SynchronizationScheduler(
+                executor="threads", coalesce=True, budget_units=2.0
+            )
+        one_deprecation(record)
+        assert scheduler.config == ScheduleConfig(
+            executor="threads", coalesce=True, budget_units=2.0
+        )
+
+    def test_scheduler_rejects_mixed_spellings(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            SynchronizationScheduler(ScheduleConfig(), executor="threads")
+
+    def test_maintainer_legacy_kwargs_warn_once_and_map(self):
+        space = tiny_space()
+        with pytest.warns(DeprecationWarning) as record:
+            maintainer = ViewMaintainer(
+                space, use_index=False, representation="dict"
+            )
+        one_deprecation(record)
+        assert maintainer.config == MaintenanceConfig(
+            representation="dict", use_index=False
+        )
+        with pytest.raises(ConfigurationError, match="not both"):
+            ViewMaintainer(
+                space, use_index=False, config=MaintenanceConfig()
+            )
+
+    def test_evaluate_view_legacy_engine_warns_once_and_maps(self):
+        space = tiny_space()
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = evaluate_view(view, space.relations(), engine="naive")
+        one_deprecation(record)
+        modern = evaluate_view(
+            view, space.relations(), config=EngineConfig(engine="naive")
+        )
+        assert legacy == modern
+        with pytest.raises(ConfigurationError, match="not both"):
+            evaluate_view(
+                view, space.relations(), engine="naive",
+                config=EngineConfig(),
+            )
+
+    def test_pipeline_legacy_policy_warns_once_and_maps(self):
+        mkb = MetaKnowledgeBase()
+        synchronizer = ViewSynchronizer(mkb)
+        model = QCModel(mkb)
+        with pytest.warns(DeprecationWarning) as record:
+            pipeline = RewritingSearchPipeline(
+                synchronizer, model, "first_legal"
+            )
+        one_deprecation(record)
+        assert pipeline.policy == SearchPolicy.first_legal()
+        assert pipeline.policy == RewritingSearchPipeline(
+            synchronizer, model, config=SearchConfig(policy="first_legal")
+        ).policy
+        with pytest.raises(ConfigurationError, match="not both"):
+            RewritingSearchPipeline(
+                synchronizer, model, "pruned", config=SearchConfig()
+            )
+
+    def test_eve_legacy_policy_warns_once_and_maps(self):
+        with pytest.warns(DeprecationWarning) as record:
+            eve = EVESystem(policy="top_k(2)")
+        one_deprecation(record)
+        assert eve.policy == SearchPolicy.top_k(2)
+        assert eve.config.search == SearchConfig(policy="top_k", top_k=2)
+        with pytest.raises(ConfigurationError, match="not both"):
+            EVESystem(policy="pruned", config=SystemConfig())
+
+    def test_eve_legacy_scheduler_kwarg_warns_and_is_used(self):
+        scheduler = SynchronizationScheduler(
+            ScheduleConfig(order="plan")
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            eve = EVESystem(scheduler=scheduler)
+        one_deprecation(record)
+        assert eve.scheduler is scheduler
+        # The profile stays truthful: the instance's config is the slice.
+        assert eve.config.schedule == ScheduleConfig(order="plan")
+
+    def test_eve_rejects_config_plus_scheduler(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            EVESystem(
+                config=SystemConfig(),
+                scheduler=SynchronizationScheduler(),
+            )
+
+    def test_eve_legacy_policy_and_scheduler_together_warn_once(self):
+        scheduler = SynchronizationScheduler(
+            ScheduleConfig(coalesce=True)
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            eve = EVESystem(policy="first_legal", scheduler=scheduler)
+        one_deprecation(record)
+        assert eve.config.search == SearchConfig(policy="first_legal")
+        assert eve.config.schedule == ScheduleConfig(coalesce=True)
+
+    def test_modern_spellings_never_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            EVESystem(config=SystemConfig.fast())
+            SynchronizationScheduler(ScheduleConfig(executor="threads"))
+            ViewMaintainer(
+                tiny_space(),
+                config=MaintenanceConfig(representation="dict"),
+            )
+            mkb = MetaKnowledgeBase()
+            RewritingSearchPipeline(
+                ViewSynchronizer(mkb),
+                QCModel(mkb),
+                config=SearchConfig(),
+            )
+
+    def test_per_call_policy_override_is_not_deprecated(self):
+        space = tiny_space()
+        pipeline = RewritingSearchPipeline(
+            ViewSynchronizer(space.mkb),
+            QCModel(space.mkb),
+            config=SearchConfig(),
+        )
+        view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
+        from repro.space.changes import DeleteRelation
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # A change on an unreferenced relation: the search returns
+            # the identity rewriting without consulting the MKB routes.
+            result = pipeline.search(
+                view, DeleteRelation("IS9", "S"), policy="exhaustive"
+            )
+        assert result.survived
+
+
+# ----------------------------------------------------------------------
+# Engine slice semantics
+# ----------------------------------------------------------------------
+class TestEngineSlice:
+    def test_use_index_false_matches_probed_extents(self):
+        space = tiny_space()
+        space.add_source("IS2")
+        space.register_relation(
+            "IS2", Relation(Schema("S", ["A", "C"]), [(1, 9), (3, 7)])
+        )
+        view = parse_view(
+            "CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A = S.A"
+        )
+        probed = evaluate_view(view, space.relations())
+        unprobed = evaluate_view(
+            view, space.relations(), config=EngineConfig(use_index=False)
+        )
+        naive = evaluate_view(
+            view, space.relations(), config=EngineConfig(engine="naive")
+        )
+        assert probed == unprobed == naive

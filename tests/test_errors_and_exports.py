@@ -20,6 +20,7 @@ class TestHierarchy:
             "EvaluationError",
             "MaintenanceError",
             "WorkspaceError",
+            "ConfigurationError",
         ]
         for name in names:
             assert issubclass(getattr(errors, name), errors.ReproError)
@@ -53,11 +54,68 @@ class TestHierarchy:
             Schema("R", ["A", "A"])
 
 
+#: The documented top-level surface, verbatim.  A new public name must
+#: be added BOTH to ``repro.__all__`` and here — the drift test below
+#: fails on any one-sided change, so the package cannot silently grow
+#: (or lose) API.
+DOCUMENTED_EXPORTS = [
+    "BatchScheduled",
+    "CacheInvalidated",
+    "ConfigurationError",
+    "DegradedToFirstLegal",
+    "EVESystem",
+    "EngineConfig",
+    "Evaluation",
+    "EventBus",
+    "MaintenanceConfig",
+    "MaintenanceFlush",
+    "QCModel",
+    "ScheduleConfig",
+    "SearchConfig",
+    "SynchronizationDeferred",
+    "SynchronizationRecord",
+    "SynchronizationResult",
+    "SystemConfig",
+    "SystemEvent",
+    "SystemReport",
+    "TradeoffParameters",
+    "ViewMaintained",
+    "ViewSynchronized",
+    "__version__",
+]
+
+
 class TestPublicSurface:
     def test_top_level_exports(self):
         assert repro.__version__
         for name in repro.__all__:
             assert getattr(repro, name) is not None
+
+    def test_all_matches_documented_surface_exactly(self):
+        assert repro.__all__ == DOCUMENTED_EXPORTS
+
+    def test_all_is_sorted(self):
+        assert repro.__all__ == sorted(repro.__all__)
+
+    def test_no_undocumented_public_classes(self):
+        # Anything importable from the package root that looks public
+        # (a class or function defined in repro.*) must be in __all__ —
+        # imports used for re-export bookkeeping count as public.
+        import inspect
+
+        undocumented = [
+            name
+            for name, item in vars(repro).items()
+            if not name.startswith("_")
+            and (inspect.isclass(item) or inspect.isfunction(item))
+            and (item.__module__ or "").startswith("repro")
+            and name not in repro.__all__
+        ]
+        assert undocumented == []
+
+    def test_presets_reachable_from_exported_config(self):
+        for preset in ("reference", "fast", "bounded"):
+            assert callable(getattr(repro.SystemConfig, preset))
 
     def test_subpackage_all_lists_resolve(self):
         import repro.esql

@@ -17,6 +17,7 @@ from validate_bench import (  # noqa: E402
     check_regression,
     is_smoke,
     validate_payload,
+    validate_system_report,
 )
 
 
@@ -62,6 +63,83 @@ class TestStructuralValidation:
 
     def test_every_gated_bench_has_a_validator(self):
         assert set(GATED_SPEEDUPS) <= set(validate_bench.VALIDATORS)
+
+
+class TestSystemReportValidation:
+    def fresh_report(self, operation="apply_changes"):
+        """A real report from a real (tiny) system run."""
+        from repro.config import SystemConfig
+        from repro.core.eve import EVESystem
+        from repro.misd.statistics import RelationStatistics
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+        from repro.space.changes import DeleteRelation
+
+        eve = EVESystem(config=SystemConfig.fast())
+        eve.add_source("IS1")
+        eve.add_source("IS2")
+        eve.register_relation(
+            "IS1",
+            Relation(Schema("R", ["A"]), [(1,)]),
+            RelationStatistics(cardinality=1),
+        )
+        eve.register_relation(
+            "IS2",
+            Relation(Schema("M", ["A"]), [(1,)]),
+            RelationStatistics(cardinality=1),
+        )
+        eve.mkb.add_equivalence("R", "M", ["A"])
+        eve.define_view(
+            "CREATE VIEW V (VE = '~') AS SELECT R.A (AR = true) "
+            "FROM R (RR = true)"
+        )
+        if operation == "apply_changes":
+            eve.apply_changes([DeleteRelation("IS1", "R")])
+        else:
+            eve.apply_updates([("R", "insert", (2,))])
+        return eve.last_report.to_dict()
+
+    @pytest.mark.parametrize(
+        "operation", ["apply_changes", "apply_updates"]
+    )
+    def test_real_reports_validate(self, operation):
+        validate_system_report(self.fresh_report(operation))
+
+    def test_wrong_schema_version_rejected(self):
+        report = self.fresh_report()
+        report["schema_version"] = 99
+        with pytest.raises(BenchValidationError, match="schema_version"):
+            validate_system_report(report)
+
+    def test_unknown_operation_rejected(self):
+        report = self.fresh_report()
+        report["operation"] = "apply_vibes"
+        with pytest.raises(BenchValidationError, match="operation"):
+            validate_system_report(report)
+
+    def test_survival_totals_enforced(self):
+        report = self.fresh_report()
+        report["synchronization"]["survived"] = 7
+        with pytest.raises(BenchValidationError, match="survived"):
+            validate_system_report(report)
+
+    def test_qc_survival_consistency_enforced(self):
+        report = self.fresh_report()
+        report["synchronization"]["views"][0]["qc"] = None
+        with pytest.raises(BenchValidationError, match="mismatch"):
+            validate_system_report(report)
+
+    def test_flush_totals_enforced(self):
+        report = self.fresh_report("apply_updates")
+        report["maintenance"]["updates"] += 1
+        with pytest.raises(BenchValidationError, match="flush"):
+            validate_system_report(report)
+
+    def test_missing_report_fails_the_bench_payload(self):
+        payload = committed("scheduler")
+        payload.pop("system_report", None)
+        with pytest.raises(BenchValidationError, match="system_report"):
+            validate_payload("scheduler", payload)
 
 
 class TestRegressionGate:
