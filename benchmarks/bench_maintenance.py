@@ -3,7 +3,7 @@
 One timed scenario, the 10k-update maintenance storm
 (:func:`~repro.workloadgen.scenarios.build_maintenance_storm_scenario`):
 a three-source join view whose updated relation receives a long
-insert/delete stream.  Three lanes run the identical stream:
+insert/delete stream.  The lanes all run the identical stream:
 
 1. **dict per-update** — the binding-plane reference: every update is
    propagated on its own, deltas travel as per-row dicts, WHERE clauses
@@ -13,10 +13,13 @@ insert/delete stream.  Three lanes run the identical stream:
 3. **tuple batch** — the whole stream through
    :meth:`ViewMaintainer.maintain_batch`: one resolution, one plan, one
    compiled pipeline, per-update accounting recovered from provenance.
+4. **columnar batch** — the same batched stream on the columnar plane:
+   deltas travel as per-attribute columns, joins run as vectorized hash
+   probes with selection vectors.
 
 The modeled CF_M/CF_T/CF_IO counters and the final extents must be
-identical across all three lanes — that is the equivalence contract of
-the delta plane, and ``validate_bench.py`` gates it on every run.
+identical across every lane — that is the equivalence contract of the
+delta plane, and ``validate_bench.py`` gates it on every run.
 
 Results are persisted as machine-readable ``BENCH_maintenance.json`` at
 the repo root (via :func:`conftest.emit_json`).  Run directly::
@@ -103,6 +106,9 @@ def bench_update_storm(updates: int, rows: int) -> tuple[dict, dict]:
     batch_seconds, batch_extent, batch_counters = _run_lane(
         updates, rows, "tuple", batched=True
     )
+    columnar_seconds, columnar_extent, columnar_counters = _run_lane(
+        updates, rows, "columnar", batched=True
+    )
     system_seconds, system_extent, system_counters, system_report = (
         _run_system_lane(updates, rows)
     )
@@ -118,10 +124,15 @@ def bench_update_storm(updates: int, rows: int) -> tuple[dict, dict]:
         factors(dict_counters)
         == factors(tuple_counters)
         == factors(batch_counters)
+        == factors(columnar_counters)
         == factors(system_counters)
     )
     extents_equal = (
-        dict_extent == tuple_extent == batch_extent == system_extent
+        dict_extent
+        == tuple_extent
+        == batch_extent
+        == columnar_extent
+        == system_extent
     )
     storm = {
         "updates": updates,
@@ -133,6 +144,10 @@ def bench_update_storm(updates: int, rows: int) -> tuple[dict, dict]:
         # reference (the acceptance floor is 3x on full runs).
         "speedup": round(dict_seconds / max(batch_seconds, 1e-9), 2),
         "tuple_speedup": round(dict_seconds / max(tuple_seconds, 1e-9), 2),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "columnar_speedup": round(
+            dict_seconds / max(columnar_seconds, 1e-9), 2
+        ),
         "system_seconds": round(system_seconds, 6),
         "system_speedup": round(
             dict_seconds / max(system_seconds, 1e-9), 2
@@ -179,6 +194,12 @@ def report(payload: dict) -> None:
             "same stream",
             f"{storm['batch_seconds']:.3f}s",
             f"{storm['speedup']:.1f}x",
+        ),
+        (
+            "columnar maintain_batch",
+            "same stream",
+            f"{storm['columnar_seconds']:.3f}s",
+            f"{storm['columnar_speedup']:.1f}x",
         ),
         (
             "EVESystem.apply_updates",

@@ -52,7 +52,8 @@ __all__ = [
 
 
 _ENGINES = ("indexed", "naive")
-_REPRESENTATIONS = ("tuple", "dict")
+_ENGINE_REPRESENTATIONS = ("tuple", "columnar")
+_REPRESENTATIONS = ("tuple", "dict", "columnar")
 _EXECUTORS = ("serial", "threads", "processes")
 _DEGRADE_MODES = ("first_legal", "defer")
 _ORDERS = ("cost", "plan")
@@ -98,17 +99,32 @@ class EngineConfig:
         ``"indexed"`` (default) — compiled positional-tuple predicates,
         greedy cardinality join order; ``"naive"`` — the literal-order
         dict-binding reference engine.
+    ``representation``
+        ``"tuple"`` (default) — the compiled positional-tuple plane;
+        ``"columnar"`` — column-at-a-time kernels with selection vectors
+        and vectorized hash probes (requires ``engine="indexed"``; the
+        naive engine is the dict reference by definition).
     ``use_index``
         Whether the indexed engine's equijoin steps may probe hash
-        indexes; ``False`` keeps the compiled-tuple plane but joins by
+        indexes; ``False`` keeps the compiled plane but joins by
         nested loops (ignored by the naive engine, which never probes).
     """
 
     engine: str = "indexed"
+    representation: str = "tuple"
     use_index: bool = True
 
     def __post_init__(self) -> None:
         _require_choice(self.engine, _ENGINES, "evaluation engine")
+        _require_choice(
+            self.representation,
+            _ENGINE_REPRESENTATIONS,
+            "extent representation",
+        )
+        _require(
+            not (self.representation == "columnar" and self.engine == "naive"),
+            "representation='columnar' requires engine='indexed'",
+        )
 
 
 @dataclass(frozen=True)
@@ -247,7 +263,9 @@ class MaintenanceConfig:
 
     ``representation``
         ``"tuple"`` (default) — the compiled positional-tuple delta
-        plane; ``"dict"`` — the per-row binding reference plane.
+        plane; ``"dict"`` — the per-row binding reference plane;
+        ``"columnar"`` — delta batches as per-attribute columns with
+        kernel filters and vectorized probes.
     ``use_index``
         Whether single-site queries may probe the local relation's hash
         index (``False`` forces nested loops).  Modeled CF_M/CF_T/CF_IO
@@ -279,6 +297,8 @@ class SystemConfig:
       everything-eager parity plane every optimization is compared to.
     * :meth:`fast` — indexed engine, tuple delta plane, pruned search,
       threaded coalescing dispatch: the production-shaped plane.
+    * :meth:`columnar` — :meth:`fast` with evaluation and delta
+      propagation on the column-at-a-time kernel plane.
     * :meth:`bounded` — :meth:`fast` under a budget (modeled cost units
       and/or wall-clock seconds) with a degradation mode.
 
@@ -326,6 +346,15 @@ class SystemConfig:
         """Indexed / tuple / pruned / coalesced: the production plane."""
         return cls(
             schedule=ScheduleConfig(executor="threads", coalesce=True),
+        )
+
+    @classmethod
+    def columnar(cls) -> "SystemConfig":
+        """:meth:`fast` with both planes on the columnar representation."""
+        return cls(
+            engine=EngineConfig(representation="columnar"),
+            schedule=ScheduleConfig(executor="threads", coalesce=True),
+            maintenance=MaintenanceConfig(representation="columnar"),
         )
 
     @classmethod

@@ -67,6 +67,7 @@ from repro.qc.assessment_cache import AssessmentCache
 from repro.qc.model import Evaluation, QCModel
 from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
+from repro.relational.columnar import KernelCounters
 from repro.relational.relation import Relation
 from repro.report import MaintenanceFlush, SystemReport
 from repro.space.changes import (
@@ -252,6 +253,10 @@ class EVESystem:
         #: SystemReport of the most recent :meth:`apply_changes` or
         #: :meth:`apply_updates` call (None before the first call).
         self.last_report: SystemReport | None = None
+        #: Column-kernel rows scanned vs selected across evaluation call
+        #: sites (define/refresh/rematerialize); non-zero only when the
+        #: engine runs the columnar plane.
+        self.kernel_counters = KernelCounters()
         # Guards VKB commits and extent bookkeeping when a parallel
         # executor replays independent views concurrently.
         self._commit_lock = threading.Lock()
@@ -367,6 +372,7 @@ class EVESystem:
                 self.space.relations(),
                 self.space.mkb.statistics,
                 config=self.config.engine,
+                kernel_counters=self.kernel_counters,
             )
         return record
 
@@ -387,6 +393,7 @@ class EVESystem:
             self.space.relations(),
             self.space.mkb.statistics,
             config=self.config.engine,
+            kernel_counters=self.kernel_counters,
         )
         return self._extents[view_name]
 
@@ -451,6 +458,7 @@ class EVESystem:
         :class:`~repro.events.ViewMaintained` events.
         """
         before = self.maintainer.counters.snapshot()
+        kernels_before = self.maintainer.kernel_counters.snapshot()
         pending: dict[str, _PendingMaintenance] = {}
         flushes: list[MaintenanceFlush] = []
 
@@ -543,7 +551,13 @@ class EVESystem:
             finally:
                 self._defer_maintenance = was_deferred
                 charged = self.maintainer.counters.diff(before)
-                self.last_report = SystemReport.for_updates(flushes, charged)
+                self.last_report = SystemReport.for_updates(
+                    flushes,
+                    charged,
+                    kernels=self.maintainer.kernel_counters.diff(
+                        kernels_before
+                    ),
+                )
         return charged
 
     #: Above this many pending foreign updates the boundary analysis
@@ -639,12 +653,18 @@ class EVESystem:
         """Generate, rank, and commit the best legal rewriting."""
         result = self._synchronize_record(record, change, workload, policy)
         if result.survived and record.name in self._extents:
+            before = self.kernel_counters.snapshot()
             self._extents[record.name] = evaluate_view(
                 record.current,
                 self.space.relations(),
                 self.space.mkb.statistics,
                 config=self.config.engine,
+                kernel_counters=self.kernel_counters,
             )
+            if result.counters is not None:
+                scanned = self.kernel_counters.diff(before)
+                result.counters.rows_scanned += scanned.rows_scanned
+                result.counters.rows_selected += scanned.rows_selected
         return result
 
     def _synchronize_record(
@@ -957,6 +977,7 @@ class EVESystem:
                 self.space.relations(),
                 self.space.mkb.statistics,
                 config=self.config.engine,
+                kernel_counters=self.kernel_counters,
             )
 
     def resume_deferred(

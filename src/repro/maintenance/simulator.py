@@ -17,20 +17,26 @@ byte payload is the actual delta size, and per-source I/O charges the
 min(full scan, per-delta-tuple index probes) rule of Appendix A against
 the real matching-tuple counts.
 
-Two delta representations execute the sweep:
+Three delta representations execute the sweep:
 
 * ``representation="tuple"`` (default) — the compiled positional-tuple
   plane of :mod:`repro.maintenance.delta`: deltas travel as
   :class:`~repro.maintenance.delta.DeltaBatch` es, residual WHERE
   conjuncts compile once per (condition, bound-column layout), and index
   probes yield tuples directly.
+* ``representation="columnar"`` — deltas travel as
+  :class:`~repro.maintenance.delta.ColumnBatch` es of parallel
+  per-column lists; WHERE conjuncts run as selection-vector kernels and
+  equijoins as vectorized position-index probes, with rows scanned vs
+  selected recorded in :attr:`ViewMaintainer.kernel_counters`.
 * ``representation="dict"`` — the original per-row binding dicts with
   per-candidate clause interpretation, retained as the equivalence
   reference (pair with ``use_index=False`` for the fully naive path).
 
-Both representations accept the same delta rows in the same order and
+All representations accept the same delta rows in the same order and
 record byte-identical modeled CF_M/CF_T/CF_IO counters — enforced by
-``tests/property/test_delta_parity.py``.
+``tests/property/test_delta_parity.py`` and
+``tests/property/test_columnar_parity.py``.
 
 :meth:`ViewMaintainer.maintain_batch` additionally streams a whole
 :class:`~repro.space.updates.DataUpdate` batch through one compiled
@@ -56,8 +62,9 @@ from repro.relational.relation import Relation
 from repro.space.source import Binding, clause_decidable
 from repro.space.space import InformationSpace
 from repro.space.updates import DataUpdate, UpdateKind
+from repro.relational.columnar import KernelCounters
 from repro.maintenance.counters import MaintenanceCounters
-from repro.maintenance.delta import DeltaBatch, seed_plan
+from repro.maintenance.delta import ColumnBatch, DeltaBatch, seed_plan
 
 #: Per-update relation-cardinality overlays for modeled-cost pricing:
 #: one mapping per update, consulted instead of the live catalog so a
@@ -113,6 +120,9 @@ class ViewMaintainer:
         self._use_index = self.config.use_index
         self._representation = self.config.representation
         self.counters = MaintenanceCounters()
+        #: Columnar-plane observability: rows scanned vs selected per
+        #: column kernel.  The row planes never record into it.
+        self.kernel_counters = KernelCounters()
 
     @property
     def representation(self) -> str:
@@ -293,7 +303,7 @@ class ViewMaintainer:
         return deltas
 
     # ------------------------------------------------------------------
-    # Delta propagation — tuple plane (single updates and batches)
+    # Delta propagation — compiled planes (tuple and columnar batches)
     # ------------------------------------------------------------------
     def _propagate_tuples(
         self,
@@ -301,13 +311,16 @@ class ViewMaintainer:
         plan: MaintenancePlan,
         updates: list[DataUpdate],
         overlays: SizeOverlays = None,
-    ) -> DeltaBatch:
-        """One same-relation run through the compiled tuple pipeline.
+    ) -> "DeltaBatch | ColumnBatch":
+        """One same-relation run through the compiled pipeline.
 
-        Message and I/O charges are recorded *per update* from the
-        batch's provenance counts, reproducing the per-update reference
-        totals exactly (the counters are sums, so only the per-update
-        quantities matter, not the interleaving).
+        Serves both compiled representations — the delta travels as a
+        :class:`DeltaBatch` (tuple) or :class:`ColumnBatch` (columnar);
+        every accounting statement is shared so the modeled counters
+        cannot drift between them.  Message and I/O charges are recorded
+        *per update* from the batch's provenance counts, reproducing the
+        per-update reference totals exactly (the counters are sums, so
+        only the per-update quantities matter, not the interleaving).
         """
         condition = view.condition()
         relation = plan.updated_relation
@@ -320,7 +333,11 @@ class ViewMaintainer:
             if splan.predicate(update.row):
                 rows.append(update.row)
                 tags.append(position)
-        batch = DeltaBatch(splan.columns, rows, tags)
+        columnar = self._representation == "columnar"
+        if columnar:
+            batch = ColumnBatch.seed(relation, updated_schema, rows, tags)
+        else:
+            batch = DeltaBatch(splan.columns, rows, tags)
         delta_width = updated_schema.tuple_byte_size()
         counts = batch.counts_by_tag(len(updates))
 
@@ -346,9 +363,18 @@ class ViewMaintainer:
                     local,
                     overlays[position] if overlays is not None else None,
                 )
-            batch = source.answer_single_site_batch(
-                batch, local, condition, use_index=self._use_index
-            )
+            if columnar:
+                batch = source.answer_single_site_columnar(
+                    batch,
+                    local,
+                    condition,
+                    use_index=self._use_index,
+                    counters=self.kernel_counters,
+                )
+            else:
+                batch = source.answer_single_site_batch(
+                    batch, local, condition, use_index=self._use_index
+                )
             for name in local:
                 schema = self._space.relation(name).schema
                 delta_width += schema.tuple_byte_size()
@@ -406,14 +432,14 @@ class ViewMaintainer:
         self,
         view: ViewDefinition,
         extent: Relation,
-        batch: DeltaBatch,
+        batch: "DeltaBatch | ColumnBatch",
         updates: list[DataUpdate],
     ) -> None:
         """Project once, then apply per update in stream order."""
         keys = [str(item.ref) for item in view.select]
         projected = batch.project(keys)
         if batch.tags is None:
-            if batch.rows:
+            if batch.cardinality:
                 raise MaintenanceError(
                     "delta batch carries no provenance tags; cannot map "
                     "rows back to their originating updates"

@@ -1,0 +1,332 @@
+"""Columnar extent storage: per-attribute column arrays + position indexes.
+
+The row planes (dict bindings, positional tuples) execute one Python-level
+iteration per row.  This module owns the storage side of the third plane,
+``representation="columnar"``: a :class:`ColumnStore` keeps one column per
+schema attribute — an ``array.array`` for NULL-free INT/FLOAT columns, a
+plain list otherwise — and serves *position indexes* (value -> row
+positions) for vectorized hash probes.  Compiled column kernels
+(:mod:`repro.relational.compile`) run over these columns with selection
+vectors, so a conjunction of WHERE clauses costs a handful of list
+comprehensions instead of a per-row predicate call.
+
+Stores are owned by :class:`~repro.relational.relation.Relation`
+(see :meth:`Relation.column_store`) and follow the same lifecycle as its
+hash indexes: built lazily on first use, appended to on ``insert``, and
+dropped on ``delete``/bulk mutation (middle-of-column removal would shift
+every cached row position).
+
+Everything here is execution machinery only: the modeled CF_M/CF_T/CF_IO
+cost counters never observe which plane ran.  :class:`KernelCounters` is
+the *observability* surface — rows scanned vs rows selected per kernel —
+reported through ``StageCounters`` and ``SystemReport``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter
+from typing import Any, Iterable, Sequence
+
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+
+Row = tuple[Any, ...]
+
+#: Array typecodes for columns that can drop the per-value object boxing.
+#: BOOL stays a list (``array`` would coerce to 0/1 ints and break type
+#: validation on round trips); STRING has no fixed-width array form.
+_ARRAY_CODES = {
+    AttributeType.INT: "q",
+    AttributeType.FLOAT: "d",
+}
+
+
+def typed_column(attr_type: AttributeType, values: Sequence) -> "list | array":
+    """The most compact column for ``values`` of domain ``attr_type``.
+
+    INT/FLOAT columns become ``array.array`` when every value fits (no
+    NULLs, no out-of-range ints); everything else — including columns
+    that merely *might* hold a NULL later — stays a plain list and is
+    upgraded lazily by :meth:`ColumnStore.append`'s fallback.
+    """
+    code = _ARRAY_CODES.get(attr_type)
+    if code is not None:
+        try:
+            return array(code, values)
+        except (TypeError, OverflowError):
+            # NULLs or ints beyond 64 bits: keep the boxed list form.
+            pass
+    return values if isinstance(values, list) else list(values)
+
+
+class ColumnStore:
+    """Per-attribute columns of one relation, plus cached position indexes.
+
+    ``columns[i]`` holds the values of schema attribute ``i`` for rows
+    ``0..length-1`` in relation row order.  A *position index* maps a key
+    (one column's value, or a tuple across several columns) to the row
+    positions carrying it — a bare ``int`` for the overwhelmingly common
+    unique-key case, a list in insertion order otherwise — so a probe
+    yields matches in relation order exactly like
+    :meth:`~repro.relational.index.HashIndex.probe` without allocating a
+    single-element list per distinct key.  Rows with a NULL key
+    component are not indexed at all: NULL never equals anything, so a
+    probe for them must find nothing (and a probe *with* a NULL key
+    misses naturally, because no such key was ever stored).
+    """
+
+    __slots__ = ("schema", "columns", "_position_indexes", "_unique")
+
+    #: Same probe-diversity guard as ``Relation.MAX_CACHED_INDEXES``.
+    MAX_CACHED_INDEXES = 8
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()) -> None:
+        self.schema = schema
+        rows = rows if isinstance(rows, list) else list(rows)
+        columns: list = []
+        # Per-column itemgetter extraction: array() consumes the mapped
+        # iterator at C speed, and no transpose-wide iterator state is
+        # ever materialized (zip(*rows) would allocate one iterator per
+        # row up front).
+        for i, attr in enumerate(schema.attributes):
+            code = _ARRAY_CODES.get(attr.type)
+            if code is not None:
+                try:
+                    columns.append(array(code, map(itemgetter(i), rows)))
+                    continue
+                except (TypeError, OverflowError):
+                    pass
+            columns.append(list(map(itemgetter(i), rows)))
+        self.columns = columns
+        self._position_indexes: dict[tuple[int, ...], dict] = {}
+        self._unique: set[tuple[int, ...]] = set()
+
+    @property
+    def length(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def append(self, row: Row) -> None:
+        """Register one inserted row (keeps cached indexes live)."""
+        for i, value in enumerate(row):
+            column = self.columns[i]
+            try:
+                column.append(value)
+            except (TypeError, OverflowError):
+                # A NULL (or oversized int) landing in an array column:
+                # fall back to the boxed list form for good.
+                column = list(column)
+                column.append(value)
+                self.columns[i] = column
+        position = len(self.columns[0]) - 1
+        for positions, index in self._position_indexes.items():
+            if len(positions) == 1:
+                key = row[positions[0]]
+                if key is None:
+                    continue
+            else:
+                key = tuple(row[p] for p in positions)
+                if None in key:
+                    continue
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = position
+            elif bucket.__class__ is list:
+                bucket.append(position)
+            else:
+                index[key] = [bucket, position]
+                self._unique.discard(positions)
+
+    def position_index(self, positions: Sequence[int]) -> dict:
+        """Value -> row position(s), over the given column(s).
+
+        Buckets are a bare ``int`` for unique keys and a list (insertion
+        order) for duplicated ones; a single-column index with any
+        duplicate key stores every bucket as a list (the grouping loop
+        stays branch-free), and single-column keys are stored bare (not
+        1-tuples).  Both choices keep the hot probe loop free of
+        per-key allocations.  Cached per position set with FIFO
+        eviction, like the relation's row-level hash indexes.
+        """
+        key = tuple(positions)
+        index = self._position_indexes.get(key)
+        if index is None:
+            if len(self._position_indexes) >= self.MAX_CACHED_INDEXES:
+                evicted = next(iter(self._position_indexes))
+                self._position_indexes.pop(evicted)
+                self._unique.discard(evicted)
+            index = {}
+            if len(key) == 1:
+                column = self.columns[key[0]]
+                nullable = isinstance(column, list)
+                # All-unique fast path: one C-level dict build.  If any
+                # key repeats, later positions overwrite earlier ones
+                # and the length check catches it; a NULL key shows up
+                # as a None entry (one O(1) lookup, no column scan).
+                index = dict(zip(column, range(len(column))))
+                if len(index) == len(column) and (
+                    not nullable or None not in index
+                ):
+                    self._position_indexes[key] = index
+                    self._unique.add(key)
+                    return index
+                # Duplicates (or NULLs) present: group positions into
+                # list buckets.  try/except beats get()-and-branch here
+                # because hits vastly outnumber first sightings.
+                index = {}
+                for position, value in enumerate(column):
+                    if nullable and value is None:
+                        continue
+                    try:
+                        index[value].append(position)
+                    except KeyError:
+                        index[value] = [position]
+            else:
+                get = index.get
+                for position, values in enumerate(
+                    zip(*(self.columns[p] for p in key))
+                ):
+                    if None in values:
+                        continue
+                    bucket = get(values)
+                    if bucket is None:
+                        index[values] = position
+                    elif bucket.__class__ is list:
+                        bucket.append(position)
+                    else:
+                        index[values] = [bucket, position]
+            self._position_indexes[key] = index
+        return index
+
+    def index_is_unique(self, positions: Sequence[int]) -> bool:
+        """Whether the cached index over ``positions`` has all-int buckets.
+
+        Only ever True for indexes built via the all-unique fast path
+        and not degraded since by a duplicate-key ``append`` — a safe
+        underestimate that lets probes take the vectorized path.
+        """
+        return tuple(positions) in self._unique
+
+
+def probe_positions(
+    key_columns: Sequence[Sequence[Any]],
+    index: dict,
+    counters: "KernelCounters | None" = None,
+    unique: bool = False,
+) -> tuple[list[int], list[int]]:
+    """Vectorized hash probe: one dict lookup per incoming row.
+
+    ``key_columns`` are the already-bound columns feeding the probe key
+    (one entry per indexed position, all the same length); ``index`` is
+    a :meth:`ColumnStore.position_index`.  Returns ``(left, right)``
+    position vectors: ``left[k]`` is the incoming row and ``right[k]``
+    the matching stored row of match ``k``, in incoming-major order with
+    bucket (relation) order within — exactly the candidate order of the
+    row planes.  NULL keys miss by construction (never indexed).
+
+    ``unique=True`` asserts every bucket is a bare int (see
+    :meth:`ColumnStore.index_is_unique`): the probe then becomes one
+    C-level ``map`` over the key column, with a compaction pass only
+    when some keys missed.
+    """
+    left: list[int] = []
+    right: list[int] = []
+    if unique:
+        keys: Iterable = (
+            key_columns[0] if len(key_columns) == 1 else zip(*key_columns)
+        )
+        hits = list(map(index.get, keys))
+        count = len(hits)
+        if None in hits:
+            left = [i for i, bucket in enumerate(hits) if bucket is not None]
+            right = [hits[i] for i in left]
+        else:
+            left = list(range(count))
+            right = hits
+        if counters is not None:
+            counters.record(count, len(left))
+        return left, right
+    left_append = left.append
+    right_append = right.append
+    get = index.get
+    if len(key_columns) == 1:
+        for i, value in enumerate(key_columns[0]):
+            bucket = get(value)
+            if bucket is None:
+                continue
+            if bucket.__class__ is list:
+                left.extend([i] * len(bucket))
+                right.extend(bucket)
+            else:
+                left_append(i)
+                right_append(bucket)
+    else:
+        for i, values in enumerate(zip(*key_columns)):
+            bucket = get(values)
+            if bucket is None:
+                continue
+            if bucket.__class__ is list:
+                left.extend([i] * len(bucket))
+                right.extend(bucket)
+            else:
+                left_append(i)
+                right_append(bucket)
+    if counters is not None:
+        scanned = len(key_columns[0]) if key_columns else 0
+        counters.record(scanned, len(left))
+    return left, right
+
+
+class KernelCounters:
+    """Rows scanned vs rows selected, per column kernel application.
+
+    The observability half of the columnar plane: every kernel (filter
+    or probe) records how many rows it looked at and how many survived.
+    Accumulated per :class:`~repro.esql.evaluator.evaluate_view` call
+    site and per :class:`~repro.maintenance.simulator.ViewMaintainer`,
+    surfaced through ``StageCounters`` and ``SystemReport``.  Row planes
+    record nothing (they run no kernels).
+    """
+
+    __slots__ = ("rows_scanned", "rows_selected")
+
+    def __init__(self, rows_scanned: int = 0, rows_selected: int = 0) -> None:
+        self.rows_scanned = rows_scanned
+        self.rows_selected = rows_selected
+
+    def record(self, scanned: int, selected: int) -> None:
+        self.rows_scanned += scanned
+        self.rows_selected += selected
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.rows_scanned, self.rows_selected)
+
+    def diff(self, snapshot: tuple[int, int]) -> "KernelCounters":
+        """Counters accumulated since ``snapshot()`` was taken."""
+        scanned, selected = snapshot
+        return KernelCounters(
+            self.rows_scanned - scanned, self.rows_selected - selected
+        )
+
+    def merged(self, other: "KernelCounters") -> "KernelCounters":
+        return KernelCounters(
+            self.rows_scanned + other.rows_scanned,
+            self.rows_selected + other.rows_selected,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "rows_selected": self.rows_selected,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelCounters(rows_scanned={self.rows_scanned}, "
+            f"rows_selected={self.rows_selected})"
+        )

@@ -14,6 +14,7 @@ from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.columnar import ColumnStore
 from repro.relational.index import HashIndex
 from repro.relational.schema import Attribute, Schema
 
@@ -28,12 +29,13 @@ class Relation:
     in :mod:`repro.relational.algebra` always return new relations.
     """
 
-    __slots__ = ("schema", "_rows", "_indexes")
+    __slots__ = ("schema", "_rows", "_indexes", "_column_store")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()) -> None:
         self.schema = schema
         self._rows: list[Row] = []
         self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        self._column_store: ColumnStore | None = None
         for row in rows:
             self.insert(row)
 
@@ -49,6 +51,21 @@ class Relation:
             tuple(row.get(name) for name in schema.attribute_names) for row in rows
         ]
         return cls(schema, ordered)
+
+    @classmethod
+    def from_validated(
+        cls, schema: Schema, rows: Iterable[Row]
+    ) -> "Relation":
+        """Adopt rows already validated against ``schema``.
+
+        Execution planes building result extents from rows that each came
+        out of a validated relation skip the second per-value validation
+        pass; callers own the invariant that every row is a well-typed
+        tuple of the right arity.
+        """
+        relation = cls(schema)
+        relation._rows = list(rows)
+        return relation
 
     def empty_like(self) -> "Relation":
         """Fresh empty relation with the same schema."""
@@ -138,6 +155,21 @@ class Relation:
         """Forget all built indexes (bulk mutations call this)."""
         self._indexes.clear()
 
+    # ------------------------------------------------------------------
+    # Column store (the columnar plane's view of this relation)
+    # ------------------------------------------------------------------
+    def column_store(self) -> ColumnStore:
+        """Per-attribute columns of this relation, built on first use.
+
+        Kept live across :meth:`insert` (append-only) and dropped by any
+        mutation that can remove or reorder rows — a middle-of-list
+        removal would shift every cached row position.
+        """
+        store = self._column_store
+        if store is None:
+            store = self._column_store = ColumnStore(self.schema, self._rows)
+        return store
+
     @property
     def index_count(self) -> int:
         return len(self._indexes)
@@ -161,6 +193,8 @@ class Relation:
         self._rows.append(validated)
         for index in self._indexes.values():
             index.add(validated)
+        if self._column_store is not None:
+            self._column_store.append(validated)
         return validated
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -180,6 +214,7 @@ class Relation:
             return False
         for index in self._indexes.values():
             index.discard(validated)
+        self._column_store = None
         return True
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> list[Row]:
@@ -190,17 +225,20 @@ class Relation:
             (removed if predicate(row) else kept).append(row)
         self._rows = kept
         self.drop_indexes()
+        self._column_store = None
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
         self.drop_indexes()
+        self._column_store = None
 
     def replace_rows(self, rows: Iterable[Sequence[Any]]) -> None:
         """Atomically swap in a new extent (used when refreshing views)."""
         staged = [self._validate(row) for row in rows]
         self._rows = staged
         self.drop_indexes()
+        self._column_store = None
 
     # ------------------------------------------------------------------
     # Schema evolution (used by capability changes)

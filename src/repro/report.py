@@ -46,6 +46,7 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
         ],
         "counters": {"messages": int, "bytes_transferred": int,
                      "io_operations": int},
+        "kernels": {"rows_scanned": int, "rows_selected": int},
         "updates": int
       }
     }
@@ -64,6 +65,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.maintenance.counters import MaintenanceCounters
+from repro.relational.columnar import KernelCounters
 from repro.sync.pipeline import StageCounters
 
 if TYPE_CHECKING:  # imported lazily to avoid package cycles
@@ -160,6 +162,9 @@ class SystemReport:
     flushes: tuple[MaintenanceFlush, ...] = ()
     #: Counters accumulated across the whole call (``apply_updates``).
     maintenance_counters: MaintenanceCounters | None = None
+    #: Column-kernel rows scanned vs selected across the call (non-zero
+    #: only when a columnar plane executed).
+    kernels: KernelCounters | None = None
 
     # -- builders -------------------------------------------------------
     @classmethod
@@ -181,11 +186,13 @@ class SystemReport:
         cls,
         flushes: Sequence[MaintenanceFlush],
         counters: MaintenanceCounters,
+        kernels: KernelCounters | None = None,
     ) -> "SystemReport":
         return cls(
             operation="apply_updates",
             flushes=tuple(flushes),
             maintenance_counters=counters,
+            kernels=kernels,
         )
 
     # -- aggregates -----------------------------------------------------
@@ -275,6 +282,9 @@ class SystemReport:
                     "bytes_transferred": maintenance.bytes_transferred,
                     "io_operations": maintenance.io_operations,
                 },
+                "kernels": (
+                    self.kernels or KernelCounters()
+                ).as_dict(),
                 "updates": self.updates,
             },
         }

@@ -124,6 +124,18 @@ class TestApplyUpdatesReport:
         assert payload["synchronization"]["views"] == []
         json.loads(report.to_json())
 
+    def test_kernels_surface_for_the_columnar_plane(self):
+        eve = build_system(config=SystemConfig.columnar())
+        eve.apply_updates([("R", "insert", (3, 30))])
+        payload = eve.last_report.to_dict()
+        kernels = payload["maintenance"]["kernels"]
+        assert set(kernels) == {"rows_scanned", "rows_selected"}
+        # Row planes report all-zero kernels through the same shape.
+        row_plane = build_system()
+        row_plane.apply_updates([("R", "insert", (3, 30))])
+        zero = row_plane.last_report.to_dict()["maintenance"]["kernels"]
+        assert zero == {"rows_scanned": 0, "rows_selected": 0}
+
     def test_each_call_replaces_the_report(self):
         eve = build_system()
         eve.apply_updates([("R", "insert", (3, 30))])

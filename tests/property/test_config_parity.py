@@ -138,6 +138,7 @@ def test_presets_commit_identical_outcomes(data):
     for label, config in {
         "reference": SystemConfig.reference(),
         "fast": SystemConfig.fast(),
+        "columnar": SystemConfig.columnar(),
         "bounded-unbinding": SystemConfig.bounded(budget_units=1e12),
     }.items():
         assert_same(

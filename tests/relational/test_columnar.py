@@ -1,0 +1,220 @@
+"""Unit tests for the columnar storage layer and column kernels."""
+
+from array import array
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.esql.parser import parse_view
+from repro.relational.columnar import (
+    ColumnStore,
+    KernelCounters,
+    probe_positions,
+    typed_column,
+)
+from repro.relational.compile import (
+    compile_clause_kernel,
+    compile_clauses_kernel,
+    schema_slots,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+
+
+def clauses_of(text):
+    view = parse_view(f"CREATE VIEW V AS SELECT R.A FROM R WHERE {text}")
+    return [item.clause for item in view.where]
+
+
+class TestTypedColumn:
+    def test_int_column_becomes_array(self):
+        column = typed_column(AttributeType.INT, [1, 2, 3])
+        assert isinstance(column, array)
+        assert column.typecode == "q"
+        assert list(column) == [1, 2, 3]
+
+    def test_float_column_becomes_array(self):
+        column = typed_column(AttributeType.FLOAT, [1.5, 2.5])
+        assert isinstance(column, array)
+        assert column.typecode == "d"
+
+    def test_null_keeps_list(self):
+        values = [1, None, 3]
+        assert typed_column(AttributeType.INT, values) is values
+
+    def test_huge_int_keeps_list(self):
+        values = [2**70]
+        assert typed_column(AttributeType.INT, values) is values
+
+    def test_string_and_bool_stay_lists(self):
+        strings = ["a", "b"]
+        bools = [True, False]
+        assert typed_column(AttributeType.STRING, strings) is strings
+        # BOOL in an array would coerce to 0/1 ints and break validation.
+        assert typed_column(AttributeType.BOOL, bools) is bools
+
+
+class TestColumnStore:
+    def test_transposes_rows(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 2), (3, 4)])
+        assert store.length == 2
+        assert list(store.columns[0]) == [1, 3]
+        assert list(store.columns[1]) == [2, 4]
+
+    def test_empty(self):
+        store = ColumnStore(Schema("R", ["A", "B"]))
+        assert store.length == 0
+        assert [list(c) for c in store.columns] == [[], []]
+
+    def test_append_keeps_arrays(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 2)])
+        store.append((3, 4))
+        assert isinstance(store.columns[0], array)
+        assert list(store.columns[0]) == [1, 3]
+
+    def test_append_null_downgrades_to_list(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 2)])
+        store.append((None, 4))
+        assert isinstance(store.columns[0], list)
+        assert store.columns[0] == [1, None]
+        assert isinstance(store.columns[1], array)
+
+    def test_position_index_preserves_insertion_order(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 0), (2, 0), (1, 1)])
+        index = store.position_index((0,))
+        # Any duplicate key switches the whole index to list buckets.
+        assert index == {1: [0, 2], 2: [1]}
+
+    def test_position_index_skips_null_components(self):
+        schema = Schema("R", ["A", "B"])
+        store = ColumnStore(schema, [(1, None), (None, 2), (1, 2)])
+        assert store.position_index((0,)) == {1: [0, 2]}
+        assert store.position_index((0, 1)) == {(1, 2): 2}
+
+    def test_append_maintains_cached_indexes(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 0)])
+        single = store.position_index((0,))
+        multi = store.position_index((0, 1))
+        store.append((1, 5))
+        store.append((None, 6))
+        assert single == {1: [0, 1]}
+        assert multi == {(1, 0): 0, (1, 5): 1}
+
+    def test_index_cache_fifo_eviction(self):
+        schema = Schema("R", [f"A{i}" for i in range(10)])
+        store = ColumnStore(schema, [tuple(range(10))])
+        for i in range(ColumnStore.MAX_CACHED_INDEXES + 1):
+            store.position_index((i,))
+        assert len(store._position_indexes) == ColumnStore.MAX_CACHED_INDEXES
+        assert (0,) not in store._position_indexes
+
+    def test_relation_lifecycle(self):
+        relation = Relation(Schema("R", ["A", "B"]), [(1, 2)])
+        store = relation.column_store()
+        assert relation.column_store() is store
+        relation.insert((3, 4))
+        assert store.length == 2
+        relation.delete((1, 2))
+        assert relation.column_store() is not store
+        assert relation.column_store().length == 1
+
+
+class TestProbePositions:
+    def test_incoming_major_bucket_order(self):
+        index = {1: [0, 2], 2: [1]}
+        left, right = probe_positions([[2, 1, 3]], index)
+        assert left == [0, 1, 1]
+        assert right == [1, 0, 2]
+
+    def test_null_keys_miss(self):
+        left, right = probe_positions([[None, 1]], {1: [0]})
+        assert (left, right) == ([1], [0])
+
+    def test_int_buckets_from_store_index(self):
+        store = ColumnStore(Schema("R", ["A", "B"]), [(1, 0), (2, 0), (1, 1)])
+        left, right = probe_positions(
+            [[2, 1]], store.position_index((0,))
+        )
+        assert (left, right) == ([0, 1, 1], [1, 0, 2])
+
+    def test_multi_column_keys(self):
+        index = {(1, 2): [3]}
+        left, right = probe_positions([[1, 1], [2, 9]], index)
+        assert (left, right) == ([0], [3])
+
+    def test_records_counters(self):
+        counters = KernelCounters()
+        probe_positions([[1, 1, 2]], {1: [0, 5]}, counters)
+        assert counters.rows_scanned == 3
+        assert counters.rows_selected == 4  # probes fan out past 1:1
+
+
+class TestColumnKernels:
+    def test_attr_const_kernel(self):
+        slots = schema_slots(Schema("R", ["A", "B"]))
+        (clause,) = clauses_of("R.B > 2")
+        kernel, used = compile_clause_kernel(clause, slots)
+        columns = [[9, 9, 9], [1, 5, None]]
+        assert kernel(columns, range(3)) == [1]
+        assert used == {1}
+
+    def test_attr_attr_kernel_null_never_matches(self):
+        slots = schema_slots(Schema("R", ["A", "B"]))
+        (clause,) = clauses_of("R.A = R.B")
+        kernel, used = compile_clause_kernel(clause, slots)
+        columns = [[1, None, 3], [1, None, 4]]
+        assert kernel(columns, range(3)) == [0]
+        assert used == {0, 1}
+
+    def test_unresolved_kernel_raises_only_on_rows(self):
+        (clause,) = clauses_of("R.A = 1")
+        kernel, used = compile_clause_kernel(clause, {"R.B": 0})
+        assert used == frozenset()
+        assert kernel([[1]], []) == []
+        with pytest.raises(EvaluationError):
+            kernel([[1]], [0])
+
+    def test_filter_narrows_in_clause_order_and_counts(self):
+        slots = schema_slots(Schema("R", ["A", "B"]))
+        clauses = clauses_of("R.A > 0 AND R.B < 10")
+        column_filter = compile_clauses_kernel(clauses, slots)
+        assert column_filter.slots == {0, 1}
+        counters = KernelCounters()
+        columns = [[0, 1, 2], [3, 99, 4]]
+        assert column_filter(columns, range(3), counters) == [2]
+        # First kernel scans 3 keeps 2; second scans 2 keeps 1.
+        assert counters.snapshot() == (5, 3)
+
+    def test_empty_filter_passes_selection_through(self):
+        column_filter = compile_clauses_kernel([], {})
+        selection = [0, 2]
+        assert column_filter([], selection) == selection
+
+
+class TestKernelCounters:
+    def test_snapshot_diff_merge_round_trip(self):
+        counters = KernelCounters()
+        counters.record(10, 4)
+        snapshot = counters.snapshot()
+        counters.record(5, 1)
+        delta = counters.diff(snapshot)
+        assert delta == KernelCounters(5, 1)
+        assert delta.merged(KernelCounters(10, 4)) == counters
+        assert counters.as_dict() == {
+            "rows_scanned": 15,
+            "rows_selected": 5,
+        }
+
+    def test_typed_columns_round_trip_through_store(self):
+        schema = Schema(
+            "R",
+            [
+                Attribute("A"),
+                Attribute("B", AttributeType.STRING),
+                Attribute("C", AttributeType.FLOAT),
+            ],
+        )
+        rows = [(1, "x", 1.5), (2, "y", 2.5)]
+        store = ColumnStore(schema, rows)
+        assert list(zip(*store.columns)) == rows

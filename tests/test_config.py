@@ -41,6 +41,7 @@ ALL_PRESETS = {
     "default": SystemConfig(),
     "reference": SystemConfig.reference(),
     "fast": SystemConfig.fast(),
+    "columnar": SystemConfig.columnar(),
     "bounded-units": SystemConfig.bounded(budget_units=25.0),
     "bounded-wall": SystemConfig.bounded(budget=1.5, degrade="defer"),
 }
@@ -74,6 +75,8 @@ class TestValidation:
             lambda: ScheduleConfig(budget_units=-0.5),
             lambda: ScheduleConfig(max_workers=0),
             lambda: MaintenanceConfig(representation="quantum"),
+            lambda: EngineConfig(representation="rowwise"),
+            lambda: EngineConfig(engine="naive", representation="columnar"),
             lambda: SystemConfig(engine="indexed"),  # not a slice
             lambda: SystemConfig.bounded(),  # no budget at all
         ],
@@ -93,6 +96,8 @@ class TestValidation:
             "budget_units-negative",
             "max_workers-zero",
             "representation-name",
+            "engine-representation-name",
+            "columnar-on-naive",
             "slice-type",
             "bounded-empty",
         ],

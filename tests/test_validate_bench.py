@@ -64,6 +64,22 @@ class TestStructuralValidation:
     def test_every_gated_bench_has_a_validator(self):
         assert set(GATED_SPEEDUPS) <= set(validate_bench.VALIDATORS)
 
+    def test_columnar_parity_invariant_enforced(self):
+        payload = committed("engine")
+        payload["view_evaluation_large"]["results_equal"] = False
+        with pytest.raises(BenchValidationError, match="columnar"):
+            validate_payload("engine", payload)
+
+    def test_columnar_floor_gates_full_runs_only(self):
+        payload = committed("engine")
+        payload["view_evaluation_large"]["speedup"] = 1.2
+        with pytest.raises(BenchValidationError, match="floor"):
+            validate_payload("engine", payload)
+        # A smoke payload runs the lane at toy scale: parity still
+        # gates, the absolute speedup floor is explicitly waived.
+        payload["config"] = {"smoke": True}
+        validate_payload("engine", payload)
+
 
 class TestSystemReportValidation:
     def fresh_report(self, operation="apply_changes"):
