@@ -1,6 +1,6 @@
 """Scheduler benchmarks: serial reference vs cost-aware parallel dispatch.
 
-Two timed scenarios over the 1k-view scheduler-stress storm (every view
+Three timed scenarios over replacement-heavy salvage storms (every view
 needs a replacement search over a donor spectrum — the workload the
 cross-view scheduler exists for):
 
@@ -14,7 +14,15 @@ cross-view scheduler exists for):
    JSON shows honestly where the win comes from on a given machine
    (coalescing is CPU-count-independent; executor parallelism is not,
    and equals ~1x on a single-core GIL-bound host).
-2. **Deadline sweep** — the same storm under shrinking wall-clock
+2. **Sharded storm** — the 100k-view storm replayed as a sequential
+   batch stream through four executors: serial reference, threads +
+   coalescing, per-batch fork (``processes``), and the persistent
+   worker pool (``workers``) over a sharded VKB.  The workers lane
+   separates the cold first batch (pool spawn + per-shard snapshot
+   shipping) from the warm remainder, where only deltas and committed
+   rewritings cross the wire — warm batches must ship zero snapshot
+   bytes, and all lanes must commit byte-identical outcomes.
+3. **Deadline sweep** — the same storm under shrinking wall-clock
    budgets with ``degrade="first_legal"``: views scheduled past the
    budget fall back to the old-EVE first-legal policy
    (cheapest-to-salvage views, scheduled first, keep full QC ranking).
@@ -52,6 +60,7 @@ from repro.core.report import format_table  # noqa: E402
 from repro.sync.scheduler import SynchronizationScheduler  # noqa: E402
 from repro.workloadgen.scenarios import (  # noqa: E402
     build_scheduler_stress_scenario,
+    build_sharded_storm_scenario,
 )
 
 
@@ -141,7 +150,169 @@ def bench_parallel_storm(workers: int, **stress_args) -> tuple[dict, dict]:
 
 
 # ----------------------------------------------------------------------
-# Scenario 2: QC achieved vs wall-clock budget
+# Scenario 2: persistent workers over a sharded VKB (batch stream)
+# ----------------------------------------------------------------------
+def _replay_sharded(scheduler, **storm_args):
+    """Replay the sharded storm's batch stream on a fresh system.
+
+    Returns the per-batch wall clocks, the committed (view, QC) pairs,
+    the per-batch :class:`~repro.report.SystemReport` payloads, and the
+    final VKB fingerprint — everything the lane comparison needs, with
+    the system itself released so four lanes never coexist in memory.
+    """
+    scenario = build_sharded_storm_scenario(**storm_args)
+    eve = EVESystem(space=scenario.space)
+    for view in scenario.views:
+        eve.define_view(view, materialize=False)
+    qc = []
+    seconds = []
+    reports = []
+    for batch in scenario.change_batches:
+        start = perf_counter()
+        if scheduler is None:
+            results = eve.apply_changes(batch)
+        else:
+            results = eve.apply_changes(batch, scheduler=scheduler)
+        seconds.append(perf_counter() - start)
+        qc.extend(
+            (r.view_name, r.chosen.qc if r.chosen else None)
+            for r in results
+        )
+        reports.append(eve.last_report.to_dict())
+    return seconds, qc, reports, _fingerprint(eve)
+
+
+def _shard_totals(report: dict) -> dict:
+    """Sum the per-shard dispatch accounting of one report payload."""
+    totals = {
+        "snapshot_bytes": 0,
+        "bytes_shipped": 0,
+        "bytes_received": 0,
+        "worker_seconds": 0.0,
+    }
+    for row in report["schedule"]["shards"]:
+        for field in totals:
+            totals[field] += row[field]
+    return totals
+
+
+def bench_sharded_storm(
+    shards: int, workers: int, **storm_args
+) -> tuple[dict, dict]:
+    """Serial vs threads vs fork vs persistent workers on the storm.
+
+    All lanes replay the identical batch stream; committed winners,
+    QC-Values, and VKB fingerprints must be byte-identical.  The
+    workers lane separates the cold first batch (pool spawn + snapshot
+    shipping) from the warm remainder (delta shipping only), and
+    asserts the warm batches ship no snapshot bytes at all.
+    """
+    from repro.sync.scheduler import _fork_available
+
+    serial_seconds, serial_qc, _, serial_fp = _replay_sharded(
+        None, **storm_args
+    )
+
+    threads = SynchronizationScheduler(
+        ScheduleConfig(executor="threads", max_workers=workers, coalesce=True)
+    )
+    threads_seconds, threads_qc, _, threads_fp = _replay_sharded(
+        threads, **storm_args
+    )
+    threads_equal = threads_fp == serial_fp and threads_qc == serial_qc
+    del threads_fp
+
+    fork_total = None
+    fork_equal = True
+    if _fork_available():
+        fork = SynchronizationScheduler(
+            ScheduleConfig(
+                executor="processes", max_workers=workers, coalesce=True
+            )
+        )
+        fork_seconds, fork_qc, _, fork_fp = _replay_sharded(
+            fork, **storm_args
+        )
+        fork_total = sum(fork_seconds)
+        fork_equal = fork_fp == serial_fp and fork_qc == serial_qc
+        del fork_fp
+
+    pool = SynchronizationScheduler(
+        ScheduleConfig(
+            executor="workers",
+            shards=shards,
+            max_workers=workers,
+            coalesce=True,
+        )
+    )
+    try:
+        workers_seconds, workers_qc, workers_reports, workers_fp = (
+            _replay_sharded(pool, **storm_args)
+        )
+    finally:
+        pool.close()
+    workers_equal = workers_fp == serial_fp and workers_qc == serial_qc
+
+    cold_totals = _shard_totals(workers_reports[0])
+    warm_totals = {
+        "snapshot_bytes": 0,
+        "bytes_shipped": 0,
+        "bytes_received": 0,
+        "worker_seconds": 0.0,
+    }
+    for report in workers_reports[1:]:
+        for field, value in _shard_totals(report).items():
+            warm_totals[field] += value
+
+    serial_total = sum(serial_seconds)
+    threads_total = sum(threads_seconds)
+    workers_total = sum(workers_seconds)
+    workers_warm = sum(workers_seconds[1:])
+    serial_warm = sum(serial_seconds[1:])
+    storm = {
+        "views": storm_args.get("views", 100_000),
+        "relations": storm_args.get("view_relations", 200),
+        "shards": shards,
+        "batches": len(serial_seconds),
+        "serial_seconds": serial_total,
+        "threads_seconds": threads_total,
+        "threads_speedup": (
+            serial_total / threads_total if threads_total else 0.0
+        ),
+        "fork_seconds": fork_total,
+        "fork_speedup": (
+            serial_total / fork_total if fork_total else None
+        ),
+        "workers_seconds": workers_total,
+        "workers_cold_seconds": workers_seconds[0],
+        "workers_warm_seconds": workers_warm,
+        "workers_speedup": (
+            serial_total / workers_total if workers_total else 0.0
+        ),
+        "workers_warm_speedup": (
+            serial_warm / workers_warm if workers_warm else 0.0
+        ),
+        "cold_snapshot_bytes": cold_totals["snapshot_bytes"],
+        "warm_snapshot_bytes": warm_totals["snapshot_bytes"],
+        "bytes_shipped": (
+            cold_totals["bytes_shipped"] + warm_totals["bytes_shipped"]
+        ),
+        "bytes_received": (
+            cold_totals["bytes_received"] + warm_totals["bytes_received"]
+        ),
+        "worker_wall_seconds": round(
+            cold_totals["worker_seconds"] + warm_totals["worker_seconds"], 6
+        ),
+        "outcomes_equal": workers_equal and threads_equal and fork_equal,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    # The last warm batch's report carries the per-shard dispatch rows
+    # the schema-v2 validator pins.
+    return storm, workers_reports[-1]
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: QC achieved vs wall-clock budget
 # ----------------------------------------------------------------------
 def bench_deadline_sweep(
     serial_seconds: float, workers: int, **stress_args
@@ -211,13 +382,23 @@ def main(argv=None) -> None:
             views=80, view_relations=16, donors_per_relation=3,
             view_attributes=2,
         )
+        storm_args = dict(
+            views=2000, view_relations=40, donors_per_relation=3,
+            view_attributes=2, batches=2, tail_changes=1,
+        )
         workers = 2
+        shards = 2
     else:
         stress_args = dict(
             views=1000, view_relations=100, donors_per_relation=6,
             view_attributes=3,
         )
+        storm_args = dict(
+            views=100_000, view_relations=200, donors_per_relation=3,
+            view_attributes=2, batches=4, tail_changes=1,
+        )
         workers = min(8, max(2, (os.cpu_count() or 1)))
+        shards = 4
 
     storm, system_report = bench_parallel_storm(workers, **stress_args)
     emit(
@@ -239,6 +420,50 @@ def main(argv=None) -> None:
                 ["outcomes identical", storm["outcomes_equal"]],
             ],
             title="Parallel scheduler (1k-view salvage storm)",
+        )
+    )
+
+    sharded, sharded_report = bench_sharded_storm(
+        shards, workers, **storm_args
+    )
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["views / relations", f"{sharded['views']} / {sharded['relations']}"],
+                ["shards / batches", f"{sharded['shards']} / {sharded['batches']}"],
+                ["serial reference (s)", f"{sharded['serial_seconds']:.4f}"],
+                [
+                    "threads + coalesce (s)",
+                    f"{sharded['threads_seconds']:.4f} "
+                    f"({sharded['threads_speedup']:.1f}x)",
+                ],
+                [
+                    "fork + coalesce (s)",
+                    "unavailable"
+                    if sharded["fork_seconds"] is None
+                    else f"{sharded['fork_seconds']:.4f} "
+                    f"({sharded['fork_speedup']:.1f}x)",
+                ],
+                [
+                    "workers total (s)",
+                    f"{sharded['workers_seconds']:.4f} "
+                    f"({sharded['workers_speedup']:.1f}x)",
+                ],
+                ["workers cold batch (s)", f"{sharded['workers_cold_seconds']:.4f}"],
+                [
+                    "workers warm batches (s)",
+                    f"{sharded['workers_warm_seconds']:.4f} "
+                    f"({sharded['workers_warm_speedup']:.1f}x)",
+                ],
+                ["cold snapshot (bytes)", sharded["cold_snapshot_bytes"]],
+                ["warm snapshot (bytes)", sharded["warm_snapshot_bytes"]],
+                ["deltas + results (bytes)", sharded["bytes_shipped"] + sharded["bytes_received"]],
+                ["outcomes identical", sharded["outcomes_equal"]],
+            ],
+            title=(
+                f"Persistent workers ({sharded['views']}-view sharded storm)"
+            ),
         )
     )
 
@@ -282,12 +507,23 @@ def main(argv=None) -> None:
 
     if not storm["outcomes_equal"]:
         raise SystemExit("parallel scheduler diverged from serial outcomes")
+    if not sharded["outcomes_equal"]:
+        raise SystemExit("sharded workers diverged from serial outcomes")
+    if sharded["warm_snapshot_bytes"] != 0:
+        raise SystemExit(
+            f"warm dispatch shipped {sharded['warm_snapshot_bytes']} "
+            f"snapshot bytes (expected 0)"
+        )
     if not defer_row["resume_matches_serial"]:
         raise SystemExit("deferral resume diverged from serial outcomes")
     if not args.smoke:
         if storm["speedup"] < 2.0:
             raise SystemExit(
                 f"parallel speedup {storm['speedup']:.1f}x < 2x"
+            )
+        if sharded["workers_speedup"] < 3.0:
+            raise SystemExit(
+                f"workers speedup {sharded['workers_speedup']:.1f}x < 3x"
             )
         unbounded = sweep["unbounded"]["qc_achieved"]
         zero = sweep["zero"]["qc_achieved"]
@@ -300,9 +536,14 @@ def main(argv=None) -> None:
         "scheduler",
         {
             "parallel_storm": storm,
+            "sharded_storm": {**sharded, "system_report": sharded_report},
             "deadline_sweep": sweep,
             "system_report": system_report,
-            "config": {"smoke": args.smoke, **stress_args},
+            "config": {
+                "smoke": args.smoke,
+                **stress_args,
+                "sharded": {"shards": shards, **storm_args},
+            },
         },
     )
     print(f"wrote {path}")

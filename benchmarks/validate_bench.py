@@ -51,7 +51,10 @@ GATED_SPEEDUPS = {
         ("view_evaluation_large", "speedup"),
     ),
     "sync": (("batched_dispatch", "speedup"),),
-    "scheduler": (("parallel_storm", "speedup"),),
+    "scheduler": (
+        ("parallel_storm", "speedup"),
+        ("sharded_storm", "workers_speedup"),
+    ),
     "maintenance": (
         ("update_storm", "speedup"),
         ("update_storm", "columnar_speedup"),
@@ -63,6 +66,10 @@ GATED_SPEEDUPS = {
 #: baseline payload.
 COLUMNAR_SPEEDUP_FLOOR = 3.0
 
+#: Absolute floor of the persistent-worker-vs-serial speedup in the
+#: sharded storm on full (non-smoke) runs — the PR-7 acceptance gate.
+WORKERS_SPEEDUP_FLOOR = 3.0
+
 
 class BenchValidationError(Exception):
     """A BENCH payload violated its structural or invariant contract."""
@@ -70,7 +77,7 @@ class BenchValidationError(Exception):
 
 #: The SystemReport schema version this validator understands (kept in
 #: lockstep with ``repro.report.REPORT_SCHEMA_VERSION``).
-SYSTEM_REPORT_SCHEMA_VERSION = 1
+SYSTEM_REPORT_SCHEMA_VERSION = 2
 
 
 def validate_system_report(report: dict, context: str = "system_report") -> None:
@@ -121,7 +128,7 @@ def validate_system_report(report: dict, context: str = "system_report") -> None
         )
     for batch in report["schedule"]["batches"]:
         for field in ("executor", "workers", "views", "coalesced",
-                      "wall_seconds"):
+                      "wall_seconds", "executor_fallback", "shards"):
             if field not in batch:
                 raise BenchValidationError(
                     f"{context}: schedule batch missing {field!r}"
@@ -129,6 +136,18 @@ def validate_system_report(report: dict, context: str = "system_report") -> None
         _invariant(
             batch["wall_seconds"] >= 0.0,
             f"{context}: negative wall_seconds",
+        )
+        for dispatch in batch["shards"]:
+            for field in ("shard", "views", "groups", "bytes_shipped",
+                          "bytes_received", "snapshot_bytes",
+                          "worker_seconds"):
+                _invariant(
+                    dispatch.get(field, -1) >= 0,
+                    f"{context}: shard dispatch {field!r} missing/negative",
+                )
+    if "shards" not in report["schedule"]:
+        raise BenchValidationError(
+            f"{context}: schedule: missing 'shards'"
         )
     maintenance = report["maintenance"]
     for field in ("flushes", "counters", "updates"):
@@ -269,6 +288,17 @@ def validate_scheduler(payload: dict) -> None:
                 "parallel_seconds",
                 "coalesced_searches",
             ),
+            "sharded_storm": (
+                "workers_speedup",
+                "outcomes_equal",
+                "serial_seconds",
+                "workers_seconds",
+                "workers_cold_seconds",
+                "workers_warm_seconds",
+                "cold_snapshot_bytes",
+                "warm_snapshot_bytes",
+                "shards",
+            ),
             "deadline_sweep": ("unbounded", "zero", "zero_defer"),
         },
     )
@@ -276,6 +306,33 @@ def validate_scheduler(payload: dict) -> None:
         payload["parallel_storm"]["outcomes_equal"],
         "parallel scheduler outcomes diverged",
     )
+    sharded = payload["sharded_storm"]
+    _invariant(
+        sharded["outcomes_equal"],
+        "sharded worker outcomes diverged",
+    )
+    _invariant(
+        sharded["warm_snapshot_bytes"] == 0,
+        "warm worker dispatch shipped snapshot bytes",
+    )
+    _invariant(
+        sharded["cold_snapshot_bytes"] > 0,
+        "cold bootstrap shipped no snapshot",
+    )
+    # The PR-7 acceptance gate: ≥3x workers-vs-serial on full runs.
+    # Smoke payloads run the lane at toy scale where pool overhead
+    # dominates, so only the parity/shipping invariants apply there.
+    if not is_smoke(payload):
+        _invariant(
+            sharded["workers_speedup"] >= WORKERS_SPEEDUP_FLOOR,
+            f"workers speedup {sharded['workers_speedup']}x below the "
+            f"{WORKERS_SPEEDUP_FLOOR}x floor",
+        )
+    if "system_report" in sharded:
+        validate_system_report(
+            sharded["system_report"],
+            "BENCH_scheduler: sharded_storm.system_report",
+        )
     sweep = payload["deadline_sweep"]
     _invariant(
         sweep["zero_defer"]["resume_matches_serial"],

@@ -40,10 +40,12 @@ from repro.events import (
     CacheInvalidated,
     DegradedToFirstLegal,
     EventBus,
+    ShardRebalanced,
     SynchronizationDeferred,
     SystemEvent,
     ViewMaintained,
     ViewSynchronized,
+    WorkerRecycled,
 )
 from repro.qc.model import Evaluation, QCModel
 from repro.qc.params import TradeoffParameters
@@ -69,6 +71,7 @@ __all__ = [
     "QCModel",
     "ScheduleConfig",
     "SearchConfig",
+    "ShardRebalanced",
     "SynchronizationDeferred",
     "SynchronizationRecord",
     "SynchronizationResult",
@@ -78,5 +81,6 @@ __all__ = [
     "TradeoffParameters",
     "ViewMaintained",
     "ViewSynchronized",
+    "WorkerRecycled",
     "__version__",
 ]

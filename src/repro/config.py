@@ -54,7 +54,7 @@ __all__ = [
 _ENGINES = ("indexed", "naive")
 _ENGINE_REPRESENTATIONS = ("tuple", "columnar")
 _REPRESENTATIONS = ("tuple", "dict", "columnar")
-_EXECUTORS = ("serial", "threads", "processes")
+_EXECUTORS = ("serial", "threads", "processes", "workers")
 _DEGRADE_MODES = ("first_legal", "defer")
 _ORDERS = ("cost", "plan")
 
@@ -224,11 +224,14 @@ class ScheduleConfig:
     """How batch synchronization is dispatched (:class:`~repro.sync.scheduler.SynchronizationScheduler`).
 
     Field semantics are the scheduler's: ``executor`` in ``serial`` |
-    ``threads`` | ``processes``; ``budget`` in wall-clock seconds and
-    ``budget_units`` in modeled Eq. 24 cost units (either exhausts the
-    other); ``degrade`` in ``first_legal`` | ``defer``; ``order`` in
-    ``cost`` | ``plan``; ``coalesce`` runs one search per structural
-    equivalence class.
+    ``threads`` | ``processes`` | ``workers``; ``budget`` in wall-clock
+    seconds and ``budget_units`` in modeled Eq. 24 cost units (either
+    exhausts the other); ``degrade`` in ``first_legal`` | ``defer``;
+    ``order`` in ``cost`` | ``plan``; ``coalesce`` runs one search per
+    structural equivalence class; ``shards`` partitions the VKB for the
+    persistent-worker pool (``executor="workers"`` only; one long-lived
+    spawn-safe process per shard holds its extents and caches across
+    batches).
     """
 
     executor: str = "serial"
@@ -238,6 +241,7 @@ class ScheduleConfig:
     degrade: str = "first_legal"
     order: str = "cost"
     coalesce: bool = False
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         _require_choice(self.executor, _EXECUTORS, "executor")
@@ -254,6 +258,14 @@ class ScheduleConfig:
         _require(
             self.max_workers is None or self.max_workers >= 1,
             "max_workers must be >= 1",
+        )
+        _require(
+            self.shards is None or self.shards >= 1,
+            "shards must be >= 1",
+        )
+        _require(
+            self.shards is None or self.executor == "workers",
+            "shards is only meaningful with executor='workers'",
         )
 
 
@@ -355,6 +367,19 @@ class SystemConfig:
             engine=EngineConfig(representation="columnar"),
             schedule=ScheduleConfig(executor="threads", coalesce=True),
             maintenance=MaintenanceConfig(representation="columnar"),
+        )
+
+    @classmethod
+    def sharded(cls, shards: int, max_workers: int | None = None) -> "SystemConfig":
+        """:meth:`fast` with the persistent-worker pool over ``shards``
+        VKB shards (long-lived spawn-safe processes, delta shipping)."""
+        return cls(
+            schedule=ScheduleConfig(
+                executor="workers",
+                shards=shards,
+                max_workers=max_workers,
+                coalesce=True,
+            ),
         )
 
     @classmethod

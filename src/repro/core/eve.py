@@ -352,6 +352,18 @@ class EVESystem:
         """Remove one prior :meth:`subscribe` registration."""
         self.events.unsubscribe(event_type, handler)
 
+    def close(self) -> None:
+        """Release external resources — currently the scheduler's
+        persistent worker pool, when one is running.
+
+        The system stays fully usable afterwards: a later
+        ``executor="workers"`` batch simply bootstraps a fresh fleet.
+        Only systems configured with the workers executor hold any
+        out-of-process state, so for every other profile this is a
+        no-op.
+        """
+        self.scheduler.close()
+
     # ------------------------------------------------------------------
     # View definition
     # ------------------------------------------------------------------

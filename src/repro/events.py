@@ -28,6 +28,14 @@ Six event types cover the operator-visible lifecycle:
 * :class:`CacheInvalidated` — the shared assessment cache was flushed
   (capability change or relation registration).
 
+Two more cover the persistent-worker pool's lifecycle:
+
+* :class:`ShardRebalanced` — the sharded worker pool (re)built its VKB
+  partition (first dispatch, or drift detected in the parent VKB).
+* :class:`WorkerRecycled` — a shard's worker process was torn down
+  (crash mid-group, or pool shutdown) and will be respawned on the next
+  dispatch.
+
 Delivery contract: handlers run synchronously on the thread that
 produced the event — under a parallel scheduler that may be a worker
 thread, and under the fork-based process executor child-side emissions
@@ -54,10 +62,12 @@ __all__ = [
     "CacheInvalidated",
     "DegradedToFirstLegal",
     "EventBus",
+    "ShardRebalanced",
     "SynchronizationDeferred",
     "SystemEvent",
     "ViewMaintained",
     "ViewSynchronized",
+    "WorkerRecycled",
 ]
 
 
@@ -135,6 +145,31 @@ class CacheInvalidated(SystemEvent):
     reason: str
 
 
+@dataclass(frozen=True)
+class ShardRebalanced(SystemEvent):
+    """The persistent-worker pool (re)built its VKB partition."""
+
+    #: Number of shards in the new partition.
+    shards: int
+    #: Alive views distributed across the partition.
+    views: int
+    #: Why the partition was (re)built: "bootstrap" on first dispatch,
+    #: "drift" when the parent VKB changed out-of-band, "recycle" after
+    #: a worker crash forced a pool teardown.
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerRecycled(SystemEvent):
+    """One shard's worker process was torn down for respawning."""
+
+    shard: int
+    #: OS pid of the recycled worker process (None if it never spawned).
+    pid: int | None
+    #: Why the worker was recycled ("crash", "shutdown", ...).
+    reason: str
+
+
 _EVENT_TYPES = {
     cls.__name__: cls
     for cls in (
@@ -145,6 +180,8 @@ _EVENT_TYPES = {
         DegradedToFirstLegal,
         SynchronizationDeferred,
         CacheInvalidated,
+        ShardRebalanced,
+        WorkerRecycled,
     )
 }
 

@@ -14,7 +14,7 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
 ``benchmarks/validate_bench.py``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "operation": "apply_changes" | "apply_updates",
       "synchronization": {
         "views": [
@@ -32,10 +32,18 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
            "coalesced": int, "wall_seconds": float,
            "budget": float | null, "budget_units": float | null,
            "units_spent": float,
-           "degraded": [view, ...], "deferred": [view, ...]},
+           "executor_fallback": str | null,
+           "degraded": [view, ...], "deferred": [view, ...],
+           "shards": [{<ShardDispatch fields>}, ...]},
           ...
         ],
-        "degraded": [view, ...], "deferred": [view, ...]
+        "degraded": [view, ...], "deferred": [view, ...],
+        "shards": [
+          {"shard": int, "views": int, "groups": int,
+           "bytes_shipped": int, "bytes_received": int,
+           "snapshot_bytes": int, "worker_seconds": float},
+          ...
+        ]
       },
       "maintenance": {
         "flushes": [
@@ -80,7 +88,9 @@ __all__ = [
 ]
 
 #: Bump when the to_dict layout changes shape (validators pin this).
-REPORT_SCHEMA_VERSION = 1
+#: v2: per-batch ``executor_fallback`` + ``shards`` (persistent-worker
+#: dispatch accounting), and the call-aggregated ``schedule.shards``.
+REPORT_SCHEMA_VERSION = 2
 
 
 def _counters_dict(counters: StageCounters) -> dict[str, Any]:
@@ -228,6 +238,38 @@ class SystemReport:
     def updates(self) -> int:
         return sum(flush.updates for flush in self.flushes)
 
+    @property
+    def shard_dispatches(self) -> list[dict[str, Any]]:
+        """Call-aggregated persistent-worker accounting, one row per
+        shard the call's batches dispatched to (empty unless the
+        ``workers`` executor ran): views and chain groups replayed,
+        bytes shipped/received, bootstrap snapshot bytes, and worker
+        wall clock, summed across the call's sub-batches."""
+        merged: dict[int, dict[str, Any]] = {}
+        for schedule in self.schedules:
+            for dispatch in schedule.shards:
+                row = merged.setdefault(
+                    dispatch.shard,
+                    {
+                        "shard": dispatch.shard,
+                        "views": 0,
+                        "groups": 0,
+                        "bytes_shipped": 0,
+                        "bytes_received": 0,
+                        "snapshot_bytes": 0,
+                        "worker_seconds": 0.0,
+                    },
+                )
+                row["views"] += dispatch.views
+                row["groups"] += dispatch.groups
+                row["bytes_shipped"] += dispatch.bytes_shipped
+                row["bytes_received"] += dispatch.bytes_received
+                row["snapshot_bytes"] += dispatch.snapshot_bytes
+                row["worker_seconds"] += dispatch.worker_seconds
+        for row in merged.values():
+            row["worker_seconds"] = round(row["worker_seconds"], 6)
+        return [merged[shard] for shard in sorted(merged)]
+
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         maintenance = self.maintenance_counters
@@ -264,16 +306,22 @@ class SystemReport:
                         "budget": schedule.budget,
                         "budget_units": schedule.budget_units,
                         "units_spent": round(schedule.units_spent, 6),
+                        "executor_fallback": schedule.executor_fallback,
                         "degraded": list(schedule.degraded_views),
                         "deferred": [
                             record.view_name
                             for record in schedule.deferred
+                        ],
+                        "shards": [
+                            dispatch.as_dict()
+                            for dispatch in schedule.shards
                         ],
                     }
                     for schedule in self.schedules
                 ],
                 "degraded": list(self.degraded_views),
                 "deferred": list(self.deferred_views),
+                "shards": self.shard_dispatches,
             },
             "maintenance": {
                 "flushes": [flush.to_dict() for flush in self.flushes],

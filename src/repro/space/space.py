@@ -45,6 +45,18 @@ class InformationSpace:
         self._change_listeners: list[ChangeListener] = []
         self._update_listeners: list[UpdateListener] = []
 
+    def __getstate__(self) -> dict:
+        """Pickle without subscribers.
+
+        Listeners are bound methods of whatever system observes the
+        space (often lock-holding, unpicklable objects); a shipped copy
+        is observed by *its* host, which re-registers its own listeners.
+        """
+        state = self.__dict__.copy()
+        state["_change_listeners"] = []
+        state["_update_listeners"] = []
+        return state
+
     # ------------------------------------------------------------------
     # Source / relation registration
     # ------------------------------------------------------------------

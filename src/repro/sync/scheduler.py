@@ -20,11 +20,16 @@ replay into an explicit, immutable *work plan* and schedules it:
   bound — same degrade/defer semantics, fully deterministic (no wall
   clock), so budgets can be planned offline and asserted in tests.
 * **Pluggable executors** — ``serial`` (the reference), ``threads``
-  (:class:`~concurrent.futures.ThreadPoolExecutor`), and ``processes``
+  (:class:`~concurrent.futures.ThreadPoolExecutor`), ``processes``
   (fork-based, for true CPU parallelism where the platform offers it;
-  falls back to ``serial`` elsewhere).  Whatever the executor, committed
-  winners, QC-Values, and extents are identical to the serial reference —
-  enforced by ``tests/property/test_scheduler_parity.py``.
+  falls back to ``serial`` elsewhere, with a one-time
+  :class:`RuntimeWarning` and the demotion recorded on the report), and
+  ``workers`` (the persistent sharded pool of
+  :mod:`repro.sync.workers`: spawn-safe long-lived processes that keep
+  their VKB shard and extents warm across batches, shipping only
+  deltas).  Whatever the executor, committed winners, QC-Values, and
+  extents are identical to the serial reference — enforced by
+  ``tests/property/test_scheduler_parity.py``.
 * **Chain grouping** — views whose worklists share a changed relation are
   linked into one :class:`ChainGroup` and never split across workers, so
   relation-identity interactions can never race (and coalescing below
@@ -47,6 +52,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from time import perf_counter
@@ -272,6 +278,16 @@ class ScheduleReport:
     #: the Eq. 24 units debited by this execution's dispatches.
     budget_units: float | None = None
     units_spent: float = 0.0
+    #: The executor that was *requested* when the one reported in
+    #: ``executor`` is a silent-no-more demotion (currently only
+    #: ``"processes"`` on fork-less platforms); None when the requested
+    #: executor actually ran.
+    executor_fallback: str | None = None
+    #: Per-shard accounting of the ``workers`` executor — one
+    #: :class:`~repro.sync.workers.ShardDispatch` per shard the batch
+    #: touched (views, chain groups, bytes shipped/received, bootstrap
+    #: snapshot bytes, worker wall clock); empty for other executors.
+    shards: tuple = ()
 
     @property
     def counters(self) -> StageCounters:
@@ -326,24 +342,49 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+#: Whether the processes→serial demotion has been announced yet.  One
+#: warning per process: the demotion is a platform property, not a
+#: per-batch surprise, and storm workloads schedule thousands of
+#: batches.  (The report still records it on every affected batch.)
+_FALLBACK_WARNED = False
+
+
+def _warn_fork_fallback() -> None:
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        "executor='processes' requires the fork start method, which this "
+        "platform does not offer; falling back to executor='serial'. "
+        "Use executor='workers' for spawn-safe process parallelism.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _replay_group_in_fork(group_index: int):
     """Worker entry point: replay one chain group in the forked child.
 
     The child inherited a copy-on-write snapshot of the whole system, so
     the serial replay code runs unchanged against the child's private
-    VKB; only the (picklable) outcomes travel back to the parent, which
-    adopts them into the live VKB in plan order.
+    VKB; only (picklable) result rows travel back to the parent, which
+    rebuilds the outcomes and adopts them into the live VKB in plan
+    order.  The rows are the dedupe format of
+    :func:`repro.sync.workers._dedupe_rows`: a coalesced follower ships
+    one back-reference to its leader's row instead of re-pickling the
+    leader's full result set once per follower — on a storm of
+    structurally identical views that is the difference between a
+    payload linear in *searches run* and one linear in *views*.
     """
+    from repro.sync.workers import _dedupe_rows
+
     scheduler = _FORK_STATE["scheduler"]
     runtime = _FORK_STATE["runtime"]
     plan = _FORK_STATE["plan"]
     group, policy, degraded = _FORK_STATE["groups"][group_index]
     outcomes = scheduler._run_group(plan, runtime, group, policy, degraded)
-    return [
-        (outcome.item.order, outcome.results, outcome.seconds,
-         outcome.degraded, outcome.coalesced)
-        for outcome in outcomes
-    ]
+    return _dedupe_rows(outcomes)
 
 
 class SynchronizationScheduler:
@@ -420,6 +461,9 @@ class SynchronizationScheduler:
             )
             config = ScheduleConfig(**legacy)
         self.config = config if config is not None else ScheduleConfig()
+        #: Lazily created :class:`~repro.sync.workers.ShardedWorkerPool`
+        #: (``executor="workers"`` only); survives across executions.
+        self._worker_pool = None
         self.executor = self.config.executor
         self.max_workers = self.config.max_workers
         self.budget = self.config.budget
@@ -460,14 +504,22 @@ class SynchronizationScheduler:
             groups.sort(key=lambda group: (group.cost_bound, group.order))
 
         executor = self.executor
+        executor_fallback = None
         if executor == "processes" and not _fork_available():
             executor = "serial"
-        if len(groups) <= 1:
+            executor_fallback = "processes"
+            _warn_fork_fallback()
+        if len(groups) <= 1 and executor != "workers":
+            # A single chain group gains nothing from thread/fork
+            # fan-out.  The workers executor is exempt: every batch
+            # must flow through the pool or the shard mirrors would
+            # miss the commits and re-bootstrap on the next dispatch.
             executor = "serial"
         workers = self.max_workers or min(8, (os.cpu_count() or 1) + 3)
 
         outcomes: list[ItemOutcome] = []
         deferred: list[DeferredSynchronization] = []
+        shard_dispatches: tuple = ()
         if executor == "serial":
             self._execute_serial(
                 plan, runtime, groups, started, unit_meter, outcomes, deferred
@@ -478,6 +530,12 @@ class SynchronizationScheduler:
                 plan, runtime, groups, started, unit_meter, workers,
                 outcomes, deferred,
             )
+        elif executor == "workers":
+            shard_dispatches = self._execute_workers(
+                plan, runtime, groups, started, unit_meter, outcomes,
+                deferred,
+            )
+            workers = self.config.shards or 1
         else:
             self._execute_processes(
                 plan, runtime, groups, started, unit_meter, workers,
@@ -524,6 +582,8 @@ class SynchronizationScheduler:
                 if unit_meter is not None
                 else 0.0
             ),
+            executor_fallback=executor_fallback,
+            shards=shard_dispatches,
         )
 
     # ------------------------------------------------------------------
@@ -680,20 +740,61 @@ class SynchronizationScheduler:
                     max_workers=min(workers, len(dispatchable)),
                     mp_context=context,
                 ) as pool:
+                    from repro.sync.workers import _outcomes_from_rows
+
                     by_order = {item.order: item for item in plan.items}
                     for rows in pool.map(
                         _replay_group_in_fork, range(len(dispatchable))
                     ):
-                        for order, results, seconds, degraded, coalesced in rows:
-                            outcomes.append(
-                                ItemOutcome(
-                                    by_order[order], results, seconds,
-                                    committed=False, degraded=degraded,
-                                    coalesced=coalesced,
-                                )
-                            )
+                        _outcomes_from_rows(rows, by_order, outcomes)
             finally:
                 _FORK_STATE.clear()
+
+    def _execute_workers(
+        self, plan, runtime, groups, started, meter, outcomes, deferred
+    ) -> tuple:
+        """Dispatch through the persistent sharded worker pool.
+
+        Budget decisions happen up front, exactly like the fork
+        executor's: the batch ships as one message per shard, so there
+        is no mid-flight dispatch point to re-check the clock at.
+        Returns the per-shard :class:`~repro.sync.workers.ShardDispatch`
+        accounting rows for the report.
+        """
+        dispatchable: list[tuple[ChainGroup, str | None, bool]] = []
+        for group in groups:
+            if self._over_budget(started, meter):
+                if self.degrade == "defer":
+                    self._park(plan, group, deferred, meter)
+                    continue
+                dispatchable.append((group, "first_legal", True))
+            else:
+                self._debit(meter, group)
+                dispatchable.append((group, None, False))
+        if not dispatchable:
+            return ()
+        committed, dispatches = self._ensure_pool().run_batch(
+            plan, runtime, dispatchable
+        )
+        outcomes.extend(committed)
+        return tuple(dispatches)
+
+    def _ensure_pool(self):
+        if self._worker_pool is None:
+            from repro.sync.workers import ShardedWorkerPool
+
+            self._worker_pool = ShardedWorkerPool(self.config)
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Stop the persistent worker pool, if one was ever started.
+
+        Safe to call on any scheduler (no-op without a pool) and safe
+        to keep scheduling afterwards — the next ``workers`` dispatch
+        re-bootstraps a fresh fleet.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
 
     # ------------------------------------------------------------------
     # Group replay (shared by every executor; runs in the child for

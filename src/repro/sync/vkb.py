@@ -53,6 +53,18 @@ class ViewKnowledgeBase:
         #: view name -> definition sequence number (dispatch ordering).
         self._order: dict[str, int] = {}
         self._next_order = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every definition-changing operation (define, drop,
+        rewriting commit, mark-undefined), so long-lived mirrors of the
+        VKB — the sharded worker pool — can detect out-of-band drift
+        with one integer compare instead of a deep diff.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Inverted index maintenance
@@ -81,6 +93,25 @@ class ViewKnowledgeBase:
         self._order[view.name] = self._next_order
         self._next_order += 1
         self._index_add(record)
+        self._version += 1
+        return record
+
+    def adopt_record(self, record: ViewRecord, order: int) -> ViewRecord:
+        """Install an existing record under an explicit dispatch order.
+
+        Bootstrap path for VKB mirrors (worker shards): reproduces the
+        parent registry's ordering exactly, so ``views_referencing`` —
+        and with it dispatch and the synchronization log — sort
+        identically on both sides.
+        """
+        if record.name in self._records:
+            raise WorkspaceError(f"view {record.name!r} is already defined")
+        self._records[record.name] = record
+        self._order[record.name] = order
+        self._next_order = max(self._next_order, order + 1)
+        if record.alive:
+            self._index_add(record)
+        self._version += 1
         return record
 
     def drop(self, name: str) -> ViewRecord:
@@ -90,6 +121,7 @@ class ViewKnowledgeBase:
         if record.alive:
             self._index_discard(record)
         del self._order[name]
+        self._version += 1
         return record
 
     # ------------------------------------------------------------------
@@ -116,6 +148,11 @@ class ViewKnowledgeBase:
 
     def current(self, name: str) -> ViewDefinition:
         return self.record(name).current
+
+    def order_of(self, name: str) -> int:
+        """The view's definition sequence number (dispatch order)."""
+        self.record(name)  # raise WorkspaceError for unknown views
+        return self._order[name]
 
     def alive_views(self) -> tuple[ViewRecord, ...]:
         return tuple(r for r in self._records.values() if r.alive)
@@ -149,6 +186,7 @@ class ViewKnowledgeBase:
         record.current = rewriting.view
         record.history.append(rewriting)
         self._index_add(record)
+        self._version += 1
         return record
 
     def mark_undefined(self, name: str) -> ViewRecord:
@@ -157,4 +195,5 @@ class ViewKnowledgeBase:
         if record.alive:
             self._index_discard(record)
         record.alive = False
+        self._version += 1
         return record

@@ -24,11 +24,13 @@ from repro.workloadgen.scenarios import (
     CardinalityScenario,
     EvolutionStormScenario,
     SchedulerStressScenario,
+    ShardedStormScenario,
     SiteScenario,
     SurvivalScenario,
     build_cardinality_scenario,
     build_evolution_storm_scenario,
     build_scheduler_stress_scenario,
+    build_sharded_storm_scenario,
     build_survival_scenario,
     site_scenarios,
 )
@@ -39,11 +41,13 @@ __all__ = [
     "CardinalityScenario",
     "EvolutionStormScenario",
     "SchedulerStressScenario",
+    "ShardedStormScenario",
     "SiteScenario",
     "SurvivalScenario",
     "build_cardinality_scenario",
     "build_evolution_storm_scenario",
     "build_scheduler_stress_scenario",
+    "build_sharded_storm_scenario",
     "build_survival_scenario",
     "distributions",
     "make_schema",

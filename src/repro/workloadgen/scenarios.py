@@ -571,3 +571,98 @@ def build_scheduler_stress_scenario(
         tuple(relation_names),
         donors_per_relation,
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded storm: a 100k-view salvage storm as a sequential batch stream
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedStormScenario:
+    """A scheduler-stress storm replayed as sequential change batches.
+
+    The persistent-worker executor's workload shape: the same
+    replacement-heavy salvage storm as
+    :class:`SchedulerStressScenario`, but with the change stream split
+    into ``len(change_batches)`` sequential ``apply_changes`` calls.
+    The first batch pays the pool's cold start (spawn + snapshot
+    shipping); every later batch dispatches against warm workers that
+    already hold their shard, so the amortized per-batch cost is
+    measurable separately from bootstrap.  Generation is deterministic:
+    equal arguments yield byte-identical spaces and batch streams.
+    """
+
+    space: InformationSpace
+    views: list[ViewDefinition]
+    change_batches: list[list[SchemaChange]]
+    view_relations: tuple[str, ...]
+    donors_per_relation: int
+
+    @property
+    def changes(self) -> list[SchemaChange]:
+        """The flattened stream (serial replay applies the same order)."""
+        return [
+            change for batch in self.change_batches for change in batch
+        ]
+
+
+def build_sharded_storm_scenario(
+    views: int = 100_000,
+    view_relations: int = 200,
+    donors_per_relation: int = 3,
+    view_attributes: int = 2,
+    sources: int = 8,
+    batches: int = 4,
+    tail_changes: int = 0,
+    **stress_overrides,
+) -> ShardedStormScenario:
+    """The 100k-view sharded storm (ROADMAP scaling scenario).
+
+    Delegates space/view/change generation to
+    :func:`build_scheduler_stress_scenario` (every view relation is
+    deleted and salvaged through its containment donors), then splits
+    the change stream into ``batches`` near-equal contiguous batches.
+    Each batch touches a disjoint relation slice, so batch outcomes are
+    independent and a chunked serial replay commits byte-identical
+    winners to the one-shot replay.
+
+    ``tail_changes`` carves the final batch down to exactly that many
+    changes (the preceding batches absorb the rest).  A small tail
+    batch measures warm small-batch dispatch latency — the pool is hot,
+    the batch is tiny — and keeps the per-view report of the last batch
+    bounded regardless of storm scale.
+    """
+    if batches < 1:
+        raise ValueError("sharded storm needs at least one batch")
+    if tail_changes < 0:
+        raise ValueError("tail_changes must be non-negative")
+    scenario = build_scheduler_stress_scenario(
+        views=views,
+        view_relations=view_relations,
+        donors_per_relation=donors_per_relation,
+        view_attributes=view_attributes,
+        sources=sources,
+        **stress_overrides,
+    )
+    changes = scenario.changes
+    batches = min(batches, len(changes))
+    tail = 0
+    if tail_changes and batches > 1:
+        tail = min(tail_changes, len(changes) - (batches - 1))
+    head_changes = changes[: len(changes) - tail]
+    head_batches = batches - 1 if tail else batches
+    size, remainder = divmod(len(head_changes), head_batches)
+    change_batches = []
+    cursor = 0
+    for index in range(head_batches):
+        width = size + (1 if index < remainder else 0)
+        change_batches.append(head_changes[cursor : cursor + width])
+        cursor += width
+    if tail:
+        change_batches.append(changes[len(changes) - tail :])
+    return ShardedStormScenario(
+        scenario.space,
+        scenario.views,
+        change_batches,
+        scenario.view_relations,
+        scenario.donors_per_relation,
+    )

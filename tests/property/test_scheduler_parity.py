@@ -143,6 +143,45 @@ def test_process_executor_commits_identical_outcomes(coalesce):
     assert eve.last_schedule[0].executor == "processes"
 
 
+@pytest.mark.parametrize("shards", [1, 2, 3])
+def test_worker_pool_commits_identical_outcomes(shards):
+    """The persistent-worker executor is plan-order byte-identical to
+    serial for every shard count — including ``shards=1``, where the
+    whole VKB lives in a single worker."""
+    reference_eve, batch = stress_system(views=12, relations=4, donors=2)
+    reference = outcome_fingerprint(
+        reference_eve, reference_eve.apply_changes(batch)
+    )
+    eve, batch = stress_system(views=12, relations=4, donors=2)
+    scheduler = SynchronizationScheduler(
+        ScheduleConfig(executor="workers", shards=shards, coalesce=True)
+    )
+    try:
+        results = eve.apply_changes(batch, scheduler=scheduler)
+    finally:
+        scheduler.close()
+    assert outcome_fingerprint(eve, results) == reference
+    assert eve.last_schedule[0].executor == "workers"
+
+
+def test_worker_pool_parity_on_mixed_storm():
+    """Renames, deletes, and spare churn — the delta-broadcast path —
+    commit the serial outcome through the sharded pool."""
+    reference_eve, batch = storm_system(seed=5, views=12, changes=10)
+    reference = outcome_fingerprint(
+        reference_eve, reference_eve.apply_changes(batch)
+    )
+    eve, batch = storm_system(seed=5, views=12, changes=10)
+    scheduler = SynchronizationScheduler(
+        ScheduleConfig(executor="workers", shards=2, coalesce=True)
+    )
+    try:
+        results = eve.apply_changes(batch, scheduler=scheduler)
+    finally:
+        scheduler.close()
+    assert outcome_fingerprint(eve, results) == reference
+
+
 def test_degraded_runs_still_salvage_every_view():
     """first_legal degradation trades QC for latency, never survival."""
     reference_eve, batch = stress_system(views=10, relations=5, donors=2)

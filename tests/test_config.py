@@ -42,6 +42,7 @@ ALL_PRESETS = {
     "reference": SystemConfig.reference(),
     "fast": SystemConfig.fast(),
     "columnar": SystemConfig.columnar(),
+    "sharded": SystemConfig.sharded(2),
     "bounded-units": SystemConfig.bounded(budget_units=25.0),
     "bounded-wall": SystemConfig.bounded(budget=1.5, degrade="defer"),
 }
@@ -74,6 +75,8 @@ class TestValidation:
             lambda: ScheduleConfig(budget=-1.0),
             lambda: ScheduleConfig(budget_units=-0.5),
             lambda: ScheduleConfig(max_workers=0),
+            lambda: ScheduleConfig(executor="workers", shards=0),
+            lambda: ScheduleConfig(shards=2),  # needs executor="workers"
             lambda: MaintenanceConfig(representation="quantum"),
             lambda: EngineConfig(representation="rowwise"),
             lambda: EngineConfig(engine="naive", representation="columnar"),
@@ -95,6 +98,8 @@ class TestValidation:
             "budget-negative",
             "budget_units-negative",
             "max_workers-zero",
+            "shards-zero",
+            "shards-without-workers",
             "representation-name",
             "engine-representation-name",
             "columnar-on-naive",

@@ -72,6 +72,7 @@ DOCUMENTED_EXPORTS = [
     "QCModel",
     "ScheduleConfig",
     "SearchConfig",
+    "ShardRebalanced",
     "SynchronizationDeferred",
     "SynchronizationRecord",
     "SynchronizationResult",
@@ -81,6 +82,7 @@ DOCUMENTED_EXPORTS = [
     "TradeoffParameters",
     "ViewMaintained",
     "ViewSynchronized",
+    "WorkerRecycled",
     "__version__",
 ]
 

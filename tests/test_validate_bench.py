@@ -70,6 +70,29 @@ class TestStructuralValidation:
         with pytest.raises(BenchValidationError, match="columnar"):
             validate_payload("engine", payload)
 
+    def test_sharded_parity_invariant_enforced(self):
+        payload = committed("scheduler")
+        payload["sharded_storm"]["outcomes_equal"] = False
+        with pytest.raises(BenchValidationError, match="diverged"):
+            validate_payload("scheduler", payload)
+
+    def test_warm_snapshot_shipping_rejected(self):
+        payload = committed("scheduler")
+        payload["sharded_storm"]["warm_snapshot_bytes"] = 4096
+        with pytest.raises(BenchValidationError, match="snapshot"):
+            validate_payload("scheduler", payload)
+
+    def test_workers_floor_gates_full_runs_only(self):
+        payload = committed("scheduler")
+        payload["config"]["smoke"] = False
+        payload["sharded_storm"]["workers_speedup"] = 1.1
+        with pytest.raises(BenchValidationError, match="floor"):
+            validate_payload("scheduler", payload)
+        # Smoke runs the lane at toy scale where pool spawn dominates:
+        # parity and shipping invariants gate, the floor is waived.
+        payload["config"]["smoke"] = True
+        validate_payload("scheduler", payload)
+
     def test_columnar_floor_gates_full_runs_only(self):
         payload = committed("engine")
         payload["view_evaluation_large"]["speedup"] = 1.2
@@ -163,12 +186,14 @@ class TestRegressionGate:
         return {
             "config": {"smoke": False},
             "parallel_storm": {"speedup": 6.0},
+            "sharded_storm": {"workers_speedup": 4.0},
         }
 
     def test_within_tolerance_passes(self):
         current = {
             "config": {"smoke": False},
             "parallel_storm": {"speedup": 4.5},
+            "sharded_storm": {"workers_speedup": 3.5},
         }
         status, messages = check_regression(
             "scheduler", current, self.baseline()
@@ -180,6 +205,7 @@ class TestRegressionGate:
         current = {
             "config": {"smoke": False},
             "parallel_storm": {"speedup": 2.0},
+            "sharded_storm": {"workers_speedup": 4.0},
         }
         status, messages = check_regression(
             "scheduler", current, self.baseline()
@@ -208,7 +234,10 @@ class TestRegressionGate:
         assert not is_smoke({})
         status, _ = check_regression(
             "scheduler",
-            {"parallel_storm": {"speedup": 5.9}},
+            {
+                "parallel_storm": {"speedup": 5.9},
+                "sharded_storm": {"workers_speedup": 4.1},
+            },
             self.baseline(),
         )
         assert status == "ok"

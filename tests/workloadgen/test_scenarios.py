@@ -139,3 +139,60 @@ class TestEvolutionStorm:
         # Mirrored deletes keep their views alive via replacement.
         assert all(result.survived for result in results)
         assert all(record.alive for record in eve.vkb)
+
+
+class TestShardedStorm:
+    def _build(self, **overrides):
+        from repro.workloadgen.scenarios import build_sharded_storm_scenario
+
+        args = dict(
+            views=40,
+            view_relations=10,
+            donors_per_relation=2,
+            view_attributes=2,
+            batches=4,
+        )
+        args.update(overrides)
+        return build_sharded_storm_scenario(**args)
+
+    def test_batches_partition_the_change_stream(self):
+        scenario = self._build()
+        assert len(scenario.change_batches) == 4
+        widths = [len(batch) for batch in scenario.change_batches]
+        assert sum(widths) == len(scenario.changes)
+        assert max(widths) - min(widths) <= 1
+        # Flattened batches replay the exact serial stream.
+        from repro.workloadgen.scenarios import (
+            build_scheduler_stress_scenario,
+        )
+
+        reference = build_scheduler_stress_scenario(
+            views=40, view_relations=10, donors_per_relation=2,
+            view_attributes=2,
+        )
+        assert [c.describe() for c in scenario.changes] == [
+            c.describe() for c in reference.changes
+        ]
+
+    def test_tail_batch_carved_to_requested_size(self):
+        scenario = self._build(tail_changes=1)
+        assert len(scenario.change_batches) == 4
+        assert len(scenario.change_batches[-1]) == 1
+        head = [len(b) for b in scenario.change_batches[:-1]]
+        assert max(head) - min(head) <= 1
+        assert sum(head) + 1 == len(scenario.changes)
+
+    def test_tail_clamps_to_leave_head_batches_nonempty(self):
+        scenario = self._build(tail_changes=10_000)
+        assert all(batch for batch in scenario.change_batches)
+        assert sum(
+            len(batch) for batch in scenario.change_batches
+        ) == len(scenario.changes)
+
+    def test_single_batch_ignores_tail(self):
+        scenario = self._build(batches=1, tail_changes=3)
+        assert len(scenario.change_batches) == 1
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(ValueError, match="tail_changes"):
+            self._build(tail_changes=-1)
