@@ -77,7 +77,7 @@ class BenchValidationError(Exception):
 
 #: The SystemReport schema version this validator understands (kept in
 #: lockstep with ``repro.report.REPORT_SCHEMA_VERSION``).
-SYSTEM_REPORT_SCHEMA_VERSION = 2
+SYSTEM_REPORT_SCHEMA_VERSION = 3
 
 
 def validate_system_report(report: dict, context: str = "system_report") -> None:
@@ -100,7 +100,7 @@ def validate_system_report(report: dict, context: str = "system_report") -> None
         raise BenchValidationError(
             f"{context}: unknown operation {report.get('operation')!r}"
         )
-    for section in ("synchronization", "schedule", "maintenance"):
+    for section in ("synchronization", "schedule", "maintenance", "plans"):
         if section not in report:
             raise BenchValidationError(
                 f"{context}: missing section {section!r}"
@@ -166,6 +166,37 @@ def validate_system_report(report: dict, context: str = "system_report") -> None
         == sum(flush.get("updates", 0) for flush in maintenance["flushes"]),
         f"{context}: flush update totals disagree",
     )
+    plans = report["plans"]
+    for field in ("views", "total"):
+        if field not in plans:
+            raise BenchValidationError(
+                f"{context}: plans: missing {field!r}"
+            )
+    _invariant(
+        plans["total"] >= len(plans["views"]),
+        f"{context}: plans total below captured count",
+    )
+    for plan in plans["views"]:
+        _invariant(
+            plan.get("kind") in ("evaluation", "maintenance"),
+            f"{context}: plan kind {plan.get('kind')!r} unknown",
+        )
+        for field in ("view", "steps"):
+            if field not in plan:
+                raise BenchValidationError(
+                    f"{context}: plan missing {field!r}"
+                )
+        for step in plan["steps"]:
+            for field in ("relation", "access"):
+                if field not in step:
+                    raise BenchValidationError(
+                        f"{context}: plan step missing {field!r}"
+                    )
+            _invariant(
+                step["access"] in ("index_probe", "scan"),
+                f"{context}: plan step access "
+                f"{step['access']!r} unknown",
+            )
 
 
 def _require_system_report(payload: dict, name: str) -> None:

@@ -1,0 +1,91 @@
+"""Execute the documentation so it cannot rot.
+
+Checks every Markdown file in the repo root and ``docs/``:
+
+* each fenced ``python`` code block is executed, cumulatively per file
+  (later blocks in a file see the earlier blocks' names, exactly as a
+  reader pasting them into one session would);
+* each relative Markdown link must resolve to a file or directory that
+  exists (external ``http(s)`` links and pure ``#fragment`` anchors are
+  not checked).
+
+Run from the repo root (CI does)::
+
+    python docs/check_docs.py
+
+Exits non-zero listing every failure; ``src/`` is put on ``sys.path``
+so the blocks import ``repro`` the same way the tests do.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+
+#: Internal working notes, not documentation: code blocks there are
+#: excerpts and sketches, not runnable examples.
+SKIP_EXECUTION = {"ISSUE.md", "SNIPPETS.md", "PAPERS.md", "CHANGES.md", "ROADMAP.md"}
+
+CODE_BLOCK = re.compile(r"^```python\n(.*?)^```", re.S | re.M)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^```.*?^```", re.S | re.M)
+
+
+def run_code_blocks(path: Path) -> list[str]:
+    failures = []
+    namespace: dict = {"__name__": f"docs:{path.name}"}
+    for index, match in enumerate(CODE_BLOCK.finditer(path.read_text())):
+        source = match.group(1)
+        label = f"{path.relative_to(REPO)} python block {index + 1}"
+        try:
+            exec(compile(source, label, "exec"), namespace)
+        except Exception:
+            failures.append(f"{label} raised:\n{traceback.format_exc()}")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    # Links inside fenced code blocks are code, not navigation.
+    text = FENCE.sub("", path.read_text())
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            failures.append(
+                f"{path.relative_to(REPO)}: broken link -> {target}"
+            )
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    failures: list[str] = []
+    executed = 0
+    for path in DOC_FILES:
+        failures.extend(check_links(path))
+        if path.name in SKIP_EXECUTION:
+            continue
+        blocks = CODE_BLOCK.findall(path.read_text())
+        executed += len(blocks)
+        failures.extend(run_code_blocks(path))
+    if failures:
+        print(f"{len(failures)} documentation failure(s):\n")
+        print("\n".join(failures))
+        return 1
+    print(
+        f"docs OK: {len(DOC_FILES)} file(s) checked, "
+        f"{executed} python block(s) executed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

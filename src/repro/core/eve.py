@@ -49,6 +49,7 @@ from repro.errors import (
     SynchronizationError,
     ViewUndefinedError,
 )
+from repro.esql import explain as explain_plans
 from repro.esql.ast import ViewDefinition
 from repro.esql.evaluator import evaluate_view
 from repro.esql.parser import parse_view
@@ -69,7 +70,7 @@ from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
 from repro.relational.columnar import KernelCounters
 from repro.relational.relation import Relation
-from repro.report import MaintenanceFlush, SystemReport
+from repro.report import PLAN_CAPTURE_LIMIT, MaintenanceFlush, SystemReport
 from repro.space.changes import (
     DeleteRelation,
     RenameRelation,
@@ -117,9 +118,11 @@ class SynchronizationResult:
 
     @property
     def survived(self) -> bool:
+        """Whether a legal rewriting was committed for the view."""
         return self.chosen is not None
 
     def ranking(self) -> list[str]:
+        """Candidate names in QC-rank order (winner first)."""
         return [e.name for e in self.evaluations]
 
 
@@ -149,6 +152,7 @@ class _PendingMaintenance:
         self.closed: list[tuple[int, dict[str, int]]] = []
 
     def append(self, update: DataUpdate) -> None:
+        """Queue one update for the next flush of this view."""
         self.updates.append(update)
         self.relations.add(update.relation)
 
@@ -313,13 +317,16 @@ class EVESystem:
     # ------------------------------------------------------------------
     @property
     def mkb(self):
+        """The space's Meta Knowledge Base (schemas, constraints, stats)."""
         return self.space.mkb
 
     @property
     def policy(self) -> SearchPolicy:
+        """The active rewriting-search policy (from ``config.search``)."""
         return self.pipeline.policy
 
     def add_source(self, name: str):
+        """Register an information source and return its handle."""
         return self.space.add_source(name)
 
     def register_relation(
@@ -328,6 +335,11 @@ class EVESystem:
         relation: Relation,
         statistics: RelationStatistics | None = None,
     ) -> Relation:
+        """Attach ``relation`` (plus optional statistics) to ``source``.
+
+        Registration changes ownership maps and replacement routes, so
+        the shared assessment cache is invalidated first.
+        """
         # New relations change ownership maps and replacement routes.
         self.assessment_cache.invalidate()
         if self._observed(CacheInvalidated):
@@ -563,12 +575,17 @@ class EVESystem:
             finally:
                 self._defer_maintenance = was_deferred
                 charged = self.maintainer.counters.diff(before)
+                plans, plans_total = self._capture_maintenance_plans(
+                    flushes
+                )
                 self.last_report = SystemReport.for_updates(
                     flushes,
                     charged,
                     kernels=self.maintainer.kernel_counters.diff(
                         kernels_before
                     ),
+                    plans=plans,
+                    plans_total=plans_total,
                 )
         return charged
 
@@ -786,7 +803,10 @@ class EVESystem:
             reports.append(report)
             self._emit_schedule_events(report, active)
         self.last_schedule = tuple(reports)
-        self.last_report = SystemReport.for_changes(results, reports)
+        plans, plans_total = self._capture_evaluation_plans(results)
+        self.last_report = SystemReport.for_changes(
+            results, reports, plans=plans, plans_total=plans_total
+        )
         return results
 
     def _emit_schedule_events(
@@ -1051,11 +1071,162 @@ class EVESystem:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def explain(
+        self, view_name: str, analyze: bool = False
+    ) -> "explain_plans.EvaluationPlan":
+        """The evaluation plan ``view_name`` runs under this system's
+        engine config: greedy join order with the cardinality estimates
+        that drove it, per-step index-probe vs scan, projection
+        pushdown, and — when ``config.engine.optimize`` is set — every
+        optimizer transform decision (applied or refused, with costs).
+
+        ``analyze=True`` additionally executes the view with a step
+        trace and reconciles estimated vs actual cardinalities (plus
+        column-kernel rows scanned/selected on the columnar plane); the
+        run is side-effect free — the cached extent is not touched.
+
+        Returns an :class:`~repro.esql.explain.EvaluationPlan`; render
+        with ``to_text()`` or serialize with ``to_dict()``.
+        """
+        record = self.vkb.record(view_name)
+        if not record.alive:
+            raise EvaluationError(
+                f"view {view_name!r} is undefined; nothing to explain"
+            )
+        return explain_plans.explain_view(
+            record.current,
+            self.space.relations(),
+            self.space.mkb.statistics,
+            config=self.config.engine,
+            analyze=analyze,
+        )
+
+    def explain_maintenance(
+        self, view_name: str, updated_relation: str | None = None
+    ) -> "explain_plans.MaintenanceExplain":
+        """Algorithm 1's itinerary for maintaining ``view_name`` after
+        an update to ``updated_relation`` (defaults to the view's first
+        FROM relation): source visit order and, per joined relation,
+        whether the delta probes a hash index or scans.
+
+        Returns a :class:`~repro.esql.explain.MaintenanceExplain`.
+        """
+        record = self.vkb.record(view_name)
+        if not record.alive:
+            raise EvaluationError(
+                f"view {view_name!r} is undefined; nothing to explain"
+            )
+        view = record.current
+        owners = {
+            name: self.space.owner_of(name).name
+            for name in view.relation_names
+        }
+        schemas = {
+            name: self.space.relation(name).schema
+            for name in view.relation_names
+        }
+        return explain_plans.explain_maintenance(
+            view,
+            owners,
+            schemas,
+            updated_relation,
+            config=self.config.maintenance,
+        )
+
+    def _capture_evaluation_plans(
+        self, results: "Sequence[SynchronizationResult]"
+    ) -> tuple[list[dict], int]:
+        """EXPLAIN dicts for a batch's surviving materialized views.
+
+        Capped at :data:`~repro.report.PLAN_CAPTURE_LIMIT` plans chosen
+        by sorted view name (deterministic under any executor); the
+        returned total still counts every candidate.  Final actual
+        cardinalities come from the just-rematerialized extents; a view
+        whose plan cannot be built (e.g. racing definition churn) is
+        skipped rather than failing the batch.
+        """
+        candidates = sorted(
+            {
+                result.view_name
+                for result in results
+                if result.survived and result.view_name in self._extents
+            }
+        )
+        plans: list[dict] = []
+        for name in candidates[:PLAN_CAPTURE_LIMIT]:
+            record = self.vkb.record(name)
+            if not record.alive:
+                continue
+            try:
+                plan = explain_plans.explain_view(
+                    record.current,
+                    self.space.relations(),
+                    self.space.mkb.statistics,
+                    config=self.config.engine,
+                )
+                plan.actual_rows = self._extents[name].cardinality
+            except Exception:
+                continue
+            plans.append(plan.to_dict())
+        return plans, len(candidates)
+
+    def _capture_maintenance_plans(
+        self, flushes: "Sequence[MaintenanceFlush]"
+    ) -> tuple[list[dict], int]:
+        """EXPLAIN dicts for a stream's maintenance flushes, one per
+        (view, updated relation) pair up to the capture cap.  Actual
+        counters reconcile the whole flush (which may have covered
+        several relations), noted against the per-relation itinerary.
+        """
+        total = sum(len(flush.relations) for flush in flushes)
+        plans: list[dict] = []
+        for flush in flushes:
+            if len(plans) >= PLAN_CAPTURE_LIMIT:
+                break
+            if flush.view not in self.vkb:
+                continue
+            record = self.vkb.record(flush.view)
+            if not record.alive:
+                continue
+            view = record.current
+            actual = {
+                "messages": flush.counters.messages,
+                "bytes_transferred": flush.counters.bytes_transferred,
+                "io_operations": flush.counters.io_operations,
+                "updates": flush.updates,
+            }
+            for relation in flush.relations:
+                if len(plans) >= PLAN_CAPTURE_LIMIT:
+                    break
+                try:
+                    owners = {
+                        name: self.space.owner_of(name).name
+                        for name in view.relation_names
+                    }
+                    schemas = {
+                        name: self.space.relation(name).schema
+                        for name in view.relation_names
+                    }
+                    explained = explain_plans.explain_maintenance(
+                        view,
+                        owners,
+                        schemas,
+                        relation,
+                        config=self.config.maintenance,
+                        actual=actual,
+                    )
+                except Exception:
+                    continue
+                plans.append(explained.to_dict())
+        return plans, total
+
     @property
     def synchronization_log(self) -> tuple[SynchronizationResult, ...]:
+        """Every search outcome this system has committed, in order."""
         return tuple(self._sync_log)
 
     def is_alive(self, view_name: str) -> bool:
+        """Whether the view currently has a committed rewriting."""
         return self.vkb.record(view_name).alive
 
     def generations(self, view_name: str) -> int:

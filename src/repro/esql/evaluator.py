@@ -73,6 +73,7 @@ def evaluate_view(
     engine: str | None = None,
     config: "EngineConfig | None" = None,
     kernel_counters=None,
+    trace: list | None = None,
 ) -> Relation:
     """Compute the extent of ``view`` against the given relations.
 
@@ -95,6 +96,18 @@ def evaluate_view(
     :class:`~repro.relational.columnar.KernelCounters`) accumulates rows
     scanned vs rows selected per column kernel; only the columnar plane
     records into it.
+
+    ``trace`` (a list, optional) receives one ``(relation_name,
+    candidate_count)`` pair per executed FROM step, in join order —
+    the hook :func:`repro.esql.explain.explain_view` uses to reconcile
+    estimated vs actual cardinalities.  Steps skipped after an empty
+    intermediate result are not recorded.
+
+    With ``config.optimize`` set, the guard-railed transform pass
+    (:class:`~repro.sync.optimizer.PlanOptimizer`) runs first and its
+    applied hints — local-condition pushdown at probe steps, semi-join
+    existence probes — reshape the plan; extents are bag-identical
+    either way.
     """
     from repro.config import EngineConfig, warn_legacy_kwargs
 
@@ -113,10 +126,19 @@ def evaluate_view(
     if config is None:
         config = EngineConfig()
     if config.engine == "naive":
-        return _evaluate_view_naive(view, relations)
+        return _evaluate_view_naive(view, relations, trace)
     lookup = _lookup_from(relations)
     schemas = {name: lookup(name).schema for name in view.relation_names}
     resolved = ViewValidator(schemas).resolve_view(view)
+    hints = None
+    if getattr(config, "optimize", False):
+        from repro.sync.optimizer import PlanOptimizer
+
+        hints, _ = PlanOptimizer(statistics).optimize(
+            resolved, lookup, config, schemas=schemas
+        )
+        if hints.empty:
+            hints = None
     if config.representation == "columnar":
         return _evaluate_view_columnar(
             resolved,
@@ -125,6 +147,8 @@ def evaluate_view(
             statistics,
             config.use_index,
             kernel_counters,
+            hints,
+            trace,
         )
 
     order = _join_order(resolved, lookup, statistics)
@@ -176,17 +200,64 @@ def evaluate_view(
             )
             bound_slots = tuple(slots[bound.qualified] for _, bound in probe_pairs)
             index = relation.index_on_positions(new_positions)
-            check = compile_clauses(residual, slots)
-            for binding in bindings:
-                key = tuple(binding[s] for s in bound_slots)
-                for row in index.probe(key):
-                    candidate = binding + (
-                        row
-                        if project is None
-                        else tuple(row[p] for p in project)
+            # Optimizer hints (config.optimize): local conditions pushed
+            # ahead of candidate construction, evaluated on the probed
+            # row alone; and provably-semi steps (nothing kept, nothing
+            # residual, unique probe key) as existence probes.  Both are
+            # re-checked structurally here so a stale hint is ignored.
+            prefilter = None
+            if hints is not None:
+                pushed = hints.pushdown.get(relation_name, ())
+                if pushed:
+                    pushed_set = set(pushed)
+                    residual = [
+                        c for c in residual if c not in pushed_set
+                    ]
+                    prefilter = compile_clauses(
+                        list(pushed),
+                        {
+                            f"{relation_name}.{attr}": position
+                            for position, attr in enumerate(
+                                schema.attribute_names
+                            )
+                        },
                     )
-                    if check(candidate):
-                        extended.append(candidate)
+            check = compile_clauses(residual, slots)
+            if (
+                hints is not None
+                and relation_name in hints.semi
+                and relation_name == order[-1]
+                and not residual
+                and prefilter is None
+                and all(
+                    item.ref.relation != relation_name
+                    for item in resolved.select
+                )
+            ):
+                # Semi join on a unique key at the final step: each probe
+                # matches at most one row, and since the relation feeds
+                # neither the SELECT list nor any later clause (it is
+                # last, residual is empty), its slots are dead weight —
+                # surviving bindings pass through unextended,
+                # bag-identical to the general loop, without
+                # constructing candidates.
+                for binding in bindings:
+                    key = tuple(binding[s] for s in bound_slots)
+                    if index.probe(key):
+                        extended.append(binding)
+            else:
+                for binding in bindings:
+                    key = tuple(binding[s] for s in bound_slots)
+                    for row in index.probe(key):
+                        if prefilter is not None and not prefilter(row):
+                            continue
+                        candidate = binding + (
+                            row
+                            if project is None
+                            else tuple(row[p] for p in project)
+                        )
+                        if check(candidate):
+                            extended.append(candidate)
         else:
             # Clauses over this relation alone prune its rows once, not
             # once per binding; cross-relation residuals run per candidate.
@@ -207,6 +278,8 @@ def evaluate_view(
                     if check(candidate):
                         extended.append(candidate)
         bindings = extended
+        if trace is not None:
+            trace.append((relation_name, len(bindings)))
         if not bindings:
             break
 
@@ -346,6 +419,8 @@ def _evaluate_view_columnar(
     statistics: SpaceStatistics | None,
     use_index: bool,
     counters,
+    hints=None,
+    trace: list | None = None,
 ) -> Relation:
     """Column-at-a-time execution of the indexed plan.
 
@@ -403,6 +478,32 @@ def _evaluate_view_columnar(
             unique = store.index_is_unique(positions)
             li, ri = probe_positions(key_columns, index, counters, unique)
             identity = unique and len(li) == count
+            if hints is not None and li:
+                # Pushed local conditions: filter probed rows against the
+                # relation's own columns before any incoming column is
+                # gathered for the residual conjunction.
+                pushed = hints.pushdown.get(relation_name, ())
+                if pushed:
+                    pushed_set = set(pushed)
+                    residual = [
+                        c for c in residual if c not in pushed_set
+                    ]
+                    local_filter = compile_clauses_kernel(
+                        list(pushed), schema_slots(schema)
+                    )
+                    local_layout: list = [None] * schema.arity
+                    for slot in local_filter.slots:
+                        column = store.columns[slot]
+                        local_layout[slot] = list(
+                            map(column.__getitem__, ri)
+                        )
+                    selection = local_filter(
+                        local_layout, range(len(ri)), counters
+                    )
+                    if len(selection) != len(li):
+                        li = [li[s] for s in selection]
+                        ri = [ri[s] for s in selection]
+                        identity = False
         else:
             # Local clauses prune the relation once; the surviving rows
             # cross every incoming candidate (candidate-major order).
@@ -439,6 +540,8 @@ def _evaluate_view_columnar(
 
         if not li:
             count = 0
+            if trace is not None:
+                trace.append((relation_name, 0))
             break
         if not cols:
             new_cols = []
@@ -453,6 +556,8 @@ def _evaluate_view_columnar(
             new_cols.append(list(map(column.__getitem__, ri)))
         cols = new_cols
         count = len(li)
+        if trace is not None:
+            trace.append((relation_name, count))
 
     output_schema = _output_schema(resolved, schemas)
     if not count:
@@ -468,6 +573,7 @@ def _evaluate_view_columnar(
 def _evaluate_view_naive(
     view: ViewDefinition,
     relations: Mapping[str, Relation] | RelationLookup,
+    trace: list | None = None,
 ) -> Relation:
     """The pre-index engine, byte for byte: left-to-right nested loops over
     dict bindings with a per-call hash fast path for equijoin clauses."""
@@ -528,6 +634,8 @@ def _evaluate_view_naive(
                     if all(_eval_qualified(c, candidate) for c in clauses):
                         extended.append(candidate)
         bindings = extended
+        if trace is not None:
+            trace.append((relation_name, len(bindings)))
         if not bindings:
             break
 

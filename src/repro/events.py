@@ -90,10 +90,12 @@ class ViewSynchronized(SystemEvent):
 
     @property
     def survived(self) -> bool:
+        """Whether the search committed a rewriting (vs. undefined)."""
         return self.result.chosen is not None
 
     @property
     def counters(self) -> "StageCounters | None":
+        """The search's per-stage pipeline accounting, if recorded."""
         return self.result.counters
 
 
@@ -135,6 +137,7 @@ class SynchronizationDeferred(SystemEvent):
 
     @property
     def view_name(self) -> str:
+        """The parked view (replayable via ``resume_deferred``)."""
         return self.record.view_name
 
 

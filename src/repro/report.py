@@ -14,7 +14,7 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
 ``benchmarks/validate_bench.py``)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "operation": "apply_changes" | "apply_updates",
       "synchronization": {
         "views": [
@@ -56,10 +56,20 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
                      "io_operations": int},
         "kernels": {"rows_scanned": int, "rows_selected": int},
         "updates": int
+      },
+      "plans": {
+        "views": [
+          {"kind": "evaluation" | "maintenance", "view": str,
+           "steps": [{"relation": str,
+                      "access": "index_probe" | "scan", ...}, ...],
+           ...},  # repro.esql.explain to_dict() renderings
+          ...
+        ],
+        "total": int   # plans produced before the capture cap
       }
     }
 
-All three sections are always present (empty for the half of the API
+All four sections are always present (empty for the half of the API
 that did not run) so consumers can index unconditionally.  Keys are
 emitted sorted by :meth:`SystemReport.to_json`, making reports
 diff-stable across runs.
@@ -82,6 +92,7 @@ if TYPE_CHECKING:  # imported lazily to avoid package cycles
 
 __all__ = [
     "MaintenanceFlush",
+    "PLAN_CAPTURE_LIMIT",
     "REPORT_SCHEMA_VERSION",
     "SynchronizationRecord",
     "SystemReport",
@@ -90,7 +101,15 @@ __all__ = [
 #: Bump when the to_dict layout changes shape (validators pin this).
 #: v2: per-batch ``executor_fallback`` + ``shards`` (persistent-worker
 #: dispatch accounting), and the call-aggregated ``schedule.shards``.
-REPORT_SCHEMA_VERSION = 2
+#: v3: the ``plans`` section — EXPLAIN renderings of the call's view
+#: evaluations (``apply_changes``) or maintenance itineraries
+#: (``apply_updates``), capped at :data:`PLAN_CAPTURE_LIMIT` entries.
+REPORT_SCHEMA_VERSION = 3
+
+#: Most plan dicts a report embeds (chosen by sorted view name for
+#: determinism); ``plans.total`` still counts every candidate, so a
+#: 100k-view storm report stays small without hiding the truncation.
+PLAN_CAPTURE_LIMIT = 16
 
 
 def _counters_dict(counters: StageCounters) -> dict[str, Any]:
@@ -115,6 +134,7 @@ class SynchronizationRecord:
 
     @classmethod
     def of(cls, result: "SynchronizationResult") -> "SynchronizationRecord":
+        """Flatten a live :class:`SynchronizationResult` for the report."""
         return cls(
             view=result.view_name,
             change=repr(result.change),
@@ -125,6 +145,7 @@ class SynchronizationRecord:
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable record (counters inlined, None when absent)."""
         return {
             "view": self.view,
             "change": self.change,
@@ -149,6 +170,7 @@ class MaintenanceFlush:
     counters: MaintenanceCounters
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable flush row with modeled cost factors inlined."""
         return {
             "view": self.view,
             "relations": list(self.relations),
@@ -175,6 +197,12 @@ class SystemReport:
     #: Column-kernel rows scanned vs selected across the call (non-zero
     #: only when a columnar plane executed).
     kernels: KernelCounters | None = None
+    #: EXPLAIN plan dicts for the call (see :mod:`repro.esql.explain`):
+    #: evaluation plans for ``apply_changes``, maintenance itineraries
+    #: for ``apply_updates``; at most :data:`PLAN_CAPTURE_LIMIT`.
+    plans: tuple[dict, ...] = ()
+    #: How many plans the call produced before capping.
+    plans_total: int = 0
 
     # -- builders -------------------------------------------------------
     @classmethod
@@ -182,13 +210,20 @@ class SystemReport:
         cls,
         results: "Sequence[SynchronizationResult]",
         schedules: "Sequence[ScheduleReport]",
+        plans: Sequence[dict] = (),
+        plans_total: int | None = None,
     ) -> "SystemReport":
+        """Build the report for one ``apply_changes`` call."""
         return cls(
             operation="apply_changes",
             synchronizations=tuple(
                 SynchronizationRecord.of(result) for result in results
             ),
             schedules=tuple(schedules),
+            plans=tuple(plans),
+            plans_total=(
+                len(plans) if plans_total is None else plans_total
+            ),
         )
 
     @classmethod
@@ -197,12 +232,19 @@ class SystemReport:
         flushes: Sequence[MaintenanceFlush],
         counters: MaintenanceCounters,
         kernels: KernelCounters | None = None,
+        plans: Sequence[dict] = (),
+        plans_total: int | None = None,
     ) -> "SystemReport":
+        """Build the report for one ``apply_updates`` call."""
         return cls(
             operation="apply_updates",
             flushes=tuple(flushes),
             maintenance_counters=counters,
             kernels=kernels,
+            plans=tuple(plans),
+            plans_total=(
+                len(plans) if plans_total is None else plans_total
+            ),
         )
 
     # -- aggregates -----------------------------------------------------
@@ -220,6 +262,7 @@ class SystemReport:
 
     @property
     def degraded_views(self) -> tuple[str, ...]:
+        """Views demoted to first-legal by a scheduler budget."""
         return tuple(
             name
             for schedule in self.schedules
@@ -228,6 +271,7 @@ class SystemReport:
 
     @property
     def deferred_views(self) -> tuple[str, ...]:
+        """Views parked past a deadline (resumable later)."""
         return tuple(
             record.view_name
             for schedule in self.schedules
@@ -236,6 +280,7 @@ class SystemReport:
 
     @property
     def updates(self) -> int:
+        """Total data updates absorbed across every flush."""
         return sum(flush.updates for flush in self.flushes)
 
     @property
@@ -272,6 +317,7 @@ class SystemReport:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """The versioned, JSON-serializable report payload (schema v3)."""
         maintenance = self.maintenance_counters
         if maintenance is None:
             maintenance = MaintenanceCounters()
@@ -334,6 +380,10 @@ class SystemReport:
                     self.kernels or KernelCounters()
                 ).as_dict(),
                 "updates": self.updates,
+            },
+            "plans": {
+                "views": [dict(plan) for plan in self.plans],
+                "total": self.plans_total,
             },
         }
 

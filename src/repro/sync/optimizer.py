@@ -1,0 +1,330 @@
+"""Guard-railed rewrite optimizer: cost-scored, plan-shape-only transforms.
+
+The pre-assessment pass "Efficient Cost-Based Rewrite in a Bottom-Up
+Optimizer" motivates: enumerate applicable plan transforms, score each
+one against the EXPLAIN cost model (:mod:`repro.esql.explain`), apply
+only the ones the model proves an improvement, and *refuse* — with a
+recorded reason — everything else.  Two transforms are implemented:
+
+``push_local_conditions``
+    At an index-probe step whose residual conjunction contains local
+    conditions (single-relation clauses over the probed relation), hoist
+    them ahead of candidate construction, ordered most-selective-first:
+    probed rows failing a local condition never materialize a candidate
+    tuple (tuple plane) and never force a gather of incoming columns
+    (columnar plane).  Sound because conjunctions short-circuit in
+    clause order and a local clause reads only the probed row.
+    Refused when the cost model scores no improvement (e.g. a recorded
+    selectivity of 1.0 keeps every row, so prefiltering only adds
+    predicate calls).
+
+``semi_join_probe``
+    The final probe step of a plan whose relation feeds no SELECT output
+    and carries no residual clauses is a semi join (its columns exist
+    only to be probed) — but under bag semantics it may only run as an
+    existence check when each probe key provably matches at most one
+    row, otherwise match multiplicities would be lost.  The proof is the probed hash index's own uniqueness
+    (checked against the live extent, which cannot change mid
+    evaluation); without it the transform is refused.
+
+Every decision — applied or refused, with the before/after cost — lands
+in an :class:`OptimizationReport`, surfaced through
+``EVESystem.explain(view)`` and the ``plans`` section of the schema-v3
+:class:`~repro.report.SystemReport`.  Transforms never change which
+rows a view returns or any modeled CF_M/CF_T/CF_IO counter; the parity
+suites (``test_engine_equivalence``, ``test_columnar_parity``,
+``test_pipeline_parity``) hold with ``optimize=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.esql.ast import ViewDefinition
+from repro.misd.statistics import SpaceStatistics
+from repro.relational.expressions import PrimitiveClause
+
+__all__ = [
+    "OptimizationReport",
+    "PlanHints",
+    "PlanOptimizer",
+    "TransformDecision",
+]
+
+PUSH_LOCAL = "push_local_conditions"
+SEMI_PROBE = "semi_join_probe"
+
+
+@dataclass(frozen=True)
+class TransformDecision:
+    """One transform site's verdict: applied, or refused with a reason."""
+
+    transform: str
+    relation: str
+    applied: bool
+    reason: str
+    cost_before: float
+    cost_after: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable decision row."""
+        return {
+            "transform": self.transform,
+            "relation": self.relation,
+            "applied": self.applied,
+            "reason": self.reason,
+            "cost_before": self.cost_before,
+            "cost_after": self.cost_after,
+        }
+
+    def to_text(self) -> str:
+        """One-line human rendering (verdict, reason, cost delta)."""
+        verdict = "applied" if self.applied else "refused"
+        return (
+            f"- {self.transform} @ {self.relation}: {verdict} "
+            f"({self.reason}; cost {self.cost_before:.4g} -> "
+            f"{self.cost_after:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Every transform site the pass considered, in plan order."""
+
+    decisions: tuple[TransformDecision, ...] = ()
+
+    @property
+    def applied(self) -> tuple[TransformDecision, ...]:
+        """Decisions the cost model accepted."""
+        return tuple(d for d in self.decisions if d.applied)
+
+    @property
+    def refused(self) -> tuple[TransformDecision, ...]:
+        """Decisions refused, each carrying its reason string."""
+        return tuple(d for d in self.decisions if not d.applied)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable report (decision rows plus tallies)."""
+        return {
+            "decisions": [d.to_dict() for d in self.decisions],
+            "applied": len(self.applied),
+            "refused": len(self.refused),
+        }
+
+    def to_text(self) -> str:
+        """Multi-line human rendering, one line per considered site."""
+        if not self.decisions:
+            return "optimizer: no transform sites"
+        lines = [
+            f"optimizer: {len(self.applied)} applied, "
+            f"{len(self.refused)} refused"
+        ]
+        lines.extend("  " + d.to_text() for d in self.decisions)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanHints:
+    """The applied transforms, as directives the evaluator consumes.
+
+    ``pushdown`` maps a relation name to the exact clause objects (from
+    the resolved view, most-selective-first) to evaluate on probed rows
+    before candidate construction; ``semi`` names the relations whose
+    probe steps run as early-terminating existence checks.  The
+    evaluator re-checks the structural preconditions at the point of
+    use, so a hint that no longer matches the plan is ignored rather
+    than trusted.
+    """
+
+    pushdown: Mapping[str, tuple[PrimitiveClause, ...]]
+    semi: frozenset[str]
+
+    @property
+    def empty(self) -> bool:
+        """True when no transform was applied (evaluator skips hints)."""
+        return not self.pushdown and not self.semi
+
+
+class PlanOptimizer:
+    """Scores candidate transforms against the EXPLAIN cost model."""
+
+    def __init__(self, statistics: SpaceStatistics | None = None) -> None:
+        self.statistics = statistics
+
+    def optimize(
+        self,
+        view: ViewDefinition,
+        relations=None,
+        config=None,
+        schemas=None,
+    ) -> "tuple[PlanHints, OptimizationReport]":
+        """Plan ``view``, consider every transform site, return verdicts.
+
+        ``relations`` may be ``None`` for a statistics-only pass (the
+        sync pipeline runs one pre-assessment, before extents exist);
+        the semi-join proof then has no index to inspect and the
+        transform is refused as unprovable.
+        """
+        from repro.config import EngineConfig
+        from repro.esql.explain import build_plan
+        from repro.misd.statistics import DEFAULT_JOIN_SELECTIVITY
+
+        if config is None:
+            config = EngineConfig()
+        plan = build_plan(
+            view, relations, self.statistics, config, schemas=schemas
+        )
+        lookup = None
+        if relations is not None:
+            from repro.esql.evaluator import _lookup_from
+
+            lookup = _lookup_from(relations)
+        js = (
+            self.statistics.join_selectivity
+            if self.statistics is not None
+            else DEFAULT_JOIN_SELECTIVITY
+        )
+
+        decisions: list[TransformDecision] = []
+        pushdown: dict[str, tuple[PrimitiveClause, ...]] = {}
+        semi: set[str] = set()
+        rows_in = 1.0
+        last = plan.steps[-1] if plan.steps else None
+        for step in plan.steps:
+            if step.access == "index_probe":
+                emitted = (
+                    rows_in * step.relation_rows * js ** len(step.probe)
+                )
+                # A semi site: the final join step, nothing residual,
+                # and the relation feeds no SELECT output — its columns
+                # exist only to be probed, so matches need not be
+                # materialized (provided the key is unique; _decide_semi
+                # demands the proof).
+                if (
+                    step is last
+                    and not step.projected
+                    and not step.local_clauses
+                    and not step.cross_clauses
+                ):
+                    decisions.append(
+                        self._decide_semi(
+                            step, rows_in, emitted, lookup, config, semi
+                        )
+                    )
+                elif step.local_clauses:
+                    decisions.append(
+                        self._decide_pushdown(
+                            step, rows_in, emitted, pushdown
+                        )
+                    )
+            rows_in = step.estimated_rows
+
+        report = OptimizationReport(tuple(decisions))
+        return PlanHints(pushdown, frozenset(semi)), report
+
+    # ------------------------------------------------------------------
+    def _decide_pushdown(
+        self,
+        step,
+        rows_in: float,
+        emitted: float,
+        pushdown: dict[str, tuple[PrimitiveClause, ...]],
+    ) -> TransformDecision:
+        from repro.esql.explain import clause_selectivity
+
+        ordered = sorted(
+            step.local_clauses,
+            key=lambda c: clause_selectivity(c, self.statistics),
+        )
+        sigma = 1.0
+        for clause in ordered:
+            sigma *= clause_selectivity(clause, self.statistics)
+        n_residual = len(step.local_clauses) + len(step.cross_clauses)
+        cost_before = rows_in + emitted * (1 + n_residual)
+        cost_after = (
+            rows_in
+            + emitted * len(ordered)
+            + emitted * sigma * (1 + len(step.cross_clauses))
+        )
+        if cost_after < cost_before:
+            pushdown[step.relation] = tuple(ordered)
+            return TransformDecision(
+                PUSH_LOCAL,
+                step.relation,
+                True,
+                "cost-improvement",
+                cost_before,
+                cost_after,
+            )
+        return TransformDecision(
+            PUSH_LOCAL,
+            step.relation,
+            False,
+            "no-improvement",
+            cost_before,
+            cost_after,
+        )
+
+    def _decide_semi(
+        self,
+        step,
+        rows_in: float,
+        emitted: float,
+        lookup,
+        config,
+        semi: set[str],
+    ) -> TransformDecision:
+        cost_before = rows_in + emitted
+        cost_after = rows_in
+        if config.representation == "columnar":
+            return TransformDecision(
+                SEMI_PROBE,
+                step.relation,
+                False,
+                "not-applicable: columnar probes are already vectorized",
+                cost_before,
+                cost_before,
+            )
+        if lookup is None:
+            return TransformDecision(
+                SEMI_PROBE,
+                step.relation,
+                False,
+                "not-provable: no extent to check key uniqueness against",
+                cost_before,
+                cost_before,
+            )
+        if emitted <= 0:
+            return TransformDecision(
+                SEMI_PROBE,
+                step.relation,
+                False,
+                "no-improvement",
+                cost_before,
+                cost_after,
+            )
+        relation = lookup(step.relation)
+        positions = tuple(
+            relation.schema.position(attr) for attr in step.probe_attrs
+        )
+        index = relation.index_on_positions(positions)
+        if not index.is_unique:
+            return TransformDecision(
+                SEMI_PROBE,
+                step.relation,
+                False,
+                "not-provable: duplicate probe keys would lose "
+                "match multiplicities",
+                cost_before,
+                cost_before,
+            )
+        semi.add(step.relation)
+        return TransformDecision(
+            SEMI_PROBE,
+            step.relation,
+            True,
+            "cost-improvement: unique-key existence probe",
+            cost_before,
+            cost_after,
+        )

@@ -91,6 +91,11 @@ class ViewSynchronizer:
         self._context = GenerationContext(mkb)
         self._dominated = DominatedSpectrumGenerator()
 
+    @property
+    def mkb(self) -> MetaKnowledgeBase:
+        """The meta knowledge base candidates are generated against."""
+        return self._mkb
+
     # ------------------------------------------------------------------
     # Affectedness
     # ------------------------------------------------------------------

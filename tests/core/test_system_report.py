@@ -73,6 +73,7 @@ class TestApplyChangesReport:
             "synchronization",
             "schedule",
             "maintenance",
+            "plans",
         }
         sync = payload["synchronization"]
         assert sync["survived"] == 1 and sync["undefined"] == 0
@@ -145,10 +146,62 @@ class TestApplyUpdatesReport:
         assert eve.last_report.operation == "apply_changes"
 
 
+class TestPlansSection:
+    def test_apply_changes_captures_evaluation_plans(self):
+        eve = build_system()
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        payload = eve.last_report.to_dict()
+        assert payload["plans"]["total"] == 1
+        (plan,) = payload["plans"]["views"]
+        assert plan["kind"] == "evaluation"
+        assert plan["view"] == "V"
+        assert plan["actual_rows"] == 2
+        assert all(
+            step["access"] in ("index_probe", "scan")
+            for step in plan["steps"]
+        )
+
+    def test_apply_updates_captures_maintenance_plans(self):
+        eve = build_system()
+        eve.apply_updates([("R", "insert", (3, 30))])
+        payload = eve.last_report.to_dict()
+        assert payload["plans"]["total"] == 1
+        (plan,) = payload["plans"]["views"]
+        assert plan["kind"] == "maintenance"
+        assert plan["view"] == "V"
+        assert plan["relation"] == "R"
+        assert plan["actual"]["updates"] == 1
+        assert plan["actual"]["messages"] >= 0
+
+    def test_capture_is_capped_but_total_is_not(self):
+        from repro.report import PLAN_CAPTURE_LIMIT
+
+        eve = EVESystem()
+        eve.add_source("IS1")
+        eve.register_relation(
+            "IS1",
+            Relation(Schema("R", ["A", "B"]), [(1, 10)]),
+            RelationStatistics(cardinality=1),
+        )
+        n = PLAN_CAPTURE_LIMIT + 4
+        for i in range(n):
+            eve.define_view(
+                f"CREATE VIEW V{i:03d} AS SELECT R.A FROM R WHERE R.B > 0"
+            )
+        eve.apply_updates([("R", "insert", (2, 20))])
+        payload = eve.last_report.to_dict()
+        assert payload["plans"]["total"] == n
+        assert len(payload["plans"]["views"]) == PLAN_CAPTURE_LIMIT
+        # Deterministic choice: sorted view names.
+        captured = [plan["view"] for plan in payload["plans"]["views"]]
+        assert captured == sorted(captured)
+
+
 class TestReportObject:
     def test_empty_report_serializes(self):
         report = SystemReport(operation="apply_changes")
         payload = report.to_dict()
         assert payload["synchronization"]["views"] == []
         assert payload["maintenance"]["counters"]["messages"] == 0
+        assert payload["plans"] == {"views": [], "total": 0}
         json.loads(report.to_json())

@@ -71,6 +71,38 @@ def test_indexed_evaluator_matches_naive(r_data, s_data, t_data, clauses, order)
     assert indexed == naive  # bag equality over identical schemas
 
 
+@given(r_rows, s_rows, t_rows, clause_subsets, from_orders)
+@settings(max_examples=80, deadline=None)
+def test_optimized_evaluator_matches_naive(
+    r_data, s_data, t_data, clauses, order
+):
+    """optimize=True (ISSUE 8) is plan-shape-only: extents identical.
+
+    Only R feeds the SELECT list, so whichever of S/T the greedy order
+    places last is a semi-join candidate; local clauses on probed
+    relations are pushdown candidates.  Whatever the guards decide, the
+    result must stay bag-identical to the naive reference on both the
+    tuple and the columnar representation.
+    """
+    relations = make_relations(r_data, s_data, t_data)
+    where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+    view = parse_view(
+        "CREATE VIEW V AS SELECT R.A, R.B "
+        f"FROM {', '.join(order)}{where}"
+    )
+    naive = evaluate_view(view, relations, config=EngineConfig(engine="naive"))
+    optimized = evaluate_view(
+        view, relations, config=EngineConfig(optimize=True)
+    )
+    assert optimized == naive  # bag equality over identical schemas
+    columnar = evaluate_view(
+        view,
+        relations,
+        config=EngineConfig(optimize=True, representation="columnar"),
+    )
+    assert sorted(columnar.rows) == sorted(naive.rows)
+
+
 @given(r_rows, s_rows, clause_subsets)
 @settings(max_examples=60, deadline=None)
 def test_two_relation_views_agree(r_data, s_data, clauses):

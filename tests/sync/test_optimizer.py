@@ -1,0 +1,282 @@
+"""The guard-railed optimizer pass: every transform earns its application.
+
+ISSUE 8's contract: each transform is applied only when the EXPLAIN cost
+model scores an improvement AND its soundness precondition is proven;
+otherwise it is *refused with a recorded reason*.  Transforms are
+plan-shape-only — extents stay bag-identical with ``optimize=True`` on
+every engine.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import EngineConfig, SystemConfig
+from repro.errors import ConfigurationError
+from repro.esql.evaluator import evaluate_view
+from repro.esql.explain import explain_view
+from repro.esql.parser import parse_view
+from repro.misd.statistics import RelationStatistics, SpaceStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType
+from repro.sync.optimizer import (
+    PUSH_LOCAL,
+    SEMI_PROBE,
+    PlanHints,
+    PlanOptimizer,
+)
+
+
+def string_schema(name, attrs):
+    return Schema(
+        name, [Attribute(a, AttributeType.STRING) for a in attrs]
+    )
+
+
+def customer_booking(booking_rows):
+    return {
+        "Customer": Relation(
+            string_schema("Customer", ["Name", "City"]),
+            [("ann", "nyc"), ("bob", "sfo"), ("cy", "nyc")],
+        ),
+        "Booking": Relation(
+            string_schema("Booking", ["PName", "Dest"]), booking_rows
+        ),
+    }
+
+
+SEMI_VIEW = parse_view(
+    "CREATE VIEW V AS SELECT Customer.Name FROM Customer, Booking "
+    "WHERE Customer.Name = Booking.PName"
+)
+
+#: Unique probe keys, and enough Booking rows that Customer drives.
+UNIQUE_BOOKINGS = [
+    ("ann", "asia"), ("bob", "europe"), ("cy", "x"), ("dina", "y"),
+]
+#: "ann" books twice: existence probing would lose a multiplicity.
+DUPLICATE_BOOKINGS = [
+    ("ann", "asia"), ("ann", "europe"), ("bob", "asia"), ("dina", "z"),
+]
+
+PUSH_VIEW = parse_view(
+    "CREATE VIEW V AS SELECT Customer.Name, Booking.Dest "
+    "FROM Customer, Booking "
+    "WHERE Customer.Name = Booking.PName AND Booking.Dest = 'asia'"
+)
+
+#: Big enough that Booking stays the probed side of PUSH_VIEW while
+#: carrying the local Dest condition — the pushdown site.
+MANY_BOOKINGS = [("ann", "asia"), ("ann", "europe"), ("bob", "asia")] + [
+    (f"p{i}", "asia" if i % 2 else "europe") for i in range(3, 10)
+]
+
+
+def assert_parity(view, relations):
+    """optimize=True must be invisible in the extent, on every engine."""
+    reference = evaluate_view(view, relations, config=EngineConfig())
+    for config in (
+        EngineConfig(optimize=True),
+        EngineConfig(optimize=True, representation="columnar"),
+        EngineConfig(engine="naive"),
+    ):
+        optimized = evaluate_view(view, relations, config=config)
+        assert Counter(optimized.rows) == Counter(reference.rows)
+
+
+class TestSemiJoinProbe:
+    def test_applied_on_proven_unique_key(self):
+        relations = customer_booking(UNIQUE_BOOKINGS)
+        hints, report = PlanOptimizer().optimize(
+            SEMI_VIEW, relations, EngineConfig(optimize=True)
+        )
+        (decision,) = report.decisions
+        assert decision.transform == SEMI_PROBE
+        assert decision.applied
+        assert decision.cost_after < decision.cost_before
+        assert hints.semi == frozenset({"Booking"})
+        assert_parity(SEMI_VIEW, relations)
+
+    def test_refused_on_duplicate_keys(self):
+        relations = customer_booking(DUPLICATE_BOOKINGS)
+        hints, report = PlanOptimizer().optimize(
+            SEMI_VIEW, relations, EngineConfig(optimize=True)
+        )
+        (decision,) = report.decisions
+        assert not decision.applied
+        assert "multiplicities" in decision.reason
+        assert hints.empty
+        assert_parity(SEMI_VIEW, relations)
+
+    def test_refused_without_an_extent_to_prove_against(self):
+        schemas = {
+            n: r.schema
+            for n, r in customer_booking(UNIQUE_BOOKINGS).items()
+        }
+        statistics = SpaceStatistics(
+            relations={
+                "Customer": RelationStatistics(cardinality=3),
+                "Booking": RelationStatistics(cardinality=4),
+            }
+        )
+        hints, report = PlanOptimizer(statistics).optimize(
+            SEMI_VIEW, None, EngineConfig(optimize=True), schemas=schemas
+        )
+        (decision,) = report.decisions
+        assert not decision.applied
+        assert "not-provable" in decision.reason
+        assert hints.empty
+
+    def test_refused_on_the_columnar_plane(self):
+        relations = customer_booking(UNIQUE_BOOKINGS)
+        hints, report = PlanOptimizer().optimize(
+            SEMI_VIEW,
+            relations,
+            EngineConfig(optimize=True, representation="columnar"),
+        )
+        (decision,) = report.decisions
+        assert not decision.applied
+        assert "not-applicable" in decision.reason
+        assert hints.empty
+
+    def test_projected_relation_is_not_a_site(self):
+        # Booking.Dest is selected: converting its probe to an existence
+        # check would lose the output column, so no site exists at all.
+        view = parse_view(
+            "CREATE VIEW V AS SELECT Booking.Dest "
+            "FROM Customer, Booking "
+            "WHERE Customer.Name = Booking.PName"
+        )
+        relations = customer_booking(UNIQUE_BOOKINGS)
+        _, report = PlanOptimizer().optimize(
+            view, relations, EngineConfig(optimize=True)
+        )
+        assert all(d.transform != SEMI_PROBE for d in report.decisions)
+        assert_parity(view, relations)
+
+    def test_explain_marks_the_semi_step(self):
+        relations = customer_booking(UNIQUE_BOOKINGS)
+        plan = explain_view(
+            SEMI_VIEW, relations, config=EngineConfig(optimize=True)
+        )
+        semi_steps = [s for s in plan.steps if s.semi]
+        assert [s.relation for s in semi_steps] == ["Booking"]
+        assert "semi index probe" in plan.to_text()
+
+
+class TestPushLocalConditions:
+    def test_applied_when_the_model_scores_improvement(self):
+        relations = customer_booking(MANY_BOOKINGS)
+        hints, report = PlanOptimizer().optimize(
+            PUSH_VIEW, relations, EngineConfig(optimize=True)
+        )
+        (decision,) = report.decisions
+        assert decision.transform == PUSH_LOCAL
+        assert decision.applied
+        assert decision.cost_after < decision.cost_before
+        assert [str(c) for c in hints.pushdown["Booking"]] == [
+            "Booking.Dest = 'asia'"
+        ]
+        assert_parity(PUSH_VIEW, relations)
+
+    def test_refused_when_selectivity_keeps_every_row(self):
+        # sigma=1.0: the prefilter rejects nothing, so prefiltering is
+        # pure overhead and the guard must refuse the transform.
+        relations = customer_booking(MANY_BOOKINGS)
+        statistics = SpaceStatistics(
+            relations={
+                "Customer": RelationStatistics(cardinality=3),
+                "Booking": RelationStatistics(
+                    cardinality=10, selectivity=1.0
+                ),
+            }
+        )
+        hints, report = PlanOptimizer(statistics).optimize(
+            PUSH_VIEW, relations, EngineConfig(optimize=True)
+        )
+        pushes = [
+            d for d in report.decisions if d.transform == PUSH_LOCAL
+        ]
+        assert pushes and not any(d.applied for d in pushes)
+        assert all(d.reason == "no-improvement" for d in pushes)
+        assert not hints.pushdown
+        assert_parity(PUSH_VIEW, relations)
+
+    def test_pushed_clauses_surface_in_the_plan(self):
+        relations = customer_booking(MANY_BOOKINGS)
+        plan = explain_view(
+            PUSH_VIEW, relations, config=EngineConfig(optimize=True)
+        )
+        pushed = [s for s in plan.steps if s.pushed]
+        assert [s.relation for s in pushed] == ["Booking"]
+        assert "pushed=[Booking.Dest = 'asia']" in plan.to_text()
+        assert plan.optimizer is not None
+        assert len(plan.optimizer.applied) == 1
+
+    def test_columnar_pushdown_keeps_parity(self):
+        relations = customer_booking(MANY_BOOKINGS)
+        reference = evaluate_view(
+            PUSH_VIEW, relations, config=EngineConfig()
+        )
+        columnar = evaluate_view(
+            PUSH_VIEW,
+            relations,
+            config=EngineConfig(optimize=True, representation="columnar"),
+        )
+        assert Counter(columnar.rows) == Counter(reference.rows)
+
+
+class TestGuardRails:
+    def test_transforms_never_change_estimates(self):
+        # Plan-shape-only: the cardinality estimates of the optimized
+        # plan equal the unoptimized plan's, step for step.
+        relations = customer_booking(MANY_BOOKINGS)
+        plain = explain_view(PUSH_VIEW, relations, config=EngineConfig())
+        tuned = explain_view(
+            PUSH_VIEW, relations, config=EngineConfig(optimize=True)
+        )
+        assert [s.estimated_rows for s in plain.steps] == [
+            s.estimated_rows for s in tuned.steps
+        ]
+        assert plain.estimated_rows == tuned.estimated_rows
+
+    def test_stale_hints_are_ignored_not_trusted(self):
+        # A hint naming a relation whose step no longer qualifies (here:
+        # hand-forged semi on a projected relation) must be ignored by
+        # the evaluator's structural re-check.
+        relations = customer_booking(UNIQUE_BOOKINGS)
+        view = parse_view(
+            "CREATE VIEW V AS SELECT Booking.Dest "
+            "FROM Customer, Booking "
+            "WHERE Customer.Name = Booking.PName"
+        )
+        forged = PlanHints(pushdown={}, semi=frozenset({"Booking"}))
+        reference = evaluate_view(view, relations, config=EngineConfig())
+        # evaluate_view computes hints itself; forging is only reachable
+        # through build_plan, whose annotation must also stay structural.
+        from repro.esql.explain import build_plan
+
+        plan = build_plan(view, relations, hints=forged)
+        assert not any(s.semi for s in plan.steps)
+        assert Counter(reference.rows) == Counter(
+            evaluate_view(
+                view, relations, config=EngineConfig(optimize=True)
+            ).rows
+        )
+
+    def test_optimize_requires_the_indexed_engine(self):
+        with pytest.raises(ConfigurationError, match="optimize"):
+            EngineConfig(engine="naive", optimize=True)
+
+    def test_optimize_round_trips_through_config_dicts(self):
+        config = SystemConfig(engine=EngineConfig(optimize=True))
+        clone = SystemConfig.from_dict(config.to_dict())
+        assert clone.engine.optimize is True
+        assert clone == config
+
+    def test_empty_hints_property(self):
+        assert PlanHints(pushdown={}, semi=frozenset()).empty
+        assert not PlanHints(
+            pushdown={}, semi=frozenset({"R"})
+        ).empty

@@ -174,6 +174,33 @@ class TestSystemReportValidation:
         with pytest.raises(BenchValidationError, match="flush"):
             validate_system_report(report)
 
+    def test_missing_plans_section_rejected(self):
+        report = self.fresh_report()
+        report.pop("plans")
+        with pytest.raises(BenchValidationError, match="plans"):
+            validate_system_report(report)
+
+    def test_plans_total_must_cover_captured(self):
+        report = self.fresh_report()
+        assert report["plans"]["views"], "expected a captured plan"
+        report["plans"]["total"] = 0
+        with pytest.raises(BenchValidationError, match="total"):
+            validate_system_report(report)
+
+    def test_unknown_plan_kind_rejected(self):
+        report = self.fresh_report()
+        report["plans"]["views"][0]["kind"] = "apply_vibes"
+        with pytest.raises(BenchValidationError, match="kind"):
+            validate_system_report(report)
+
+    def test_plan_access_vocabulary_enforced(self):
+        report = self.fresh_report()
+        plan = report["plans"]["views"][0]
+        assert plan["steps"], "expected plan steps"
+        plan["steps"][0]["access"] = "teleport"
+        with pytest.raises(BenchValidationError, match="access"):
+            validate_system_report(report)
+
     def test_missing_report_fails_the_bench_payload(self):
         payload = committed("scheduler")
         payload.pop("system_report", None)
