@@ -115,10 +115,10 @@ print(itinerary.to_text())
 assert itinerary.steps[0].relation == "Customer"
 
 # 5. Plans are captured system-wide: apply_updates leaves maintenance
-#    itineraries (with actual counters) in the schema-v3 run report.
+#    itineraries (with actual counters) in the schema-v4 run report.
 eve.apply_updates([("Booking", "insert", ("ann", "africa"))])
 report = eve.last_report.to_dict()
-assert report["schema_version"] == 3
+assert report["schema_version"] == 4
 assert report["plans"]["total"] == 1
 assert report["plans"]["views"][0]["kind"] == "maintenance"
 print()

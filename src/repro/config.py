@@ -35,7 +35,6 @@ value, shared freely and compared with ``==``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
@@ -47,7 +46,6 @@ __all__ = [
     "ScheduleConfig",
     "SearchConfig",
     "SystemConfig",
-    "warn_legacy_kwargs",
 ]
 
 
@@ -57,23 +55,6 @@ _REPRESENTATIONS = ("tuple", "dict", "columnar")
 _EXECUTORS = ("serial", "threads", "processes", "workers")
 _DEGRADE_MODES = ("first_legal", "defer")
 _ORDERS = ("cost", "plan")
-
-
-def warn_legacy_kwargs(api: str, replacement: str, names) -> None:
-    """Emit the one :class:`DeprecationWarning` a legacy spelling earns.
-
-    Every constructor that still accepts pre-config kwargs funnels
-    through here, so each call site warns exactly once (listing every
-    legacy kwarg it used) and the message always names the config slice
-    that replaces the spelling.
-    """
-    listed = ", ".join(sorted(names))
-    warnings.warn(
-        f"{api}: the {listed} keyword(s) are deprecated; "
-        f"pass {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def _require(condition: bool, message: str) -> None:
@@ -219,8 +200,7 @@ class SearchConfig:
 
     @classmethod
     def from_policy(cls, policy) -> "SearchConfig":
-        """The slice a :class:`~repro.sync.pipeline.SearchPolicy` maps to
-        (used by the legacy ``policy=`` shims)."""
+        """The slice a :class:`~repro.sync.pipeline.SearchPolicy` maps to."""
         if policy.kind == "top_k":
             return cls(policy="top_k", top_k=policy.k)
         return cls(policy=policy.kind)

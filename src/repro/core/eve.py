@@ -37,14 +37,8 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.config import (
-    ScheduleConfig,
-    SearchConfig,
-    SystemConfig,
-    warn_legacy_kwargs,
-)
+from repro.config import SystemConfig
 from repro.errors import (
-    ConfigurationError,
     EvaluationError,
     SynchronizationError,
     ViewUndefinedError,
@@ -59,6 +53,8 @@ from repro.events import (
     CacheInvalidated,
     DegradedToFirstLegal,
     EventBus,
+    SnapshotPublished,
+    SnapshotReleased,
     SynchronizationDeferred,
     ViewMaintained,
     ViewSynchronized,
@@ -70,6 +66,7 @@ from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadSpec
 from repro.relational.columnar import KernelCounters
 from repro.relational.relation import Relation
+from repro.relational.versioning import ExtentSnapshot, ExtentStore
 from repro.report import PLAN_CAPTURE_LIMIT, MaintenanceFlush, SystemReport
 from repro.space.changes import (
     DeleteRelation,
@@ -182,15 +179,17 @@ class EVESystem:
     ``config`` (a :class:`~repro.config.SystemConfig`) is the one entry
     point for every behavioural knob: evaluation engine, search policy
     and generator chain, batch scheduling, and delta representation.
-    The pre-config ``policy=`` / ``scheduler=`` keyword spellings
-    survive one release behind :class:`DeprecationWarning` shims that
-    map onto the equivalent config.
 
     Observers subscribe to the system's typed event bus
     (:meth:`subscribe`); each :meth:`apply_changes` /
     :meth:`apply_updates` call additionally aggregates its event
     payloads into a serializable :class:`~repro.report.SystemReport`
     exposed as :attr:`last_report`.
+
+    Concurrent readers use the online serving plane: :meth:`snapshot`
+    pins the current extent version for lock-free reads while batches
+    keep committing (see :mod:`repro.relational.versioning` and
+    :mod:`repro.serving`).
     """
 
     def __init__(
@@ -198,39 +197,8 @@ class EVESystem:
         params: TradeoffParameters | None = None,
         space: InformationSpace | None = None,
         auto_synchronize: bool = True,
-        policy: SearchPolicy | str | None = None,
-        scheduler: SynchronizationScheduler | None = None,
         config: SystemConfig | None = None,
     ) -> None:
-        legacy = {
-            name
-            for name, value in (("policy", policy), ("scheduler", scheduler))
-            if value is not None
-        }
-        if legacy:
-            if config is not None:
-                raise ConfigurationError(
-                    "EVESystem: pass either config= or the legacy "
-                    f"keyword(s) {', '.join(sorted(legacy))}, not both"
-                )
-            warn_legacy_kwargs(
-                "EVESystem", "config=SystemConfig(...)", legacy
-            )
-            # Keep the profile truthful: the legacy spellings become
-            # the equivalent config slices (the supplied scheduler
-            # instance's own config is this system's schedule slice).
-            config = SystemConfig(
-                search=(
-                    SearchConfig.from_policy(SearchPolicy.of(policy))
-                    if policy is not None
-                    else SearchConfig()
-                ),
-                schedule=(
-                    scheduler.config
-                    if scheduler is not None
-                    else ScheduleConfig()
-                ),
-            )
         #: The resolved system profile; every subsystem below is built
         #: from its slice.
         self.config = config if config is not None else SystemConfig()
@@ -246,11 +214,7 @@ class EVESystem:
         #: Batch executor built from ``config.schedule``: the default
         #: (serial, cost-ordered, no budget) reproduces the sequential
         #: reference exactly.
-        self.scheduler = (
-            scheduler
-            if scheduler is not None
-            else SynchronizationScheduler(self.config.schedule)
-        )
+        self.scheduler = SynchronizationScheduler(self.config.schedule)
         #: ScheduleReports of the most recent :meth:`apply_changes`
         #: call, one per chain-free sub-batch.
         self.last_schedule: tuple[ScheduleReport, ...] = ()
@@ -291,7 +255,13 @@ class EVESystem:
         #: the per-update listener backs off so updates are not
         #: propagated twice.
         self._defer_maintenance = False
-        self._extents: dict[str, Relation] = {}
+        #: MVCC extent storage: a plain-dict-speed store until the
+        #: first :meth:`snapshot` arms serving mode, then versioned
+        #: copy-on-write publishing at batch commit points.
+        self._extents: ExtentStore = ExtentStore(
+            on_publish=self._on_snapshot_published,
+            on_release=self._on_snapshot_released,
+        )
         self._sync_log: list[SynchronizationResult] = []
         self.space.on_data_update(self._handle_data_update)
         self.space.on_capability_change(self._invalidate_cache)
@@ -311,6 +281,62 @@ class EVESystem:
         return os.getpid() == self._owner_pid and self.events.wants(
             event_type
         )
+
+    # ------------------------------------------------------------------
+    # Online serving plane (MVCC snapshots)
+    # ------------------------------------------------------------------
+    def _on_snapshot_published(
+        self, version: int, touched: tuple[str, ...], views: int, pins: int
+    ) -> None:
+        if self._observed(SnapshotPublished):
+            self.events.emit(
+                SnapshotPublished(version, touched, views, pins)
+            )
+
+    def _on_snapshot_released(self, version: int, remaining: int) -> None:
+        if self._observed(SnapshotReleased):
+            self.events.emit(SnapshotReleased(version, remaining))
+
+    def snapshot(self) -> ExtentSnapshot:
+        """Pin the current extent version for lock-free concurrent reads.
+
+        Returns an :class:`~repro.relational.versioning.ExtentSnapshot`
+        — a read-only view-query handle over the extents committed as
+        of this call.  Reads against it never block on running batches
+        and never observe a half-applied storm: each
+        :meth:`apply_changes` / :meth:`apply_updates` call publishes
+        its extents as one atomic version swap, and the snapshot keeps
+        serving the version it pinned.  Release the pin with
+        ``snapshot.release()`` (or use it as a context manager).
+
+        The first call arms MVCC serving mode for the system's
+        lifetime; take it before starting concurrent writers (the
+        :class:`~repro.serving.ServingFrontend` does this on
+        construction).  Version/pin traffic is observable through
+        :class:`~repro.events.SnapshotPublished` /
+        :class:`~repro.events.SnapshotReleased` events and the
+        ``serving`` section of :attr:`last_report`.
+        """
+        return self._extents.snapshot()
+
+    def _serving_marks(self) -> tuple[int, int, int]:
+        """Cumulative store counters, for per-call report diffs."""
+        store = self._extents
+        return (store.publishes, store.staged_writes, store.copies)
+
+    def _serving_section(
+        self, marks: tuple[int, int, int]
+    ) -> dict[str, object]:
+        """The ``serving`` report section for the call since ``marks``."""
+        store = self._extents
+        return {
+            "enabled": store.serving,
+            "version": store.version,
+            "published": store.publishes - marks[0],
+            "staged": store.staged_writes - marks[1],
+            "copied": store.copies - marks[2],
+            "pins": store.active_pins,
+        }
 
     # ------------------------------------------------------------------
     # Registration
@@ -428,17 +454,22 @@ class EVESystem:
         if self._defer_maintenance:
             return
         observed = self._observed(ViewMaintained)
-        for record in self.vkb.views_referencing(update.relation):
-            extent = self._extents.get(record.name)
-            if extent is None:
-                continue
-            charged = self.maintainer.maintain(record.current, extent, update)
-            if observed:
-                self.events.emit(
-                    ViewMaintained(
-                        record.name, (update.relation,), 1, charged
-                    )
+        # One version per propagated update: every affected extent's
+        # maintenance lands in the same atomic publish.
+        with self._extents.batch():
+            for record in self.vkb.views_referencing(update.relation):
+                extent = self._extents.mutable(record.name)
+                if extent is None:
+                    continue
+                charged = self.maintainer.maintain(
+                    record.current, extent, update
                 )
+                if observed:
+                    self.events.emit(
+                        ViewMaintained(
+                            record.name, (update.relation,), 1, charged
+                        )
+                    )
 
     def apply_updates(
         self,
@@ -483,13 +514,14 @@ class EVESystem:
         """
         before = self.maintainer.counters.snapshot()
         kernels_before = self.maintainer.kernel_counters.snapshot()
+        serving_marks = self._serving_marks()
         pending: dict[str, _PendingMaintenance] = {}
         flushes: list[MaintenanceFlush] = []
 
         def flush(view_name: str) -> None:
             work = pending.pop(view_name)
             record = self.vkb.record(view_name)
-            extent = self._extents.get(view_name)
+            extent = self._extents.mutable(view_name)
             if not record.alive or extent is None:
                 return
             charged = self.maintainer.maintain_batch(
@@ -517,6 +549,9 @@ class EVESystem:
 
         was_deferred = self._defer_maintenance
         self._defer_maintenance = True
+        # The whole stream commits as one atomic extent version: a
+        # concurrent snapshot reader sees every flush or none.
+        self._extents._begin_batch()
         try:
             for relation, kind, row in updates:
                 kind = UpdateKind(kind) if isinstance(kind, str) else kind
@@ -574,6 +609,9 @@ class EVESystem:
                     raise flush_error
             finally:
                 self._defer_maintenance = was_deferred
+                # Publish the stream's staged extents before the report
+                # reads the post-call version number.
+                self._extents._commit_batch()
                 charged = self.maintainer.counters.diff(before)
                 plans, plans_total = self._capture_maintenance_plans(
                     flushes
@@ -586,6 +624,7 @@ class EVESystem:
                     ),
                     plans=plans,
                     plans_total=plans_total,
+                    serving=self._serving_section(serving_marks),
                 )
         return charged
 
@@ -680,20 +719,21 @@ class EVESystem:
         policy: SearchPolicy | str | None = None,
     ) -> SynchronizationResult:
         """Generate, rank, and commit the best legal rewriting."""
-        result = self._synchronize_record(record, change, workload, policy)
-        if result.survived and record.name in self._extents:
-            before = self.kernel_counters.snapshot()
-            self._extents[record.name] = evaluate_view(
-                record.current,
-                self.space.relations(),
-                self.space.mkb.statistics,
-                config=self.config.engine,
-                kernel_counters=self.kernel_counters,
-            )
-            if result.counters is not None:
-                scanned = self.kernel_counters.diff(before)
-                result.counters.rows_scanned += scanned.rows_scanned
-                result.counters.rows_selected += scanned.rows_selected
+        with self._extents.batch():
+            result = self._synchronize_record(record, change, workload, policy)
+            if result.survived and record.name in self._extents:
+                before = self.kernel_counters.snapshot()
+                self._extents[record.name] = evaluate_view(
+                    record.current,
+                    self.space.relations(),
+                    self.space.mkb.statistics,
+                    config=self.config.engine,
+                    kernel_counters=self.kernel_counters,
+                )
+                if result.counters is not None:
+                    scanned = self.kernel_counters.diff(before)
+                    result.counters.rows_scanned += scanned.rows_scanned
+                    result.counters.rows_selected += scanned.rows_selected
         return result
 
     def _synchronize_record(
@@ -777,35 +817,43 @@ class EVESystem:
         unit_meter = (
             UnitBudgetMeter() if active.budget_units is not None else None
         )
-        for sub_batch in self._split_identity_chains(batch):
-            plan = self._stage_batch(sub_batch, coalesce=active.coalesce)
-            # Committed results are journaled as they land so that an
-            # executor exception mid-batch cannot leave VKB commits the
-            # synchronization log never saw; on success the journal is
-            # discarded in favour of the report's plan-ordered results.
-            # Reports of completed sub-batches are preserved either way
-            # — their DeferredSynchronization records must stay
-            # resumable even when a later sub-batch fails.
-            self._batch_journal = []
-            try:
-                report = active.execute(
-                    plan, self, deadline_anchor=deadline_anchor,
-                    unit_meter=unit_meter,
-                )
-            except BaseException:
-                self._sync_log.extend(self._batch_journal)
-                self.last_schedule = tuple(reports)
-                raise
-            finally:
-                self._batch_journal = None
-            self._sync_log.extend(report.results)
-            results.extend(report.results)
-            reports.append(report)
-            self._emit_schedule_events(report, active)
+        serving_marks = self._serving_marks()
+        # The whole call is one MVCC commit point: every sub-batch's
+        # extent swaps stage into one overlay, published as a single
+        # atomic version when the bracket exits (even on error — the
+        # journal already recorded the commits that landed), so a
+        # concurrent snapshot reader never sees a half-applied storm.
+        with self._extents.batch():
+            for sub_batch in self._split_identity_chains(batch):
+                plan = self._stage_batch(sub_batch, coalesce=active.coalesce)
+                # Committed results are journaled as they land so that an
+                # executor exception mid-batch cannot leave VKB commits the
+                # synchronization log never saw; on success the journal is
+                # discarded in favour of the report's plan-ordered results.
+                # Reports of completed sub-batches are preserved either way
+                # — their DeferredSynchronization records must stay
+                # resumable even when a later sub-batch fails.
+                self._batch_journal = []
+                try:
+                    report = active.execute(
+                        plan, self, deadline_anchor=deadline_anchor,
+                        unit_meter=unit_meter,
+                    )
+                except BaseException:
+                    self._sync_log.extend(self._batch_journal)
+                    self.last_schedule = tuple(reports)
+                    raise
+                finally:
+                    self._batch_journal = None
+                self._sync_log.extend(report.results)
+                results.extend(report.results)
+                reports.append(report)
+                self._emit_schedule_events(report, active)
         self.last_schedule = tuple(reports)
         plans, plans_total = self._capture_evaluation_plans(results)
         self.last_report = SystemReport.for_changes(
-            results, reports, plans=plans, plans_total=plans_total
+            results, reports, plans=plans, plans_total=plans_total,
+            serving=self._serving_section(serving_marks),
         )
         return results
 
@@ -1036,11 +1084,12 @@ class EVESystem:
                 for report in self.last_schedule
             )
         results: list[SynchronizationResult] = []
-        for record in deferred:
-            replayed = self.replay_item(record.item, record.plan)
-            self._sync_log.extend(replayed)
-            results.extend(replayed)
-            self.finalize_view(record.view_name)
+        with self._extents.batch():
+            for record in deferred:
+                replayed = self.replay_item(record.item, record.plan)
+                self._sync_log.extend(replayed)
+                results.extend(replayed)
+                self.finalize_view(record.view_name)
         return results
 
     # ------------------------------------------------------------------

@@ -70,7 +70,6 @@ def evaluate_view(
     view: ViewDefinition,
     relations: Mapping[str, Relation] | RelationLookup,
     statistics: SpaceStatistics | None = None,
-    engine: str | None = None,
     config: "EngineConfig | None" = None,
     kernel_counters=None,
     trace: list | None = None,
@@ -88,9 +87,7 @@ def evaluate_view(
     with ``use_index=True`` probes hash indexes, ``use_index=False``
     keeps the compiled plane but joins by nested loops,
     ``representation="columnar"`` runs the column-kernel plane, and
-    ``engine="naive"`` runs the dict-binding reference.  The legacy
-    ``engine=`` string spelling survives one release behind a
-    :class:`DeprecationWarning` shim.
+    ``engine="naive"`` runs the dict-binding reference.
 
     ``kernel_counters`` (a
     :class:`~repro.relational.columnar.KernelCounters`) accumulates rows
@@ -109,20 +106,8 @@ def evaluate_view(
     existence probes — reshape the plan; extents are bag-identical
     either way.
     """
-    from repro.config import EngineConfig, warn_legacy_kwargs
+    from repro.config import EngineConfig
 
-    if engine is not None:
-        if config is not None:
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                "evaluate_view: pass either config= or the legacy "
-                "engine= keyword, not both"
-            )
-        warn_legacy_kwargs(
-            "evaluate_view", "config=EngineConfig(...)", ("engine",)
-        )
-        config = EngineConfig(engine=engine)
     if config is None:
         config = EngineConfig()
     if config.engine == "naive":
@@ -697,14 +682,13 @@ def evaluate_views(
     views: Iterable[ViewDefinition],
     relations: Mapping[str, Relation] | RelationLookup,
     statistics: SpaceStatistics | None = None,
-    engine: str | None = None,
     config: "EngineConfig | None" = None,
     kernel_counters=None,
 ) -> dict[str, Relation]:
     """Materialize several views; returns name -> extent."""
     return {
         view.name: evaluate_view(
-            view, relations, statistics, engine, config, kernel_counters
+            view, relations, statistics, config, kernel_counters
         )
         for view in views
     }

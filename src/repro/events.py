@@ -31,10 +31,16 @@ Six event types cover the operator-visible lifecycle:
 Two more cover the persistent-worker pool's lifecycle:
 
 * :class:`ShardRebalanced` — the sharded worker pool (re)built its VKB
-  partition (first dispatch, or drift detected in the parent VKB).
+  partition (first dispatch, or drift detected in the parent VKB/MKB).
 * :class:`WorkerRecycled` — a shard's worker process was torn down
   (crash mid-group, or pool shutdown) and will be respawned on the next
   dispatch.
+
+And two cover the online serving plane's version/pin accounting:
+
+* :class:`SnapshotPublished` — a batch commit swapped in a new extent
+  version (MVCC publish; see :mod:`repro.relational.versioning`).
+* :class:`SnapshotReleased` — a reader released its pin on a version.
 
 Delivery contract: handlers run synchronously on the thread that
 produced the event — under a parallel scheduler that may be a worker
@@ -63,6 +69,8 @@ __all__ = [
     "DegradedToFirstLegal",
     "EventBus",
     "ShardRebalanced",
+    "SnapshotPublished",
+    "SnapshotReleased",
     "SynchronizationDeferred",
     "SystemEvent",
     "ViewMaintained",
@@ -157,9 +165,35 @@ class ShardRebalanced(SystemEvent):
     #: Alive views distributed across the partition.
     views: int
     #: Why the partition was (re)built: "bootstrap" on first dispatch,
-    #: "drift" when the parent VKB changed out-of-band, "recycle" after
-    #: a worker crash forced a pool teardown.
+    #: "drift" when the parent VKB changed out-of-band, "mkb-drift"
+    #: when constraints were added to the parent MKB out-of-band,
+    #: "recycle" after a worker crash forced a pool teardown.
     reason: str
+
+
+@dataclass(frozen=True)
+class SnapshotPublished(SystemEvent):
+    """A batch commit published a new extent version (MVCC swap)."""
+
+    #: The monotone version number just published.
+    version: int
+    #: Views whose extents this publish staged (created, replaced, or
+    #: dropped), sorted.
+    touched: tuple[str, ...]
+    #: Total views materialized in the published version.
+    views: int
+    #: Snapshot pins live across all versions at publish time.
+    pins: int
+
+
+@dataclass(frozen=True)
+class SnapshotReleased(SystemEvent):
+    """A reader released its pin on one extent version."""
+
+    #: The version whose pin was dropped.
+    version: int
+    #: Pins still live on that version after the release.
+    remaining: int
 
 
 @dataclass(frozen=True)
@@ -184,6 +218,8 @@ _EVENT_TYPES = {
         SynchronizationDeferred,
         CacheInvalidated,
         ShardRebalanced,
+        SnapshotPublished,
+        SnapshotReleased,
         WorkerRecycled,
     )
 }

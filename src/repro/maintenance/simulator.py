@@ -52,7 +52,7 @@ import math
 from itertools import groupby
 from typing import Iterable, Mapping, Sequence
 
-from repro.config import MaintenanceConfig, warn_legacy_kwargs
+from repro.config import MaintenanceConfig
 from repro.errors import MaintenanceError
 from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator
@@ -75,40 +75,15 @@ SizeOverlays = Sequence[Mapping[str, int] | None] | None
 class ViewMaintainer:
     """Executes Algorithm 1 against a simulated information space.
 
-    Configured with a :class:`~repro.config.MaintenanceConfig` slice;
-    the pre-config ``use_index=`` / ``representation=`` keyword
-    spellings survive one release behind :class:`DeprecationWarning`
-    shims that map onto the equivalent config.
+    Configured with a :class:`~repro.config.MaintenanceConfig` slice.
     """
 
     def __init__(
         self,
         space: InformationSpace,
         statistics: SpaceStatistics | None = None,
-        use_index: bool | None = None,
-        representation: str | None = None,
         config: MaintenanceConfig | None = None,
     ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("use_index", use_index),
-                ("representation", representation),
-            )
-            if value is not None
-        }
-        if legacy:
-            from repro.errors import ConfigurationError
-
-            if config is not None:
-                raise ConfigurationError(
-                    "ViewMaintainer: pass either config= or the legacy "
-                    f"keyword(s) {', '.join(sorted(legacy))}, not both"
-                )
-            warn_legacy_kwargs(
-                "ViewMaintainer", "config=MaintenanceConfig(...)", legacy
-            )
-            config = MaintenanceConfig(**legacy)
         self.config = config if config is not None else MaintenanceConfig()
         self._space = space
         self._statistics = (

@@ -13,6 +13,8 @@ Public surface:
 * :mod:`repro.relational.compile` — predicate compilation to
   positional-tuple closures
 * :class:`Catalog` — named relation stores
+* :class:`ExtentStore` / :class:`ExtentSnapshot` — MVCC extent versions
+  for the online serving plane (:mod:`repro.relational.versioning`)
 """
 
 from repro.relational.algebra import (
@@ -44,6 +46,7 @@ from repro.relational.expressions import (
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import AttributeType, infer_type
+from repro.relational.versioning import ExtentSnapshot, ExtentStore
 
 __all__ = [
     "Attribute",
@@ -53,6 +56,8 @@ __all__ = [
     "Comparator",
     "Condition",
     "Constant",
+    "ExtentSnapshot",
+    "ExtentStore",
     "HashIndex",
     "PrimitiveClause",
     "Relation",

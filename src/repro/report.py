@@ -14,7 +14,7 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
 ``benchmarks/validate_bench.py``)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "operation": "apply_changes" | "apply_updates",
       "synchronization": {
         "views": [
@@ -66,12 +66,20 @@ consumed by the benchmark drivers in place of their hand-rolled dicts.
           ...
         ],
         "total": int   # plans produced before the capture cap
+      },
+      "serving": {
+        "enabled": bool,     # MVCC serving mode armed (snapshot taken)
+        "version": int,      # extent version after the call
+        "published": int,    # versions this call published
+        "staged": int,       # staged extent writes this call
+        "copied": int,       # copy-on-write extent copies this call
+        "pins": int          # live snapshot pins at report time
       }
     }
 
-All four sections are always present (empty for the half of the API
-that did not run) so consumers can index unconditionally.  Keys are
-emitted sorted by :meth:`SystemReport.to_json`, making reports
+All five sections are always present (empty/disabled for the parts of
+the API that did not run) so consumers can index unconditionally.  Keys
+are emitted sorted by :meth:`SystemReport.to_json`, making reports
 diff-stable across runs.
 """
 
@@ -104,7 +112,10 @@ __all__ = [
 #: v3: the ``plans`` section — EXPLAIN renderings of the call's view
 #: evaluations (``apply_changes``) or maintenance itineraries
 #: (``apply_updates``), capped at :data:`PLAN_CAPTURE_LIMIT` entries.
-REPORT_SCHEMA_VERSION = 3
+#: v4: the ``serving`` section — MVCC extent-version and snapshot-pin
+#: accounting of the online serving plane (always present; ``enabled``
+#: is False for systems that never took a snapshot).
+REPORT_SCHEMA_VERSION = 4
 
 #: Most plan dicts a report embeds (chosen by sorted view name for
 #: determinism); ``plans.total`` still counts every candidate, so a
@@ -203,6 +214,10 @@ class SystemReport:
     plans: tuple[dict, ...] = ()
     #: How many plans the call produced before capping.
     plans_total: int = 0
+    #: Serving-plane accounting for the call (extent versions published,
+    #: staged writes, copy-on-write copies, live snapshot pins); None
+    #: renders as the disabled-serving section.
+    serving: dict[str, Any] | None = None
 
     # -- builders -------------------------------------------------------
     @classmethod
@@ -212,6 +227,7 @@ class SystemReport:
         schedules: "Sequence[ScheduleReport]",
         plans: Sequence[dict] = (),
         plans_total: int | None = None,
+        serving: dict[str, Any] | None = None,
     ) -> "SystemReport":
         """Build the report for one ``apply_changes`` call."""
         return cls(
@@ -224,6 +240,7 @@ class SystemReport:
             plans_total=(
                 len(plans) if plans_total is None else plans_total
             ),
+            serving=serving,
         )
 
     @classmethod
@@ -234,6 +251,7 @@ class SystemReport:
         kernels: KernelCounters | None = None,
         plans: Sequence[dict] = (),
         plans_total: int | None = None,
+        serving: dict[str, Any] | None = None,
     ) -> "SystemReport":
         """Build the report for one ``apply_updates`` call."""
         return cls(
@@ -245,6 +263,7 @@ class SystemReport:
             plans_total=(
                 len(plans) if plans_total is None else plans_total
             ),
+            serving=serving,
         )
 
     # -- aggregates -----------------------------------------------------
@@ -317,7 +336,7 @@ class SystemReport:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """The versioned, JSON-serializable report payload (schema v3)."""
+        """The versioned, JSON-serializable report payload (schema v4)."""
         maintenance = self.maintenance_counters
         if maintenance is None:
             maintenance = MaintenanceCounters()
@@ -385,6 +404,18 @@ class SystemReport:
                 "views": [dict(plan) for plan in self.plans],
                 "total": self.plans_total,
             },
+            "serving": (
+                dict(self.serving)
+                if self.serving is not None
+                else {
+                    "enabled": False,
+                    "version": 0,
+                    "published": 0,
+                    "staged": 0,
+                    "copied": 0,
+                    "pins": 0,
+                }
+            ),
         }
 
     def to_json(self, indent: int | None = None) -> str:

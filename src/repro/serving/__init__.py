@@ -1,0 +1,12 @@
+"""The online serving plane: concurrent view reads during evolution.
+
+:class:`ServingFrontend` is the asyncio face of the MVCC snapshot
+machinery (:mod:`repro.relational.versioning`): view reads pin the
+extent version current at query start and proceed lock-free while a
+synchronization storm commits on a writer thread.  See
+``docs/serving.md`` for the lifecycle walkthrough.
+"""
+
+from repro.serving.frontend import ServedRead, ServingFrontend
+
+__all__ = ["ServedRead", "ServingFrontend"]

@@ -187,18 +187,15 @@ class RewritingSearchPipeline:
     """Staged, streaming synchronize-and-rank over pluggable generators.
 
     The pipeline's default policy comes from its
-    :class:`~repro.config.SearchConfig` slice (``config=``); the
-    pre-config ``policy=`` constructor spelling survives one release
-    behind a :class:`DeprecationWarning` shim.  Per-call ``policy``
-    overrides on :meth:`search` are first-class (the scheduler's
-    degradation path relies on them) and never warn.
+    :class:`~repro.config.SearchConfig` slice (``config=``).  Per-call
+    ``policy`` overrides on :meth:`search` are first-class (the
+    scheduler's degradation path relies on them).
     """
 
     def __init__(
         self,
         synchronizer: ViewSynchronizer,
         qc_model: "QCModel",
-        policy: SearchPolicy | str | None = None,
         config: "SearchConfig | None" = None,
         explain: bool = False,
     ) -> None:
@@ -211,22 +208,7 @@ class RewritingSearchPipeline:
         #: and the chosen winner are byte-identical either way
         #: (``tests/property/test_pipeline_parity.py``).
         self.explain = explain
-        if policy is not None:
-            from repro.config import warn_legacy_kwargs
-            from repro.errors import ConfigurationError
-
-            if config is not None:
-                raise ConfigurationError(
-                    "RewritingSearchPipeline: pass either config= or the "
-                    "legacy policy= keyword, not both"
-                )
-            warn_legacy_kwargs(
-                "RewritingSearchPipeline",
-                "config=SearchConfig(...)",
-                ("policy",),
-            )
-            self.policy = SearchPolicy.of(policy)
-        elif config is not None:
+        if config is not None:
             self.policy = config.search_policy()
         else:
             self.policy = SearchPolicy.pruned()

@@ -58,7 +58,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
 
-from repro.config import ScheduleConfig, warn_legacy_kwargs
+from repro.config import ScheduleConfig
 from repro.space.changes import SchemaChange
 from repro.sync.pipeline import SearchPolicy, StageCounters
 
@@ -392,9 +392,7 @@ class SynchronizationScheduler:
 
     Configured declaratively with a
     :class:`~repro.config.ScheduleConfig` (the validated, serializable
-    profile slice); the pre-config keyword spellings survive one
-    release behind :class:`DeprecationWarning` shims that map onto the
-    equivalent config.  Field semantics:
+    profile slice).  Field semantics:
 
     ``order``
         ``"cost"`` (default) dispatches chain groups cheapest-to-salvage
@@ -422,44 +420,7 @@ class SynchronizationScheduler:
         storm workloads full of structurally identical views.
     """
 
-    def __init__(
-        self,
-        config: ScheduleConfig | None = None,
-        executor: str | None = None,
-        max_workers: int | None = None,
-        budget: float | None = None,
-        budget_units: float | None = None,
-        degrade: str | None = None,
-        order: str | None = None,
-        coalesce: bool | None = None,
-    ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("executor", executor),
-                ("max_workers", max_workers),
-                ("budget", budget),
-                ("budget_units", budget_units),
-                ("degrade", degrade),
-                ("order", order),
-                ("coalesce", coalesce),
-            )
-            if value is not None
-        }
-        if legacy:
-            from repro.errors import ConfigurationError
-
-            if config is not None:
-                raise ConfigurationError(
-                    "SynchronizationScheduler: pass either config= or the "
-                    f"legacy keyword(s) {', '.join(sorted(legacy))}, not both"
-                )
-            warn_legacy_kwargs(
-                "SynchronizationScheduler",
-                "config=ScheduleConfig(...)",
-                legacy,
-            )
-            config = ScheduleConfig(**legacy)
+    def __init__(self, config: ScheduleConfig | None = None) -> None:
         self.config = config if config is not None else ScheduleConfig()
         #: Lazily created :class:`~repro.sync.workers.ShardedWorkerPool`
         #: (``executor="workers"`` only); survives across executions.

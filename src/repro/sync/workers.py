@@ -30,15 +30,16 @@ state and receive work over queues:
   plan-order and byte-identical to ``serial``.
 
 Drift safety: the pool watches the parent VKB's mutation counter, the
-parent's relation-name set, and
+parent's relation-name set, the parent MKB's constraint fingerprint
+(:meth:`~repro.misd.mkb.MetaKnowledgeBase.constraint_fingerprint` — a
+monotone add-counter capability changes never bump), and
 ``CacheInvalidated("relation-registered")`` events; any out-of-band
 mutation (``define_view``, ``drop_view``, ``register_relation``,
-``resume_deferred``, a serial scheduler run against the same system,
-...) triggers a full re-bootstrap on the next dispatch, announced as a
-:class:`~repro.events.ShardRebalanced` event.  Out-of-band MKB
-*constraint* additions after bootstrap are the one blind spot —
-documented in the ROADMAP; route them through capability changes or
-use a fresh scheduler.
+``add_join_constraint``/``add_pc_constraint``, ``resume_deferred``, a
+serial scheduler run against the same system, ...) triggers a full
+re-bootstrap on the next dispatch, announced as a
+:class:`~repro.events.ShardRebalanced` event (constraint additions use
+``reason="mkb-drift"``).
 
 Failure semantics: workers reply per batch; nothing is adopted into
 the parent VKB until every dispatched shard has replied successfully.
@@ -473,6 +474,7 @@ class ShardedWorkerPool:
         #: Per-shard read positions into ``_log``.
         self._cursors: list[int] = []
         self._expected_vkb_version: int | None = None
+        self._expected_constraint_fingerprint: int | None = None
         self._predicted_relations: set[str] = set()
         self._dirty_reason: str | None = None
         self._pending_snapshot_bytes: dict[int, int] = {}
@@ -519,6 +521,14 @@ class ShardedWorkerPool:
             != self._predicted_relations
         ):
             return "drift"
+        if (
+            runtime.space.mkb.constraint_fingerprint()
+            != self._expected_constraint_fingerprint
+        ):
+            # An out-of-band add_join_constraint/add_pc_constraint: the
+            # worker mirrors have never seen the constraint and would
+            # search against stale knowledge.
+            return "mkb-drift"
         return None
 
     def _teardown(self, runtime, failed_shard: int | None = None) -> None:
@@ -609,6 +619,9 @@ class ShardedWorkerPool:
         self._log = []
         self._cursors = [0] * self.shards
         self._expected_vkb_version = runtime.vkb.version
+        self._expected_constraint_fingerprint = (
+            runtime.space.mkb.constraint_fingerprint()
+        )
         self._predicted_relations = set(runtime.space.mkb.relation_names)
         self._dirty_reason = None
         self._emit(runtime, ShardRebalanced(self.shards, alive, reason))

@@ -227,12 +227,6 @@ class TestPolicyWiring:
         )
         assert eve.policy == SearchPolicy.first_legal()
 
-    def test_legacy_policy_kwarg_still_maps(self):
-        with pytest.warns(DeprecationWarning, match="policy"):
-            eve = EVESystem(policy="first_legal")
-        assert eve.policy == SearchPolicy.first_legal()
-        assert eve.config.search.policy == "first_legal"
-
     def test_per_call_policy_override(self):
         eve = build_system()
         eve.auto_synchronize = False

@@ -74,6 +74,7 @@ class TestApplyChangesReport:
             "schedule",
             "maintenance",
             "plans",
+            "serving",
         }
         sync = payload["synchronization"]
         assert sync["survived"] == 1 and sync["undefined"] == 0
@@ -88,6 +89,27 @@ class TestApplyChangesReport:
         # The empty half is present, not absent.
         assert payload["maintenance"]["flushes"] == []
         assert payload["maintenance"]["updates"] == 0
+        # Serving is always present (schema v4); disabled by default.
+        assert payload["serving"] == {
+            "enabled": False,
+            "version": 0,
+            "published": 0,
+            "staged": 0,
+            "copied": 0,
+            "pins": 0,
+        }
+
+    def test_serving_section_reflects_snapshot_activity(self):
+        eve = build_system()
+        eve.snapshot().release()  # arm the serving plane
+        eve.apply_changes([DeleteRelation("IS1", "R")])
+        serving = eve.last_report.to_dict()["serving"]
+        assert serving["enabled"] is True
+        assert serving["published"] == 1  # one atomic publish per batch
+        assert serving["version"] == eve._extents.version
+        assert serving["pins"] == 0
+        # apply_changes rematerializes fresh extents: zero COW copies.
+        assert serving["copied"] == 0
 
     def test_to_json_is_stable_and_parseable(self):
         eve = build_system()

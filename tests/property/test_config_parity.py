@@ -1,29 +1,26 @@
-"""Preset/shim parity: configuration spelling never changes outcomes.
+"""Preset parity: configuration spelling never changes outcomes.
 
 The acceptance property of the config redesign (ISSUE 5): every
-:class:`~repro.config.SystemConfig` preset and every deprecated-kwarg
-shim must produce byte-identical committed winners, QC-Values, extents,
-and modeled CF_M/CF_T/CF_IO counters to the spelling it replaces.  The
-presets deliberately span every plane pair the property tests already
-pin (naive/indexed engines, dict/tuple delta representations,
+:class:`~repro.config.SystemConfig` preset must produce byte-identical
+committed winners, QC-Values, extents, and modeled CF_M/CF_T/CF_IO
+counters to the default spelling of the same planes.  The presets
+deliberately span every plane pair the property tests already pin
+(naive/indexed engines, dict/tuple delta representations,
 serial/threaded/coalesced schedulers, exhaustive/pruned policies), so
 this test is the composition of those parities through the one public
 entry point.
 """
 
-import warnings
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.config import ScheduleConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.core.eve import EVESystem
 from repro.misd.statistics import RelationStatistics
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.space.changes import DeleteRelation
 from repro.space.space import InformationSpace
-from repro.sync.scheduler import SynchronizationScheduler
 
 ROWS = st.lists(
     st.tuples(st.integers(0, 5), st.integers(0, 5)),
@@ -144,79 +141,3 @@ def test_presets_commit_identical_outcomes(data):
         assert_same(
             reference, run(tables, updates, deleted, config=config), label
         )
-
-
-@settings(
-    max_examples=6,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-@given(scenario())
-def test_shims_match_the_config_spelling_they_replace(data):
-    tables, updates, deleted = data
-
-    def legacy(**kwargs):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            return run(tables, updates, deleted, **kwargs)
-
-    # policy= shim == SearchConfig spelling.
-    assert_same(
-        run(
-            tables,
-            updates,
-            deleted,
-            config=SystemConfig().with_search(policy="first_legal"),
-        ),
-        legacy(policy="first_legal"),
-        "policy-shim",
-    )
-    # scheduler= shim (itself built from legacy kwargs) == ScheduleConfig.
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy_scheduler = SynchronizationScheduler(
-            executor="threads", max_workers=2, coalesce=True
-        )
-    assert_same(
-        run(
-            tables,
-            updates,
-            deleted,
-            config=SystemConfig(
-                schedule=ScheduleConfig(
-                    executor="threads", max_workers=2, coalesce=True
-                )
-            ),
-        ),
-        legacy(scheduler=legacy_scheduler),
-        "scheduler-shim",
-    )
-
-
-@settings(
-    max_examples=6,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-@given(scenario())
-def test_binding_budget_is_spelling_independent(data):
-    # A budget that actually bites (0 units, degrade to first_legal)
-    # changes outcomes vs the unbounded planes — but never between the
-    # preset and the legacy spelling of the same budget.
-    tables, updates, deleted = data
-    preset = run(
-        tables,
-        updates,
-        deleted,
-        config=SystemConfig.bounded(budget_units=0.0),
-    )
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy_scheduler = SynchronizationScheduler(
-            executor="threads",
-            coalesce=True,
-            budget_units=0.0,
-            degrade="first_legal",
-        )
-        legacy = run(tables, updates, deleted, scheduler=legacy_scheduler)
-    assert_same(preset, legacy, "bounded-shim")

@@ -198,6 +198,48 @@ class TestDrift:
         serial.apply_changes([DeleteRelation("IS0", "R1")])
         assert fingerprint(eve) == fingerprint(serial)
 
+    def test_out_of_band_constraint_add_forces_rebootstrap(self):
+        # The MKB blind spot: adding a constraint between batches
+        # changes rewriting routes without touching VKB version or
+        # relation names.  The worker mirrors must not keep searching
+        # against the stale constraint set.
+        eve = build_system(SystemConfig.sharded(2))
+        rebalances = []
+        eve.subscribe(ShardRebalanced, rebalances.append)
+        try:
+            eve.apply_changes([RenameAttribute("IS0", "R0", "A", "A2")])
+            # A new route between relations the mirrors already hold:
+            # no VKB bump, no relation-name change — only the
+            # constraint fingerprint can catch this.
+            eve.mkb.add_containment("R1", "R2M", ["A", "B"])
+            eve.apply_changes([DeleteRelation("IS0", "R1")])
+            assert [event.reason for event in rebalances] == [
+                "bootstrap",
+                "mkb-drift",
+            ]
+        finally:
+            eve.close()
+
+        serial = build_system()
+        serial.apply_changes([RenameAttribute("IS0", "R0", "A", "A2")])
+        serial.mkb.add_containment("R1", "R2M", ["A", "B"])
+        serial.apply_changes([DeleteRelation("IS0", "R1")])
+        assert fingerprint(eve) == fingerprint(serial)
+
+    def test_in_batch_evolution_does_not_false_drift(self):
+        # Capability-change batches evolve the parent MKB (renames
+        # rewrite live constraints) — that must NOT read as drift, or
+        # every warm batch would re-ship snapshots.
+        eve = build_system(SystemConfig.sharded(2))
+        rebalances = []
+        eve.subscribe(ShardRebalanced, rebalances.append)
+        try:
+            eve.apply_changes([RenameAttribute("IS0", "R0", "A", "A2")])
+            eve.apply_changes([RenameRelation("IS0", "R2", "R2X")])
+            assert [event.reason for event in rebalances] == ["bootstrap"]
+        finally:
+            eve.close()
+
 
 # ----------------------------------------------------------------------
 # Failure semantics

@@ -1,4 +1,4 @@
-"""Tests for the typed configuration profiles and the deprecation shims.
+"""Tests for the typed configuration profiles.
 
 Three contracts:
 
@@ -7,8 +7,8 @@ Three contracts:
   field configures;
 * ``SystemConfig.from_dict(c.to_dict()) == c`` holds losslessly for the
   default and every named preset;
-* every legacy kwarg spelling emits :class:`DeprecationWarning` exactly
-  once and maps onto the equivalent config object.
+* the ``config=`` spellings are the only constructor spellings and
+  never emit warnings (the pre-config legacy kwargs are gone).
 """
 
 import json
@@ -46,12 +46,6 @@ ALL_PRESETS = {
     "bounded-units": SystemConfig.bounded(budget_units=25.0),
     "bounded-wall": SystemConfig.bounded(budget=1.5, degrade="defer"),
 }
-
-
-def one_deprecation(record) -> None:
-    """The shim contract: exactly one DeprecationWarning per call."""
-    hits = [w for w in record if w.category is DeprecationWarning]
-    assert len(hits) == 1, [str(w.message) for w in record]
 
 
 # ----------------------------------------------------------------------
@@ -181,7 +175,7 @@ class TestRoundTrip:
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims
+# Config-only constructor spellings
 # ----------------------------------------------------------------------
 def tiny_space():
     space = InformationSpace()
@@ -192,108 +186,26 @@ def tiny_space():
     return space
 
 
-class TestShims:
-    def test_scheduler_legacy_kwargs_warn_once_and_map(self):
-        with pytest.warns(DeprecationWarning) as record:
-            scheduler = SynchronizationScheduler(
-                executor="threads", coalesce=True, budget_units=2.0
-            )
-        one_deprecation(record)
-        assert scheduler.config == ScheduleConfig(
-            executor="threads", coalesce=True, budget_units=2.0
-        )
-
-    def test_scheduler_rejects_mixed_spellings(self):
-        with pytest.raises(ConfigurationError, match="not both"):
-            SynchronizationScheduler(ScheduleConfig(), executor="threads")
-
-    def test_maintainer_legacy_kwargs_warn_once_and_map(self):
-        space = tiny_space()
-        with pytest.warns(DeprecationWarning) as record:
-            maintainer = ViewMaintainer(
-                space, use_index=False, representation="dict"
-            )
-        one_deprecation(record)
-        assert maintainer.config == MaintenanceConfig(
-            representation="dict", use_index=False
-        )
-        with pytest.raises(ConfigurationError, match="not both"):
-            ViewMaintainer(
-                space, use_index=False, config=MaintenanceConfig()
-            )
-
-    def test_evaluate_view_legacy_engine_warns_once_and_maps(self):
-        space = tiny_space()
+class TestConfigSpellings:
+    def test_legacy_kwargs_are_gone(self):
+        # The one-release DeprecationWarning shims were removed; the old
+        # spellings now fail loudly as unexpected keyword arguments.
+        with pytest.raises(TypeError):
+            SynchronizationScheduler(executor="threads")
+        with pytest.raises(TypeError):
+            ViewMaintainer(tiny_space(), use_index=False)
+        with pytest.raises(TypeError):
+            EVESystem(policy="first_legal")
         view = parse_view("CREATE VIEW V AS SELECT R.A FROM R")
-        with pytest.warns(DeprecationWarning) as record:
-            legacy = evaluate_view(view, space.relations(), engine="naive")
-        one_deprecation(record)
-        modern = evaluate_view(
-            view, space.relations(), config=EngineConfig(engine="naive")
-        )
-        assert legacy == modern
-        with pytest.raises(ConfigurationError, match="not both"):
-            evaluate_view(
-                view, space.relations(), engine="naive",
-                config=EngineConfig(),
-            )
-
-    def test_pipeline_legacy_policy_warns_once_and_maps(self):
+        with pytest.raises(TypeError):
+            evaluate_view(view, tiny_space().relations(), engine="naive")
         mkb = MetaKnowledgeBase()
-        synchronizer = ViewSynchronizer(mkb)
-        model = QCModel(mkb)
-        with pytest.warns(DeprecationWarning) as record:
-            pipeline = RewritingSearchPipeline(
-                synchronizer, model, "first_legal"
-            )
-        one_deprecation(record)
-        assert pipeline.policy == SearchPolicy.first_legal()
-        assert pipeline.policy == RewritingSearchPipeline(
-            synchronizer, model, config=SearchConfig(policy="first_legal")
-        ).policy
-        with pytest.raises(ConfigurationError, match="not both"):
+        with pytest.raises(TypeError):
             RewritingSearchPipeline(
-                synchronizer, model, "pruned", config=SearchConfig()
+                ViewSynchronizer(mkb), QCModel(mkb), policy="pruned"
             )
 
-    def test_eve_legacy_policy_warns_once_and_maps(self):
-        with pytest.warns(DeprecationWarning) as record:
-            eve = EVESystem(policy="top_k(2)")
-        one_deprecation(record)
-        assert eve.policy == SearchPolicy.top_k(2)
-        assert eve.config.search == SearchConfig(policy="top_k", top_k=2)
-        with pytest.raises(ConfigurationError, match="not both"):
-            EVESystem(policy="pruned", config=SystemConfig())
-
-    def test_eve_legacy_scheduler_kwarg_warns_and_is_used(self):
-        scheduler = SynchronizationScheduler(
-            ScheduleConfig(order="plan")
-        )
-        with pytest.warns(DeprecationWarning) as record:
-            eve = EVESystem(scheduler=scheduler)
-        one_deprecation(record)
-        assert eve.scheduler is scheduler
-        # The profile stays truthful: the instance's config is the slice.
-        assert eve.config.schedule == ScheduleConfig(order="plan")
-
-    def test_eve_rejects_config_plus_scheduler(self):
-        with pytest.raises(ConfigurationError, match="not both"):
-            EVESystem(
-                config=SystemConfig(),
-                scheduler=SynchronizationScheduler(),
-            )
-
-    def test_eve_legacy_policy_and_scheduler_together_warn_once(self):
-        scheduler = SynchronizationScheduler(
-            ScheduleConfig(coalesce=True)
-        )
-        with pytest.warns(DeprecationWarning) as record:
-            eve = EVESystem(policy="first_legal", scheduler=scheduler)
-        one_deprecation(record)
-        assert eve.config.search == SearchConfig(policy="first_legal")
-        assert eve.config.schedule == ScheduleConfig(coalesce=True)
-
-    def test_modern_spellings_never_warn(self):
+    def test_config_spellings_never_warn(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             EVESystem(config=SystemConfig.fast())

@@ -31,7 +31,7 @@ def committed(name):
 
 class TestStructuralValidation:
     @pytest.mark.parametrize(
-        "name", ["engine", "sync", "scheduler", "maintenance"]
+        "name", ["engine", "sync", "scheduler", "maintenance", "serving"]
     )
     def test_committed_payloads_validate(self, name):
         validate_payload(name, committed(name))
@@ -92,6 +92,59 @@ class TestStructuralValidation:
         # parity and shipping invariants gate, the floor is waived.
         payload["config"]["smoke"] = True
         validate_payload("scheduler", payload)
+
+    def test_torn_reads_rejected(self):
+        payload = committed("serving")
+        payload["storm_reads"]["torn_reads"] = 1
+        with pytest.raises(BenchValidationError, match="torn"):
+            validate_payload("serving", payload)
+
+    def test_zero_copy_invariant_enforced(self):
+        payload = committed("serving")
+        payload["snapshot_isolation"]["copied_untouched_views"] = 3
+        with pytest.raises(BenchValidationError, match="copied"):
+            validate_payload("serving", payload)
+
+    def test_serving_parity_invariant_enforced(self):
+        payload = committed("serving")
+        payload["executor_parity"]["outcomes_equal"] = False
+        with pytest.raises(BenchValidationError, match="diverged"):
+            validate_payload("serving", payload)
+
+    def test_serving_p99_ceiling_gates_full_runs_only(self):
+        payload = committed("serving")
+        payload["config"]["smoke"] = False
+        payload["config"]["cpus"] = 8
+        payload["storm_reads"]["p99_ratio"] = 5.0
+        with pytest.raises(BenchValidationError, match="ceiling"):
+            validate_payload("serving", payload)
+        # Smoke runs a toy storm where per-read overhead dominates:
+        # the correctness invariants gate, the latency ceiling is waived.
+        payload["config"]["smoke"] = True
+        validate_payload("serving", payload)
+
+    def test_serving_p99_single_core_allowance(self):
+        # A single-CPU recording host gets the documented OS-fair-share
+        # allowance (8x) instead of the 2x multi-core ceiling — and
+        # still fails beyond it.
+        payload = committed("serving")
+        payload["config"]["smoke"] = False
+        payload["config"]["cpus"] = 1
+        payload["storm_reads"]["p99_ratio"] = 5.0
+        validate_payload("serving", payload)
+        payload["storm_reads"]["p99_ratio"] = 9.0
+        with pytest.raises(BenchValidationError, match="ceiling"):
+            validate_payload("serving", payload)
+
+    def test_serving_p50_ceiling_every_host(self):
+        # The median gate is core-count independent: a blocked reader
+        # shows up at p50 long before the tail.
+        payload = committed("serving")
+        payload["config"]["smoke"] = False
+        payload["config"]["cpus"] = 1
+        payload["storm_reads"]["p50_ratio"] = 2.5
+        with pytest.raises(BenchValidationError, match="p50"):
+            validate_payload("serving", payload)
 
     def test_columnar_floor_gates_full_runs_only(self):
         payload = committed("engine")
@@ -172,6 +225,31 @@ class TestSystemReportValidation:
         report = self.fresh_report("apply_updates")
         report["maintenance"]["updates"] += 1
         with pytest.raises(BenchValidationError, match="flush"):
+            validate_system_report(report)
+
+    def test_serving_section_required(self):
+        report = self.fresh_report()
+        report.pop("serving")
+        with pytest.raises(BenchValidationError, match="serving"):
+            validate_system_report(report)
+
+    def test_serving_counters_must_be_nonnegative(self):
+        report = self.fresh_report()
+        report["serving"]["published"] = -1
+        with pytest.raises(BenchValidationError, match="serving"):
+            validate_system_report(report)
+
+    def test_disabled_serving_plane_publishes_nothing(self):
+        report = self.fresh_report()
+        report["serving"] = {
+            "enabled": False,
+            "version": 0,
+            "published": 2,
+            "staged": 0,
+            "copied": 0,
+            "pins": 0,
+        }
+        with pytest.raises(BenchValidationError, match="disabled"):
             validate_system_report(report)
 
     def test_missing_plans_section_rejected(self):
