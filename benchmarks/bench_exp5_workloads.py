@@ -19,7 +19,7 @@ import pytest
 
 from conftest import emit
 from repro.core.report import format_table
-from repro.qc.cost import assess_cost, cf_bytes, cf_io, cf_messages_counted
+from repro.qc.cost import cf_bytes, cf_io, cf_messages_counted
 from repro.qc.model import QCModel
 from repro.qc.params import TradeoffParameters
 from repro.qc.workload import WorkloadModel, WorkloadSpec, _reroot_builder

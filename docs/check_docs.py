@@ -67,6 +67,9 @@ def check_links(path: Path) -> list[str]:
 
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
+    # The repo root rides along so documentation can exercise the
+    # repo-local tooling (tools.repro_lint) exactly like the tests do.
+    sys.path.insert(1, str(REPO))
     failures: list[str] = []
     executed = 0
     for path in DOC_FILES:

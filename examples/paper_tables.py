@@ -16,17 +16,17 @@ from pathlib import Path
 # The benchmark modules double as a library of experiment runners.
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from bench_exp1_survival import run_lifespans, report as report_exp1
-from bench_exp2_sites import figure13_rows, report as report_fig13
-from bench_exp3_distribution import all_panels, report as report_fig14
-from bench_exp4_cardinality import run_experiment4, report as report_exp4
-from bench_exp5_workloads import (
+from bench_exp1_survival import run_lifespans, report as report_exp1  # noqa: E402
+from bench_exp2_sites import figure13_rows, report as report_fig13  # noqa: E402
+from bench_exp3_distribution import all_panels, report as report_fig14  # noqa: E402
+from bench_exp4_cardinality import run_experiment4, report as report_exp4  # noqa: E402
+from bench_exp5_workloads import (  # noqa: E402
     report_table5,
     report_table6,
     run_table5,
     run_table6,
 )
-from bench_overlap import figure10_rows, report as report_fig10
+from bench_overlap import figure10_rows, report as report_fig10  # noqa: E402
 
 print("=" * 72)
 print("Experiment 1 (Fig. 12) — view survival")

@@ -66,7 +66,7 @@ eve.register_relation(
 
 # MISD knowledge: SkyTravel's customer list is contained in the directory,
 # with a positional attribute correspondence.
-from repro.misd import PCConstraint, PCRelationship, RelationFragment
+from repro.misd import PCConstraint, PCRelationship, RelationFragment  # noqa: E402 - narrative order
 
 eve.mkb.add_pc_constraint(
     PCConstraint(

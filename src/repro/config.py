@@ -36,9 +36,14 @@ value, shared freely and compared with ``==``.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily to avoid package cycles
+    from repro.sync.generators.base import CandidateGenerator
+    from repro.sync.pipeline import SearchPolicy
 
 __all__ = [
     "EngineConfig",
@@ -190,7 +195,7 @@ class SearchConfig:
                 f"{', '.join(sorted(GENERATOR_REGISTRY))}",
             )
 
-    def search_policy(self):
+    def search_policy(self) -> "SearchPolicy":
         """The equivalent :class:`~repro.sync.pipeline.SearchPolicy`."""
         from repro.sync.pipeline import SearchPolicy
 
@@ -199,13 +204,13 @@ class SearchConfig:
         return SearchPolicy(self.policy)
 
     @classmethod
-    def from_policy(cls, policy) -> "SearchConfig":
+    def from_policy(cls, policy: "SearchPolicy") -> "SearchConfig":
         """The slice a :class:`~repro.sync.pipeline.SearchPolicy` maps to."""
         if policy.kind == "top_k":
             return cls(policy="top_k", top_k=policy.k)
         return cls(policy=policy.kind)
 
-    def build_generators(self):
+    def build_generators(self) -> "tuple[CandidateGenerator, ...]":
         """Instantiate the configured generator chain, in order."""
         from repro.sync.generators import generators_from_names
 
@@ -214,7 +219,8 @@ class SearchConfig:
 
 @dataclass(frozen=True)
 class ScheduleConfig:
-    """How batch synchronization is dispatched (:class:`~repro.sync.scheduler.SynchronizationScheduler`).
+    """How batch synchronization is dispatched
+    (:class:`~repro.sync.scheduler.SynchronizationScheduler`).
 
     Field semantics are the scheduler's: ``executor`` in ``serial`` |
     ``threads`` | ``processes`` | ``workers``; ``budget`` in wall-clock
@@ -447,10 +453,10 @@ class SystemConfig:
             kwargs[name] = type_(**section)
         return cls(**kwargs)
 
-    def with_schedule(self, **changes) -> "SystemConfig":
+    def with_schedule(self, **changes: Any) -> "SystemConfig":
         """A copy with schedule fields replaced (sweep convenience)."""
         return replace(self, schedule=replace(self.schedule, **changes))
 
-    def with_search(self, **changes) -> "SystemConfig":
+    def with_search(self, **changes: Any) -> "SystemConfig":
         """A copy with search fields replaced (sweep convenience)."""
         return replace(self, search=replace(self.search, **changes))

@@ -35,14 +35,10 @@ import math
 import os
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.config import SystemConfig
-from repro.errors import (
-    EvaluationError,
-    SynchronizationError,
-    ViewUndefinedError,
-)
+from repro.errors import EvaluationError, SynchronizationError
 from repro.esql import explain as explain_plans
 from repro.esql.ast import ViewDefinition
 from repro.esql.evaluator import evaluate_view
@@ -602,7 +598,7 @@ class EVESystem:
                 for view_name in list(pending):
                     try:
                         flush(view_name)
-                    except BaseException as error:
+                    except BaseException as error:  # noqa: BLE001 - first error re-raised below
                         if flush_error is None:
                             flush_error = error
                 if flush_error is not None:
@@ -1214,7 +1210,7 @@ class EVESystem:
                     config=self.config.engine,
                 )
                 plan.actual_rows = self._extents[name].cardinality
-            except Exception:
+            except Exception:  # noqa: BLE001 - best-effort EXPLAIN; plan dropped
                 continue
             plans.append(plan.to_dict())
         return plans, len(candidates)
@@ -1264,7 +1260,7 @@ class EVESystem:
                         config=self.config.maintenance,
                         actual=actual,
                     )
-                except Exception:
+                except Exception:  # noqa: BLE001 - best-effort EXPLAIN; plan dropped
                     continue
                 plans.append(explained.to_dict())
         return plans, total

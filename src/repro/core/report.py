@@ -7,7 +7,8 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.qc.model import Evaluation
 

@@ -14,8 +14,8 @@ definitions and keep the evolution flags of surviving components intact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Mapping
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
 
 from repro.errors import SchemaError
 from repro.esql.params import AttributeCategory, EvolutionFlags, ViewExtent

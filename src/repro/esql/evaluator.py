@@ -34,7 +34,8 @@ multiply.  Bag semantics throughout; callers wanting set semantics call
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 from repro.errors import EvaluationError
 from repro.esql.ast import ViewDefinition

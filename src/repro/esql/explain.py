@@ -32,7 +32,8 @@ is an improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import EvaluationError
 from repro.esql.ast import ViewDefinition

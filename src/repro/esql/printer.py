@@ -7,7 +7,6 @@ can produce (round-trip property, enforced by the property-based tests).
 from __future__ import annotations
 
 from repro.esql.ast import ViewDefinition
-from repro.esql.params import ViewExtent
 
 
 def format_view(view: ViewDefinition, indent: str = "    ") -> str:

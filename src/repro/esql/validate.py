@@ -14,7 +14,7 @@ the evaluator, synchronizer, and quality model work with.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
 from repro.esql.ast import SelectItem, ViewDefinition, WhereItem

@@ -52,7 +52,8 @@ Handlers must not raise; an exception propagates to the emitting call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError
 
@@ -237,12 +238,12 @@ class EventBus:
     building the payload for an unobserved type.
     """
 
-    _handlers: dict[type, list[Callable[[Any], None]]] = field(
+    _handlers: dict[type[SystemEvent], list[Callable[[Any], None]]] = field(
         default_factory=dict
     )
 
     @staticmethod
-    def _resolve(event_type) -> type:
+    def _resolve(event_type: type[SystemEvent] | str) -> type[SystemEvent]:
         if isinstance(event_type, str):
             try:
                 return _EVENT_TYPES[event_type]
@@ -260,7 +261,11 @@ class EventBus:
             f"subclass or its name"
         )
 
-    def subscribe(self, event_type, handler):
+    def subscribe(
+        self,
+        event_type: type[SystemEvent] | str,
+        handler: Callable[[Any], None],
+    ) -> Callable[[Any], None]:
         """Register ``handler`` for every event of ``event_type``.
 
         ``event_type`` is an event class (or its name); subscribing to
@@ -271,14 +276,18 @@ class EventBus:
         self._handlers.setdefault(resolved, []).append(handler)
         return handler
 
-    def unsubscribe(self, event_type, handler) -> None:
+    def unsubscribe(
+        self,
+        event_type: type[SystemEvent] | str,
+        handler: Callable[[Any], None],
+    ) -> None:
         """Remove one prior subscription (no-op if absent)."""
         resolved = self._resolve(event_type)
         handlers = self._handlers.get(resolved, [])
         if handler in handlers:
             handlers.remove(handler)
 
-    def wants(self, event_type: type) -> bool:
+    def wants(self, event_type: type[SystemEvent]) -> bool:
         """Whether any handler would receive an event of this type."""
         if self._handlers.get(SystemEvent):
             return True

@@ -8,7 +8,7 @@ future work; our substrate is executable, so we do it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -33,7 +33,8 @@ reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.relational.columnar import probe_positions
 from repro.relational.compile import (

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import math
 from itertools import groupby
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.config import MaintenanceConfig
 from repro.errors import MaintenanceError

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.errors import ConstraintError
 from repro.relational.expressions import Condition

@@ -17,7 +17,7 @@ are themselves dropped, exactly like EVE's MKB Evolver.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ConstraintError, UnknownRelationError
 from repro.misd.constraints import (

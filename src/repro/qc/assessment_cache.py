@@ -28,7 +28,8 @@ changes and relation registration).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, TypeVar
+from collections.abc import Callable, Hashable
+from typing import Any, TypeVar
 
 from repro.esql.ast import ViewDefinition
 from repro.sync.rewriting import ReplaceRelationMove, Rewriting

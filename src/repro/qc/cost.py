@@ -24,8 +24,8 @@ harnesses use the counted variant, which reproduces Tables 4/6 exactly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
 
 from repro.errors import EvaluationError
 from repro.esql.ast import ViewDefinition

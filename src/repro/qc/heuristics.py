@@ -16,9 +16,9 @@ often each agrees with the QC-Model's exhaustive choice:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnknownRelationError
 from repro.misd.mkb import MetaKnowledgeBase
 from repro.misd.statistics import SpaceStatistics
 from repro.sync.rewriting import ReplaceRelationMove, Rewriting
@@ -34,7 +34,7 @@ def fewest_sources_key(mkb: MetaKnowledgeBase) -> HeuristicKey:
         for name in rewriting.view.relation_names:
             try:
                 sources.add(mkb.owner(name))
-            except Exception:
+            except UnknownRelationError:
                 sources.add(f"?{name}")
         return float(len(sources))
 

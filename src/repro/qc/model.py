@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnknownRelationError
 from repro.misd.mkb import MetaKnowledgeBase
 from repro.misd.statistics import SpaceStatistics
 from repro.qc.assessment_cache import AssessmentCache
@@ -111,7 +111,7 @@ class QCModel:
         for name in rewriting.view.relation_names:
             try:
                 owners[name] = self._mkb.owner(name)
-            except Exception:
+            except UnknownRelationError:
                 raise EvaluationError(
                     f"cannot price rewriting {rewriting.view.name!r}: "
                     f"no owner known for relation {name!r}"

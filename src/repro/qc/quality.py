@@ -23,7 +23,7 @@ Two computation paths feed the extent numbers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.esql.ast import ViewDefinition
 from repro.esql.evaluator import evaluate_view

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import EvaluationError
 from repro.misd.statistics import SpaceStatistics

@@ -19,7 +19,8 @@ benchmarks can compare both.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.errors import SchemaError
 from repro.relational.compile import compile_condition, schema_slots

@@ -8,7 +8,7 @@ capability changes go through.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import UnknownRelationError, WorkspaceError
 from repro.relational.relation import Relation

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from array import array
 from operator import itemgetter
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.relational.schema import Schema
 from repro.relational.types import AttributeType

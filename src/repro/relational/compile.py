@@ -17,7 +17,8 @@ this).  ``None`` (NULL) operands never satisfy a clause, matching
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.errors import EvaluationError
 from repro.relational.expressions import (

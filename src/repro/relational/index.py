@@ -17,7 +17,8 @@ re-indexing and deletion bookkeeping).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 Row = tuple[Any, ...]
 

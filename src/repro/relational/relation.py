@@ -11,7 +11,8 @@ callers do via :meth:`Relation.distinct`.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import SchemaError
 from repro.relational.columnar import ColumnStore

@@ -8,8 +8,8 @@ an optional byte size override used by the cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError, UnknownAttributeError
 from repro.relational.types import AttributeType

@@ -45,7 +45,8 @@ from __future__ import annotations
 import os
 import threading
 import weakref
-from typing import Callable, Iterator, Mapping, TYPE_CHECKING
+from collections.abc import Callable, Iterator, Mapping
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.relational.relation import Relation

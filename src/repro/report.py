@@ -88,7 +88,8 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.maintenance.counters import MaintenanceCounters
 from repro.relational.columnar import KernelCounters

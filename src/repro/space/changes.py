@@ -10,7 +10,7 @@ source and the MKB, then notifies subscribers (EVE's View Synchronizer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.relational.relation import Relation

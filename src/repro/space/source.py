@@ -34,7 +34,8 @@ and is byte-identical across representations.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.errors import MaintenanceError, WorkspaceError
 from repro.relational.catalog import Catalog

@@ -14,7 +14,7 @@ Subscribers are plain callables, keeping the wiring explicit and testable.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.errors import UnknownRelationError, WorkspaceError
 from repro.misd.mkb import MetaKnowledgeBase

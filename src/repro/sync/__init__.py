@@ -12,7 +12,14 @@ Public surface:
 * :func:`check_legality` / :func:`is_legal` — independent legality audit
 """
 
+from repro.sync.heuristic import HeuristicOutcome, HeuristicSynchronizer
 from repro.sync.legality import LegalityReport, check_legality, is_legal
+from repro.sync.pipeline import (
+    PipelineResult,
+    RewritingSearchPipeline,
+    SearchPolicy,
+    StageCounters,
+)
 from repro.sync.rewriting import (
     AddJoinMove,
     DropAttributeMove,
@@ -26,47 +33,6 @@ from repro.sync.rewriting import (
     Rewriting,
     combine_extent,
 )
-from repro.sync.synchronizer import ViewSynchronizer
-from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
-
-__all__ = [
-    "AddJoinMove",
-    "DropAttributeMove",
-    "DropConditionMove",
-    "DropRelationMove",
-    "ExtentRelationship",
-    "LegalityReport",
-    "Move",
-    "RenameMove",
-    "ReplaceAttributeMove",
-    "ReplaceRelationMove",
-    "Rewriting",
-    "ViewKnowledgeBase",
-    "ViewRecord",
-    "ViewSynchronizer",
-    "check_legality",
-    "combine_extent",
-    "is_legal",
-]
-
-from repro.sync.heuristic import HeuristicOutcome, HeuristicSynchronizer
-
-__all__ += ["HeuristicOutcome", "HeuristicSynchronizer"]
-
-from repro.sync.pipeline import (
-    PipelineResult,
-    RewritingSearchPipeline,
-    SearchPolicy,
-    StageCounters,
-)
-
-__all__ += [
-    "PipelineResult",
-    "RewritingSearchPipeline",
-    "SearchPolicy",
-    "StageCounters",
-]
-
 from repro.sync.scheduler import (
     BatchWorkPlan,
     ChainGroup,
@@ -77,14 +43,39 @@ from repro.sync.scheduler import (
     build_work_plan,
     coalesce_fingerprint,
 )
+from repro.sync.synchronizer import ViewSynchronizer
+from repro.sync.vkb import ViewKnowledgeBase, ViewRecord
 
-__all__ += [
+__all__ = [
+    "AddJoinMove",
     "BatchWorkPlan",
     "ChainGroup",
     "DeferredSynchronization",
+    "DropAttributeMove",
+    "DropConditionMove",
+    "DropRelationMove",
+    "ExtentRelationship",
+    "HeuristicOutcome",
+    "HeuristicSynchronizer",
+    "LegalityReport",
+    "Move",
+    "PipelineResult",
+    "RenameMove",
+    "ReplaceAttributeMove",
+    "ReplaceRelationMove",
+    "Rewriting",
+    "RewritingSearchPipeline",
     "ScheduleReport",
+    "SearchPolicy",
+    "StageCounters",
     "SynchronizationScheduler",
+    "ViewKnowledgeBase",
+    "ViewRecord",
+    "ViewSynchronizer",
     "ViewWorkItem",
     "build_work_plan",
+    "check_legality",
     "coalesce_fingerprint",
+    "combine_extent",
+    "is_legal",
 ]

@@ -8,7 +8,7 @@ flags on the introduced clauses).
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.esql.ast import FromItem, ViewDefinition, WhereItem
 from repro.relational.expressions import AttributeRef

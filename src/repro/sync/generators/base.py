@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import UnknownRelationError
 from repro.esql.ast import ViewDefinition

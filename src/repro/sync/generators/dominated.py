@@ -13,7 +13,7 @@ caller explicitly asks for the spectrum.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import SchemaError
 from repro.sync.rewriting import DropAttributeMove, Rewriting

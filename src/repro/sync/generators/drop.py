@@ -10,7 +10,7 @@ of the replacement searches in the default chain.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import SchemaError
 from repro.esql.ast import ViewDefinition

@@ -7,7 +7,7 @@ runs first in the default generator chain.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.esql.ast import ViewDefinition
 from repro.relational.expressions import AttributeRef

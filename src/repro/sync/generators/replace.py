@@ -18,7 +18,7 @@ for the transitive sweep behind it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.esql.ast import SelectItem, ViewDefinition, WhereItem
 from repro.misd.constraints import PCConstraint

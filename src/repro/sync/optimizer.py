@@ -23,7 +23,8 @@ recorded reason — everything else.  Two transforms are implemented:
     and carries no residual clauses is a semi join (its columns exist
     only to be probed) — but under bag semantics it may only run as an
     existence check when each probe key provably matches at most one
-    row, otherwise match multiplicities would be lost.  The proof is the probed hash index's own uniqueness
+    row, otherwise match multiplicities would be lost.  The proof is
+the probed hash index's own uniqueness
     (checked against the live extent, which cannot change mid
     evaluation); without it the transform is refused.
 
@@ -39,7 +40,8 @@ suites (``test_engine_equivalence``, ``test_columnar_parity``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.esql.ast import ViewDefinition
 from repro.misd.statistics import SpaceStatistics

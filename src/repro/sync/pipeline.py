@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.errors import SynchronizationError
 from repro.esql.ast import ViewDefinition
@@ -47,7 +48,6 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.config import SearchConfig
     from repro.qc.cost import CostAssessment
     from repro.qc.model import Evaluation, QCModel
-    from repro.qc.quality import QualityAssessment
     from repro.qc.workload import WorkloadSpec
 
 
@@ -362,7 +362,7 @@ class RewritingSearchPipeline:
                 hints=hints,
                 optimizer=report,
             )
-        except Exception:
+        except Exception:  # noqa: BLE001 - best-effort EXPLAIN; never fails the sync it describes
             return None
         return plan.to_dict()
 

@@ -11,8 +11,8 @@ right Fig. 9 overlap case without re-deriving how the rewriting came to be.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from collections.abc import Iterable
 
 from repro.esql.ast import ViewDefinition
 from repro.esql.params import ViewExtent

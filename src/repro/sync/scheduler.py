@@ -56,7 +56,8 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Protocol
 
 from repro.config import ScheduleConfig
 from repro.space.changes import SchemaChange

@@ -37,7 +37,7 @@ Two consumption styles share the same generation machinery:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.esql.ast import ViewDefinition
 from repro.esql.validate import ViewValidator

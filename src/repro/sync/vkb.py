@@ -17,7 +17,7 @@ synchronization log — is identical to the historical full scan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import WorkspaceError
 from repro.esql.ast import ViewDefinition

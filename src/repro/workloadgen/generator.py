@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Iterable, Sequence
+from collections.abc import Sequence
 
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, Schema

@@ -7,7 +7,7 @@ from repro.errors import SynchronizationError
 from repro.misd.statistics import RelationStatistics
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.space.changes import DeleteAttribute, DeleteRelation
+from repro.space.changes import DeleteRelation
 
 
 @pytest.fixture

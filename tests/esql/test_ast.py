@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.esql.ast import FromItem, SelectItem, ViewDefinition, WhereItem
-from repro.esql.params import AttributeCategory, EvolutionFlags, ViewExtent
+from repro.esql.params import AttributeCategory, ViewExtent
 from repro.esql.parser import parse_view
 from repro.relational.expressions import (
     AttributeRef,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.esql.lexer import Token, TokenKind, tokenize
+from repro.esql.lexer import TokenKind, tokenize
 
 
 def kinds(text):

@@ -5,12 +5,11 @@ changes; choosing the non-replaceable branch first kills it at the next
 change.  This is the paper's argument for the default w1 > w2.
 """
 
-import pytest
 
 from repro.core.eve import EVESystem
 from repro.qc.params import TradeoffParameters
 from repro.qc.quality import dd_attr
-from repro.space.changes import DeleteAttribute, DeleteRelation
+from repro.space.changes import DeleteAttribute
 from repro.sync.synchronizer import ViewSynchronizer
 from repro.workloadgen.scenarios import build_survival_scenario
 

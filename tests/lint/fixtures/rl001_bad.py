@@ -1,0 +1,14 @@
+"""RL001 violating fixture: salted builtin hash() in routing code."""
+
+# Parsed, never imported: repro-lint resolves this against the other
+# fixture files loaded into the same analysis project.
+import rl001_bad_helper
+
+
+def route(relation: str, shards: int) -> int:
+    # Violation: per-process salted hash in a cross-process decision.
+    return hash(relation) % shards
+
+
+def route_via_helper(relation: str, shards: int) -> int:
+    return rl001_bad_helper.digest(relation) % shards

@@ -1,0 +1,6 @@
+"""Imported by rl001_bad: the closure must cover this module too."""
+
+
+def digest(relation: str) -> int:
+    # Violation: reached through the root's import closure.
+    return hash(relation)

@@ -1,0 +1,22 @@
+"""RL001 clean fixture: crc32 routing; hash() only inside __hash__."""
+
+import zlib
+
+
+def route(relation: str, shards: int) -> int:
+    return zlib.crc32(relation.encode("utf-8")) % shards
+
+
+class RoutingKey:
+    def __init__(self, relation: str) -> None:
+        self.relation = relation
+
+    def __hash__(self) -> int:
+        # Exempt: process-local identity hashing, never crosses a
+        # process boundary.
+        return hash(self.relation)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RoutingKey) and other.relation == self.relation
+        )

@@ -1,0 +1,23 @@
+"""RL002 violating fixture: nondeterminism on a modeled-cost path."""
+
+import random
+import time
+
+
+def modeled_cost(cardinality: int) -> float:
+    """Public entry point; reaches the clock through a private helper."""
+    return float(cardinality) * _jitter()
+
+
+def _jitter() -> float:
+    # Violation: wall clock reachable from modeled_cost.
+    return time.time() % 1.0
+
+
+def modeled_transfer(relations: list[str]) -> int:
+    total = 0
+    # Violation: set-construction iteration order is interpreter-defined.
+    for name in set(relations):
+        total += len(name)
+    # Violation: RNG on a modeled path.
+    return total + random.randrange(4)

@@ -1,0 +1,18 @@
+"""RL002 clean fixture: deterministic modeled costs."""
+
+
+def modeled_cost(cardinality: int, weight: float) -> float:
+    return float(cardinality) * weight
+
+
+def modeled_transfer(relations: list[str]) -> int:
+    total = 0
+    # Sorted: order is explicit, not interpreter-defined.
+    for name in sorted(set(relations)):
+        total += len(name)
+    return total
+
+
+def measured_seconds(clock) -> float:
+    """An *injected* clock is a parameter, not a hidden source."""
+    return float(clock())

@@ -1,0 +1,31 @@
+"""RL003 violating fixture: a worker child that emits bus events."""
+
+import multiprocessing
+
+
+class _Bus:
+    def emit(self, event: object) -> None:
+        raise AssertionError(f"children must not emit ({event!r})")
+
+
+BUS = _Bus()
+
+
+def _child_main(inbox, outbox) -> None:
+    payload = inbox.get()
+    result = _replay(payload)
+    outbox.put(result)
+
+
+def _replay(payload: object) -> object:
+    # Violation: emission reachable from the Process target.
+    BUS.emit(("replayed", payload))
+    return payload
+
+
+def start() -> multiprocessing.Process:
+    context = multiprocessing.get_context("spawn")
+    inbox, outbox = context.Queue(), context.Queue()
+    process = context.Process(target=_child_main, args=(inbox, outbox))
+    process.start()
+    return process

@@ -1,0 +1,28 @@
+"""RL003 clean fixture: the child replies, the parent emits."""
+
+import multiprocessing
+
+
+class _Bus:
+    def emit(self, event: object) -> None:
+        pass
+
+
+BUS = _Bus()
+
+
+def _child_main(inbox, outbox) -> None:
+    payload = inbox.get()
+    # Clean: data flows back in the reply; no bus in the child.
+    outbox.put(("replayed", payload))
+
+
+def run(payload: object) -> None:
+    context = multiprocessing.get_context("spawn")
+    inbox, outbox = context.Queue(), context.Queue()
+    process = context.Process(target=_child_main, args=(inbox, outbox))
+    process.start()
+    inbox.put(payload)
+    # Clean: the parent process owns every emission.
+    BUS.emit(("child-replied", outbox.get()))
+    process.join()

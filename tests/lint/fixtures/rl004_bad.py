@@ -1,0 +1,23 @@
+"""RL004 violating fixture: in-place mutation bypassing staging."""
+
+
+class System:
+    def __init__(self, store) -> None:
+        self._extents = store
+
+    def patch_view(self, view_name: str, row: tuple) -> None:
+        # Violation: direct read-then-mutate in one expression.
+        self._extents[view_name].insert(row)
+
+    def drop_rows(self, view_name: str, predicate) -> int:
+        extent = self._extents.get(view_name)
+        if extent is None:
+            return 0
+        # Violation: `extent` was read, not staged via .mutable().
+        return extent.delete_where(predicate)
+
+
+def reset(system: System, view_name: str) -> None:
+    stale = system._extents[view_name]
+    # Violation: taint survives the binding.
+    stale.clear()

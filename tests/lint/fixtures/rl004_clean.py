@@ -1,0 +1,25 @@
+"""RL004 clean fixture: every write goes through the staging door."""
+
+
+class System:
+    def __init__(self, store) -> None:
+        self._extents = store
+
+    def patch_view(self, view_name: str, row: tuple) -> None:
+        extent = self._extents.mutable(view_name)
+        if extent is not None:
+            # Clean: .mutable() returned the staged copy.
+            extent.insert(row)
+
+    def replace_view(self, view_name: str, relation) -> None:
+        # Clean: store-level assignment is staged inside the store.
+        self._extents[view_name] = relation
+
+    def forget_view(self, view_name: str) -> None:
+        # Clean: store-level operation, staged inside the store.
+        self._extents.pop(view_name, None)
+
+    def cardinality(self, view_name: str) -> int:
+        extent = self._extents.get(view_name)
+        # Clean: reading a read-only snapshot is the whole point.
+        return 0 if extent is None else extent.cardinality

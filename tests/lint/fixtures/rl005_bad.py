@@ -1,0 +1,16 @@
+"""RL005 violating fixture: broad catches with no stated reason."""
+
+
+def swallow(mapping: dict, key: str) -> object:
+    try:
+        return mapping[key]
+    except Exception:
+        return None
+
+
+def swallow_everything(action) -> bool:
+    try:
+        action()
+        return True
+    except:
+        return False

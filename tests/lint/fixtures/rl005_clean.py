@@ -1,0 +1,25 @@
+"""RL005 clean fixture: narrowed, justified, and re-raising handlers."""
+
+
+def narrowed(mapping: dict, key: str) -> object:
+    try:
+        return mapping[key]
+    except KeyError:
+        return None
+
+
+def justified(problems: list, checks: list) -> list:
+    for check in checks:
+        try:
+            check()
+        except Exception as exc:  # noqa: BLE001 - collecting, not handling
+            problems.append(str(exc))
+    return problems
+
+
+def cleanup_and_reraise(action, teardown) -> object:
+    try:
+        return action()
+    except BaseException:
+        teardown()
+        raise

@@ -1,0 +1,169 @@
+"""Fixture-based self-tests: every rule fires on its seeded violation
+and stays silent on the clean twin.
+
+The fixtures under ``tests/lint/fixtures/`` are parsed, never
+imported; rules whose repo defaults point at ``repro.*`` modules are
+re-instantiated here with fixture-local configuration — the same
+plugin surface a future rule would use.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import Project, run
+from tools.repro_lint.rules import (
+    RULES,
+    rl001_salted_hash,
+    rl002_nondeterminism,
+    rl003_silent_children,
+    rl004_extent_staging,
+    rl005_broad_except,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture(name: str) -> Path:
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {name}"
+    return path
+
+
+def check(rule, *names: str):
+    project = Project.load([fixture(name) for name in names])
+    return list(rule.check(project))
+
+
+# ----------------------------------------------------------------------
+# RL001
+# ----------------------------------------------------------------------
+def test_rl001_flags_builtin_hash_in_root_and_import_closure():
+    rule = rl001_salted_hash.SaltedHashRule(roots=("rl001_bad",))
+    violations = check(rule, "rl001_bad.py", "rl001_bad_helper.py")
+    assert len(violations) == 2
+    assert {Path(v.path).name for v in violations} == {
+        "rl001_bad.py",
+        "rl001_bad_helper.py",
+    }
+    assert all(v.rule == "RL001" for v in violations)
+    assert all("crc32" in v.message for v in violations)
+
+
+def test_rl001_clean_fixture_passes():
+    rule = rl001_salted_hash.SaltedHashRule(roots=("rl001_clean",))
+    assert check(rule, "rl001_clean.py") == []
+
+
+def test_rl001_dunder_hash_is_exempt():
+    # The clean fixture's __hash__ calls builtin hash(); covered above,
+    # asserted separately so the exemption can never regress silently.
+    rule = rl001_salted_hash.SaltedHashRule(roots=("rl001_clean",))
+    violations = check(rule, "rl001_clean.py")
+    assert violations == []
+
+
+# ----------------------------------------------------------------------
+# RL002
+# ----------------------------------------------------------------------
+def test_rl002_flags_clock_rng_and_set_iteration():
+    rule = rl002_nondeterminism.NondeterminismRule(
+        entry_modules=("rl002_bad",)
+    )
+    violations = check(rule, "rl002_bad.py")
+    descriptions = "\n".join(v.message for v in violations)
+    assert len(violations) == 3
+    assert "time.time" in descriptions
+    assert "random.randrange" in descriptions
+    assert "set construction" in descriptions
+    # The clock hides behind a private helper: the chain must name it.
+    clock = next(v for v in violations if "time.time" in v.message)
+    assert "modeled_cost" in clock.message and "_jitter" in clock.message
+
+
+def test_rl002_clean_fixture_passes():
+    rule = rl002_nondeterminism.NondeterminismRule(
+        entry_modules=("rl002_clean",)
+    )
+    assert check(rule, "rl002_clean.py") == []
+
+
+# ----------------------------------------------------------------------
+# RL003
+# ----------------------------------------------------------------------
+def test_rl003_flags_emission_reachable_from_process_target():
+    rule = rl003_silent_children.SilentChildrenRule()
+    violations = check(rule, "rl003_bad.py")
+    assert len(violations) == 1
+    assert "BUS.emit" in violations[0].message
+    # The path from the Process target through the helper is spelled out.
+    assert "_child_main" in violations[0].message
+    assert "_replay" in violations[0].message
+
+
+def test_rl003_clean_fixture_passes():
+    rule = rl003_silent_children.SilentChildrenRule()
+    assert check(rule, "rl003_clean.py") == []
+
+
+# ----------------------------------------------------------------------
+# RL004
+# ----------------------------------------------------------------------
+def test_rl004_flags_every_bypass_shape():
+    rule = rl004_extent_staging.ExtentStagingRule(exempt_modules=())
+    violations = check(rule, "rl004_bad.py")
+    assert len(violations) == 3
+    messages = "\n".join(v.message for v in violations)
+    assert "insert" in messages  # direct subscript mutate
+    assert "delete_where" in messages  # .get() then mutate
+    assert "clear" in messages  # taint through a binding
+    assert all("mutable" in v.message for v in violations)
+
+
+def test_rl004_clean_fixture_passes():
+    rule = rl004_extent_staging.ExtentStagingRule(exempt_modules=())
+    assert check(rule, "rl004_clean.py") == []
+
+
+def test_rl004_exempt_module_is_skipped():
+    rule = rl004_extent_staging.ExtentStagingRule(
+        exempt_modules=("rl004_bad",)
+    )
+    assert check(rule, "rl004_bad.py") == []
+
+
+# ----------------------------------------------------------------------
+# RL005
+# ----------------------------------------------------------------------
+def test_rl005_flags_unjustified_broad_handlers():
+    rule = rl005_broad_except.BroadExceptRule()
+    violations = check(rule, "rl005_bad.py")
+    assert len(violations) == 2
+    assert any("Exception" in v.message for v in violations)
+    assert any("bare except" in v.message for v in violations)
+
+
+def test_rl005_clean_fixture_passes():
+    rule = rl005_broad_except.BroadExceptRule()
+    assert check(rule, "rl005_clean.py") == []
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_every_rule_has_explain_text(code):
+    rule_class = RULES[code]
+    assert rule_class.summary, f"{code} missing summary"
+    assert len(rule_class.explain) > 200, f"{code} --explain text too thin"
+
+
+def test_run_api_sorts_and_aggregates():
+    violations = run(
+        [fixture("rl005_bad.py"), fixture("rl005_clean.py")],
+        [rl005_broad_except.BroadExceptRule()],
+    )
+    assert [v.lineno for v in violations] == sorted(
+        v.lineno for v in violations
+    )
+    assert all(Path(v.path).name == "rl005_bad.py" for v in violations)

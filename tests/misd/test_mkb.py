@@ -4,12 +4,7 @@ import pytest
 
 from repro.errors import ConstraintError, UnknownRelationError
 from repro.esql.parser import parse_condition_clause
-from repro.misd.constraints import (
-    JoinConstraint,
-    PCConstraint,
-    PCRelationship,
-    RelationFragment,
-)
+from repro.misd.constraints import JoinConstraint, PCRelationship
 from repro.misd.mkb import MetaKnowledgeBase
 from repro.misd.statistics import RelationStatistics
 from repro.relational.expressions import Condition

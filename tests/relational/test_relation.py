@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SchemaError, TypeMismatchError
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, Schema
-from repro.relational.types import AttributeType
 
 
 @pytest.fixture

@@ -18,7 +18,7 @@ from repro.misd.statistics import RelationStatistics
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.serving import ServedRead, ServingFrontend
-from repro.space.changes import DeleteRelation, RenameAttribute
+from repro.space.changes import DeleteRelation
 
 
 def build_system(config=None):

@@ -5,14 +5,7 @@ import pytest
 from repro.errors import UnknownRelationError, WorkspaceError
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, Schema
-from repro.space.changes import (
-    AddAttribute,
-    AddRelation,
-    DeleteAttribute,
-    DeleteRelation,
-    RenameAttribute,
-    RenameRelation,
-)
+from repro.space.changes import AddAttribute, AddRelation, DeleteRelation
 from repro.space.space import InformationSpace
 
 

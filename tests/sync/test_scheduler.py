@@ -198,7 +198,9 @@ class TestDispatch:
             [(f"V{i}", (i % 3,), float(i), f"k{i}") for i in range(12)],
             CHANGES,
         )
-        SynchronizationScheduler(ScheduleConfig(executor="threads", max_workers=4)).execute(plan, runtime)
+        SynchronizationScheduler(
+            ScheduleConfig(executor="threads", max_workers=4)
+        ).execute(plan, runtime)
         groups = plan.groups()
         assert len(groups) == 3
         for group in groups:
@@ -212,7 +214,9 @@ class TestDispatch:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="defer")).execute(plan, runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget=0.0, degrade="defer")
+        ).execute(plan, runtime)
         assert runtime.replayed == []
         assert [d.view_name for d in report.deferred] == ["V0", "V1"]
         assert runtime.finalized == []  # deferred views keep stale extents
@@ -223,7 +227,9 @@ class TestDispatch:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (1,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(ScheduleConfig(budget=0.0, degrade="first_legal")).execute(plan, runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget=0.0, degrade="first_legal")
+        ).execute(plan, runtime)
         assert [policy for _, policy in runtime.replayed] == [
             "first_legal",
             "first_legal",
@@ -513,7 +519,9 @@ class TestUnitBudget:
 
     def test_zero_units_defers_everything(self):
         runtime = RecordingRuntime()
-        report = SynchronizationScheduler(ScheduleConfig(budget_units=0.0, degrade="defer")).execute(self.plan(), runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget_units=0.0, degrade="defer")
+        ).execute(self.plan(), runtime)
         assert runtime.replayed == []
         assert [d.view_name for d in report.deferred] == ["V0", "V1", "V2"]
         assert "cost units" in report.deferred[0].reason
@@ -524,7 +532,9 @@ class TestUnitBudget:
         # Cost order dispatches V0 (debit 1.0) then V1 (debit 2.0);
         # the bucket is then exactly exhausted, so V2 degrades.
         runtime = RecordingRuntime()
-        report = SynchronizationScheduler(ScheduleConfig(budget_units=3.0, degrade="first_legal")).execute(self.plan(), runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget_units=3.0, degrade="first_legal")
+        ).execute(self.plan(), runtime)
         assert [
             (name, policy) for name, policy in runtime.replayed
         ] == [("V0", None), ("V1", None), ("V2", "first_legal")]
@@ -537,7 +547,9 @@ class TestUnitBudget:
         plan = make_plan(
             [("V0", (0,), 1.0, "a"), ("V1", (0,), 2.0, "b")], CHANGES
         )
-        report = SynchronizationScheduler(ScheduleConfig(budget_units=1.5, degrade="defer")).execute(plan, runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget_units=1.5, degrade="defer")
+        ).execute(plan, runtime)
         assert [name for name, _ in runtime.replayed] == ["V0", "V1"]
         assert report.deferred == ()
         assert report.units_spent == 3.0
@@ -548,7 +560,9 @@ class TestUnitBudget:
             [("V0", (0,), float("inf"), "a"), ("V1", (1,), 1.0, "b")],
             CHANGES,
         )
-        report = SynchronizationScheduler(ScheduleConfig(budget_units=10.0, degrade="defer")).execute(plan, runtime)
+        report = SynchronizationScheduler(
+            ScheduleConfig(budget_units=10.0, degrade="defer")
+        ).execute(plan, runtime)
         assert report.deferred == ()
         assert report.units_spent == 1.0
 

@@ -15,7 +15,7 @@ from repro.space.changes import (
 )
 from repro.space.space import InformationSpace
 from repro.sync.legality import is_legal
-from repro.sync.rewriting import ExtentRelationship, ReplaceRelationMove
+from repro.sync.rewriting import ExtentRelationship
 from repro.sync.synchronizer import ViewSynchronizer
 from repro.relational.schema import Attribute
 

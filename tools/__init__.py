@@ -1,0 +1,1 @@
+"""Repo-local developer tooling (not shipped to library consumers)."""

@@ -1,0 +1,113 @@
+"""Command line: ``python -m tools.repro_lint`` / ``repro-lint``.
+
+Exit status: 0 clean, 1 violations found, 2 usage error — the same
+contract as ruff, so CI treats the two gates identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from tools.repro_lint.rules import RULES
+
+#: What the CI gate analyzes when no paths are given.
+DEFAULT_PATHS = ("src", "tools")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Invariant-aware static analysis for this repository: "
+            "machine-checks the hand-maintained contracts "
+            "(shard-routing hashes, modeled-cost determinism, "
+            "child-process bus silence, extent staging, broad excepts)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyze (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the full rationale for one rule and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its one-line summary",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation output format (default: text)",
+    )
+    return parser
+
+
+def _pick_rules(select: str | None, parser: argparse.ArgumentParser):
+    if select is None:
+        return [rule_class() for rule_class in RULES.values()]
+    chosen = []
+    for code in select.split(","):
+        code = code.strip().upper()
+        if code not in RULES:
+            parser.error(
+                f"unknown rule {code!r} (known: {', '.join(RULES)})"
+            )
+        chosen.append(RULES[code]())
+    return chosen
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code, rule_class in RULES.items():
+            print(f"{code}  {rule_class.summary}")
+        return 0
+
+    if options.explain is not None:
+        code = options.explain.strip().upper()
+        if code not in RULES:
+            parser.error(
+                f"unknown rule {code!r} (known: {', '.join(RULES)})"
+            )
+        rule_class = RULES[code]
+        print(f"{code}: {rule_class.summary}\n")
+        print(rule_class.explain)
+        return 0
+
+    from tools.repro_lint import run
+
+    violations = run(options.paths, _pick_rules(options.select, parser))
+    if options.format == "json":
+        print(json.dumps([v.as_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(
+                f"\n{len(violations)} violation(s). "
+                "Run with --explain <rule> for the invariant each "
+                "rule defends."
+            )
+        else:
+            print("repro-lint: clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

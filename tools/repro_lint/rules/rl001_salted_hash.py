@@ -1,0 +1,65 @@
+"""RL001: no builtin ``hash()`` in cross-process / shard-routing code."""
+
+from __future__ import annotations
+
+from tools.repro_lint.rules import Rule, register
+
+#: The shard-routing root; the rule covers its whole import closure.
+DEFAULT_ROOTS = ("repro.sync.workers",)
+
+
+@register
+class SaltedHashRule(Rule):
+    code = "RL001"
+    summary = (
+        "builtin hash() is per-process salted; shard routing uses crc32"
+    )
+    explain = """\
+The VKB is partitioned across worker processes by relation name:
+``relation_shard`` in ``repro.sync.workers`` maps a relation to
+``crc32(name) % shards``, and the parent and its *spawned* workers must
+compute the same shard for the same name without negotiation (ROADMAP,
+"Persistent-worker execution").
+
+The builtin ``hash()`` cannot do that job: since PEP 456, string
+hashing is salted per interpreter process (PYTHONHASHSEED), so a parent
+and a freshly spawned worker disagree on ``hash("R") % shards`` — views
+silently route to the wrong shard and the mirrors drift.  The failure
+is probabilistic and environment-dependent, which is why it must be
+caught statically rather than by tests.
+
+RL001 therefore flags every call to the *builtin* ``hash`` inside
+``repro.sync.workers`` and every module it transitively imports.
+``__hash__`` method bodies are exempt (``hash(...)`` there implements
+process-local object identity, which is fine — the salt never crosses
+a process boundary through a dict lookup), as is any module that
+shadows ``hash`` with its own definition.
+
+Fix: route through ``zlib.crc32(name.encode("utf-8"))`` (see
+``relation_shard``), or any other process-stable digest.  There is no
+suppression comment for this rule on purpose: a salted hash in routing
+code is never correct.
+"""
+
+    def __init__(self, roots: tuple[str, ...] = DEFAULT_ROOTS) -> None:
+        self.roots = roots
+
+    def check(self, project):
+        covered = project.import_closure(*self.roots)
+        for module in sorted(covered):
+            facts = project.modules[module]
+            if "hash" in facts.imports:
+                continue  # shadowed: not the builtin
+            for function in facts.functions.values():
+                if function.is_dunder_hash:
+                    continue
+                for call in function.calls:
+                    if call.callee == "hash":
+                        yield self.violation(
+                            facts,
+                            call.lineno,
+                            "builtin hash() in shard-routing import "
+                            f"closure (via {', '.join(self.roots)}); "
+                            "the builtin is salted per process — use "
+                            "zlib.crc32 like relation_shard does",
+                        )
